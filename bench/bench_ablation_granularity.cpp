@@ -1,0 +1,58 @@
+// Ablation — conflict-detection granularity (DESIGN.md §4, decision 1).
+//
+// The paper's validator coarsens conflicts to the ACCOUNT level (§4.3);
+// the reserve table in the proposer works on exact keys.  This ablation
+// quantifies what account-level coarsening costs the validator: exact
+// storage-cell keys split some subgraphs (two txs touching different slots
+// of one contract no longer conflict), shrinking the critical path and
+// raising the attainable speedup.
+#include "bench_common.hpp"
+
+namespace blockpilot::bench {
+namespace {
+
+constexpr int kBlocks = 12;
+
+void run() {
+  print_header("Ablation: account-level vs key-level conflict granularity",
+               "(not in paper — quantifies §4.3's account-level choice)");
+
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xAB1;
+  workload::WorkloadGenerator gen(wc);
+  const state::WorldState genesis = gen.genesis();
+
+  ThreadPool workers(1);
+  std::printf("%12s %14s %14s %16s\n", "granularity", "avg-subgraphs",
+              "avg-ratio", "avg-speedup@16");
+  for (const auto granularity :
+       {sched::Granularity::kAccount, sched::Granularity::kKey}) {
+    workload::WorkloadGenerator g2(wc);
+    double subgraphs = 0, ratio = 0, speedup = 0;
+    for (int b = 0; b < kBlocks; ++b) {
+      const HonestBlock hb = build_honest_block(
+          genesis, g2.next_block(), static_cast<std::uint64_t>(b) + 1);
+      core::ValidatorConfig vc;
+      vc.threads = 16;
+      vc.granularity = granularity;
+      const auto out = core::BlockValidator(vc).validate(
+          genesis, hb.bundle.block, hb.bundle.profile, workers);
+      if (!out.valid) {
+        std::printf("VALIDATION FAILED: %s\n", out.reject_reason.c_str());
+        return;
+      }
+      subgraphs += static_cast<double>(out.stats.subgraphs);
+      ratio += out.stats.largest_subgraph_ratio;
+      speedup += out.stats.virtual_speedup();
+    }
+    std::printf("%12s %14.1f %14.3f %16.2f\n",
+                granularity == sched::Granularity::kAccount ? "account"
+                                                            : "key",
+                subgraphs / kBlocks, ratio / kBlocks, speedup / kBlocks);
+  }
+}
+
+}  // namespace
+}  // namespace blockpilot::bench
+
+int main() { blockpilot::bench::run(); }

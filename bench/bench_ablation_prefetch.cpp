@@ -1,0 +1,59 @@
+// Ablation — state prefetching (paper §5.4).
+//
+// The paper's single-block evaluation enables geth's prefetcher "to reduce
+// the I/O impact in executing transactions and prefetch all required
+// storage slots to memory".  This ablation measures what that buys: with
+// prefetching off, every first-touch state read stalls a worker on the
+// backing store, lengthening the critical path — hotspot subgraphs suffer
+// most because their serial chains accumulate every stall.
+#include "bench_common.hpp"
+
+namespace blockpilot::bench {
+namespace {
+
+constexpr int kBlocks = 12;
+
+void run() {
+  print_header("Ablation: profile-driven state prefetching (§5.4)",
+               "paper enables geth prefetching for all validator results");
+
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xAB3;
+  workload::WorkloadGenerator gen(wc);
+  const state::WorldState genesis = gen.genesis();
+
+  std::vector<HonestBlock> blocks;
+  for (int b = 0; b < kBlocks; ++b)
+    blocks.push_back(build_honest_block(
+        genesis, gen.next_block(), static_cast<std::uint64_t>(b) + 1));
+
+  ThreadPool workers(1);
+  std::printf("%8s %18s %18s %10s\n", "threads", "prefetch-on",
+              "prefetch-off", "benefit");
+  for (const std::size_t threads : {2u, 4u, 8u, 16u}) {
+    double on_sum = 0, off_sum = 0;
+    for (const HonestBlock& hb : blocks) {
+      core::ValidatorConfig vc;
+      vc.threads = threads;
+      vc.prefetch = true;
+      const auto on = core::BlockValidator(vc).validate(
+          genesis, hb.bundle.block, hb.bundle.profile, workers);
+      vc.prefetch = false;
+      const auto off = core::BlockValidator(vc).validate(
+          genesis, hb.bundle.block, hb.bundle.profile, workers);
+      if (!on.valid || !off.valid) {
+        std::printf("VALIDATION FAILED\n");
+        return;
+      }
+      on_sum += on.stats.virtual_speedup();
+      off_sum += off.stats.virtual_speedup();
+    }
+    std::printf("%8zu %18.2f %18.2f %9.1f%%\n", threads, on_sum / kBlocks,
+                off_sum / kBlocks, (on_sum / off_sum - 1.0) * 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace blockpilot::bench
+
+int main() { blockpilot::bench::run(); }

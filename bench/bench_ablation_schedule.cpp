@@ -1,0 +1,71 @@
+// Ablation — gas-weighted LPT vs naive round-robin subgraph assignment
+// (DESIGN.md §4; paper §4.3: "the scheduler assigns conflict-free jobs to
+// threads that consume less gas").
+//
+// The validator's makespan is fully determined by the subgraph->thread
+// assignment, so both policies are evaluated analytically on the same
+// dependency graphs: LPT assigns heaviest-first to the least-loaded
+// thread; round-robin ignores weights entirely.
+#include "bench_common.hpp"
+
+namespace blockpilot::bench {
+namespace {
+
+constexpr int kBlocks = 20;
+
+std::uint64_t round_robin_makespan(const sched::DependencyGraph& graph,
+                                   std::size_t threads) {
+  std::vector<std::uint64_t> load(threads, 0);
+  std::size_t next = 0;
+  for (const auto& sg : graph.subgraphs) {
+    load[next] += sg.total_gas;
+    next = (next + 1) % threads;
+  }
+  std::uint64_t makespan = 0;
+  for (const auto l : load) makespan = std::max(makespan, l);
+  return makespan;
+}
+
+std::uint64_t lpt_makespan(const sched::DependencyGraph& graph,
+                           std::size_t threads) {
+  const auto plan = sched::lpt_schedule(graph, threads);
+  std::uint64_t makespan = 0;
+  for (const auto l : plan.load) makespan = std::max(makespan, l);
+  return makespan;
+}
+
+void run() {
+  print_header("Ablation: LPT vs round-robin subgraph scheduling",
+               "(supports §4.3's gas-based heaviest-first policy)");
+
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xAB2;
+  workload::WorkloadGenerator gen(wc);
+  const state::WorldState genesis = gen.genesis();
+
+  std::printf("%8s %14s %14s %12s\n", "threads", "LPT-speedup",
+              "RR-speedup", "LPT-gain");
+  for (const std::size_t threads : {2u, 4u, 8u, 16u}) {
+    workload::WorkloadGenerator g2(wc);
+    double lpt_sum = 0, rr_sum = 0;
+    for (int b = 0; b < kBlocks; ++b) {
+      core::SerialOptions so;
+      const auto txs = g2.next_block();
+      const auto serial =
+          core::execute_serial(genesis, ctx_for(1), std::span(txs), so);
+      const auto graph = sched::build_dependency_graph(
+          serial.exec.profile, sched::Granularity::kAccount);
+      const std::uint64_t total = graph.total_gas();
+      lpt_sum += vtime::speedup(total, lpt_makespan(graph, threads));
+      rr_sum += vtime::speedup(total, round_robin_makespan(graph, threads));
+    }
+    std::printf("%8zu %14.2f %14.2f %11.1f%%\n", threads, lpt_sum / kBlocks,
+                rr_sum / kBlocks,
+                (lpt_sum / rr_sum - 1.0) * 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace blockpilot::bench
+
+int main() { blockpilot::bench::run(); }

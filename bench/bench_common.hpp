@@ -1,0 +1,97 @@
+// Shared utilities for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation section (§5) and prints the corresponding rows/series.
+// See EXPERIMENTS.md for paper-vs-measured values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/blockpilot.hpp"
+
+namespace blockpilot::bench {
+
+inline evm::BlockContext ctx_for(std::uint64_t height) {
+  evm::BlockContext ctx;
+  ctx.number = height;
+  ctx.timestamp = 1'700'000'000 + height * 12;
+  ctx.coinbase = Address::from_id(0xC0FFEE);
+  return ctx;
+}
+
+/// An honest (serially built) block plus its profile — what a proposer
+/// broadcasts and a validator receives.
+struct HonestBlock {
+  core::BlockBundle bundle;
+  std::shared_ptr<state::WorldState> post_state;
+};
+
+inline HonestBlock build_honest_block(const state::WorldState& pre,
+                                      const std::vector<chain::Transaction>& txs,
+                                      std::uint64_t height) {
+  core::SerialOptions opts;
+  const core::SerialResult r =
+      core::execute_serial(pre, ctx_for(height), std::span(txs), opts);
+  HonestBlock out;
+  out.bundle.block = core::seal_block(ctx_for(height), r.exec, r.included);
+  out.bundle.profile = r.exec.profile;
+  out.post_state = r.exec.post_state;
+  return out;
+}
+
+/// Fixed-bucket speedup histogram (the form of Fig. 6 / Fig. 7b).
+class SpeedupHistogram {
+ public:
+  void add(double speedup) {
+    samples_.push_back(speedup);
+    if (speedup > 1.0) ++accelerated_;
+  }
+
+  double average() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double accelerated_fraction() const {
+    return samples_.empty()
+               ? 0.0
+               : static_cast<double>(accelerated_) /
+                     static_cast<double>(samples_.size());
+  }
+
+  /// Prints bucket counts: [0,1) [1,2) ... [7,8) [8,inf).
+  void print(const char* label) const {
+    std::vector<int> buckets(9, 0);
+    for (const double s : samples_) {
+      const int b = s >= 8.0 ? 8 : static_cast<int>(s);
+      ++buckets[static_cast<std::size_t>(std::max(0, b))];
+    }
+    std::printf("%s histogram (n=%zu):", label, samples_.size());
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (b == 8)
+        std::printf("  [8,inf): %d", buckets[b]);
+      else
+        std::printf("  [%zu,%zu): %d", b, b + 1, buckets[b]);
+    }
+    std::printf("\n");
+  }
+
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+  std::size_t accelerated_ = 0;
+};
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace blockpilot::bench

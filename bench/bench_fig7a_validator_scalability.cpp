@@ -1,0 +1,62 @@
+// Figure 7(a) — Single-block validator scalability, BlockPilot vs OCC.
+//
+// Paper: the scheduled validator averages 1.7x / 2.5x / 3.03x / 3.18x at
+// 2 / 4 / 8 / 16 threads, scales well up to ~6 threads and flattens after
+// (hotspot critical paths bind), and beats the two-phase OCC baseline
+// overall.
+#include "bench_common.hpp"
+
+namespace blockpilot::bench {
+namespace {
+
+constexpr int kBlocks = 15;
+
+void run() {
+  print_header("Figure 7(a): validator single-block scalability",
+               "BlockPilot 1.7/2.5/3.03/3.18 @ 2/4/8/16 threads; knee ~6 "
+               "threads; BlockPilot > OCC");
+
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xF7A;
+  workload::WorkloadGenerator gen(wc);
+  const state::WorldState genesis = gen.genesis();
+
+  // Pre-build the block set once; every engine/thread-count replays it.
+  std::vector<HonestBlock> blocks;
+  for (int b = 0; b < kBlocks; ++b)
+    blocks.push_back(build_honest_block(
+        genesis, gen.next_block(), static_cast<std::uint64_t>(b) + 1));
+
+  ThreadPool workers(1);
+  std::printf("%8s %18s %14s\n", "threads", "BlockPilot-speedup",
+              "OCC-speedup");
+  for (const std::size_t threads : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    double bp_sum = 0, occ_sum = 0;
+    for (const HonestBlock& hb : blocks) {
+      core::ValidatorConfig vc;
+      vc.threads = threads;
+      const auto bp = core::BlockValidator(vc).validate(
+          genesis, hb.bundle.block, hb.bundle.profile, workers);
+      if (!bp.valid) {
+        std::printf("VALIDATION FAILED: %s\n", bp.reject_reason.c_str());
+        return;
+      }
+      bp_sum += bp.stats.virtual_speedup();
+
+      const auto occ =
+          core::TwoPhaseOcc(vc).validate(genesis, hb.bundle.block, workers);
+      if (!occ.valid) {
+        std::printf("OCC VALIDATION FAILED: %s\n", occ.reject_reason.c_str());
+        return;
+      }
+      occ_sum += occ.stats.virtual_speedup();
+    }
+    std::printf("%8zu %18.2f %14.2f\n", threads, bp_sum / kBlocks,
+                occ_sum / kBlocks);
+  }
+}
+
+}  // namespace
+}  // namespace blockpilot::bench
+
+int main() { blockpilot::bench::run(); }

@@ -1,0 +1,95 @@
+// Figure 8 — Effects of the hotspot problem.
+//
+// Paper: as the largest conflict subgraph's share of a block grows, the
+// 16-thread speedup falls sharply — >4x when the largest subgraph is ~10 %
+// of the block, near 1x when a single subgraph spans the block.  The
+// mainnet average largest-subgraph ratio is 27.5 %.
+//
+// This bench sweeps the workload's hotspot intensity so generated blocks
+// cover the whole ratio axis, buckets blocks by measured ratio, and prints
+// the mean 16-thread speedup per bucket — plus the calibration row
+// checking the mainnet preset against the 27.5 % figure.
+#include "bench_common.hpp"
+
+namespace blockpilot::bench {
+namespace {
+
+void run() {
+  print_header("Figure 8: speedup vs largest-subgraph ratio @16 threads",
+               ">4x near 10% ratio, ~1x at 100%; mainnet average 27.5%");
+
+  ThreadPool workers(1);
+
+  // Sweep hotspot regimes to populate every ratio bucket.
+  struct Sweep {
+    double dex;
+    std::size_t num_dex;
+  };
+  const Sweep sweeps[] = {{0.00, 1}, {0.05, 1}, {0.10, 1}, {0.20, 1},
+                          {0.30, 1}, {0.45, 1}, {0.60, 1}, {0.80, 1},
+                          {0.95, 1}, {0.30, 4}, {0.50, 2}};
+
+  struct Bucket {
+    double speedup_sum = 0;
+    int count = 0;
+  };
+  std::vector<Bucket> buckets(10);  // ratio deciles
+
+  for (const Sweep& sweep : sweeps) {
+    workload::WorkloadConfig wc = workload::preset_mainnet();
+    wc.seed = 0xF18 + static_cast<std::uint64_t>(sweep.dex * 100);
+    wc.dex_fraction = sweep.dex;
+    wc.num_dex = sweep.num_dex;
+    wc.token_fraction = std::min(0.42, 1.0 - sweep.dex);
+    workload::WorkloadGenerator gen(wc);
+    const state::WorldState genesis = gen.genesis();
+
+    for (int b = 0; b < 6; ++b) {
+      const HonestBlock hb = build_honest_block(
+          genesis, gen.next_block(), static_cast<std::uint64_t>(b) + 1);
+      core::ValidatorConfig vc;
+      vc.threads = 16;
+      const auto out = core::BlockValidator(vc).validate(
+          genesis, hb.bundle.block, hb.bundle.profile, workers);
+      if (!out.valid) {
+        std::printf("VALIDATION FAILED: %s\n", out.reject_reason.c_str());
+        return;
+      }
+      const double ratio = out.stats.largest_subgraph_ratio;
+      auto idx = static_cast<std::size_t>(ratio * 10.0);
+      if (idx >= buckets.size()) idx = buckets.size() - 1;
+      buckets[idx].speedup_sum += out.stats.virtual_speedup();
+      ++buckets[idx].count;
+    }
+  }
+
+  std::printf("%22s %8s %12s\n", "largest-subgraph", "blocks", "avg-speedup");
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].count == 0) continue;
+    std::printf("      [%3zu%%, %3zu%%)      %8d %12.2f\n", i * 10,
+                (i + 1) * 10, buckets[i].count,
+                buckets[i].speedup_sum / buckets[i].count);
+  }
+
+  // Calibration row (§5.5): the mainnet preset's average ratio.
+  workload::WorkloadGenerator gen(workload::preset_mainnet());
+  const state::WorldState genesis = gen.genesis();
+  double ratio_sum = 0;
+  constexpr int kCalBlocks = 12;
+  for (int b = 0; b < kCalBlocks; ++b) {
+    core::SerialOptions opts;
+    const auto txs = gen.next_block();
+    const auto serial =
+        core::execute_serial(genesis, ctx_for(1), std::span(txs), opts);
+    const auto graph = sched::build_dependency_graph(
+        serial.exec.profile, sched::Granularity::kAccount);
+    ratio_sum += graph.largest_subgraph_ratio();
+  }
+  std::printf("mainnet-preset avg largest-subgraph ratio: %.3f  (paper: 0.275)\n",
+              ratio_sum / kCalBlocks);
+}
+
+}  // namespace
+}  // namespace blockpilot::bench
+
+int main() { blockpilot::bench::run(); }

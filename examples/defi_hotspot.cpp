@@ -1,0 +1,71 @@
+// DeFi hotspot walkthrough — the scenario that motivates §5.5.
+//
+// A single Uniswap-style pool absorbs a growing share of each block's
+// transactions.  As the hotspot share rises, every swap chains on the
+// pool's reserve slots, the largest conflict subgraph swells, and parallel
+// speedup collapses toward serial — exactly Figure 8's phenomenon, shown
+// here end-to-end on live blocks.
+//
+//   ./build/examples/defi_hotspot
+#include <cstdio>
+
+#include "core/blockpilot.hpp"
+
+using namespace blockpilot;
+
+namespace {
+
+evm::BlockContext make_ctx() {
+  evm::BlockContext ctx;
+  ctx.number = 1;
+  ctx.timestamp = 1'700'000'000;
+  ctx.coinbase = Address::from_id(0xC0FFEE);
+  return ctx;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DeFi hotspot demo: one AMM pool, growing swap share\n");
+  std::printf("%12s %10s %12s %14s %16s\n", "swap-share", "txs",
+              "subgraphs", "largest-sub%", "speedup@16thr");
+
+  ThreadPool workers(4);
+  for (const double share : {0.0, 0.10, 0.25, 0.50, 0.75, 0.95}) {
+    workload::WorkloadConfig config = workload::preset_mainnet();
+    config.seed = 7;
+    config.num_dex = 1;  // ONE pool: every swap conflicts with every swap
+    config.dex_fraction = share;
+    config.token_fraction = std::min(0.42, 1.0 - share);
+    workload::WorkloadGenerator gen(config);
+    const state::WorldState genesis = gen.genesis();
+
+    // Build an honest block serially, then watch the validator schedule it.
+    const auto txs = gen.next_batch(120);
+    const core::SerialResult serial =
+        core::execute_serial(genesis, make_ctx(), std::span(txs));
+    const chain::Block block =
+        core::seal_block(make_ctx(), serial.exec, serial.included);
+
+    core::ValidatorConfig vcfg;
+    vcfg.threads = 16;
+    core::BlockValidator validator(vcfg);
+    const auto outcome =
+        validator.validate(genesis, block, serial.exec.profile, workers);
+    if (!outcome.valid) {
+      std::printf("unexpected rejection: %s\n", outcome.reject_reason.c_str());
+      return 1;
+    }
+
+    std::printf("%11.0f%% %10zu %12zu %13.1f%% %15.2fx\n", share * 100.0,
+                block.transactions.size(), outcome.stats.subgraphs,
+                outcome.stats.largest_subgraph_ratio * 100.0,
+                outcome.stats.virtual_speedup());
+  }
+
+  std::printf(
+      "\nTakeaway: contract developers have no incentive to avoid storage\n"
+      "bottlenecks under serial EVMs (§5.5) — but under BlockPilot the\n"
+      "hotspot pool visibly throttles the whole block's throughput.\n");
+  return 0;
+}

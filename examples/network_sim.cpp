@@ -1,0 +1,59 @@
+// Whole-network simulation: proposer nodes, validator nodes, gossip,
+// forks, uncles and consensus — the paper's Figure 1 scenario end-to-end.
+//
+// Three proposers race (two fire per round, so every height forks), five
+// validators gossip the announcements, validate all siblings through their
+// pipelines, vote, and advance the canonical chain.  The simulation checks
+// consensus safety (identical state roots on every replica) each round and
+// reports end-to-end round latency in virtual time.
+//
+//   ./build/examples/network_sim
+#include <cstdio>
+
+#include "net/consensus_sim.hpp"
+
+using namespace blockpilot;
+
+int main() {
+  net::ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 3;
+  cfg.validator_nodes = 5;
+  cfg.proposers_per_round = 2;  // deliberate forks every round
+  cfg.rounds = 5;
+  cfg.workload.seed = 404;
+  cfg.proposer_threads = 8;
+  cfg.validator_workers = 16;
+
+  std::printf("network: %zu proposers, %zu validators, %zu proposals/round, "
+              "%llu rounds\n\n",
+              cfg.proposer_nodes, cfg.validator_nodes,
+              cfg.proposers_per_round,
+              static_cast<unsigned long long>(cfg.rounds));
+
+  net::ConsensusSim sim(cfg);
+  const net::ConsensusSimResult result = sim.run();
+
+  if (!result.safety_held) {
+    std::printf("CONSENSUS SAFETY VIOLATED: %s\n", result.violation.c_str());
+    return 1;
+  }
+
+  std::printf("%7s %9s %7s %7s %12s  %s\n", "height", "siblings", "valid",
+              "uncles", "latency(ms)", "canonical root");
+  for (const auto& round : result.rounds) {
+    std::printf("%7llu %9zu %7zu %7zu %12.1f  %.18s...\n",
+                static_cast<unsigned long long>(round.height),
+                round.siblings, round.valid_siblings, round.uncles,
+                static_cast<double>(round.round_latency_us) / 1000.0,
+                round.canonical_root.to_hex().c_str());
+  }
+
+  std::printf("\nsafety: every validator replica agreed on every root\n");
+  std::printf("totals: %llu canonical txs, %llu uncles, %.2f MB gossiped, "
+              "avg round latency %.1f ms\n",
+              static_cast<unsigned long long>(result.total_txs),
+              static_cast<unsigned long long>(result.total_uncles),
+              static_cast<double>(result.bytes_gossiped) / 1e6,
+              result.avg_round_latency_ms());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Block archive: a length-prefixed binary stream of block announcements —
+// the persistence/sync substrate (export a chain, replay it into a fresh
+// node, as geth's export/import does).
+//
+// Format: 8-byte magic "BPARCH01", then per entry a 4-byte little-endian
+// length followed by the RLP announcement (chain/codec.hpp).
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "chain/codec.hpp"
+
+namespace blockpilot::chain {
+
+class BlockArchiveWriter {
+ public:
+  /// Writes the magic immediately.  The stream must outlive the writer.
+  explicit BlockArchiveWriter(std::ostream& out);
+
+  /// Appends one announcement.
+  void append(const BlockAnnouncement& ann);
+
+  std::size_t entries() const noexcept { return entries_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t entries_ = 0;
+};
+
+class BlockArchiveReader {
+ public:
+  /// Verifies the magic; ok() reports whether the stream is a valid archive.
+  explicit BlockArchiveReader(std::istream& in);
+
+  bool ok() const noexcept { return ok_; }
+
+  /// Reads the next announcement; nullopt at end-of-stream or on a
+  /// malformed entry (ok() turns false for the latter).
+  std::optional<BlockAnnouncement> next();
+
+ private:
+  std::istream& in_;
+  bool ok_ = false;
+};
+
+}  // namespace blockpilot::chain

@@ -1,0 +1,129 @@
+#include "chain/blockchain.hpp"
+
+#include "support/assert.hpp"
+
+namespace blockpilot::chain {
+
+Blockchain::Blockchain(state::WorldState genesis_state) {
+  auto genesis = std::make_unique<Block>();
+  genesis->header.number = 0;
+  genesis->header.state_root = genesis_state.state_root();
+  genesis->header.tx_root = transactions_root({});
+  genesis_hash_ = genesis->header.hash();
+  head_hash_ = genesis_hash_;
+  states_[genesis_hash_] =
+      std::make_shared<const state::WorldState>(std::move(genesis_state));
+  blocks_[genesis_hash_] = std::move(genesis);
+}
+
+void Blockchain::commit_block(
+    Block block, std::shared_ptr<const state::WorldState> post_state,
+    std::vector<Receipt> receipts) {
+  std::scoped_lock lk(mu_);
+  BP_ASSERT_MSG(blocks_.contains(block.header.parent_hash),
+                "unknown parent block");
+  BP_ASSERT(post_state != nullptr);
+  const Hash256 h = block.header.hash();
+  const std::uint64_t number = block.header.number;
+  states_[h] = std::move(post_state);
+  if (!receipts.empty()) receipts_[h] = std::move(receipts);
+  blocks_[h] = std::make_unique<Block>(std::move(block));
+  if (number > blocks_.at(head_hash_)->header.number) head_hash_ = h;
+}
+
+const std::vector<Receipt>* Blockchain::receipts_of(const Hash256& h) const {
+  std::scoped_lock lk(mu_);
+  const auto it = receipts_.find(h);
+  return it == receipts_.end() ? nullptr : &it->second;
+}
+
+const Block* Blockchain::canonical_block_at(std::uint64_t height) const {
+  std::scoped_lock lk(mu_);
+  const Block* cursor = blocks_.at(head_hash_).get();
+  if (height > cursor->header.number) return nullptr;
+  while (cursor->header.number > height) {
+    const auto it = blocks_.find(cursor->header.parent_hash);
+    BP_ASSERT_MSG(it != blocks_.end(), "broken parent chain");
+    cursor = it->second.get();
+  }
+  return cursor;
+}
+
+const Block* Blockchain::block_by_hash(const Hash256& h) const {
+  std::scoped_lock lk(mu_);
+  const auto it = blocks_.find(h);
+  return it == blocks_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const state::WorldState> Blockchain::state_of(
+    const Hash256& h) const {
+  std::scoped_lock lk(mu_);
+  const auto it = states_.find(h);
+  return it == states_.end() ? nullptr : it->second;
+}
+
+const Block& Blockchain::head() const {
+  std::scoped_lock lk(mu_);
+  return *blocks_.at(head_hash_);
+}
+
+std::shared_ptr<const state::WorldState> Blockchain::head_state() const {
+  std::scoped_lock lk(mu_);
+  return states_.at(head_hash_);
+}
+
+std::uint64_t Blockchain::height() const {
+  std::scoped_lock lk(mu_);
+  return blocks_.at(head_hash_)->header.number;
+}
+
+std::size_t Blockchain::block_count() const {
+  std::scoped_lock lk(mu_);
+  return blocks_.size();
+}
+
+std::vector<LogMatch> filter_logs(const Blockchain& chain,
+                                  const LogQuery& query) {
+  std::vector<LogMatch> matches;
+  const std::uint64_t head = chain.height();
+  const std::uint64_t last = std::min(query.to_height, head);
+
+  for (std::uint64_t h = query.from_height; h <= last; ++h) {
+    const Block* block = chain.canonical_block_at(h);
+    if (block == nullptr) break;
+
+    // Bloom pre-filter: skip blocks that definitely contain no match.
+    if (query.address.has_value() &&
+        !block->header.logs_bloom.may_contain(
+            std::span(query.address->bytes)))
+      continue;
+    if (query.topic.has_value()) {
+      const auto topic_bytes = query.topic->to_be_bytes();
+      if (!block->header.logs_bloom.may_contain(std::span(topic_bytes)))
+        continue;
+    }
+
+    const std::vector<Receipt>* receipts =
+        chain.receipts_of(block->header.hash());
+    if (receipts == nullptr) continue;  // no receipts stored for this block
+
+    for (std::size_t tx = 0; tx < receipts->size(); ++tx) {
+      const auto& logs = (*receipts)[tx].logs;
+      for (std::size_t i = 0; i < logs.size(); ++i) {
+        const evm::LogRecord& log = logs[i];
+        if (query.address.has_value() && !(log.address == *query.address))
+          continue;
+        if (query.topic.has_value()) {
+          bool topic_hit = false;
+          for (const U256& topic : log.topics)
+            if (topic == *query.topic) topic_hit = true;
+          if (!topic_hit) continue;
+        }
+        matches.push_back(LogMatch{h, block->header.hash(), tx, i, log});
+      }
+    }
+  }
+  return matches;
+}
+
+}  // namespace blockpilot::chain

@@ -1,0 +1,91 @@
+// Blockchain: the in-memory ledger.
+//
+// Stores blocks by hash, tracks per-hash post-state (validators at the same
+// height may commit sibling blocks — forks — before one branch wins, §3.4),
+// and maintains a canonical head.  Thread-safe: the pipeline's commitment
+// phase appends from applier context while other stages read parent state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/receipt.hpp"
+#include "state/world_state.hpp"
+
+namespace blockpilot::chain {
+
+class Blockchain {
+ public:
+  /// Creates a chain whose genesis commits the given world state.
+  explicit Blockchain(state::WorldState genesis_state);
+
+  const Block& genesis() const { return *blocks_.at(genesis_hash_); }
+  Hash256 genesis_hash() const noexcept { return genesis_hash_; }
+
+  /// Appends a validated block with its post-execution state and (when
+  /// available) its receipts.  The parent must already be stored.  Extends
+  /// the canonical chain when the block builds on the current head
+  /// (longest-chain by height otherwise).
+  void commit_block(Block block,
+                    std::shared_ptr<const state::WorldState> post_state,
+                    std::vector<Receipt> receipts = {});
+
+  /// Looks up a block by hash.
+  const Block* block_by_hash(const Hash256& h) const;
+
+  /// Receipts stored with a block (empty when none were provided).
+  const std::vector<Receipt>* receipts_of(const Hash256& h) const;
+
+  /// The canonical block at `height` (walks the head's parent chain);
+  /// nullptr when the height exceeds the head.
+  const Block* canonical_block_at(std::uint64_t height) const;
+
+  /// Post-execution world state of a stored block.
+  std::shared_ptr<const state::WorldState> state_of(const Hash256& h) const;
+
+  /// Canonical head block.
+  const Block& head() const;
+  std::shared_ptr<const state::WorldState> head_state() const;
+
+  std::uint64_t height() const;
+  std::size_t block_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Hash256, std::unique_ptr<Block>> blocks_;
+  std::unordered_map<Hash256, std::shared_ptr<const state::WorldState>> states_;
+  std::unordered_map<Hash256, std::vector<Receipt>> receipts_;
+  Hash256 genesis_hash_;
+  Hash256 head_hash_;
+};
+
+// ---- log queries (eth_getLogs analogue) ----
+
+/// A conjunctive log filter: all present fields must match.
+struct LogQuery {
+  std::optional<Address> address;   // emitting contract
+  std::optional<U256> topic;        // any topic position
+  std::uint64_t from_height = 0;
+  std::uint64_t to_height = UINT64_MAX;  // inclusive; clamped to head
+};
+
+struct LogMatch {
+  std::uint64_t height = 0;
+  Hash256 block_hash;
+  std::size_t tx_index = 0;
+  std::size_t log_index = 0;  // within the transaction
+  evm::LogRecord log;
+};
+
+/// Scans the canonical chain for logs matching `query`, using each block
+/// header's logs bloom to skip blocks that definitely contain no match —
+/// the standard light-scan pattern the bloom exists for.
+std::vector<LogMatch> filter_logs(const Blockchain& chain,
+                                  const LogQuery& query);
+
+}  // namespace blockpilot::chain

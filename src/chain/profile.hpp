@@ -1,0 +1,40 @@
+// BlockProfile: the proposer's broadcast execution details (paper §4.2).
+//
+// "It is proposed that they provide execution details like read and write
+// sets about their transactions in the block profile and broadcast it into
+// the network.  This enables validators to validate transactions faster."
+//
+// One TxProfile per transaction, in block order.  The validator's
+// preparation phase builds the dependency graph from these sets, and its
+// applier checks each re-executed transaction's observed sets against them
+// (Algorithm 2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "state/state_key.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::chain {
+
+struct TxProfile {
+  /// Keys the transaction read from pre-write state.
+  std::vector<state::StateKey> reads;
+  /// Keys the transaction wrote with their final values.
+  std::vector<std::pair<state::StateKey, U256>> writes;
+  /// Gas the proposer measured; the validator's scheduler uses it as the
+  /// execution-time estimate (§4.3).
+  std::uint64_t gas_used = 0;
+};
+
+struct BlockProfile {
+  std::vector<TxProfile> txs;
+
+  bool empty() const noexcept { return txs.empty(); }
+  std::size_t size() const noexcept { return txs.size(); }
+};
+
+}  // namespace blockpilot::chain

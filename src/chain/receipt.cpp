@@ -1,0 +1,61 @@
+#include "chain/receipt.hpp"
+
+#include "rlp/rlp.hpp"
+#include "trie/mpt.hpp"
+
+namespace blockpilot::chain {
+
+Bloom Receipt::bloom() const {
+  Bloom b;
+  for (const evm::LogRecord& log : logs) {
+    b.add(std::span(log.address.bytes));
+    for (const U256& topic : log.topics) {
+      const auto be = topic.to_be_bytes();
+      b.add(std::span(be));
+    }
+  }
+  return b;
+}
+
+std::vector<std::uint8_t> Receipt::rlp_encode() const {
+  rlp::Encoder enc;
+  enc.begin_list();
+  enc.add(U256{success ? 1u : 0u});
+  enc.add(U256{cumulative_gas});
+  const Bloom b = bloom();
+  enc.add(std::span(b.bytes()));
+  enc.begin_list();
+  for (const evm::LogRecord& log : logs) {
+    enc.begin_list();
+    enc.add(log.address);
+    enc.begin_list();
+    for (const U256& topic : log.topics) {
+      const auto be = topic.to_be_bytes();
+      enc.add(std::span(be));  // topics are full 32-byte words
+    }
+    enc.end_list();
+    enc.add(std::span(log.data));
+    enc.end_list();
+  }
+  enc.end_list();
+  enc.end_list();
+  return enc.take();
+}
+
+Hash256 receipts_root(const std::vector<Receipt>& receipts) {
+  trie::MerklePatriciaTrie t;
+  for (std::size_t i = 0; i < receipts.size(); ++i) {
+    const auto key = rlp::encode(static_cast<std::uint64_t>(i));
+    const auto value = receipts[i].rlp_encode();
+    t.put(std::span(key), std::span(value));
+  }
+  return t.root_hash();
+}
+
+Bloom block_bloom(const std::vector<Receipt>& receipts) {
+  Bloom b;
+  for (const Receipt& r : receipts) b.merge(r.bloom());
+  return b;
+}
+
+}  // namespace blockpilot::chain

@@ -1,0 +1,40 @@
+// Shared result types for block execution engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/profile.hpp"
+#include "chain/receipt.hpp"
+#include "evm/interpreter.hpp"
+#include "state/world_state.hpp"
+
+namespace blockpilot::core {
+
+/// Outcome of executing a block's worth of transactions.
+struct BlockExecution {
+  std::vector<chain::Receipt> receipts;      // one per included transaction
+  chain::BlockProfile profile;               // per-tx read/write sets + gas
+  std::shared_ptr<state::WorldState> post_state;
+  Hash256 state_root;
+  std::uint64_t gas_used = 0;  // sum over included transactions
+};
+
+/// Applies one transaction's effects to a world state: its write set plus
+/// the serial coinbase fee credit (DESIGN.md §4 — fees are credited outside
+/// the tracked write sets so the coinbase is not a universal conflict key).
+void apply_tx_writes(state::WorldState& ws,
+                     const std::vector<std::pair<state::StateKey, U256>>& writes,
+                     const Address& coinbase, const U256& fee);
+
+/// Assembles a fully-committed block header from an execution: state root,
+/// transactions root, receipts root, logs bloom and gas accounting all
+/// derived from `exec` / `txs`.  What every honest proposer (serial or
+/// OCC-WSI) must broadcast for validators to accept.
+chain::Block seal_block(const evm::BlockContext& ctx, const BlockExecution& exec,
+                        std::vector<chain::Transaction> txs);
+
+}  // namespace blockpilot::core

@@ -1,0 +1,56 @@
+// TwoPhaseOcc: the Saraph/Herlihy-style parallel-then-serial OCC validator
+// used as the paper's "OCC" comparison curve in Fig. 7a.
+//
+// Phase 1 executes every transaction speculatively in parallel against the
+// block's *pre-state* (no inter-transaction visibility).  Phase 2 walks the
+// block in order: a transaction whose recorded reads still match the
+// current state commits its speculative writes as-is; any transaction that
+// observed a now-stale value is re-executed serially.  Value-based
+// validation makes the final state exactly equal to serial execution.
+//
+// Compared with BlockPilot's validator, this baseline wastes the work of
+// every conflicting transaction and serializes all of their re-executions
+// on one thread — which is why its speedup trails the dependency-graph
+// scheduler as conflicts grow.
+#pragma once
+
+#include "chain/block.hpp"
+#include "core/execution_result.hpp"
+#include "core/validator.hpp"
+#include "evm/state_transition.hpp"
+#include "support/thread_pool.hpp"
+#include "vtime/vtime.hpp"
+
+namespace blockpilot::core {
+
+struct TwoPhaseOccStats {
+  std::uint64_t serial_gas = 0;
+  std::uint64_t vtime_makespan = 0;  // phase-1 makespan + serial phase chain
+  std::size_t reexecuted = 0;        // conflicting transactions
+  double wall_ms = 0.0;
+
+  double virtual_speedup() const noexcept {
+    return vtime::speedup(serial_gas, vtime_makespan);
+  }
+};
+
+struct TwoPhaseOccOutcome {
+  bool valid = false;
+  std::string reject_reason;
+  BlockExecution exec;
+  TwoPhaseOccStats stats;
+};
+
+class TwoPhaseOcc {
+ public:
+  explicit TwoPhaseOcc(ValidatorConfig config) : config_(config) {}
+
+  TwoPhaseOccOutcome validate(const state::WorldState& pre,
+                              const chain::Block& block,
+                              ThreadPool& workers);
+
+ private:
+  ValidatorConfig config_;
+};
+
+}  // namespace blockpilot::core

@@ -1,0 +1,122 @@
+// OccWsiProposer: parallel block production with Write-Snapshot-Isolation
+// OCC (paper §4.2, Algorithm 1).
+//
+// Worker threads repeatedly:
+//  1. pop the highest-gas-price transaction from the pending pool;
+//  2. take a snapshot version (the currently committed version) of the
+//     multi-version state and execute the transaction against it;
+//  3. enter the serialized commit section (Algorithm 1's DetectConflit +
+//     "Synchronize with all worker threads"):
+//       - WSI validation: if any key in the transaction's read set has a
+//         committed version newer than the snapshot, the execution observed
+//         stale data -> abort, push the transaction back into the pool;
+//       - otherwise commit: assign version = block position + 1, apply the
+//         write set, append to the block, record the profile entry.
+// Write-write conflicts do NOT abort: blind writes serialize by version
+// order, which is the WSI relaxation the paper exploits ("transactions with
+// conflicting writes can be committed to the same block").
+//
+// The produced block carries its profile (read/write sets + per-tx gas) for
+// broadcast, enabling validators' dependency-graph scheduling (§4.2 end).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "chain/block.hpp"
+#include "chain/receipt.hpp"
+#include "core/execution_result.hpp"
+#include "evm/state_transition.hpp"
+#include "support/thread_pool.hpp"
+#include "txpool/txpool.hpp"
+#include "vtime/vtime.hpp"
+
+namespace blockpilot::core {
+
+/// How the proposer realizes its parallelism.
+enum class ScheduleMode : std::uint8_t {
+  /// Discrete-event simulation of `threads` virtual workers: each worker
+  /// has a virtual clock; transactions execute (real EVM execution) against
+  /// the snapshot committed as of their virtual start time, and validate
+  /// against commits that landed during their virtual execution window.
+  /// Deterministic and host-independent — identical OCC dynamics (aborts,
+  /// commit order, lane loads) on a laptop or a 1-vCPU CI box.  This is the
+  /// figure-generating mode (DESIGN.md §1, hardware substitution).
+  kVirtualTime = 0,
+  /// Real std::thread workers racing on the pool — genuine concurrency for
+  /// thread-safety validation.  OCC dynamics depend on host scheduling (a
+  /// single-core host degenerates to serial execution with no aborts).
+  kHostThreads,
+};
+
+struct ProposerConfig {
+  std::size_t threads = 4;
+  ScheduleMode mode = ScheduleMode::kVirtualTime;
+  std::uint64_t block_gas_limit = 30'000'000;
+  /// Hard cap on included transactions (0 = unlimited): lets benchmarks
+  /// propose fixed-size blocks.
+  std::size_t max_txs = 0;
+  /// Safety valve: a transaction that keeps coming back kNotReady is
+  /// dropped after this many attempts.  Deferred transactions only re-enter
+  /// the pool on commits (TxPool::progress), so retries are structurally
+  /// bounded by committed-transaction count — a deep airdrop nonce chain
+  /// can legitimately rack up hundreds of retries (one per unrelated
+  /// commit), hence the generous default.  Only a transaction whose
+  /// predecessor never arrives ultimately hits it.
+  int max_not_ready_attempts = 100'000;
+  vtime::CostModel costs;
+};
+
+struct ProposerStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborts = 0;        // WSI read-stale aborts (re-queued)
+  std::uint64_t not_ready = 0;     // nonce-gap deferrals
+  std::uint64_t dropped = 0;       // invalid / stuck transactions
+  std::uint64_t serial_gas = 0;    // sum of committed gas (serial baseline)
+  std::uint64_t vtime_makespan = 0;
+  double wall_ms = 0.0;
+
+  double virtual_speedup() const noexcept {
+    return vtime::speedup(serial_gas, vtime_makespan);
+  }
+};
+
+struct ProposedBlock {
+  chain::Block block;
+  chain::BlockProfile profile;
+  std::vector<chain::Receipt> receipts;  // commit order (== block order)
+  std::shared_ptr<state::WorldState> post_state;
+  ProposerStats stats;
+};
+
+class OccWsiProposer {
+ public:
+  explicit OccWsiProposer(ProposerConfig config) : config_(config) {}
+
+  /// Drains `pool` (up to the gas limit / tx cap) into a new block on top
+  /// of `pre`.  Dispatches on config.mode; `workers` is used only by the
+  /// kHostThreads mode (which needs at least config.threads pool threads).
+  ProposedBlock propose(const state::WorldState& pre,
+                        const evm::BlockContext& block_ctx,
+                        txpool::TxPool& pool, ThreadPool& workers);
+
+  /// Deterministic discrete-event realization (see ScheduleMode).
+  ProposedBlock propose_virtual(const state::WorldState& pre,
+                                const evm::BlockContext& block_ctx,
+                                txpool::TxPool& pool);
+
+  /// Real-thread realization (see ScheduleMode).
+  ProposedBlock propose_host_threads(const state::WorldState& pre,
+                                     const evm::BlockContext& block_ctx,
+                                     txpool::TxPool& pool,
+                                     ThreadPool& workers);
+
+  const ProposerConfig& config() const noexcept { return config_; }
+
+ private:
+  ProposerConfig config_;
+};
+
+}  // namespace blockpilot::core

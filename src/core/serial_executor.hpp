@@ -1,0 +1,43 @@
+// SerialExecutor: the Geth-style reference engine.
+//
+// Executes transactions strictly in order against a single world state.
+// Three roles in this repository:
+//  * the baseline every speedup in §5 is measured against;
+//  * the correctness oracle — every parallel engine must reproduce its
+//    state root bit-for-bit (§5.2);
+//  * a convenience block builder for tests (serial proposer).
+#pragma once
+
+#include <span>
+
+#include "chain/transaction.hpp"
+#include "core/execution_result.hpp"
+#include "evm/state_transition.hpp"
+
+namespace blockpilot::core {
+
+struct SerialOptions {
+  /// Stop adding transactions once this much gas is consumed (proposer
+  /// role).  Transactions that would exceed it are skipped.
+  std::uint64_t block_gas_limit = 30'000'000;
+  /// When true, kInvalid / kNotReady transactions are silently dropped
+  /// (proposer role).  When false, any non-included transaction makes the
+  /// execution fail (validator role — a proposed block must execute fully).
+  bool drop_unincludable = true;
+};
+
+struct SerialResult {
+  BlockExecution exec;
+  /// Transactions actually included, in execution order.
+  std::vector<chain::Transaction> included;
+  bool ok = true;  // false only when drop_unincludable == false and a
+                   // transaction failed to execute
+};
+
+/// Executes `txs` serially on a copy of `pre`.
+SerialResult execute_serial(const state::WorldState& pre,
+                            const evm::BlockContext& block_ctx,
+                            std::span<const chain::Transaction> txs,
+                            const SerialOptions& options = {});
+
+}  // namespace blockpilot::core

@@ -1,0 +1,81 @@
+// BlockValidator: scheduled deterministic parallel re-execution
+// (paper §4.3 + Algorithm 2).
+//
+// Four phases per block:
+//  * Preparation — build the dependency graph from the proposer's block
+//    profile (account-level conflicts by default), split into subgraphs,
+//    gas-weighted LPT assignment of subgraphs onto worker threads;
+//  * Tx Execution — each worker executes its transactions serially (its
+//    subgraphs are internally ordered by block position) over the parent
+//    state plus its own accumulated writes; cross-thread reads cannot occur
+//    because conflicting transactions share a thread by construction;
+//  * Block Validation — the applier consumes results in strict block order,
+//    verifies each transaction's observed read/write sets against the
+//    profile (honest-proposer check, §4.4), applies writes + the serial
+//    coinbase fee, and finally compares the world-state root with the
+//    proposed header;
+//  * Block Commitment — the caller commits the returned post state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "chain/block.hpp"
+#include "chain/profile.hpp"
+#include "core/execution_result.hpp"
+#include "evm/state_transition.hpp"
+#include "sched/depgraph.hpp"
+#include "support/thread_pool.hpp"
+#include "vtime/vtime.hpp"
+
+namespace blockpilot::core {
+
+struct ValidatorConfig {
+  std::size_t threads = 4;
+  sched::Granularity granularity = sched::Granularity::kAccount;
+  vtime::CostModel costs;
+  /// Warm the state cache from the block profile's key sets before
+  /// execution (the geth prefetching technique the paper's evaluation
+  /// enables, §5.4).  When false, every first-touch read charges
+  /// costs.io_read_cost on its worker's virtual clock.
+  bool prefetch = true;
+};
+
+struct ValidatorStats {
+  std::uint64_t serial_gas = 0;      // geth-equivalent serial cost
+  std::uint64_t vtime_makespan = 0;  // max(worker lanes, applier chain)
+  double wall_ms = 0.0;
+  std::size_t subgraphs = 0;
+  double largest_subgraph_ratio = 0.0;
+  std::uint64_t critical_path_gas = 0;
+
+  double virtual_speedup() const noexcept {
+    return vtime::speedup(serial_gas, vtime_makespan);
+  }
+};
+
+struct ValidationOutcome {
+  bool valid = false;
+  std::string reject_reason;  // empty when valid
+  BlockExecution exec;        // meaningful when valid
+  ValidatorStats stats;
+};
+
+class BlockValidator {
+ public:
+  explicit BlockValidator(ValidatorConfig config) : config_(config) {}
+
+  /// Re-executes `block` on top of `pre` and checks it against `profile`
+  /// and the block header's state root.
+  ValidationOutcome validate(const state::WorldState& pre,
+                             const chain::Block& block,
+                             const chain::BlockProfile& profile,
+                             ThreadPool& workers);
+
+  const ValidatorConfig& config() const noexcept { return config_; }
+
+ private:
+  ValidatorConfig config_;
+};
+
+}  // namespace blockpilot::core

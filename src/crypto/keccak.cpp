@@ -1,0 +1,106 @@
+#include "crypto/keccak.hpp"
+
+#include <cstring>
+
+namespace blockpilot::crypto {
+namespace {
+
+constexpr std::array<std::uint64_t, 24> kRoundConstants = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr std::array<int, 25> kRotations = {
+    0,  1,  62, 28, 27,  //
+    36, 44, 6,  55, 20,  //
+    3,  10, 43, 25, 39,  //
+    41, 45, 15, 21, 8,   //
+    18, 2,  61, 56, 14,
+};
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return k == 0 ? x : (x << k) | (x >> (64 - k));
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) noexcept {
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 25; y += 5) a[x + y] ^= d;
+    }
+    // rho + pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y)
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y],
+                                                  kRotations[x + 5 * y]);
+    // chi
+    for (int y = 0; y < 25; y += 5)
+      for (int x = 0; x < 5; ++x)
+        a[y + x] = b[y + x] ^ (~b[y + (x + 1) % 5] & b[y + (x + 2) % 5]);
+    // iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+void Keccak256::update(std::span<const std::uint8_t> data) noexcept {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t take =
+        std::min(kRate - buffered_, data.size() - offset);
+    std::memcpy(buffer_.data() + buffered_, data.data() + offset, take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == kRate) absorb_block();
+  }
+}
+
+void Keccak256::absorb_block() noexcept {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane;
+    std::memcpy(&lane, buffer_.data() + 8 * i, 8);  // little-endian host
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffered_ = 0;
+}
+
+Digest Keccak256::finalize() noexcept {
+  // Keccak (pre-NIST) multi-rate padding: 0x01 ... 0x80.
+  buffer_[buffered_] = 0x01;
+  std::memset(buffer_.data() + buffered_ + 1, 0, kRate - buffered_ - 1);
+  buffer_[kRate - 1] |= 0x80;
+  buffered_ = kRate;
+  absorb_block();
+
+  Digest out;
+  std::memcpy(out.data(), state_.data(), out.size());
+  state_ = {};
+  buffered_ = 0;
+  return out;
+}
+
+Digest keccak256(std::span<const std::uint8_t> data) noexcept {
+  Keccak256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+Digest keccak256(std::string_view data) noexcept {
+  return keccak256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+}  // namespace blockpilot::crypto

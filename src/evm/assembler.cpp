@@ -1,0 +1,84 @@
+#include "evm/assembler.hpp"
+
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::evm {
+
+Assembler& Assembler::op(Op opcode) {
+  code_.push_back(static_cast<std::uint8_t>(opcode));
+  return *this;
+}
+
+Assembler& Assembler::push(const U256& value) {
+  const int bits = value.bit_length();
+  std::size_t n = static_cast<std::size_t>((bits + 7) / 8);
+  if (n == 0) n = 1;  // PUSH1 0x00
+  code_.push_back(static_cast<std::uint8_t>(0x60 + n - 1));
+  const auto be = value.to_be_bytes();
+  code_.insert(code_.end(), be.end() - static_cast<std::ptrdiff_t>(n),
+               be.end());
+  return *this;
+}
+
+Assembler& Assembler::label(const std::string& name) {
+  BP_ASSERT_MSG(!labels_.contains(name), "duplicate label");
+  labels_[name] = code_.size();
+  return op(Op::JUMPDEST);
+}
+
+Assembler& Assembler::push_label(const std::string& name) {
+  code_.push_back(0x61);  // PUSH2
+  fixups_.emplace_back(code_.size(), name);
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Assembler& Assembler::raw(std::vector<std::uint8_t> bytes) {
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+  return *this;
+}
+
+std::vector<std::uint8_t> Assembler::assemble() {
+  for (const auto& [offset, name] : fixups_) {
+    const auto it = labels_.find(name);
+    BP_ASSERT_MSG(it != labels_.end(), "undefined label");
+    const std::size_t target = it->second;
+    BP_ASSERT_MSG(target <= 0xffff, "label beyond PUSH2 range");
+    code_[offset] = static_cast<std::uint8_t>(target >> 8);
+    code_[offset + 1] = static_cast<std::uint8_t>(target & 0xff);
+  }
+  fixups_.clear();
+  return code_;
+}
+
+std::string disassemble(std::span<const std::uint8_t> code) {
+  std::string out;
+  char line[128];
+  for (std::size_t pc = 0; pc < code.size();) {
+    const std::uint8_t opcode = code[pc];
+    std::size_t push_len = 0;
+    if (is_push(opcode, push_len)) {
+      std::string imm = "0x";
+      static constexpr char kDigits[] = "0123456789abcdef";
+      for (std::size_t i = 1; i <= push_len && pc + i < code.size(); ++i) {
+        imm.push_back(kDigits[code[pc + i] >> 4]);
+        imm.push_back(kDigits[code[pc + i] & 0xf]);
+      }
+      std::snprintf(line, sizeof(line), "%04zx: PUSH%zu %s\n", pc, push_len,
+                    imm.c_str());
+      out += line;
+      pc += 1 + push_len;
+    } else {
+      std::snprintf(line, sizeof(line), "%04zx: %s\n", pc,
+                    std::string(op_name(opcode)).c_str());
+      out += line;
+      ++pc;
+    }
+  }
+  return out;
+}
+
+}  // namespace blockpilot::evm

@@ -1,0 +1,52 @@
+// Tiny EVM assembler for constructing workload and test contracts.
+//
+// Supports opcodes, PUSH with automatic width selection, labels for JUMP
+// targets, and raw byte emission.  The workload generator uses it to build
+// real token / DEX contracts whose storage behaviour reproduces the hotspot
+// conflict patterns of §5.5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "types/address.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::evm {
+
+class Assembler {
+ public:
+  /// Emits a bare opcode.
+  Assembler& op(Op opcode);
+
+  /// Emits the narrowest PUSH holding `value` (PUSH1 for zero).
+  Assembler& push(const U256& value);
+  Assembler& push(std::uint64_t value) { return push(U256{value}); }
+  Assembler& push(const Address& addr) { return push(addr.to_u256()); }
+
+  /// Declares a jump label at the current position.  Emits JUMPDEST.
+  Assembler& label(const std::string& name);
+
+  /// Emits a PUSH2 of the label's position (fixed up at assemble time),
+  /// suitable to precede JUMP/JUMPI.
+  Assembler& push_label(const std::string& name);
+
+  /// Emits raw bytes verbatim.
+  Assembler& raw(std::vector<std::uint8_t> bytes);
+
+  /// Resolves label fixups and returns the bytecode.
+  std::vector<std::uint8_t> assemble();
+
+ private:
+  std::vector<std::uint8_t> code_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;  // offset of hi byte
+};
+
+/// Human-readable disassembly (one instruction per line) for debugging.
+std::string disassemble(std::span<const std::uint8_t> code);
+
+}  // namespace blockpilot::evm

@@ -1,0 +1,69 @@
+// Gas schedule.
+//
+// A faithful-in-shape subset of the Ethereum fee schedule (yellow paper
+// appendix G + EIP-2929 warm/cold access lists).  What matters for
+// BlockPilot's reproduction is that storage operations dominate transaction
+// cost — the paper's validator scheduler uses gas as its execution-time
+// estimate precisely because "the most time-consuming operations (namely,
+// SLOAD and SSTORE) have very high gas costs" (§4.3).
+//
+// Documented simplifications vs mainnet:
+//  * SSTORE costs a flat kSstore regardless of the slot's current value.
+//    Mainnet's zero/nonzero-dependent pricing makes SSTORE gas a *read* of
+//    the slot, which would turn every write-write conflict into a
+//    read-write conflict and void the paper's WSI property that
+//    "transactions with conflicting writes can be committed to the same
+//    block" (§4.2) — the gas-induced fee would differ between the
+//    proposer's snapshot and the validator's serial replay.  A flat cost
+//    keeps blind writes blind while preserving storage-op gas dominance.
+//  * No access lists in transactions; every first touch in a tx is cold.
+//  * No CREATE / SELFDESTRUCT costs (those opcodes are not in the workload).
+#pragma once
+
+#include <cstdint>
+
+namespace blockpilot::evm::gas {
+
+inline constexpr std::uint64_t kZero = 0;
+inline constexpr std::uint64_t kBase = 2;
+inline constexpr std::uint64_t kVeryLow = 3;
+inline constexpr std::uint64_t kLow = 5;
+inline constexpr std::uint64_t kMid = 8;
+inline constexpr std::uint64_t kHigh = 10;
+
+inline constexpr std::uint64_t kJumpdest = 1;
+
+inline constexpr std::uint64_t kExp = 10;
+inline constexpr std::uint64_t kExpByte = 50;
+
+inline constexpr std::uint64_t kSha3 = 30;
+inline constexpr std::uint64_t kSha3Word = 6;
+
+inline constexpr std::uint64_t kColdSload = 2100;
+inline constexpr std::uint64_t kWarmAccess = 100;
+inline constexpr std::uint64_t kColdAccountAccess = 2600;
+
+inline constexpr std::uint64_t kSstore = 10000;
+
+inline constexpr std::uint64_t kLog = 375;
+inline constexpr std::uint64_t kLogTopic = 375;
+inline constexpr std::uint64_t kLogData = 8;
+
+inline constexpr std::uint64_t kCallValue = 9000;
+inline constexpr std::uint64_t kCallStipend = 2300;
+
+inline constexpr std::uint64_t kMemory = 3;       // linear word cost
+inline constexpr std::uint64_t kQuadDivisor = 512;  // quadratic term divisor
+
+inline constexpr std::uint64_t kCopyWord = 3;
+
+inline constexpr std::uint64_t kTxIntrinsic = 21000;
+inline constexpr std::uint64_t kTxDataZero = 4;
+inline constexpr std::uint64_t kTxDataNonZero = 16;
+
+/// Memory expansion cost for a size of `words` 32-byte words.
+constexpr std::uint64_t memory_cost(std::uint64_t words) noexcept {
+  return kMemory * words + (words * words) / kQuadDivisor;
+}
+
+}  // namespace blockpilot::evm::gas

@@ -1,0 +1,984 @@
+#include "evm/interpreter.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/keccak.hpp"
+#include "evm/gas.hpp"
+#include "evm/opcodes.hpp"
+#include "support/assert.hpp"
+
+namespace blockpilot::evm {
+namespace {
+
+using state::ExecBuffer;
+using state::StateKey;
+
+/// Precomputes valid JUMPDEST positions (immediates of PUSH are skipped).
+std::vector<bool> analyze_jumpdests(std::span<const std::uint8_t> code) {
+  std::vector<bool> valid(code.size(), false);
+  for (std::size_t pc = 0; pc < code.size();) {
+    const std::uint8_t op = code[pc];
+    std::size_t push_len = 0;
+    if (op == static_cast<std::uint8_t>(Op::JUMPDEST)) valid[pc] = true;
+    if (is_push(op, push_len)) {
+      pc += 1 + push_len;
+    } else {
+      ++pc;
+    }
+  }
+  return valid;
+}
+
+/// One interpreter frame.  All bounds, stack and gas checks signal failure
+/// through `failed`, which the main loop translates into a result status.
+struct Frame {
+  std::span<const std::uint8_t> code;
+  std::vector<bool> jumpdests;
+  std::vector<U256> stack;
+  std::vector<std::uint8_t> memory;
+  std::uint64_t gas_left = 0;
+  std::size_t pc = 0;
+  Status failure = Status::kSuccess;  // set on abnormal termination
+  bool done = false;
+  Bytes output;
+  Bytes return_data;  // output of the most recent CALL-family op (EIP-211)
+
+  bool charge(std::uint64_t g) {
+    if (gas_left < g) {
+      fail(Status::kOutOfGas);
+      return false;
+    }
+    gas_left -= g;
+    return true;
+  }
+
+  void fail(Status s) {
+    failure = s;
+    done = true;
+  }
+
+  bool push(const U256& v) {
+    if (stack.size() >= kMaxStack) {
+      fail(Status::kInvalid);
+      return false;
+    }
+    stack.push_back(v);
+    return true;
+  }
+
+  // Pops are guarded by require() in the dispatch loop, so pop() can assume
+  // availability.
+  U256 pop() {
+    BP_ASSERT(!stack.empty());
+    U256 v = stack.back();
+    stack.pop_back();
+    return v;
+  }
+
+  bool require(std::size_t n) {
+    if (stack.size() < n) {
+      fail(Status::kInvalid);
+      return false;
+    }
+    return true;
+  }
+
+  /// Expands memory to cover [offset, offset+size), charging the expansion
+  /// gas delta.  Returns false (and fails the frame) on overflow or OOG.
+  bool touch_memory(const U256& offset, const U256& size) {
+    if (size.is_zero()) return true;
+    if (!offset.fits64() || !size.fits64()) {
+      fail(Status::kOutOfGas);  // unpayable expansion
+      return false;
+    }
+    const std::uint64_t end = offset.low64() + size.low64();
+    if (end < offset.low64() || end > (std::uint64_t{1} << 32)) {
+      fail(Status::kOutOfGas);
+      return false;
+    }
+    const std::uint64_t old_words = (memory.size() + 31) / 32;
+    const std::uint64_t new_words = (end + 31) / 32;
+    if (new_words > old_words) {
+      const std::uint64_t delta =
+          gas::memory_cost(new_words) - gas::memory_cost(old_words);
+      if (!charge(delta)) return false;
+      memory.resize(new_words * 32, 0);
+    }
+    return true;
+  }
+
+  /// Bounds-checked memory read helper (touch_memory must precede).
+  std::span<const std::uint8_t> mem_span(std::uint64_t offset,
+                                         std::uint64_t size) const {
+    BP_ASSERT(offset + size <= memory.size());
+    return std::span(memory).subspan(offset, size);
+  }
+};
+
+std::uint64_t words_for(std::uint64_t bytes) { return (bytes + 31) / 32; }
+
+/// Reads 32 bytes from `data` at `offset`, zero-padded past the end
+/// (CALLDATALOAD semantics).
+U256 load_word_padded(std::span<const std::uint8_t> data, const U256& offset) {
+  std::array<std::uint8_t, 32> word{};
+  if (offset.fits64() && offset.low64() < data.size()) {
+    const std::uint64_t off = offset.low64();
+    const std::size_t n =
+        std::min<std::size_t>(32, data.size() - static_cast<std::size_t>(off));
+    std::memcpy(word.data(), data.data() + off, n);
+  }
+  return U256::from_be_bytes(std::span(word));
+}
+
+/// Copies from `src` (zero-padded) into frame memory; shared by
+/// CALLDATACOPY and CODECOPY.
+bool copy_padded(Frame& f, std::span<const std::uint8_t> src) {
+  if (!f.require(3)) return false;
+  const U256 mem_off = f.pop();
+  const U256 src_off = f.pop();
+  const U256 len = f.pop();
+  if (!len.fits64()) {
+    f.fail(Status::kOutOfGas);
+    return false;
+  }
+  if (!f.charge(gas::kVeryLow + gas::kCopyWord * words_for(len.low64())))
+    return false;
+  if (!f.touch_memory(mem_off, len)) return false;
+  if (len.is_zero()) return true;
+  const std::uint64_t dst = mem_off.low64();
+  for (std::uint64_t i = 0; i < len.low64(); ++i) {
+    std::uint8_t b = 0;
+    if (src_off.fits64()) {
+      const std::uint64_t s = src_off.low64() + i;
+      if (s >= src_off.low64() && s < src.size()) b = src[s];
+    }
+    f.memory[dst + i] = b;
+  }
+  return true;
+}
+
+void transfer(ExecBuffer& buffer, const Address& from, const Address& to,
+              const U256& value) {
+  if (value.is_zero()) return;
+  const StateKey from_key = StateKey::balance(from);
+  const StateKey to_key = StateKey::balance(to);
+  const U256 from_bal = buffer.read(from_key);
+  BP_ASSERT_MSG(from_bal >= value, "caller balance must be pre-checked");
+  buffer.write(from_key, from_bal - value);
+  const U256 to_bal = buffer.read(to_key);
+  buffer.write(to_key, to_bal + value);
+}
+
+CallResult run_interpreter(ExecBuffer& buffer, TxContext& tx,
+                           const Message& msg,
+                           std::span<const std::uint8_t> code) {
+  Frame f;
+  f.code = code;
+  f.jumpdests = analyze_jumpdests(code);
+  f.gas_left = msg.gas;
+  f.stack.reserve(64);
+
+  CallResult result;
+
+  while (!f.done) {
+    if (f.pc >= f.code.size()) break;  // implicit STOP
+    const std::uint8_t opcode = f.code[f.pc];
+
+    std::size_t push_len = 0;
+    if (is_push(opcode, push_len)) {
+      if (!f.charge(gas::kVeryLow)) break;
+      std::array<std::uint8_t, 32> imm{};
+      const std::size_t avail =
+          std::min(push_len, f.code.size() - f.pc - 1);
+      std::memcpy(imm.data() + (32 - push_len), f.code.data() + f.pc + 1,
+                  avail);
+      if (!f.push(U256::from_be_bytes(std::span(imm).subspan(32 - push_len))))
+        break;
+      f.pc += 1 + push_len;
+      continue;
+    }
+    if (opcode >= 0x80 && opcode <= 0x8f) {  // DUP1..DUP16
+      const std::size_t n = opcode - 0x80 + 1;
+      if (!f.charge(gas::kVeryLow) || !f.require(n)) break;
+      if (!f.push(f.stack[f.stack.size() - n])) break;
+      ++f.pc;
+      continue;
+    }
+    if (opcode >= 0x90 && opcode <= 0x9f) {  // SWAP1..SWAP16
+      const std::size_t n = opcode - 0x90 + 1;
+      if (!f.charge(gas::kVeryLow) || !f.require(n + 1)) break;
+      std::swap(f.stack.back(), f.stack[f.stack.size() - 1 - n]);
+      ++f.pc;
+      continue;
+    }
+    if (opcode >= 0xa0 && opcode <= 0xa4) {  // LOG0..LOG4
+      if (msg.is_static) {
+        f.fail(Status::kInvalid);  // logging mutates the receipt trie
+        break;
+      }
+      const std::size_t topics = opcode - 0xa0;
+      if (!f.require(2 + topics)) break;
+      const U256 off = f.pop();
+      const U256 len = f.pop();
+      if (!len.fits64()) {
+        f.fail(Status::kOutOfGas);
+        break;
+      }
+      if (!f.charge(gas::kLog + gas::kLogTopic * topics +
+                    gas::kLogData * len.low64()))
+        break;
+      if (!f.touch_memory(off, len)) break;
+      LogRecord log;
+      log.address = msg.to;
+      for (std::size_t i = 0; i < topics; ++i) log.topics.push_back(f.pop());
+      if (!len.is_zero()) {
+        const auto data = f.mem_span(off.low64(), len.low64());
+        log.data.assign(data.begin(), data.end());
+      }
+      result.logs.push_back(std::move(log));
+      ++f.pc;
+      continue;
+    }
+
+    switch (static_cast<Op>(opcode)) {
+      case Op::STOP:
+        f.done = true;
+        break;
+
+      // -- arithmetic --
+      case Op::ADD: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a + b);
+        ++f.pc;
+        break;
+      }
+      case Op::MUL: {
+        if (!f.charge(gas::kLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a * b);
+        ++f.pc;
+        break;
+      }
+      case Op::SUB: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a - b);
+        ++f.pc;
+        break;
+      }
+      case Op::DIV: {
+        if (!f.charge(gas::kLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a / b);
+        ++f.pc;
+        break;
+      }
+      case Op::SDIV: {
+        if (!f.charge(gas::kLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256::sdiv(a, b));
+        ++f.pc;
+        break;
+      }
+      case Op::MOD: {
+        if (!f.charge(gas::kLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a % b);
+        ++f.pc;
+        break;
+      }
+      case Op::SMOD: {
+        if (!f.charge(gas::kLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256::smod(a, b));
+        ++f.pc;
+        break;
+      }
+      case Op::ADDMOD: {
+        if (!f.charge(gas::kMid) || !f.require(3)) break;
+        const U256 a = f.pop(), b = f.pop(), m = f.pop();
+        f.push(U256::addmod(a, b, m));
+        ++f.pc;
+        break;
+      }
+      case Op::MULMOD: {
+        if (!f.charge(gas::kMid) || !f.require(3)) break;
+        const U256 a = f.pop(), b = f.pop(), m = f.pop();
+        f.push(U256::mulmod(a, b, m));
+        ++f.pc;
+        break;
+      }
+      case Op::EXP: {
+        if (!f.require(2)) break;
+        const U256 a = f.pop(), e = f.pop();
+        const std::uint64_t exp_bytes =
+            static_cast<std::uint64_t>((e.bit_length() + 7) / 8);
+        if (!f.charge(gas::kExp + gas::kExpByte * exp_bytes)) break;
+        f.push(U256::exp(a, e));
+        ++f.pc;
+        break;
+      }
+      case Op::SIGNEXTEND: {
+        if (!f.charge(gas::kLow) || !f.require(2)) break;
+        const U256 k = f.pop(), x = f.pop();
+        f.push(U256::signextend(k, x));
+        ++f.pc;
+        break;
+      }
+
+      // -- comparison / bitwise --
+      case Op::LT: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256{a < b ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+      case Op::GT: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256{a > b ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+      case Op::SLT: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256{U256::signed_less(a, b) ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+      case Op::SGT: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256{U256::signed_less(b, a) ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+      case Op::EQ: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(U256{a == b ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+      case Op::ISZERO: {
+        if (!f.charge(gas::kVeryLow) || !f.require(1)) break;
+        const U256 a = f.pop();
+        f.push(U256{a.is_zero() ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+      case Op::AND: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a & b);
+        ++f.pc;
+        break;
+      }
+      case Op::OR: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a | b);
+        ++f.pc;
+        break;
+      }
+      case Op::XOR: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 a = f.pop(), b = f.pop();
+        f.push(a ^ b);
+        ++f.pc;
+        break;
+      }
+      case Op::NOT: {
+        if (!f.charge(gas::kVeryLow) || !f.require(1)) break;
+        f.push(~f.pop());
+        ++f.pc;
+        break;
+      }
+      case Op::BYTE: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 i = f.pop(), x = f.pop();
+        f.push(U256::byte(i, x));
+        ++f.pc;
+        break;
+      }
+      case Op::SHL: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 n = f.pop(), x = f.pop();
+        f.push(n.fits64() && n.low64() < 256
+                   ? x.shl(static_cast<unsigned>(n.low64()))
+                   : U256{});
+        ++f.pc;
+        break;
+      }
+      case Op::SHR: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 n = f.pop(), x = f.pop();
+        f.push(n.fits64() && n.low64() < 256
+                   ? x.shr(static_cast<unsigned>(n.low64()))
+                   : U256{});
+        ++f.pc;
+        break;
+      }
+      case Op::SAR: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 n = f.pop(), x = f.pop();
+        const unsigned amount = n.fits64() && n.low64() < 256
+                                    ? static_cast<unsigned>(n.low64())
+                                    : 256;
+        f.push(x.sar(amount >= 256 ? 255 : amount));  // saturating
+        ++f.pc;
+        break;
+      }
+
+      case Op::SHA3: {
+        if (!f.require(2)) break;
+        const U256 off = f.pop(), len = f.pop();
+        if (!len.fits64()) {
+          f.fail(Status::kOutOfGas);
+          break;
+        }
+        if (!f.charge(gas::kSha3 + gas::kSha3Word * words_for(len.low64())))
+          break;
+        if (!f.touch_memory(off, len)) break;
+        const auto data = len.is_zero()
+                              ? std::span<const std::uint8_t>{}
+                              : f.mem_span(off.low64(), len.low64());
+        const crypto::Digest digest = crypto::keccak256(data);
+        f.push(U256::from_be_bytes(std::span(digest)));
+        ++f.pc;
+        break;
+      }
+
+      // -- environment --
+      case Op::ADDRESS: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(msg.to.to_u256());
+        ++f.pc;
+        break;
+      }
+      case Op::BALANCE: {
+        if (!f.require(1)) break;
+        const Address a = Address::from_u256(f.pop());
+        if (!f.charge(tx.warm_account(a) ? gas::kWarmAccess
+                                         : gas::kColdAccountAccess))
+          break;
+        f.push(buffer.read(StateKey::balance(a)));
+        ++f.pc;
+        break;
+      }
+      case Op::ORIGIN: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(tx.origin.to_u256());
+        ++f.pc;
+        break;
+      }
+      case Op::CALLER: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(msg.caller.to_u256());
+        ++f.pc;
+        break;
+      }
+      case Op::CALLVALUE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(msg.value);
+        ++f.pc;
+        break;
+      }
+      case Op::CALLDATALOAD: {
+        if (!f.charge(gas::kVeryLow) || !f.require(1)) break;
+        f.push(load_word_padded(std::span(msg.data), f.pop()));
+        ++f.pc;
+        break;
+      }
+      case Op::CALLDATASIZE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{msg.data.size()});
+        ++f.pc;
+        break;
+      }
+      case Op::CALLDATACOPY: {
+        if (!copy_padded(f, std::span(msg.data))) break;
+        ++f.pc;
+        break;
+      }
+      case Op::CODESIZE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{f.code.size()});
+        ++f.pc;
+        break;
+      }
+      case Op::CODECOPY: {
+        if (!copy_padded(f, f.code)) break;
+        ++f.pc;
+        break;
+      }
+      case Op::GASPRICE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(tx.gas_price);
+        ++f.pc;
+        break;
+      }
+      case Op::EXTCODESIZE: {
+        if (!f.require(1)) break;
+        const Address a = Address::from_u256(f.pop());
+        if (!f.charge(tx.warm_account(a) ? gas::kWarmAccess
+                                         : gas::kColdAccountAccess))
+          break;
+        const auto ext = buffer.code(a);
+        f.push(U256{ext == nullptr ? 0 : ext->size()});
+        ++f.pc;
+        break;
+      }
+      case Op::EXTCODEHASH: {
+        if (!f.require(1)) break;
+        const Address a = Address::from_u256(f.pop());
+        if (!f.charge(tx.warm_account(a) ? gas::kWarmAccess
+                                         : gas::kColdAccountAccess))
+          break;
+        // Simplification: code-less addresses hash to zero (we do not track
+        // account existence separately from code).
+        const auto ext = buffer.code(a);
+        if (ext == nullptr || ext->empty()) {
+          f.push(U256{});
+        } else {
+          const crypto::Digest digest = crypto::keccak256(std::span(*ext));
+          f.push(U256::from_be_bytes(std::span(digest)));
+        }
+        ++f.pc;
+        break;
+      }
+      case Op::RETURNDATASIZE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{f.return_data.size()});
+        ++f.pc;
+        break;
+      }
+      case Op::RETURNDATACOPY: {
+        if (!f.require(3)) break;
+        const U256 mem_off = f.pop();
+        const U256 data_off = f.pop();
+        const U256 len = f.pop();
+        if (!len.fits64()) {
+          f.fail(Status::kOutOfGas);
+          break;
+        }
+        if (!f.charge(gas::kVeryLow + gas::kCopyWord * words_for(len.low64())))
+          break;
+        // EIP-211: reading past the return-data buffer is an error, not a
+        // zero-fill.
+        if (!data_off.fits64() ||
+            data_off.low64() + len.low64() < data_off.low64() ||
+            data_off.low64() + len.low64() > f.return_data.size()) {
+          f.fail(Status::kInvalid);
+          break;
+        }
+        if (!f.touch_memory(mem_off, len)) break;
+        if (!len.is_zero()) {
+          std::memcpy(f.memory.data() + mem_off.low64(),
+                      f.return_data.data() + data_off.low64(), len.low64());
+        }
+        ++f.pc;
+        break;
+      }
+
+      // -- block context --
+      case Op::COINBASE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(tx.block->coinbase.to_u256());
+        ++f.pc;
+        break;
+      }
+      case Op::TIMESTAMP: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{tx.block->timestamp});
+        ++f.pc;
+        break;
+      }
+      case Op::NUMBER: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{tx.block->number});
+        ++f.pc;
+        break;
+      }
+      case Op::PREVRANDAO: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(tx.block->prevrandao);
+        ++f.pc;
+        break;
+      }
+      case Op::GASLIMIT: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{tx.block->gas_limit});
+        ++f.pc;
+        break;
+      }
+      case Op::CHAINID: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{tx.block->chain_id});
+        ++f.pc;
+        break;
+      }
+      case Op::SELFBALANCE: {
+        if (!f.charge(gas::kLow)) break;
+        f.push(buffer.read(StateKey::balance(msg.to)));
+        ++f.pc;
+        break;
+      }
+
+      // -- stack / memory / storage / flow --
+      case Op::POP: {
+        if (!f.charge(gas::kBase) || !f.require(1)) break;
+        f.pop();
+        ++f.pc;
+        break;
+      }
+      case Op::MLOAD: {
+        if (!f.charge(gas::kVeryLow) || !f.require(1)) break;
+        const U256 off = f.pop();
+        if (!f.touch_memory(off, U256{32})) break;
+        f.push(U256::from_be_bytes(f.mem_span(off.low64(), 32)));
+        ++f.pc;
+        break;
+      }
+      case Op::MSTORE: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 off = f.pop();
+        const U256 val = f.pop();
+        if (!f.touch_memory(off, U256{32})) break;
+        const auto be = val.to_be_bytes();
+        std::memcpy(f.memory.data() + off.low64(), be.data(), 32);
+        ++f.pc;
+        break;
+      }
+      case Op::MSTORE8: {
+        if (!f.charge(gas::kVeryLow) || !f.require(2)) break;
+        const U256 off = f.pop();
+        const U256 val = f.pop();
+        if (!f.touch_memory(off, U256{1})) break;
+        f.memory[off.low64()] = static_cast<std::uint8_t>(val.low64() & 0xff);
+        ++f.pc;
+        break;
+      }
+      case Op::SLOAD: {
+        if (!f.require(1)) break;
+        const StateKey key = StateKey::storage(msg.to, f.pop());
+        if (!f.charge(tx.warm_slot(key) ? gas::kWarmAccess : gas::kColdSload))
+          break;
+        f.push(buffer.read(key));
+        ++f.pc;
+        break;
+      }
+      case Op::SSTORE: {
+        if (msg.is_static) {
+          f.fail(Status::kInvalid);  // state mutation in a static frame
+          break;
+        }
+        if (!f.charge(gas::kSstore) || !f.require(2)) break;
+        const U256 slot = f.pop();
+        const U256 val = f.pop();
+        const StateKey key = StateKey::storage(msg.to, slot);
+        tx.warm_slot(key);  // a store warms the slot for later SLOADs
+        buffer.write(key, val);
+        ++f.pc;
+        break;
+      }
+      case Op::JUMP: {
+        if (!f.charge(gas::kMid) || !f.require(1)) break;
+        const U256 dst = f.pop();
+        if (!dst.fits64() || dst.low64() >= f.code.size() ||
+            !f.jumpdests[static_cast<std::size_t>(dst.low64())]) {
+          f.fail(Status::kInvalid);
+          break;
+        }
+        f.pc = static_cast<std::size_t>(dst.low64());
+        break;
+      }
+      case Op::JUMPI: {
+        if (!f.charge(gas::kHigh) || !f.require(2)) break;
+        const U256 dst = f.pop();
+        const U256 cond = f.pop();
+        if (cond.is_zero()) {
+          ++f.pc;
+          break;
+        }
+        if (!dst.fits64() || dst.low64() >= f.code.size() ||
+            !f.jumpdests[static_cast<std::size_t>(dst.low64())]) {
+          f.fail(Status::kInvalid);
+          break;
+        }
+        f.pc = static_cast<std::size_t>(dst.low64());
+        break;
+      }
+      case Op::PC: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{f.pc});
+        ++f.pc;
+        break;
+      }
+      case Op::MSIZE: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{f.memory.size()});
+        ++f.pc;
+        break;
+      }
+      case Op::GAS: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{f.gas_left});
+        ++f.pc;
+        break;
+      }
+      case Op::JUMPDEST: {
+        if (!f.charge(gas::kJumpdest)) break;
+        ++f.pc;
+        break;
+      }
+      case Op::PUSH0: {
+        if (!f.charge(gas::kBase)) break;
+        f.push(U256{});
+        ++f.pc;
+        break;
+      }
+
+      case Op::CALL:
+      case Op::DELEGATECALL:
+      case Op::STATICCALL: {
+        const Op kind = static_cast<Op>(opcode);
+        const bool has_value = (kind == Op::CALL);
+        if (!f.require(has_value ? 7 : 6)) break;
+        const U256 gas_req = f.pop();
+        const Address target = Address::from_u256(f.pop());
+        const U256 value = has_value ? f.pop() : U256{};
+        const U256 in_off = f.pop();
+        const U256 in_len = f.pop();
+        const U256 out_off = f.pop();
+        const U256 out_len = f.pop();
+
+        // A value-bearing CALL inside a static frame is a state mutation.
+        if (msg.is_static && !value.is_zero()) {
+          f.fail(Status::kInvalid);
+          break;
+        }
+
+        const std::uint64_t access_cost = tx.warm_account(target)
+                                              ? gas::kWarmAccess
+                                              : gas::kColdAccountAccess;
+        std::uint64_t extra = access_cost;
+        if (!value.is_zero()) extra += gas::kCallValue;
+        if (!f.charge(extra)) break;
+        if (!f.touch_memory(in_off, in_len)) break;
+        if (!f.touch_memory(out_off, out_len)) break;
+
+        // EIP-150 all-but-one-64th forwarding rule.
+        const std::uint64_t cap = f.gas_left - f.gas_left / 64;
+        std::uint64_t fwd =
+            gas_req.fits64() ? std::min(gas_req.low64(), cap) : cap;
+        if (!f.charge(fwd)) break;
+        if (!value.is_zero()) fwd += gas::kCallStipend;
+
+        // Failure without execution: depth exhausted or insufficient funds.
+        const bool too_deep = msg.depth + 1 > kMaxCallDepth;
+        const bool broke = !value.is_zero() &&
+                           buffer.read(StateKey::balance(msg.to)) < value;
+        if (too_deep || broke) {
+          f.gas_left += fwd;  // forwarded gas is returned untouched
+          f.return_data.clear();
+          f.push(U256{0});
+          ++f.pc;
+          break;
+        }
+
+        Message inner;
+        if (kind == Op::DELEGATECALL) {
+          // The target's code runs in OUR storage context with OUR caller
+          // and value; nothing is transferred.
+          inner.caller = msg.caller;
+          inner.to = msg.to;
+          inner.code_address = target;
+          inner.value = msg.value;
+          inner.transfer_value = false;
+        } else {
+          inner.caller = msg.to;
+          inner.to = target;
+          inner.code_address = target;
+          inner.value = value;
+        }
+        inner.is_static = msg.is_static || kind == Op::STATICCALL;
+        inner.gas = fwd;
+        inner.depth = msg.depth + 1;
+        if (!in_len.is_zero()) {
+          const auto in = f.mem_span(in_off.low64(), in_len.low64());
+          inner.data.assign(in.begin(), in.end());
+        }
+
+        const CallResult sub = execute_call(buffer, tx, inner);
+        f.gas_left += sub.gas_left;
+        if (sub.status == Status::kSuccess) {
+          for (const auto& log : sub.logs) result.logs.push_back(log);
+        }
+        // Return-data buffer: the callee's output on success/revert,
+        // cleared on exceptional halts (EIP-211).
+        if (sub.status == Status::kSuccess || sub.status == Status::kRevert) {
+          f.return_data = sub.output;
+        } else {
+          f.return_data.clear();
+        }
+        // Copy return data into the out region (truncated to out_len).
+        if (!out_len.is_zero() && !sub.output.empty()) {
+          const std::size_t n = std::min<std::size_t>(
+              out_len.low64(), sub.output.size());
+          std::memcpy(f.memory.data() + out_off.low64(), sub.output.data(),
+                      n);
+        }
+        f.push(U256{sub.status == Status::kSuccess ? 1u : 0u});
+        ++f.pc;
+        break;
+      }
+
+      case Op::RETURN:
+      case Op::REVERT: {
+        if (!f.require(2)) break;
+        const U256 off = f.pop(), len = f.pop();
+        if (!f.touch_memory(off, len)) break;
+        if (!len.is_zero()) {
+          const auto data = f.mem_span(off.low64(), len.low64());
+          f.output.assign(data.begin(), data.end());
+        }
+        if (static_cast<Op>(opcode) == Op::REVERT)
+          f.failure = Status::kRevert;
+        f.done = true;
+        break;
+      }
+
+      case Op::INVALID:
+      default:
+        f.fail(Status::kInvalid);
+        break;
+    }
+  }
+
+  result.status = f.failure;
+  // INVALID consumes all frame gas (EVM exceptional halt); REVERT keeps it.
+  result.gas_left = (f.failure == Status::kSuccess ||
+                     f.failure == Status::kRevert)
+                        ? f.gas_left
+                        : 0;
+  result.output = std::move(f.output);
+  if (result.status != Status::kSuccess) result.logs.clear();
+  return result;
+}
+
+}  // namespace
+
+std::string_view op_name(std::uint8_t opcode) noexcept {
+  switch (static_cast<Op>(opcode)) {
+    case Op::STOP: return "STOP";
+    case Op::ADD: return "ADD";
+    case Op::MUL: return "MUL";
+    case Op::SUB: return "SUB";
+    case Op::DIV: return "DIV";
+    case Op::SDIV: return "SDIV";
+    case Op::MOD: return "MOD";
+    case Op::SMOD: return "SMOD";
+    case Op::ADDMOD: return "ADDMOD";
+    case Op::MULMOD: return "MULMOD";
+    case Op::EXP: return "EXP";
+    case Op::SIGNEXTEND: return "SIGNEXTEND";
+    case Op::LT: return "LT";
+    case Op::GT: return "GT";
+    case Op::SLT: return "SLT";
+    case Op::SGT: return "SGT";
+    case Op::EQ: return "EQ";
+    case Op::ISZERO: return "ISZERO";
+    case Op::AND: return "AND";
+    case Op::OR: return "OR";
+    case Op::XOR: return "XOR";
+    case Op::NOT: return "NOT";
+    case Op::BYTE: return "BYTE";
+    case Op::SHL: return "SHL";
+    case Op::SHR: return "SHR";
+    case Op::SAR: return "SAR";
+    case Op::SHA3: return "SHA3";
+    case Op::ADDRESS: return "ADDRESS";
+    case Op::BALANCE: return "BALANCE";
+    case Op::ORIGIN: return "ORIGIN";
+    case Op::CALLER: return "CALLER";
+    case Op::CALLVALUE: return "CALLVALUE";
+    case Op::CALLDATALOAD: return "CALLDATALOAD";
+    case Op::CALLDATASIZE: return "CALLDATASIZE";
+    case Op::CALLDATACOPY: return "CALLDATACOPY";
+    case Op::CODESIZE: return "CODESIZE";
+    case Op::CODECOPY: return "CODECOPY";
+    case Op::GASPRICE: return "GASPRICE";
+    case Op::COINBASE: return "COINBASE";
+    case Op::TIMESTAMP: return "TIMESTAMP";
+    case Op::NUMBER: return "NUMBER";
+    case Op::PREVRANDAO: return "PREVRANDAO";
+    case Op::GASLIMIT: return "GASLIMIT";
+    case Op::CHAINID: return "CHAINID";
+    case Op::SELFBALANCE: return "SELFBALANCE";
+    case Op::POP: return "POP";
+    case Op::MLOAD: return "MLOAD";
+    case Op::MSTORE: return "MSTORE";
+    case Op::MSTORE8: return "MSTORE8";
+    case Op::EXTCODESIZE: return "EXTCODESIZE";
+    case Op::EXTCODEHASH: return "EXTCODEHASH";
+    case Op::RETURNDATASIZE: return "RETURNDATASIZE";
+    case Op::RETURNDATACOPY: return "RETURNDATACOPY";
+    case Op::DELEGATECALL: return "DELEGATECALL";
+    case Op::STATICCALL: return "STATICCALL";
+    case Op::SLOAD: return "SLOAD";
+    case Op::SSTORE: return "SSTORE";
+    case Op::JUMP: return "JUMP";
+    case Op::JUMPI: return "JUMPI";
+    case Op::PC: return "PC";
+    case Op::MSIZE: return "MSIZE";
+    case Op::GAS: return "GAS";
+    case Op::JUMPDEST: return "JUMPDEST";
+    case Op::PUSH0: return "PUSH0";
+    case Op::LOG0: return "LOG0";
+    case Op::LOG1: return "LOG1";
+    case Op::LOG2: return "LOG2";
+    case Op::LOG3: return "LOG3";
+    case Op::LOG4: return "LOG4";
+    case Op::CALL: return "CALL";
+    case Op::RETURN: return "RETURN";
+    case Op::REVERT: return "REVERT";
+    case Op::INVALID: return "INVALID";
+    default: break;
+  }
+  if (opcode >= 0x60 && opcode <= 0x7f) return "PUSH";
+  if (opcode >= 0x80 && opcode <= 0x8f) return "DUP";
+  if (opcode >= 0x90 && opcode <= 0x9f) return "SWAP";
+  return "UNKNOWN";
+}
+
+CallResult execute_call(state::ExecBuffer& buffer, TxContext& tx,
+                        const Message& msg) {
+  const std::size_t checkpoint = buffer.checkpoint();
+  tx.warm_account(msg.to);
+
+  if (msg.transfer_value && !msg.value.is_zero()) {
+    transfer(buffer, msg.caller, msg.to, msg.value);
+  }
+
+  // DELEGATECALL runs foreign code in this frame's storage context.
+  const Address code_addr =
+      msg.code_address.is_zero() ? msg.to : msg.code_address;
+  const auto code = buffer.code(code_addr);
+  CallResult result;
+  if (code == nullptr || code->empty()) {
+    result.status = Status::kSuccess;
+    result.gas_left = msg.gas;
+    return result;
+  }
+
+  result = run_interpreter(buffer, tx, msg, std::span(*code));
+  if (result.status != Status::kSuccess) buffer.revert_to(checkpoint);
+  return result;
+}
+
+}  // namespace blockpilot::evm

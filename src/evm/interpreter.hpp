@@ -1,0 +1,105 @@
+// EVM bytecode interpreter.
+//
+// Executes message calls against a state::ExecBuffer (the transaction's
+// private write buffer); all state effects are journaled there so a REVERT
+// or out-of-gas in an inner frame rolls back cleanly while consumed gas
+// stands.  Each top-level transaction tracks EIP-2929-style warm/cold
+// access sets spanning its call frames.
+//
+// Supported instruction set: arithmetic/comparison/bitwise, SHA3,
+// environment and block context, memory, storage, control flow, LOG0-4,
+// CALL, RETURN, REVERT, STOP, INVALID — see opcodes.hpp.  CREATE and
+// SELFDESTRUCT are intentionally absent: the workload deploys contracts at
+// genesis (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "state/exec_buffer.hpp"
+#include "types/address.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::evm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Per-block execution environment (EVM block context opcodes).
+struct BlockContext {
+  std::uint64_t number = 0;
+  std::uint64_t timestamp = 0;
+  Address coinbase;
+  std::uint64_t gas_limit = 30'000'000;
+  U256 prevrandao;
+  std::uint64_t chain_id = 1;
+};
+
+/// A message call (top-level transaction body or inner CALL-family frame).
+struct Message {
+  Address caller;
+  Address to;  // storage/balance context (and code source by default)
+  /// Code source when it differs from `to` (DELEGATECALL executes the
+  /// target's code in the caller's storage context).  Zero = use `to`.
+  Address code_address;
+  U256 value;
+  Bytes data;
+  std::uint64_t gas = 0;
+  int depth = 0;
+  /// STATICCALL frame: any state mutation (SSTORE, LOG, value transfer)
+  /// aborts the frame with kInvalid.
+  bool is_static = false;
+  /// Whether entering this frame moves `value` from caller to `to`.
+  /// False for DELEGATECALL, whose value is inherited for CALLVALUE only.
+  bool transfer_value = true;
+};
+
+enum class Status : std::uint8_t {
+  kSuccess = 0,
+  kRevert,         // explicit REVERT: state rolled back, remaining gas kept
+  kOutOfGas,       // all frame gas consumed
+  kInvalid,        // INVALID opcode / bad jump / stack violation
+};
+
+struct LogRecord {
+  Address address;
+  std::vector<U256> topics;
+  Bytes data;
+};
+
+struct CallResult {
+  Status status = Status::kSuccess;
+  std::uint64_t gas_left = 0;
+  Bytes output;
+  std::vector<LogRecord> logs;
+};
+
+/// Mutable per-transaction context shared across call frames.
+struct TxContext {
+  Address origin;
+  U256 gas_price;
+  const BlockContext* block = nullptr;
+
+  // EIP-2929 warm sets (cleared per transaction).
+  std::unordered_set<Address> warm_accounts;
+  std::unordered_set<state::StateKey> warm_slots;
+
+  bool warm_account(const Address& a) {
+    return !warm_accounts.insert(a).second;
+  }
+  bool warm_slot(const state::StateKey& k) {
+    return !warm_slots.insert(k).second;
+  }
+};
+
+inline constexpr int kMaxCallDepth = 1024;
+inline constexpr std::size_t kMaxStack = 1024;
+
+/// Executes one message call frame (and, recursively, its inner CALLs).
+/// State effects land in `buffer`; on non-success the frame's writes are
+/// reverted to the entry checkpoint.
+CallResult execute_call(state::ExecBuffer& buffer, TxContext& tx,
+                        const Message& msg);
+
+}  // namespace blockpilot::evm

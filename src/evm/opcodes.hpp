@@ -1,0 +1,131 @@
+// EVM opcode set supported by the interpreter.
+//
+// Numeric values match the canonical EVM instruction encoding so that
+// bytecode written for this interpreter is shaped like real contract code
+// (the paper's conflict analysis hinges on SLOAD/SSTORE gas dominance,
+// §4.3), and disassembly output is recognizable.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace blockpilot::evm {
+
+enum class Op : std::uint8_t {
+  STOP = 0x00,
+  ADD = 0x01,
+  MUL = 0x02,
+  SUB = 0x03,
+  DIV = 0x04,
+  SDIV = 0x05,
+  MOD = 0x06,
+  SMOD = 0x07,
+  ADDMOD = 0x08,
+  MULMOD = 0x09,
+  EXP = 0x0a,
+  SIGNEXTEND = 0x0b,
+
+  LT = 0x10,
+  GT = 0x11,
+  SLT = 0x12,
+  SGT = 0x13,
+  EQ = 0x14,
+  ISZERO = 0x15,
+  AND = 0x16,
+  OR = 0x17,
+  XOR = 0x18,
+  NOT = 0x19,
+  BYTE = 0x1a,
+  SHL = 0x1b,
+  SHR = 0x1c,
+  SAR = 0x1d,
+
+  SHA3 = 0x20,
+
+  ADDRESS = 0x30,
+  BALANCE = 0x31,
+  ORIGIN = 0x32,
+  CALLER = 0x33,
+  CALLVALUE = 0x34,
+  CALLDATALOAD = 0x35,
+  CALLDATASIZE = 0x36,
+  CALLDATACOPY = 0x37,
+  CODESIZE = 0x38,
+  CODECOPY = 0x39,
+  GASPRICE = 0x3a,
+  EXTCODESIZE = 0x3b,
+  RETURNDATASIZE = 0x3d,
+  RETURNDATACOPY = 0x3e,
+  EXTCODEHASH = 0x3f,
+
+  COINBASE = 0x41,
+  TIMESTAMP = 0x42,
+  NUMBER = 0x43,
+  PREVRANDAO = 0x44,
+  GASLIMIT = 0x45,
+  CHAINID = 0x46,
+  SELFBALANCE = 0x47,
+
+  POP = 0x50,
+  MLOAD = 0x51,
+  MSTORE = 0x52,
+  MSTORE8 = 0x53,
+  SLOAD = 0x54,
+  SSTORE = 0x55,
+  JUMP = 0x56,
+  JUMPI = 0x57,
+  PC = 0x58,
+  MSIZE = 0x59,
+  GAS = 0x5a,
+  JUMPDEST = 0x5b,
+
+  PUSH0 = 0x5f,
+  PUSH1 = 0x60,
+  // PUSH2..PUSH32 are 0x61..0x7f
+  PUSH32 = 0x7f,
+  DUP1 = 0x80,
+  DUP2 = 0x81,
+  DUP3 = 0x82,
+  DUP4 = 0x83,
+  DUP5 = 0x84,
+  DUP6 = 0x85,
+  DUP7 = 0x86,
+  DUP8 = 0x87,
+  DUP16 = 0x8f,
+  SWAP1 = 0x90,
+  SWAP2 = 0x91,
+  SWAP3 = 0x92,
+  SWAP4 = 0x93,
+  SWAP5 = 0x94,
+  SWAP6 = 0x95,
+  SWAP7 = 0x96,
+  SWAP8 = 0x97,
+  SWAP16 = 0x9f,
+
+  LOG0 = 0xa0,
+  LOG1 = 0xa1,
+  LOG2 = 0xa2,
+  LOG3 = 0xa3,
+  LOG4 = 0xa4,
+
+  CALL = 0xf1,
+  RETURN = 0xf3,
+  DELEGATECALL = 0xf4,
+  STATICCALL = 0xfa,
+  REVERT = 0xfd,
+  INVALID = 0xfe,
+};
+
+/// Mnemonic for diagnostics and the disassembler; "UNKNOWN" for gaps.
+std::string_view op_name(std::uint8_t opcode) noexcept;
+
+/// True iff the opcode is PUSH1..PUSH32; `n` receives the immediate size.
+constexpr bool is_push(std::uint8_t opcode, std::size_t& n) noexcept {
+  if (opcode >= 0x60 && opcode <= 0x7f) {
+    n = static_cast<std::size_t>(opcode - 0x60 + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace blockpilot::evm

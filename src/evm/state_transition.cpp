@@ -1,0 +1,96 @@
+#include "evm/state_transition.hpp"
+
+#include "evm/gas.hpp"
+#include "support/assert.hpp"
+
+namespace blockpilot::evm {
+
+using state::StateKey;
+
+std::uint64_t intrinsic_gas(const chain::Transaction& tx) noexcept {
+  std::uint64_t g = gas::kTxIntrinsic;
+  for (const std::uint8_t b : tx.data)
+    g += (b == 0) ? gas::kTxDataZero : gas::kTxDataNonZero;
+  return g;
+}
+
+TxExecResult execute_transaction(state::ExecBuffer& buffer,
+                                 const BlockContext& block,
+                                 const chain::Transaction& tx) {
+  TxExecResult result;
+  const std::size_t entry = buffer.checkpoint();
+
+  const std::uint64_t intrinsic = intrinsic_gas(tx);
+  if (tx.gas_limit < intrinsic || tx.gas_limit > block.gas_limit) {
+    result.status = TxStatus::kInvalid;
+    return result;
+  }
+
+  // Nonce check.  Reading the sender's nonce/balance here records them in
+  // the read set — the envelope itself participates in conflict detection.
+  const StateKey nonce_key = StateKey::nonce(tx.from);
+  const U256 current_nonce = buffer.read(nonce_key);
+  if (current_nonce > U256{tx.nonce}) {
+    result.status = TxStatus::kInvalid;  // replayed / stale transaction
+    buffer.revert_to(entry);
+    return result;
+  }
+  if (current_nonce < U256{tx.nonce}) {
+    result.status = TxStatus::kNotReady;  // predecessor not committed yet
+    buffer.revert_to(entry);
+    return result;
+  }
+
+  // Up-front cost: value + full gas escrow.
+  const StateKey balance_key = StateKey::balance(tx.from);
+  const U256 fee_escrow = tx.gas_price * U256{tx.gas_limit};
+  const U256 upfront = tx.value + fee_escrow;
+  const U256 sender_balance = buffer.read(balance_key);
+  if (sender_balance < upfront) {
+    result.status = TxStatus::kInvalid;
+    buffer.revert_to(entry);
+    return result;
+  }
+
+  buffer.write(nonce_key, current_nonce + U256{1});
+  buffer.write(balance_key, sender_balance - fee_escrow);
+
+  Message msg;
+  msg.caller = tx.from;
+  msg.to = tx.to;
+  msg.value = tx.value;
+  msg.data = tx.data;
+  msg.gas = tx.gas_limit - intrinsic;
+  msg.depth = 0;
+
+  TxContext ctx;
+  ctx.origin = tx.from;
+  ctx.gas_price = tx.gas_price;
+  ctx.block = &block;
+
+  const CallResult call = execute_call(buffer, ctx, msg);
+
+  result.status = TxStatus::kIncluded;
+  result.vm_status = call.status;
+  result.gas_price = tx.gas_price;
+  result.gas_used = tx.gas_limit - call.gas_left;
+  result.output = call.output;
+  result.logs = call.logs;
+  BP_ASSERT(result.gas_used >= intrinsic);
+
+  // Refund unused escrow to the sender, credit the fee to the coinbase.
+  const U256 refund = tx.gas_price * U256{call.gas_left};
+  if (!refund.is_zero()) {
+    const U256 bal = buffer.read(balance_key);
+    buffer.write(balance_key, bal + refund);
+  }
+  // NOTE: the coinbase fee credit is deliberately NOT written here.  At
+  // account granularity it would make every transaction conflict with every
+  // other through the coinbase balance, collapsing each block into a single
+  // subgraph.  Like production parallel-EVM designs (Block-STM, OCC-DA),
+  // the fee is returned to the caller (result.fee()) and credited serially
+  // at commit time, in block order — see DESIGN.md §4.
+  return result;
+}
+
+}  // namespace blockpilot::evm

@@ -1,0 +1,56 @@
+// Transaction-level state transition (geth's core.ApplyTransaction analog).
+//
+// Wraps a message-call execution with the transaction envelope: intrinsic
+// gas, nonce check/increment, up-front fee escrow, refund, and the coinbase
+// fee credit.  All effects land in the caller's ExecBuffer, so the recorded
+// read/write sets cover the envelope too — sender nonce and balance are the
+// "counter" conflict keys the paper identifies as the dominant source of
+// data races (§2.3).
+#pragma once
+
+#include "chain/transaction.hpp"
+#include "evm/interpreter.hpp"
+#include "state/exec_buffer.hpp"
+
+namespace blockpilot::evm {
+
+enum class TxStatus : std::uint8_t {
+  /// Included in the block (the inner call may still have reverted; fees
+  /// are charged either way, exactly like mainnet).
+  kIncluded = 0,
+  /// Sender nonce in the snapshot is behind the transaction's nonce: an
+  /// earlier same-sender transaction has not committed yet.  Under OCC the
+  /// proposer re-queues the transaction (this is how same-sender ordering
+  /// emerges as a counter conflict).
+  kNotReady,
+  /// Structurally unexecutable (intrinsic gas exceeds the limit, nonce in
+  /// the past, insufficient funds): dropped from the pool.
+  kInvalid,
+};
+
+struct TxExecResult {
+  TxStatus status = TxStatus::kInvalid;
+  Status vm_status = Status::kSuccess;  // inner-call outcome when included
+  std::uint64_t gas_used = 0;
+  U256 gas_price;  // copied from the transaction for fee computation
+  Bytes output;
+  std::vector<LogRecord> logs;
+
+  /// Coinbase fee for this transaction.  NOT part of the tracked write set:
+  /// committers credit it serially in block order so the coinbase balance
+  /// does not become a universal conflict key (DESIGN.md §4).
+  U256 fee() const noexcept { return gas_price * U256{gas_used}; }
+};
+
+/// Intrinsic gas of a transaction (21000 + calldata byte costs).
+std::uint64_t intrinsic_gas(const chain::Transaction& tx) noexcept;
+
+/// Executes `tx` against `buffer`.  On kIncluded the buffer holds the full
+/// effect (envelope + call); on kNotReady/kInvalid the buffer is rolled
+/// back to its entry state (reads remain recorded — they are what made the
+/// decision, so they stay conflict-relevant).
+TxExecResult execute_transaction(state::ExecBuffer& buffer,
+                                 const BlockContext& block,
+                                 const chain::Transaction& tx);
+
+}  // namespace blockpilot::evm

@@ -1,0 +1,202 @@
+#include "net/consensus_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::net {
+namespace {
+
+evm::BlockContext ctx_for(std::uint64_t height, const Address& coinbase) {
+  evm::BlockContext ctx;
+  ctx.number = height;
+  ctx.timestamp = 1'700'000'000 + height * 12;
+  ctx.coinbase = coinbase;
+  return ctx;
+}
+
+/// One validator node: its own ledger replica plus a pipeline validator.
+struct ValidatorNode {
+  explicit ValidatorNode(const state::WorldState& genesis)
+      : chain(genesis) {}
+
+  chain::Blockchain chain;
+  std::uint64_t busy_until_us = 0;  // virtual time this node frees up
+};
+
+}  // namespace
+
+ConsensusSim::ConsensusSim(ConsensusSimConfig config)
+    : config_(std::move(config)) {
+  BP_ASSERT(config_.proposer_nodes >= 1);
+  BP_ASSERT(config_.validator_nodes >= 1);
+  BP_ASSERT(config_.proposers_per_round >= 1);
+  BP_ASSERT(config_.proposers_per_round <= config_.proposer_nodes);
+}
+
+ConsensusSimResult ConsensusSim::run() {
+  ConsensusSimResult result;
+  workload::WorkloadGenerator gen(config_.workload);
+  const state::WorldState genesis = gen.genesis();
+
+  // Node ids: [0, P) proposers, [P, P+V) validators.
+  const std::size_t P = config_.proposer_nodes;
+  const std::size_t V = config_.validator_nodes;
+  SimNetwork network(P + V, config_.link);
+
+  std::vector<std::unique_ptr<ValidatorNode>> validators;
+  validators.reserve(V);
+  for (std::size_t v = 0; v < V; ++v)
+    validators.push_back(std::make_unique<ValidatorNode>(genesis));
+
+  ThreadPool workers(4);
+  core::ProposerConfig pcfg;
+  pcfg.threads = config_.proposer_threads;
+  core::PipelineConfig plcfg;
+  plcfg.workers = config_.validator_workers;
+
+  auto canonical_state = std::make_shared<const state::WorldState>(genesis);
+  Hash256 canonical_head_hash = validators[0]->chain.genesis_hash();
+  std::uint64_t clock_us = 0;  // global round clock (virtual)
+
+  for (std::uint64_t height = 1; height <= config_.rounds; ++height) {
+    RoundReport report;
+    report.height = height;
+
+    // ---- propose: round-robin leader set over the proposer nodes ----
+    std::uint64_t propose_end_us = clock_us;
+    for (std::size_t k = 0; k < config_.proposers_per_round; ++k) {
+      const NodeId proposer_id =
+          (height * config_.proposers_per_round + k) % P;
+      txpool::TxPool pool;
+      pool.add_all(gen.next_block());
+      core::OccWsiProposer proposer(pcfg);
+      core::ProposedBlock blk = proposer.propose(
+          *canonical_state,
+          ctx_for(height, Address::from_id(0xFEE000 + proposer_id)), pool,
+          workers);
+      blk.block.header.parent_hash = canonical_head_hash;
+      propose_end_us = std::max(
+          propose_end_us, clock_us + blk.stats.vtime_makespan / kGasPerUs);
+
+      chain::BlockAnnouncement ann;
+      ann.block = std::move(blk.block);
+      ann.profile = std::move(blk.profile);
+      network.broadcast(proposer_id, propose_end_us,
+                        chain::encode_announcement(ann));
+    }
+    report.siblings = config_.proposers_per_round;
+
+    // ---- disseminate: drain this round's gossip ----
+    // Per validator: arrival time of its LAST sibling announcement (a
+    // validator can only finish the round once it has seen every fork).
+    std::map<NodeId, std::uint64_t> last_arrival;
+    std::map<NodeId, std::vector<core::BlockBundle>> inbox;
+    while (auto msg = network.next_delivery()) {
+      if (msg->to < P) continue;  // proposers ignore sibling gossip here
+      const chain::BlockAnnouncement ann =
+          chain::decode_announcement(std::span(msg->payload));
+      inbox[msg->to].push_back({ann.block, ann.profile});
+      last_arrival[msg->to] =
+          std::max(last_arrival[msg->to], msg->deliver_time_us);
+    }
+
+    // ---- validate: every validator runs its pipeline over the forks ----
+    std::uint64_t round_end_us = propose_end_us;
+    std::vector<Hash256> votes;  // one per validator: chosen block hash
+    Hash256 canonical_hash;
+    std::shared_ptr<const state::WorldState> next_state;
+
+    for (std::size_t v = 0; v < V; ++v) {
+      const NodeId vid = P + v;
+      auto& node = *validators[v];
+      auto& bundles = inbox[vid];
+      BP_ASSERT_MSG(bundles.size() == report.siblings,
+                    "gossip lost an announcement");
+
+      core::ValidatorPipeline pipeline(plcfg);
+      const core::PipelineResult piped = pipeline.process_height(
+          *node.chain.head_state(), std::span(bundles), workers);
+
+      // Vote: first valid sibling in arrival order.
+      Hash256 vote;
+      for (std::size_t i = 0; i < piped.outcomes.size(); ++i) {
+        if (piped.outcomes[i].valid) {
+          vote = bundles[i].block.header.hash();
+          break;
+        }
+      }
+      votes.push_back(vote);
+
+      // Commit every valid sibling (uncles are stored too, §3.4).
+      std::size_t valid = 0;
+      for (std::size_t i = 0; i < piped.outcomes.size(); ++i) {
+        if (!piped.outcomes[i].valid) continue;
+        ++valid;
+        node.chain.commit_block(bundles[i].block,
+                                piped.outcomes[i].exec.post_state);
+        if (v == 0 && bundles[i].block.header.hash() == vote) {
+          next_state = piped.outcomes[i].exec.post_state;
+          report.txs += bundles[i].block.transactions.size();
+        }
+      }
+      if (v == 0) {
+        report.valid_siblings = valid;
+        report.uncles = valid > 0 ? valid - 1 : 0;
+      }
+
+      const std::uint64_t node_end =
+          std::max(node.busy_until_us, last_arrival[vid]) +
+          piped.stats.vtime_makespan / kGasPerUs;
+      node.busy_until_us = node_end;
+      round_end_us = std::max(round_end_us, node_end);
+    }
+
+    // ---- consensus: majority vote must be unanimous among honest nodes ----
+    canonical_hash = votes.front();
+    for (const Hash256& vote : votes) {
+      if (!(vote == canonical_hash)) {
+        result.safety_held = false;
+        result.violation = "validators voted for different blocks at height " +
+                           std::to_string(height);
+        return result;
+      }
+    }
+    if (next_state == nullptr) {
+      result.safety_held = false;
+      result.violation =
+          "no valid block at height " + std::to_string(height);
+      return result;
+    }
+
+    // All replicas must hold the identical canonical root.
+    const Hash256 root0 =
+        validators[0]->chain.state_of(canonical_hash)->state_root();
+    for (std::size_t v = 1; v < V; ++v) {
+      const auto st = validators[v]->chain.state_of(canonical_hash);
+      if (st == nullptr || !(st->state_root() == root0)) {
+        result.safety_held = false;
+        result.violation =
+            "replica state divergence at height " + std::to_string(height);
+        return result;
+      }
+    }
+
+    canonical_state = next_state;
+    canonical_head_hash = canonical_hash;
+    report.canonical_root = root0;
+    report.round_latency_us = round_end_us - clock_us;
+    clock_us = round_end_us;
+
+    result.total_txs += report.txs;
+    result.total_uncles += report.uncles;
+    result.rounds.push_back(report);
+  }
+
+  result.bytes_gossiped = network.bytes_sent();
+  return result;
+}
+
+}  // namespace blockpilot::net

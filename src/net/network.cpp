@@ -1,0 +1,34 @@
+#include "net/network.hpp"
+
+namespace blockpilot::net {
+
+void SimNetwork::broadcast(NodeId from, std::uint64_t send_time_us,
+                           Bytes payload) {
+  BP_ASSERT(from < node_count_);
+  for (NodeId to = 0; to < node_count_; ++to) {
+    if (to == from) continue;
+    send(from, to, send_time_us, payload);
+  }
+}
+
+void SimNetwork::send(NodeId from, NodeId to, std::uint64_t send_time_us,
+                      Bytes payload) {
+  BP_ASSERT(from < node_count_ && to < node_count_);
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.send_time_us = send_time_us;
+  msg.deliver_time_us = send_time_us + link_.transit_time(payload.size());
+  bytes_sent_ += payload.size();
+  msg.payload = std::move(payload);
+  queue_.push(std::move(msg));
+}
+
+std::optional<Message> SimNetwork::next_delivery() {
+  if (queue_.empty()) return std::nullopt;
+  Message msg = queue_.top();
+  queue_.pop();
+  return msg;
+}
+
+}  // namespace blockpilot::net

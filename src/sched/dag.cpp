@@ -1,0 +1,150 @@
+#include "sched/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::sched {
+namespace {
+
+using state::StateKey;
+
+/// Last-access bookkeeping per key while sweeping the block in order.
+struct KeyState {
+  std::size_t last_writer = SIZE_MAX;
+  std::vector<std::size_t> readers_since_write;
+};
+
+template <typename Key, typename Project>
+TxDag build_with(const chain::BlockProfile& profile, Project project) {
+  const std::size_t n = profile.txs.size();
+  TxDag dag;
+  dag.preds.resize(n);
+  dag.gas.resize(n);
+
+  std::unordered_map<Key, KeyState> keys;
+  for (std::size_t j = 0; j < n; ++j) {
+    const chain::TxProfile& tx = profile.txs[j];
+    dag.gas[j] = tx.gas_used;
+    auto& preds = dag.preds[j];
+
+    for (const StateKey& key : tx.reads) {
+      auto& ks = keys[project(key)];
+      if (ks.last_writer != SIZE_MAX) preds.push_back(ks.last_writer);  // RAW
+      ks.readers_since_write.push_back(j);
+    }
+    for (const auto& [key, value] : tx.writes) {
+      auto& ks = keys[project(key)];
+      // Guard j != last_writer: a transaction writing two keys that
+      // project to the same coarse key (e.g. balance + nonce of one
+      // account) must not depend on itself.
+      if (ks.last_writer != SIZE_MAX && ks.last_writer != j)
+        preds.push_back(ks.last_writer);  // WAW
+      for (const std::size_t r : ks.readers_since_write)
+        if (r != j) preds.push_back(r);  // WAR
+      ks.last_writer = j;
+      ks.readers_since_write.clear();
+    }
+
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    BP_ASSERT(preds.empty() || preds.back() < j);  // block order is topo
+  }
+  return dag;
+}
+
+}  // namespace
+
+TxDag build_tx_dag(const chain::BlockProfile& profile,
+                   Granularity granularity) {
+  if (granularity == Granularity::kAccount) {
+    return build_with<Address>(profile,
+                               [](const StateKey& k) { return k.addr; });
+  }
+  return build_with<StateKey>(profile, [](const StateKey& k) { return k; });
+}
+
+std::uint64_t TxDag::critical_path_gas() const {
+  std::vector<std::uint64_t> finish(size(), 0);
+  std::uint64_t best = 0;
+  for (std::size_t j = 0; j < size(); ++j) {
+    std::uint64_t ready = 0;
+    for (const std::size_t p : preds[j]) ready = std::max(ready, finish[p]);
+    finish[j] = ready + gas[j];
+    best = std::max(best, finish[j]);
+  }
+  return best;
+}
+
+std::uint64_t dag_makespan(const TxDag& dag, std::size_t workers) {
+  BP_ASSERT(workers > 0);
+  const std::size_t n = dag.size();
+  if (n == 0) return 0;
+
+  // Successor lists + in-degrees for the ready-set sweep.
+  std::vector<std::vector<std::size_t>> succs(n);
+  std::vector<std::size_t> pending(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    pending[j] = dag.preds[j].size();
+    for (const std::size_t p : dag.preds[j]) succs[p].push_back(j);
+  }
+
+  // Ready transactions, heaviest first (LPT flavor; index breaks ties for
+  // determinism).
+  auto heavier = [&](std::size_t a, std::size_t b) {
+    if (dag.gas[a] != dag.gas[b]) return dag.gas[a] < dag.gas[b];
+    return a > b;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(heavier)>
+      ready(heavier);
+  for (std::size_t j = 0; j < n; ++j)
+    if (pending[j] == 0) ready.push(j);
+
+  // (finish_time, tx) completion events, earliest first.
+  using Event = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  // Worker free times, earliest first.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      worker_free;
+  for (std::size_t w = 0; w < workers; ++w) worker_free.push(0);
+
+  std::uint64_t makespan = 0;
+  std::size_t scheduled = 0;
+  std::uint64_t now = 0;
+  while (scheduled < n) {
+    // Release every transaction whose predecessors finished by `now`.
+    while (!events.empty() && events.top().first <= now) {
+      const std::size_t done = events.top().second;
+      events.pop();
+      for (const std::size_t s : succs[done])
+        if (--pending[s] == 0) ready.push(s);
+    }
+    if (ready.empty()) {
+      // Idle until the next completion releases work.
+      BP_ASSERT(!events.empty());
+      now = std::max(now, events.top().first);
+      continue;
+    }
+    const std::uint64_t free_at = worker_free.top();
+    if (free_at > now) {
+      now = free_at;
+      continue;  // re-release at the later time before assigning
+    }
+    worker_free.pop();
+    const std::size_t tx = ready.top();
+    ready.pop();
+    const std::uint64_t finish = now + dag.gas[tx];
+    events.emplace(finish, tx);
+    worker_free.push(finish);
+    makespan = std::max(makespan, finish);
+    ++scheduled;
+  }
+  return makespan;
+}
+
+}  // namespace blockpilot::sched

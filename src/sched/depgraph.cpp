@@ -1,0 +1,123 @@
+#include "sched/depgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::sched {
+namespace {
+
+using state::StateKey;
+
+// Coarsened key: either the full StateKey or just the address.
+struct KeyUse {
+  std::vector<std::size_t> readers;
+  std::vector<std::size_t> writers;
+};
+
+template <typename Key, typename Hash>
+void collect_and_unite(const chain::BlockProfile& profile, UnionFind& uf,
+                       Hash /*tag*/,
+                       const std::function<Key(const StateKey&)>& project) {
+  std::unordered_map<Key, KeyUse, Hash> uses;
+  for (std::size_t i = 0; i < profile.txs.size(); ++i) {
+    const auto& tx = profile.txs[i];
+    for (const auto& key : tx.reads) uses[project(key)].readers.push_back(i);
+    for (const auto& [key, value] : tx.writes)
+      uses[project(key)].writers.push_back(i);
+  }
+  for (auto& [key, use] : uses) {
+    if (use.writers.empty()) continue;  // read-read sharing: no conflict
+    // Union everything that touches a written key: covers RAW, WAR, WAW.
+    const std::size_t anchor = use.writers.front();
+    for (const std::size_t w : use.writers) uf.unite(anchor, w);
+    for (const std::size_t r : use.readers) uf.unite(anchor, r);
+  }
+}
+
+}  // namespace
+
+double DependencyGraph::largest_subgraph_ratio() const noexcept {
+  if (tx_count == 0) return 0.0;
+  std::size_t largest = 0;
+  for (const auto& sg : subgraphs)
+    largest = std::max(largest, sg.tx_indices.size());
+  return static_cast<double>(largest) / static_cast<double>(tx_count);
+}
+
+std::uint64_t DependencyGraph::critical_path_gas() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& sg : subgraphs) best = std::max(best, sg.total_gas);
+  return best;
+}
+
+std::uint64_t DependencyGraph::total_gas() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& sg : subgraphs) sum += sg.total_gas;
+  return sum;
+}
+
+DependencyGraph build_dependency_graph(const chain::BlockProfile& profile,
+                                       Granularity granularity) {
+  const std::size_t n = profile.txs.size();
+  UnionFind uf(n);
+
+  if (granularity == Granularity::kAccount) {
+    collect_and_unite<Address, std::hash<Address>>(
+        profile, uf, std::hash<Address>{},
+        [](const StateKey& k) { return k.addr; });
+  } else {
+    collect_and_unite<StateKey, std::hash<StateKey>>(
+        profile, uf, std::hash<StateKey>{},
+        [](const StateKey& k) { return k; });
+  }
+
+  // Group transactions by component root, preserving block order inside
+  // each subgraph (components visit indices ascending).
+  std::unordered_map<std::size_t, std::size_t> root_to_subgraph;
+  DependencyGraph graph;
+  graph.tx_count = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.find(i);
+    const auto [it, inserted] =
+        root_to_subgraph.try_emplace(root, graph.subgraphs.size());
+    if (inserted) graph.subgraphs.emplace_back();
+    Subgraph& sg = graph.subgraphs[it->second];
+    sg.tx_indices.push_back(i);
+    sg.total_gas += profile.txs[i].gas_used;
+  }
+
+  // Heaviest-first order: the LPT scheduler consumes subgraphs in this
+  // order ("the subgraph with the heaviest path is selected first", §5.4).
+  std::sort(graph.subgraphs.begin(), graph.subgraphs.end(),
+            [](const Subgraph& a, const Subgraph& b) {
+              if (a.total_gas != b.total_gas) return a.total_gas > b.total_gas;
+              return a.tx_indices.front() < b.tx_indices.front();
+            });
+  return graph;
+}
+
+ThreadPlan lpt_schedule(const DependencyGraph& graph, std::size_t threads) {
+  BP_ASSERT(threads > 0);
+  ThreadPlan plan;
+  plan.per_thread.resize(threads);
+  plan.load.assign(threads, 0);
+
+  for (const Subgraph& sg : graph.subgraphs) {
+    // Least-loaded thread; linear scan is fine for <= 16 threads.
+    std::size_t best = 0;
+    for (std::size_t t = 1; t < threads; ++t)
+      if (plan.load[t] < plan.load[best]) best = t;
+    auto& bucket = plan.per_thread[best];
+    bucket.insert(bucket.end(), sg.tx_indices.begin(), sg.tx_indices.end());
+    plan.load[best] += sg.total_gas;
+  }
+  // In-thread execution must follow block order so that same-subgraph
+  // transactions observe their predecessors' writes.
+  for (auto& bucket : plan.per_thread) std::sort(bucket.begin(), bucket.end());
+  return plan;
+}
+
+}  // namespace blockpilot::sched

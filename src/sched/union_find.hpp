@@ -1,0 +1,52 @@
+// Disjoint-set forest with union by size and path halving.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::sched {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) noexcept {
+    BP_ASSERT(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns the new root.
+  std::size_t unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return a;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  /// Size of x's component.
+  std::size_t component_size(std::size_t x) noexcept { return size_[find(x)]; }
+
+  std::size_t element_count() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace blockpilot::sched

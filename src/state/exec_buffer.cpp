@@ -1,0 +1,65 @@
+#include "state/exec_buffer.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::state {
+
+U256 ExecBuffer::read(const StateKey& key) const {
+  const auto it = writes_.find(key);
+  if (it != writes_.end()) return it->second;
+  const auto rit = reads_.find(key);
+  if (rit != reads_.end()) return rit->second;  // repeatable reads
+  const U256 value = base_.read(key);
+  reads_.emplace(key, value);
+  return value;
+}
+
+std::vector<StateKey> ExecBuffer::sorted_read_keys() const {
+  std::vector<StateKey> keys;
+  keys.reserve(reads_.size());
+  for (const auto& [key, value] : reads_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), state_key_less);
+  return keys;
+}
+
+void ExecBuffer::write(const StateKey& key, const U256& value) {
+  const auto it = writes_.find(key);
+  if (it != writes_.end()) {
+    journal_.push_back({key, true, it->second});
+    it->second = value;
+  } else {
+    journal_.push_back({key, false, U256{}});
+    writes_.emplace(key, value);
+  }
+}
+
+void ExecBuffer::revert_to(std::size_t token) {
+  BP_ASSERT(token <= journal_.size());
+  while (journal_.size() > token) {
+    const JournalEntry& e = journal_.back();
+    if (e.had_prior) {
+      writes_[e.key] = e.prior;
+    } else {
+      writes_.erase(e.key);
+    }
+    journal_.pop_back();
+  }
+}
+
+std::vector<std::pair<StateKey, U256>> ExecBuffer::write_set() const {
+  std::vector<std::pair<StateKey, U256>> out(writes_.begin(), writes_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return state_key_less(a.first, b.first);
+  });
+  return out;
+}
+
+void ExecBuffer::reset() {
+  reads_.clear();
+  writes_.clear();
+  journal_.clear();
+}
+
+}  // namespace blockpilot::state

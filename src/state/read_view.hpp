@@ -1,0 +1,40 @@
+// ReadView: the minimal read-only state surface an executing transaction
+// sees.  Concrete views are the committed WorldState, a versioned OCC-WSI
+// snapshot, and the validator's pending overlay.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "state/state_key.hpp"
+#include "state/world_state.hpp"
+
+namespace blockpilot::state {
+
+class ReadView {
+ public:
+  virtual ~ReadView() = default;
+
+  /// Balance / nonce / storage read; absent keys are zero.
+  virtual U256 read(const StateKey& key) const = 0;
+
+  /// Deployed bytecode (nullptr when the address has no code).  Code is
+  /// immutable in this system (no CREATE in the workload), so it is not a
+  /// conflict key.
+  virtual std::shared_ptr<const Bytes> code(const Address& addr) const = 0;
+};
+
+/// Trivial adapter over a committed WorldState.
+class WorldStateView final : public ReadView {
+ public:
+  explicit WorldStateView(const WorldState& ws) noexcept : ws_(ws) {}
+  U256 read(const StateKey& key) const override { return ws_.get(key); }
+  std::shared_ptr<const Bytes> code(const Address& addr) const override {
+    return ws_.code(addr);
+  }
+
+ private:
+  const WorldState& ws_;
+};
+
+}  // namespace blockpilot::state

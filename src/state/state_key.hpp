@@ -1,0 +1,69 @@
+// StateKey: the unit of conflict detection.
+//
+// The paper's OCC-WSI reserve table and block profiles are keyed by
+// "<key, version>" pairs where a key is an account-level counter (balance,
+// nonce) or an EVM storage cell (paper §2.3: "most data conflicts arise from
+// counters (e.g., balances) and storage").  We model exactly those three
+// key kinds.  The validator's dependency-graph builder can coarsen storage
+// keys to their owning account (paper §4.3 detects conflicts "from the
+// account level"); see sched/depgraph.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "types/address.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::state {
+
+enum class Field : std::uint8_t {
+  kBalance = 0,
+  kNonce = 1,
+  kStorage = 2,
+};
+
+struct StateKey {
+  Address addr;
+  Field field = Field::kBalance;
+  U256 slot;  // meaningful only when field == kStorage
+
+  static StateKey balance(const Address& a) noexcept {
+    return {a, Field::kBalance, U256{}};
+  }
+  static StateKey nonce(const Address& a) noexcept {
+    return {a, Field::kNonce, U256{}};
+  }
+  static StateKey storage(const Address& a, const U256& s) noexcept {
+    return {a, Field::kStorage, s};
+  }
+
+  friend bool operator==(const StateKey& a, const StateKey& b) noexcept {
+    return a.field == b.field && a.addr == b.addr &&
+           (a.field != Field::kStorage || a.slot == b.slot);
+  }
+
+  std::string to_string() const;
+};
+
+/// Deterministic total order (address, field, slot) used wherever key sets
+/// must serialize bit-stably (profiles, write sets).
+inline bool state_key_less(const StateKey& a, const StateKey& b) noexcept {
+  if (a.addr != b.addr) return a.addr < b.addr;
+  if (a.field != b.field) return a.field < b.field;
+  return a.slot < b.slot;
+}
+
+}  // namespace blockpilot::state
+
+template <>
+struct std::hash<blockpilot::state::StateKey> {
+  std::size_t operator()(const blockpilot::state::StateKey& k) const noexcept {
+    std::size_t h = std::hash<blockpilot::Address>{}(k.addr);
+    h ^= static_cast<std::size_t>(k.field) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    if (k.field == blockpilot::state::Field::kStorage)
+      h ^= k.slot.hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};

@@ -1,0 +1,61 @@
+#include "state/versioned_state.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::state {
+
+U256 VersionedState::read_at(const StateKey& key,
+                             std::uint64_t snapshot_version) const {
+  {
+    std::shared_lock lk(mu_);
+    const auto it = versions_.find(key);
+    if (it != versions_.end()) {
+      const auto& chain = it->second;
+      // Last entry with version <= snapshot_version.  Chains are short
+      // (bounded by block size), so a reverse scan beats binary search here.
+      for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+        if (rit->first <= snapshot_version) return rit->second;
+      }
+    }
+  }
+  return base_.get(key);
+}
+
+std::uint64_t VersionedState::latest_version(const StateKey& key) const {
+  std::shared_lock lk(mu_);
+  const auto it = versions_.find(key);
+  if (it == versions_.end() || it->second.empty()) return 0;
+  return it->second.back().first;
+}
+
+void VersionedState::commit(
+    const std::vector<std::pair<StateKey, U256>>& write_set,
+    std::uint64_t version) {
+  std::unique_lock lk(mu_);
+  BP_ASSERT_MSG(version > committed_version_,
+                "commit versions must be strictly increasing");
+  for (const auto& [key, value] : write_set) {
+    auto& chain = versions_[key];
+    BP_ASSERT(chain.empty() || chain.back().first < version);
+    chain.emplace_back(version, value);
+  }
+  committed_version_ = version;
+}
+
+std::uint64_t VersionedState::committed_version() const {
+  std::shared_lock lk(mu_);
+  return committed_version_;
+}
+
+void VersionedState::flatten_into(WorldState& out) const {
+  std::shared_lock lk(mu_);
+  for (const auto& [key, chain] : versions_) {
+    BP_ASSERT(!chain.empty());
+    out.set(key, chain.back().second);
+  }
+}
+
+}  // namespace blockpilot::state

@@ -1,0 +1,89 @@
+// VersionedState: the multi-version store at the heart of OCC-WSI
+// (paper Algorithm 1).
+//
+// Committed state is the genesis/base WorldState (version 0) plus an
+// append-only list of per-key versions.  Each transaction the proposer
+// commits is assigned version = its block position + 1 and its write set is
+// applied at that version.  A snapshot view at version v observes, for each
+// key, the value of the largest committed version <= v.
+//
+// The paper's "reserve table" (Table[key] -> version) is exactly the
+// latest-version index of this store, so no separate table is kept — one
+// source of truth for both snapshot reads and conflict validation.
+//
+// Concurrency: many executor threads read snapshots while the (serialized)
+// commit section appends versions; a shared_mutex arbitrates
+// (readers-shared / committer-exclusive, CP.43 short critical sections).
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "state/read_view.hpp"
+#include "state/state_key.hpp"
+#include "state/world_state.hpp"
+
+namespace blockpilot::state {
+
+class VersionedState {
+ public:
+  /// Wraps a base state as version 0.  The base must outlive this object
+  /// and is not mutated.
+  explicit VersionedState(const WorldState& base) noexcept : base_(base) {}
+
+  /// Value of `key` visible to a snapshot taken at `snapshot_version`.
+  U256 read_at(const StateKey& key, std::uint64_t snapshot_version) const;
+
+  /// Version of the latest committed write to `key` (0 = base only).
+  /// This is Algorithm 1's Table[rec].
+  std::uint64_t latest_version(const StateKey& key) const;
+
+  /// Applies a transaction's write set at `version`.  Versions must be
+  /// committed in strictly increasing order; the proposer's commit section
+  /// serializes callers.
+  void commit(const std::vector<std::pair<StateKey, U256>>& write_set,
+              std::uint64_t version);
+
+  /// Highest committed version (0 before the first commit).
+  std::uint64_t committed_version() const;
+
+  /// Materializes base + all committed versions into `out` (used to derive
+  /// the post-block world state whose root goes into the block header).
+  void flatten_into(WorldState& out) const;
+
+  const WorldState& base() const noexcept { return base_; }
+
+ private:
+  const WorldState& base_;
+  mutable std::shared_mutex mu_;
+  // Per-key version chain, ascending by version (append-only).
+  std::unordered_map<StateKey, std::vector<std::pair<std::uint64_t, U256>>>
+      versions_;
+  std::uint64_t committed_version_ = 0;
+};
+
+/// ReadView of a VersionedState frozen at one snapshot version; what an
+/// OCC-WSI executor thread hands to the EVM.
+class SnapshotView final : public ReadView {
+ public:
+  SnapshotView(const VersionedState& vs, std::uint64_t version) noexcept
+      : vs_(vs), version_(version) {}
+
+  U256 read(const StateKey& key) const override {
+    return vs_.read_at(key, version_);
+  }
+  std::shared_ptr<const Bytes> code(const Address& addr) const override {
+    return vs_.base().code(addr);
+  }
+
+  std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  const VersionedState& vs_;
+  std::uint64_t version_;
+};
+
+}  // namespace blockpilot::state

@@ -1,0 +1,112 @@
+#include "state/world_state.hpp"
+
+#include "crypto/keccak.hpp"
+#include "rlp/rlp.hpp"
+#include "support/assert.hpp"
+
+namespace blockpilot::state {
+
+std::string StateKey::to_string() const {
+  switch (field) {
+    case Field::kBalance:
+      return addr.to_hex() + "/balance";
+    case Field::kNonce:
+      return addr.to_hex() + "/nonce";
+    case Field::kStorage:
+      return addr.to_hex() + "/slot:" + slot.to_hex();
+  }
+  return "?";
+}
+
+U256 WorldState::get(const StateKey& key) const {
+  const auto it = accounts_.find(key.addr);
+  if (it == accounts_.end()) return U256{};
+  const AccountData& acct = it->second;
+  switch (key.field) {
+    case Field::kBalance:
+      return acct.balance;
+    case Field::kNonce:
+      return U256{acct.nonce};
+    case Field::kStorage: {
+      const auto sit = acct.storage.find(key.slot);
+      return sit == acct.storage.end() ? U256{} : sit->second;
+    }
+  }
+  return U256{};
+}
+
+void WorldState::set(const StateKey& key, const U256& value) {
+  AccountData& acct = account(key.addr);
+  switch (key.field) {
+    case Field::kBalance:
+      acct.balance = value;
+      break;
+    case Field::kNonce:
+      BP_ASSERT_MSG(value.fits64(), "nonce overflow");
+      acct.nonce = value.low64();
+      break;
+    case Field::kStorage:
+      if (value.is_zero())
+        acct.storage.erase(key.slot);
+      else
+        acct.storage[key.slot] = value;
+      break;
+  }
+}
+
+std::shared_ptr<const Bytes> WorldState::code(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return nullptr;
+  return it->second.code;
+}
+
+void WorldState::set_code(const Address& addr, Bytes code) {
+  account(addr).code = std::make_shared<const Bytes>(std::move(code));
+}
+
+Hash256 storage_root_of(const std::unordered_map<U256, U256>& storage) {
+  trie::SecureTrie st;
+  for (const auto& [slot, value] : storage) {
+    if (value.is_zero()) continue;
+    const auto key = slot.to_be_bytes();
+    const auto encoded = rlp::encode(value);
+    st.put(std::span(key), std::span(encoded));
+  }
+  return st.root_hash();
+}
+
+Bytes encode_account(const AccountData& acct, const Hash256& storage_root) {
+  // codeHash = keccak(code), keccak("") for code-less accounts.
+  Hash256 code_hash;
+  if (acct.code != nullptr) {
+    code_hash = Hash256{crypto::keccak256(std::span(*acct.code))};
+  } else {
+    code_hash = Hash256{crypto::keccak256(std::span<const std::uint8_t>{})};
+  }
+  rlp::Encoder enc;
+  enc.begin_list()
+      .add(U256{acct.nonce})
+      .add(acct.balance)
+      .add(storage_root)
+      .add(code_hash)
+      .end_list();
+  return enc.take();
+}
+
+Hash256 WorldState::storage_root(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return trie::MerklePatriciaTrie::empty_root();
+  return storage_root_of(it->second.storage);
+}
+
+Hash256 WorldState::state_root() const {
+  trie::SecureTrie accounts_trie;
+  for (const auto& [addr, acct] : accounts_) {
+    if (acct.empty_account()) continue;
+    const Bytes encoded = encode_account(acct, storage_root_of(acct.storage));
+    accounts_trie.put(std::span(addr.bytes), std::span(encoded));
+  }
+  return accounts_trie.root_hash();
+}
+
+}  // namespace blockpilot::state

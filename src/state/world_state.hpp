@@ -1,0 +1,91 @@
+// WorldState: the committed account-model state with MPT commitment.
+//
+// Mirrors geth's StateDB surface at the granularity BlockPilot needs:
+// balance / nonce / storage / code access by StateKey, plus state_root()
+// which assembles the secure account trie exactly per the yellow paper —
+// each account RLP-encoded as [nonce, balance, storageRoot, codeHash] under
+// the keccak of its address.  Root equality is the correctness criterion of
+// the whole framework (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "state/state_key.hpp"
+#include "trie/mpt.hpp"
+#include "types/address.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::state {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Mutable per-account record.  An account is part of the state commitment
+/// iff it is non-empty (nonzero nonce, balance, code, or storage) — empty
+/// accounts are pruned from the trie like post-EIP-161 Ethereum.
+struct AccountData {
+  U256 balance;
+  std::uint64_t nonce = 0;
+  std::shared_ptr<const Bytes> code;  // nullptr for externally-owned accounts
+  std::unordered_map<U256, U256> storage;
+
+  bool empty_account() const noexcept {
+    return balance.is_zero() && nonce == 0 &&
+           (code == nullptr || code->empty()) && storage_all_zero();
+  }
+
+  bool storage_all_zero() const noexcept {
+    for (const auto& [slot, val] : storage)
+      if (!val.is_zero()) return false;
+    return true;
+  }
+};
+
+class WorldState {
+ public:
+  /// Reads a balance/nonce/storage cell; absent keys read as zero (EVM
+  /// semantics for untouched accounts and slots).
+  U256 get(const StateKey& key) const;
+
+  /// Writes a balance/nonce/storage cell.
+  void set(const StateKey& key, const U256& value);
+
+  /// Deployed bytecode for an address (nullptr when none).
+  std::shared_ptr<const Bytes> code(const Address& addr) const;
+
+  /// Installs contract bytecode (workload genesis / deployment).
+  void set_code(const Address& addr, Bytes code);
+
+  bool account_exists(const Address& addr) const {
+    return accounts_.contains(addr);
+  }
+
+  std::size_t account_count() const noexcept { return accounts_.size(); }
+
+  /// Yellow-paper world-state commitment: secure MPT over
+  /// rlp([nonce, balance, storageRoot, codeHash]) per non-empty account.
+  Hash256 state_root() const;
+
+  /// Storage-trie root for one account (used in account RLP and tests).
+  Hash256 storage_root(const Address& addr) const;
+
+  const std::unordered_map<Address, AccountData>& accounts() const noexcept {
+    return accounts_;
+  }
+
+ private:
+  AccountData& account(const Address& addr) { return accounts_[addr]; }
+
+  std::unordered_map<Address, AccountData> accounts_;
+};
+
+/// Computes the storage-trie root of a slot map (shared by WorldState and
+/// the versioned flattening path).
+Hash256 storage_root_of(const std::unordered_map<U256, U256>& storage);
+
+/// RLP account encoding [nonce, balance, storageRoot, codeHash].
+Bytes encode_account(const AccountData& acct, const Hash256& storage_root);
+
+}  // namespace blockpilot::state

@@ -1,0 +1,33 @@
+// Lightweight always-on assertion macros for invariant checking.
+//
+// BP_ASSERT stays active in release builds: the concurrency-control code in
+// this library relies on invariants (version monotonicity, commit-order
+// consistency) whose silent violation would corrupt the ledger, so the cost
+// of a predictable branch is accepted everywhere.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace blockpilot::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "BP_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace blockpilot::detail
+
+#define BP_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::blockpilot::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define BP_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::blockpilot::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,85 @@
+// Bounded multi-producer multi-consumer queue used for the validator
+// pipeline's inter-stage channels (workers -> applier).
+//
+// A closed queue rejects further pushes and unblocks pending pops, letting a
+// stage signal end-of-stream downstream (Fig. 3's "collect the results").
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/assert.hpp"
+
+namespace blockpilot {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity = 1024) : capacity_(capacity) {
+    BP_ASSERT(capacity > 0);
+  }
+
+  /// Blocks while the queue is full.  Returns false iff the queue was closed
+  /// (the item is dropped in that case).
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    cv_space_.wait(lk, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Returns nullopt only on closed-and-empty.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_item_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when empty (whether or not closed).
+  std::optional<T> try_pop() {
+    std::scoped_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Marks end-of-stream: pending and future pops drain remaining items and
+  /// then return nullopt; pushes fail.
+  void close() {
+    std::scoped_lock lk(mu_);
+    closed_ = true;
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_item_;
+  std::condition_variable cv_space_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace blockpilot

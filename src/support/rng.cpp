@@ -1,0 +1,28 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blockpilot {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  BP_ASSERT(n > 0);
+  BP_ASSERT(s >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against FP round-down at the tail
+}
+
+std::size_t ZipfSampler::operator()(Xoshiro256& rng) const noexcept {
+  const double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace blockpilot

@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch for benchmark instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace blockpilot {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last reset, in nanoseconds.
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace blockpilot

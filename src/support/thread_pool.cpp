@@ -1,0 +1,68 @@
+#include "support/thread_pool.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace blockpilot {
+
+thread_local std::size_t ThreadPool::worker_index_ =
+    std::numeric_limits<std::size_t>::max();
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  BP_ASSERT(threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  // std::jthread joins on destruction; workers drain the queue before exit.
+}
+
+void ThreadPool::submit(Task task) {
+  BP_ASSERT(task);
+  {
+    std::scoped_lock lk(mu_);
+    BP_ASSERT_MSG(!stop_, "submit() after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  worker_index_ = index;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::scoped_lock lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace blockpilot

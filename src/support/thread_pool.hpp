@@ -1,0 +1,58 @@
+// Fixed-size worker pool with a shared FIFO task queue.
+//
+// Follows C++ Core Guidelines CP.41 (minimize thread creation/destruction:
+// threads are created once and reused for every block) and CP.24/CP.25
+// (joining threads, no detach).  Tasks are type-erased std::move_only_function
+// objects; submission never blocks, shutdown drains outstanding tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blockpilot {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers.  Each worker is given a stable index in
+  /// [0, threads) accessible to tasks via ThreadPool::worker_index().
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by any worker.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Index of the calling pool worker, or SIZE_MAX when called from a
+  /// non-pool thread.  Workers use this to maintain per-thread state
+  /// (virtual-time ledgers, scratch EVMs) without false sharing.
+  static std::size_t worker_index() noexcept { return worker_index_; }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signalled when a task is enqueued
+  std::condition_variable cv_idle_;   // signalled when the pool drains
+  std::deque<Task> queue_;
+  std::size_t active_ = 0;            // tasks currently running
+  bool stop_ = false;
+  std::vector<std::jthread> workers_;
+
+  static thread_local std::size_t worker_index_;
+};
+
+}  // namespace blockpilot

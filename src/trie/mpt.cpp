@@ -1,0 +1,393 @@
+#include "trie/mpt.hpp"
+
+#include <cstring>
+
+#include "rlp/rlp.hpp"
+#include "support/assert.hpp"
+#include "trie/mpt_node.hpp"
+
+namespace blockpilot::trie {
+
+Nibbles to_nibbles(std::span<const std::uint8_t> key) {
+  Nibbles out;
+  out.reserve(key.size() * 2);
+  for (auto b : key) {
+    out.push_back(static_cast<std::uint8_t>(b >> 4));
+    out.push_back(static_cast<std::uint8_t>(b & 0xf));
+  }
+  return out;
+}
+
+Bytes hex_prefix_encode(std::span<const std::uint8_t> nibbles, bool is_leaf) {
+  Bytes out;
+  const std::uint8_t flag = is_leaf ? 2 : 0;
+  if (nibbles.size() % 2 == 0) {
+    out.push_back(static_cast<std::uint8_t>(flag << 4));
+    for (std::size_t i = 0; i < nibbles.size(); i += 2)
+      out.push_back(
+          static_cast<std::uint8_t>((nibbles[i] << 4) | nibbles[i + 1]));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(((flag | 1) << 4) | nibbles[0]));
+    for (std::size_t i = 1; i < nibbles.size(); i += 2)
+      out.push_back(
+          static_cast<std::uint8_t>((nibbles[i] << 4) | nibbles[i + 1]));
+  }
+  return out;
+}
+
+std::pair<Nibbles, bool> hex_prefix_decode(std::span<const std::uint8_t> hp) {
+  BP_ASSERT(!hp.empty());
+  const std::uint8_t flag = hp[0] >> 4;
+  const bool is_leaf = (flag & 2) != 0;
+  const bool odd = (flag & 1) != 0;
+  Nibbles out;
+  if (odd) out.push_back(hp[0] & 0xf);
+  for (std::size_t i = 1; i < hp.size(); ++i) {
+    out.push_back(static_cast<std::uint8_t>(hp[i] >> 4));
+    out.push_back(static_cast<std::uint8_t>(hp[i] & 0xf));
+  }
+  return {std::move(out), is_leaf};
+}
+
+using Node = detail::MptNode;
+
+MerklePatriciaTrie::MerklePatriciaTrie() = default;
+MerklePatriciaTrie::~MerklePatriciaTrie() = default;
+MerklePatriciaTrie::MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept = default;
+MerklePatriciaTrie& MerklePatriciaTrie::operator=(MerklePatriciaTrie&&) noexcept =
+    default;
+
+std::unique_ptr<detail::MptNode> MerklePatriciaTrie::clone(
+    const detail::MptNode* n) {
+  if (n == nullptr) return nullptr;
+  auto out = std::make_unique<Node>();
+  out->kind = n->kind;
+  out->path = n->path;
+  out->value = n->value;
+  out->child = clone(n->child.get());
+  for (std::size_t i = 0; i < 16; ++i)
+    out->children[i] = clone(n->children[i].get());
+  return out;
+}
+
+MerklePatriciaTrie::MerklePatriciaTrie(const MerklePatriciaTrie& other)
+    : root_(clone(other.root_.get())), size_(other.size_) {}
+
+MerklePatriciaTrie& MerklePatriciaTrie::operator=(
+    const MerklePatriciaTrie& other) {
+  if (this != &other) {
+    root_ = clone(other.root_.get());
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+namespace {
+
+std::size_t common_prefix(std::span<const std::uint8_t> a,
+                          std::span<const std::uint8_t> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+// Inserts (key-suffix, value) into the subtree rooted at `node`, returning
+// the (possibly replaced) subtree root. `inserted` reports whether a new key
+// was added (vs overwritten).
+std::unique_ptr<Node> insert(std::unique_ptr<Node> node,
+                             std::span<const std::uint8_t> key, Bytes value,
+                             bool& inserted) {
+  if (node == nullptr) {
+    inserted = true;
+    return Node::leaf(Nibbles(key.begin(), key.end()), std::move(value));
+  }
+
+  switch (node->kind) {
+    case Node::Kind::kLeaf: {
+      const std::size_t cp = common_prefix(node->path, key);
+      if (cp == node->path.size() && cp == key.size()) {
+        node->value = std::move(value);  // overwrite
+        inserted = false;
+        return node;
+      }
+      // Split into a branch under a possible shared-prefix extension.
+      auto branch = Node::branch();
+      // Existing leaf moves under the branch.
+      if (node->path.size() == cp) {
+        branch->value = std::move(node->value);
+      } else {
+        const std::uint8_t idx = node->path[cp];
+        Nibbles rest(node->path.begin() + static_cast<std::ptrdiff_t>(cp) + 1,
+                     node->path.end());
+        branch->children[idx] =
+            Node::leaf(std::move(rest), std::move(node->value));
+      }
+      // New key goes under the branch too.
+      if (key.size() == cp) {
+        branch->value = std::move(value);
+      } else {
+        const std::uint8_t idx = key[cp];
+        Nibbles rest(key.begin() + static_cast<std::ptrdiff_t>(cp) + 1,
+                     key.end());
+        branch->children[idx] = Node::leaf(std::move(rest), std::move(value));
+      }
+      inserted = true;
+      if (cp == 0) return branch;
+      Nibbles shared(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(cp));
+      return Node::extension(std::move(shared), std::move(branch));
+    }
+
+    case Node::Kind::kExtension: {
+      const std::size_t cp = common_prefix(node->path, key);
+      if (cp == node->path.size()) {
+        node->child =
+            insert(std::move(node->child), key.subspan(cp), std::move(value),
+                   inserted);
+        return node;
+      }
+      // Split the extension at the divergence point.
+      auto branch = Node::branch();
+      {
+        const std::uint8_t idx = node->path[cp];
+        Nibbles rest(node->path.begin() + static_cast<std::ptrdiff_t>(cp) + 1,
+                     node->path.end());
+        if (rest.empty()) {
+          branch->children[idx] = std::move(node->child);
+        } else {
+          branch->children[idx] =
+              Node::extension(std::move(rest), std::move(node->child));
+        }
+      }
+      if (key.size() == cp) {
+        branch->value = std::move(value);
+      } else {
+        const std::uint8_t idx = key[cp];
+        Nibbles rest(key.begin() + static_cast<std::ptrdiff_t>(cp) + 1,
+                     key.end());
+        branch->children[idx] = Node::leaf(std::move(rest), std::move(value));
+      }
+      inserted = true;
+      if (cp == 0) return branch;
+      Nibbles shared(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(cp));
+      return Node::extension(std::move(shared), std::move(branch));
+    }
+
+    case Node::Kind::kBranch: {
+      if (key.empty()) {
+        inserted = node->value.empty();
+        node->value = std::move(value);
+        return node;
+      }
+      const std::uint8_t idx = key[0];
+      node->children[idx] = insert(std::move(node->children[idx]),
+                                   key.subspan(1), std::move(value), inserted);
+      return node;
+    }
+  }
+  BP_ASSERT_MSG(false, "unreachable node kind");
+}
+
+const Bytes* lookup(const Node* node, std::span<const std::uint8_t> key) {
+  while (node != nullptr) {
+    switch (node->kind) {
+      case Node::Kind::kLeaf:
+        if (key.size() == node->path.size() &&
+            std::equal(key.begin(), key.end(), node->path.begin()))
+          return &node->value;
+        return nullptr;
+      case Node::Kind::kExtension: {
+        const std::size_t n = node->path.size();
+        if (key.size() < n ||
+            !std::equal(node->path.begin(), node->path.end(), key.begin()))
+          return nullptr;
+        key = key.subspan(n);
+        node = node->child.get();
+        break;
+      }
+      case Node::Kind::kBranch:
+        if (key.empty()) return node->value.empty() ? nullptr : &node->value;
+        node = node->children[key[0]].get();
+        key = key.subspan(1);
+        break;
+    }
+  }
+  return nullptr;
+}
+
+// Collapses a branch that lost children down to the minimal canonical form.
+std::unique_ptr<Node> normalize_branch(std::unique_ptr<Node> node) {
+  int child_count = 0;
+  int only_idx = -1;
+  for (int i = 0; i < 16; ++i) {
+    if (node->children[static_cast<std::size_t>(i)] != nullptr) {
+      ++child_count;
+      only_idx = i;
+    }
+  }
+  const bool has_value = !node->value.empty();
+  if (child_count == 0) {
+    if (!has_value) return nullptr;
+    return Node::leaf({}, std::move(node->value));
+  }
+  if (child_count == 1 && !has_value) {
+    std::unique_ptr<Node> child =
+        std::move(node->children[static_cast<std::size_t>(only_idx)]);
+    const auto idx = static_cast<std::uint8_t>(only_idx);
+    switch (child->kind) {
+      case Node::Kind::kLeaf:
+      case Node::Kind::kExtension: {
+        Nibbles merged;
+        merged.reserve(1 + child->path.size());
+        merged.push_back(idx);
+        merged.insert(merged.end(), child->path.begin(), child->path.end());
+        child->path = std::move(merged);
+        return child;
+      }
+      case Node::Kind::kBranch:
+        return Node::extension({idx}, std::move(child));
+    }
+  }
+  return node;
+}
+
+std::unique_ptr<Node> remove(std::unique_ptr<Node> node,
+                             std::span<const std::uint8_t> key,
+                             bool& removed) {
+  if (node == nullptr) return nullptr;
+  switch (node->kind) {
+    case Node::Kind::kLeaf:
+      if (key.size() == node->path.size() &&
+          std::equal(key.begin(), key.end(), node->path.begin())) {
+        removed = true;
+        return nullptr;
+      }
+      return node;
+
+    case Node::Kind::kExtension: {
+      const std::size_t n = node->path.size();
+      if (key.size() < n ||
+          !std::equal(node->path.begin(), node->path.end(), key.begin()))
+        return node;
+      node->child = remove(std::move(node->child), key.subspan(n), removed);
+      if (!removed) return node;
+      if (node->child == nullptr) return nullptr;
+      // Merge with the (possibly collapsed) child to stay canonical.
+      if (node->child->kind == Node::Kind::kBranch) return node;
+      Nibbles merged = node->path;
+      merged.insert(merged.end(), node->child->path.begin(),
+                    node->child->path.end());
+      node->child->path = std::move(merged);
+      return std::move(node->child);
+    }
+
+    case Node::Kind::kBranch: {
+      if (key.empty()) {
+        if (node->value.empty()) return node;
+        removed = true;
+        node->value.clear();
+        return normalize_branch(std::move(node));
+      }
+      const std::uint8_t idx = key[0];
+      node->children[idx] =
+          remove(std::move(node->children[idx]), key.subspan(1), removed);
+      if (!removed) return node;
+      return normalize_branch(std::move(node));
+    }
+  }
+  BP_ASSERT_MSG(false, "unreachable node kind");
+}
+
+}  // namespace
+
+namespace detail {
+
+// A reference to a child node: inline RLP when < 32 bytes, else the keccak
+// hash as a 32-byte string.
+void append_reference(rlp::Encoder& enc, const Node* node) {
+  if (node == nullptr) {
+    enc.add(std::span<const std::uint8_t>{});
+    return;
+  }
+  const Bytes encoded = encode_node(node);
+  if (encoded.size() < 32) {
+    enc.add_raw(std::span(encoded));
+  } else {
+    const auto digest = crypto::keccak256(std::span(encoded));
+    enc.add(std::span<const std::uint8_t>(digest));
+  }
+}
+
+Bytes encode_node(const Node* node) {
+  rlp::Encoder enc;
+  switch (node->kind) {
+    case Node::Kind::kLeaf: {
+      const Bytes hp = hex_prefix_encode(node->path, /*is_leaf=*/true);
+      enc.begin_list().add(std::span(hp)).add(std::span(node->value)).end_list();
+      break;
+    }
+    case Node::Kind::kExtension: {
+      const Bytes hp = hex_prefix_encode(node->path, /*is_leaf=*/false);
+      enc.begin_list().add(std::span(hp));
+      append_reference(enc, node->child.get());
+      enc.end_list();
+      break;
+    }
+    case Node::Kind::kBranch: {
+      enc.begin_list();
+      for (const auto& child : node->children)
+        append_reference(enc, child.get());
+      enc.add(std::span(node->value));
+      enc.end_list();
+      break;
+    }
+  }
+  return enc.take();
+}
+
+}  // namespace detail
+
+void MerklePatriciaTrie::put(std::span<const std::uint8_t> key,
+                             std::span<const std::uint8_t> value) {
+  if (value.empty()) {
+    erase(key);
+    return;
+  }
+  const Nibbles nibbles = to_nibbles(key);
+  bool inserted = false;
+  root_ = insert(std::move(root_), std::span(nibbles),
+                 Bytes(value.begin(), value.end()), inserted);
+  if (inserted) ++size_;
+}
+
+std::optional<Bytes> MerklePatriciaTrie::get(
+    std::span<const std::uint8_t> key) const {
+  const Nibbles nibbles = to_nibbles(key);
+  const Bytes* found = lookup(root_.get(), std::span(nibbles));
+  if (found == nullptr) return std::nullopt;
+  return *found;
+}
+
+void MerklePatriciaTrie::erase(std::span<const std::uint8_t> key) {
+  const Nibbles nibbles = to_nibbles(key);
+  bool removed = false;
+  root_ = remove(std::move(root_), std::span(nibbles), removed);
+  if (removed) --size_;
+}
+
+Hash256 MerklePatriciaTrie::root_hash() const {
+  if (root_ == nullptr) return empty_root();
+  const Bytes encoded = encode_node(root_.get());
+  return Hash256{crypto::keccak256(std::span(encoded))};
+}
+
+Hash256 MerklePatriciaTrie::empty_root() {
+  // keccak256(rlp("")) == keccak256(0x80).
+  static const Hash256 kEmpty = [] {
+    const std::uint8_t empty_rlp = 0x80;
+    return Hash256{crypto::keccak256(std::span(&empty_rlp, 1))};
+  }();
+  return kEmpty;
+}
+
+}  // namespace blockpilot::trie

@@ -1,0 +1,122 @@
+// Merkle Patricia Trie (MPT) — Ethereum's authenticated key-value structure.
+//
+// The world-state root, every account's storage root, and the block-header
+// state commitment that validators compare against a proposed block (paper
+// §5.2: "Two world states are considered identical only if their MPT roots
+// are the same") are all MPT root hashes, so correctness of this module is
+// the foundation of the whole reproduction.
+//
+// Node model (yellow paper, appendix D):
+//   * leaf      — hex-prefix-encoded key remainder + value;
+//   * extension — hex-prefix-encoded shared nibble run + one child;
+//   * branch    — 16 children indexed by next nibble + optional value.
+// A node reference is its RLP encoding when shorter than 32 bytes, else the
+// Keccak-256 of that encoding.  The root is always hashed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "types/address.hpp"
+
+namespace blockpilot::trie {
+
+namespace detail {
+struct MptNode;
+}  // namespace detail
+
+using Bytes = std::vector<std::uint8_t>;
+using Nibbles = std::vector<std::uint8_t>;  // values 0..15
+
+/// Splits a byte string into nibbles, high nibble first.
+Nibbles to_nibbles(std::span<const std::uint8_t> key);
+
+/// Hex-prefix (compact) encoding of a nibble path (yellow paper eq. 197).
+Bytes hex_prefix_encode(std::span<const std::uint8_t> nibbles, bool is_leaf);
+
+/// Inverse of hex_prefix_encode: recovers (nibbles, is_leaf).
+std::pair<Nibbles, bool> hex_prefix_decode(std::span<const std::uint8_t> hp);
+
+/// In-memory Merkle Patricia Trie over byte-string keys and values.
+///
+/// Not thread-safe; callers in the concurrent executors serialize trie
+/// commits (the paper's applier commits blocks in order, CP.43-style short
+/// critical sections around root computation).
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie();
+  ~MerklePatriciaTrie();
+  MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept;
+  MerklePatriciaTrie& operator=(MerklePatriciaTrie&&) noexcept;
+  MerklePatriciaTrie(const MerklePatriciaTrie&);
+  MerklePatriciaTrie& operator=(const MerklePatriciaTrie&);
+
+  /// Inserts or overwrites. Empty values are equivalent to erasure (the trie
+  /// never stores empty values, matching Ethereum semantics).
+  void put(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> value);
+
+  /// Returns the stored value or nullopt.
+  std::optional<Bytes> get(std::span<const std::uint8_t> key) const;
+
+  /// Removes a key; no-op when absent.
+  void erase(std::span<const std::uint8_t> key);
+
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  /// Number of key-value pairs.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Keccak-256 commitment over the whole trie.  The canonical empty-trie
+  /// root (keccak of the RLP empty string) is returned for an empty trie.
+  Hash256 root_hash() const;
+
+  /// The canonical empty-trie root constant.
+  static Hash256 empty_root();
+
+  /// Internal: root node pointer for the proof generator (proof.hpp).
+  /// nullptr for an empty trie.  Not stable API.
+  const detail::MptNode* root_node() const noexcept { return root_.get(); }
+
+ private:
+  std::unique_ptr<detail::MptNode> root_;
+  std::size_t size_ = 0;
+
+  static std::unique_ptr<detail::MptNode> clone(const detail::MptNode* n);
+};
+
+/// "Secure" trie wrapper: keys are keccak-hashed before insertion, matching
+/// Ethereum's account and storage tries (prevents path-length attacks and
+/// balances the tree).
+class SecureTrie {
+ public:
+  void put(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> value) {
+    const auto hashed = crypto::keccak256(key);
+    inner_.put(std::span(hashed), value);
+  }
+
+  std::optional<Bytes> get(std::span<const std::uint8_t> key) const {
+    const auto hashed = crypto::keccak256(key);
+    return inner_.get(std::span(hashed));
+  }
+
+  void erase(std::span<const std::uint8_t> key) {
+    const auto hashed = crypto::keccak256(key);
+    inner_.erase(std::span(hashed));
+  }
+
+  Hash256 root_hash() const { return inner_.root_hash(); }
+  std::size_t size() const noexcept { return inner_.size(); }
+  bool empty() const noexcept { return inner_.empty(); }
+
+ private:
+  MerklePatriciaTrie inner_;
+};
+
+}  // namespace blockpilot::trie

@@ -1,0 +1,57 @@
+// Internal MPT node representation and node encoding, shared between the
+// trie implementation (mpt.cpp) and the proof generator (proof.cpp).
+// Not part of the public API.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "crypto/keccak.hpp"
+#include "rlp/rlp.hpp"
+#include "support/assert.hpp"
+#include "trie/mpt.hpp"
+
+namespace blockpilot::trie::detail {
+
+struct MptNode {
+  enum class Kind { kLeaf, kExtension, kBranch };
+  Kind kind;
+
+  // Leaf / extension:
+  Nibbles path;
+  Bytes value;                     // leaf value, or branch value slot
+  std::unique_ptr<MptNode> child;  // extension child
+
+  // Branch:
+  std::array<std::unique_ptr<MptNode>, 16> children;
+
+  static std::unique_ptr<MptNode> leaf(Nibbles p, Bytes v) {
+    auto n = std::make_unique<MptNode>();
+    n->kind = Kind::kLeaf;
+    n->path = std::move(p);
+    n->value = std::move(v);
+    return n;
+  }
+  static std::unique_ptr<MptNode> extension(Nibbles p,
+                                            std::unique_ptr<MptNode> c) {
+    BP_ASSERT(!p.empty());
+    auto n = std::make_unique<MptNode>();
+    n->kind = Kind::kExtension;
+    n->path = std::move(p);
+    n->child = std::move(c);
+    return n;
+  }
+  static std::unique_ptr<MptNode> branch() {
+    auto n = std::make_unique<MptNode>();
+    n->kind = Kind::kBranch;
+    return n;
+  }
+};
+
+// Encodes a node to RLP (yellow paper node composition function c).
+Bytes encode_node(const MptNode* node);
+
+// Appends a child reference: inline RLP when < 32 bytes, else keccak hash.
+void append_reference(rlp::Encoder& enc, const MptNode* node);
+
+}  // namespace blockpilot::trie::detail

@@ -1,0 +1,39 @@
+// Merkle proofs over the MPT.
+//
+// A proof for key K is the list of RLP-encoded nodes on the path from the
+// root to K's leaf (or to the divergence point, for absence proofs).  A
+// verifier holding only the trie root can check membership/absence without
+// the full state — this is how light clients consume the world-state
+// commitments that BlockPilot's validators produce.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trie/mpt.hpp"
+
+namespace blockpilot::trie {
+
+struct Proof {
+  /// RLP encodings of the nodes along the lookup path, root first.
+  std::vector<Bytes> nodes;
+};
+
+/// Result of verifying a proof against a root.
+struct ProofVerdict {
+  bool ok = false;                 // proof is well-formed and hash-linked
+  std::optional<Bytes> value;      // present iff the key exists
+};
+
+/// Produces a membership/absence proof for `key`.  The proof is valid
+/// whether or not the key exists (absence is provable too).
+Proof prove(const MerklePatriciaTrie& trie, std::span<const std::uint8_t> key);
+
+/// Verifies `proof` against `root` for `key`.
+/// ok == false means the proof is malformed or does not link to the root;
+/// ok == true with nullopt value is a valid ABSENCE proof.
+ProofVerdict verify_proof(const Hash256& root,
+                          std::span<const std::uint8_t> key,
+                          const Proof& proof);
+
+}  // namespace blockpilot::trie

@@ -1,0 +1,47 @@
+#include "txpool/txpool.hpp"
+
+namespace blockpilot::txpool {
+
+void TxPool::add(chain::Transaction tx) {
+  std::scoped_lock lk(mu_);
+  heap_.push(Entry{std::move(tx), next_seq_++});
+}
+
+void TxPool::add_all(std::vector<chain::Transaction> txs) {
+  std::scoped_lock lk(mu_);
+  for (auto& tx : txs) heap_.push(Entry{std::move(tx), next_seq_++});
+}
+
+std::optional<chain::Transaction> TxPool::pop() {
+  std::scoped_lock lk(mu_);
+  // Deferred entries re-enter ONLY via progress(): popping them back out
+  // immediately would let a worker spin pop->defer->pop on a nonce-gapped
+  // transaction without any commit in between.
+  if (heap_.empty()) return std::nullopt;
+  chain::Transaction tx = heap_.top().tx;
+  heap_.pop();
+  return tx;
+}
+
+void TxPool::push_back(chain::Transaction tx) {
+  std::scoped_lock lk(mu_);
+  heap_.push(Entry{std::move(tx), next_seq_++});
+}
+
+void TxPool::defer(chain::Transaction tx) {
+  std::scoped_lock lk(mu_);
+  deferred_.push_back(std::move(tx));
+}
+
+void TxPool::progress() {
+  std::scoped_lock lk(mu_);
+  for (auto& tx : deferred_) heap_.push(Entry{std::move(tx), next_seq_++});
+  deferred_.clear();
+}
+
+std::size_t TxPool::size() const {
+  std::scoped_lock lk(mu_);
+  return heap_.size() + deferred_.size();
+}
+
+}  // namespace blockpilot::txpool

@@ -1,0 +1,73 @@
+// Transaction pool with gas-price priority.
+//
+// The proposer's worker threads pop transactions concurrently (Algorithm 1
+// line 7, "PopHeap"), execute them optimistically, and push aborted ones
+// back ("PushHeap").  Selection is by gas price, ties broken by sender
+// nonce then insertion order, matching the paper's "transactions with
+// higher gas prices ... are chosen first" (§4.2).
+//
+// A deferral mechanism handles kNotReady transactions (same-sender nonce
+// gaps): a deferred transaction re-enters the heap after the pool's commit
+// counter advances, avoiding a busy retry loop on a transaction whose
+// predecessor is still executing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "chain/transaction.hpp"
+
+namespace blockpilot::txpool {
+
+class TxPool {
+ public:
+  TxPool() = default;
+
+  /// Adds a transaction to the pending pool.
+  void add(chain::Transaction tx);
+  void add_all(std::vector<chain::Transaction> txs);
+
+  /// Pops the highest-priority pending transaction; nullopt when the pool
+  /// (including deferred entries) is empty.
+  std::optional<chain::Transaction> pop();
+
+  /// Returns an aborted transaction for retry (conflict abort path).
+  void push_back(chain::Transaction tx);
+
+  /// Parks a kNotReady transaction until progress() is next called.
+  void defer(chain::Transaction tx);
+
+  /// Signals that a transaction committed; deferred entries re-enter the
+  /// heap (their predecessor may be the one that just committed).
+  void progress();
+
+  /// Pending + deferred count.
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry {
+    chain::Transaction tx;
+    std::uint64_t seq;  // insertion order tiebreak (stable priority)
+  };
+  // Strict weak ordering: gas price desc, then insertion order.  Per-sender
+  // nonce order is enforced by the kNotReady deferral path, not the heap
+  // (a nonce term here would break transitivity across senders).
+  struct Compare {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.tx.gas_price != b.tx.gas_price)
+        return a.tx.gas_price < b.tx.gas_price;  // max-heap on gas price
+      return a.seq > b.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, Compare> heap_;
+  std::vector<chain::Transaction> deferred_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace blockpilot::txpool

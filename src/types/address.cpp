@@ -1,0 +1,54 @@
+#include "types/address.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace blockpilot {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  BP_ASSERT_MSG(false, "invalid hex character");
+}
+
+}  // namespace
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  out.reserve(2 + data.size() * 2);
+  for (auto b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hex_decode(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  BP_ASSERT_MSG(hex.size() % 2 == 0, "odd-length hex string");
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_digit(hex[i]) << 4) |
+                                            hex_digit(hex[i + 1])));
+  }
+  return out;
+}
+
+Address Address::from_hex(std::string_view hex) {
+  const auto raw = hex_decode(hex);
+  BP_ASSERT_MSG(raw.size() == 20, "address must be 20 bytes");
+  Address a;
+  std::memcpy(a.bytes.data(), raw.data(), 20);
+  return a;
+}
+
+std::string Address::to_hex() const { return hex_encode(std::span(bytes)); }
+
+std::string Hash256::to_hex() const { return hex_encode(std::span(bytes)); }
+
+}  // namespace blockpilot

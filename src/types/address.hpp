@@ -1,0 +1,121 @@
+// Fixed-size account address (20 bytes) and hash (32 bytes) value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/keccak.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot {
+
+/// 20-byte Ethereum-style account address.
+struct Address {
+  std::array<std::uint8_t, 20> bytes{};
+
+  constexpr Address() noexcept = default;
+
+  /// Deterministic synthetic address derived from an integer id; used by the
+  /// workload generator to create account universes reproducibly.
+  static Address from_id(std::uint64_t id) noexcept {
+    Address a;
+    for (std::size_t i = 0; i < 8; ++i)
+      a.bytes[19 - i] = static_cast<std::uint8_t>(id >> (8 * i));
+    return a;
+  }
+
+  static Address from_hex(std::string_view hex);
+
+  /// The address zero-extended to a 256-bit word (EVM ADDRESS/CALLER push).
+  U256 to_u256() const noexcept {
+    return U256::from_be_bytes(std::span(bytes));
+  }
+
+  /// Truncates the low 20 bytes of a word to an address (EVM call targets).
+  static Address from_u256(const U256& v) noexcept {
+    const auto be = v.to_be_bytes();
+    Address a;
+    std::memcpy(a.bytes.data(), be.data() + 12, 20);
+    return a;
+  }
+
+  bool is_zero() const noexcept {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  std::string to_hex() const;
+
+  friend constexpr bool operator==(const Address&, const Address&) noexcept =
+      default;
+  friend constexpr auto operator<=>(const Address&, const Address&) noexcept =
+      default;
+};
+
+/// 32-byte hash value (Keccak-256 digests, state roots, tx hashes).
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  constexpr Hash256() noexcept = default;
+  explicit Hash256(const crypto::Digest& d) noexcept : bytes(d) {}
+
+  static Hash256 of(std::span<const std::uint8_t> data) noexcept {
+    return Hash256{crypto::keccak256(data)};
+  }
+
+  bool is_zero() const noexcept {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  U256 to_u256() const noexcept {
+    return U256::from_be_bytes(std::span(bytes));
+  }
+
+  std::string to_hex() const;
+
+  friend constexpr bool operator==(const Hash256&, const Hash256&) noexcept =
+      default;
+  friend constexpr auto operator<=>(const Hash256&, const Hash256&) noexcept =
+      default;
+};
+
+// -- hex helpers shared by the value types --
+
+/// Encodes bytes as lower-case hex with a "0x" prefix.
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Decodes "0x"-optional hex; asserts on malformed input.
+std::vector<std::uint8_t> hex_decode(std::string_view hex);
+
+}  // namespace blockpilot
+
+template <>
+struct std::hash<blockpilot::Address> {
+  std::size_t operator()(const blockpilot::Address& a) const noexcept {
+    // Addresses produced by from_id put entropy in the tail; FNV over all
+    // bytes keeps synthetic and hash-derived addresses well distributed.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (auto b : a.bytes) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<blockpilot::Hash256> {
+  std::size_t operator()(const blockpilot::Hash256& v) const noexcept {
+    std::uint64_t h;
+    std::memcpy(&h, v.bytes.data(), sizeof(h));
+    return static_cast<std::size_t>(h);
+  }
+};

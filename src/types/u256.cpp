@@ -1,0 +1,356 @@
+#include "types/u256.hpp"
+
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace blockpilot {
+namespace {
+
+// 512-bit little-endian scratch value used for ADDMOD/MULMOD intermediates.
+using Wide = std::array<std::uint64_t, 8>;
+
+Wide mul_full(const U256& a, const U256& b) noexcept {
+  Wide out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const __uint128_t cur = static_cast<__uint128_t>(a.limb(i)) * b.limb(j) +
+                              out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + 4] = carry;
+  }
+  return out;
+}
+
+int wide_bit_length(const Wide& w) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    if (w[static_cast<std::size_t>(i)] != 0)
+      return 64 * i + 64 - std::countl_zero(w[static_cast<std::size_t>(i)]);
+  }
+  return 0;
+}
+
+bool wide_geq(const Wide& a, const Wide& b) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (a[idx] != b[idx]) return a[idx] > b[idx];
+  }
+  return true;
+}
+
+void wide_sub(Wide& a, const Wide& b) noexcept {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t bi = b[i] + borrow;
+    const std::uint64_t next_borrow =
+        (bi < b[i]) || (a[i] < bi) ? 1 : 0;
+    a[i] -= bi;
+    borrow = next_borrow;
+  }
+}
+
+void wide_shl1(Wide& a) noexcept {
+  for (int i = 7; i > 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    a[idx] = (a[idx] << 1) | (a[idx - 1] >> 63);
+  }
+  a[0] <<= 1;
+}
+
+// Remainder of a 512-bit value modulo a 256-bit modulus by binary long
+// division.  Used only by ADDMOD/MULMOD, which are rare opcodes; clarity
+// beats a full Knuth algorithm D here.
+U256 wide_mod(Wide value, const U256& m) noexcept {
+  BP_ASSERT(!m.is_zero());
+  Wide modulus{m.limb(0), m.limb(1), m.limb(2), m.limb(3), 0, 0, 0, 0};
+  int shift = wide_bit_length(value) - wide_bit_length(modulus);
+  if (shift < 0) shift = 0;
+  // Align modulus with the dividend's top bit.
+  Wide shifted = modulus;
+  for (int i = 0; i < shift; ++i) wide_shl1(shifted);
+  for (int i = shift; i >= 0; --i) {
+    if (wide_geq(value, shifted)) wide_sub(value, shifted);
+    // Shift right by one.
+    for (std::size_t j = 0; j + 1 < 8; ++j)
+      shifted[j] = (shifted[j] >> 1) | (shifted[j + 1] << 63);
+    shifted[7] >>= 1;
+  }
+  return U256{value[3], value[2], value[1], value[0]};
+}
+
+}  // namespace
+
+U256 U256::from_be_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  BP_ASSERT(bytes.size() <= 32);
+  U256 v;
+  for (std::uint8_t b : bytes) {
+    v = v.shl(8);
+    v.limbs_[0] |= b;
+  }
+  return v;
+}
+
+std::array<std::uint8_t, 32> U256::to_be_bytes() const noexcept {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t limb_idx = (31 - i) / 8;
+    const std::size_t byte_idx = (31 - i) % 8;
+    out[i] =
+        static_cast<std::uint8_t>(limbs_[limb_idx] >> (8 * byte_idx));
+  }
+  return out;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  BP_ASSERT_MSG(!hex.empty() && hex.size() <= 64, "hex literal out of range");
+  U256 v;
+  for (char c : hex) {
+    std::uint64_t nibble;
+    if (c >= '0' && c <= '9')
+      nibble = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+    else
+      BP_ASSERT_MSG(false, "invalid hex character");
+    v = v.shl(4);
+    v.limbs_[0] |= nibble;
+  }
+  return v;
+}
+
+std::string U256::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool seen = false;
+  for (int i = 63; i >= 0; --i) {
+    const auto nibble = static_cast<unsigned>(
+        (limbs_[static_cast<std::size_t>(i) / 16] >>
+         (4 * (static_cast<std::size_t>(i) % 16))) &
+        0xf);
+    if (nibble != 0) seen = true;
+    if (seen) out.push_back(kDigits[nibble]);
+  }
+  if (!seen) out.push_back('0');
+  return out;
+}
+
+int U256::bit_length() const noexcept {
+  for (int i = 3; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (limbs_[idx] != 0) return 64 * i + 64 - std::countl_zero(limbs_[idx]);
+  }
+  return 0;
+}
+
+U256 operator+(const U256& a, const U256& b) noexcept {
+  U256 out;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const __uint128_t cur =
+        static_cast<__uint128_t>(a.limbs_[i]) + b.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  return out;
+}
+
+U256 operator-(const U256& a, const U256& b) noexcept {
+  U256 out;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t bi = b.limbs_[i];
+    const std::uint64_t ai = a.limbs_[i];
+    const std::uint64_t diff = ai - bi - borrow;
+    borrow = (ai < bi || (ai == bi && borrow)) ? 1 : 0;
+    out.limbs_[i] = diff;
+  }
+  return out;
+}
+
+U256 operator*(const U256& a, const U256& b) noexcept {
+  const Wide w = mul_full(a, b);
+  return U256{w[3], w[2], w[1], w[0]};
+}
+
+void U256::divmod(const U256& num, const U256& den, U256& quot,
+                  U256& rem) noexcept {
+  BP_ASSERT(!den.is_zero());
+  quot = U256{};
+  rem = U256{};
+  if (num < den) {
+    rem = num;
+    return;
+  }
+  // Fast path: both operands fit in 64 bits.
+  if (num.fits64()) {
+    quot = U256{num.limbs_[0] / den.limbs_[0]};
+    rem = U256{num.limbs_[0] % den.limbs_[0]};
+    return;
+  }
+  // Fast path: 64-bit divisor — schoolbook limb-by-limb with 128-bit step.
+  if (den.fits64()) {
+    const std::uint64_t d = den.limbs_[0];
+    __uint128_t r = 0;
+    for (int i = 3; i >= 0; --i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const __uint128_t cur = (r << 64) | num.limbs_[idx];
+      quot.limbs_[idx] = static_cast<std::uint64_t>(cur / d);
+      r = cur % d;
+    }
+    rem = U256{static_cast<std::uint64_t>(r)};
+    return;
+  }
+  // General case: binary long division over the bit-length gap.
+  const int shift = num.bit_length() - den.bit_length();
+  U256 shifted = den.shl(static_cast<unsigned>(shift));
+  U256 acc = num;
+  for (int i = shift; i >= 0; --i) {
+    if (acc >= shifted) {
+      acc -= shifted;
+      quot.limbs_[static_cast<std::size_t>(i) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+    }
+    shifted = shifted.shr(1);
+  }
+  rem = acc;
+}
+
+U256 operator/(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return U256{};
+  U256 q, r;
+  U256::divmod(a, b, q, r);
+  return q;
+}
+
+U256 operator%(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return U256{};
+  U256 q, r;
+  U256::divmod(a, b, q, r);
+  return r;
+}
+
+U256 U256::shl(unsigned n) const noexcept {
+  if (n >= 256) return U256{};
+  U256 out;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t src = i - limb_shift;
+    if (i < limb_shift) continue;
+    out.limbs_[i] = limbs_[src] << bit_shift;
+    if (bit_shift != 0 && src > 0)
+      out.limbs_[i] |= limbs_[src - 1] >> (64 - bit_shift);
+  }
+  return out;
+}
+
+U256 U256::shr(unsigned n) const noexcept {
+  if (n >= 256) return U256{};
+  U256 out;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t src = i + limb_shift;
+    if (src >= 4) continue;
+    out.limbs_[i] = limbs_[src] >> bit_shift;
+    if (bit_shift != 0 && src + 1 < 4)
+      out.limbs_[i] |= limbs_[src + 1] << (64 - bit_shift);
+  }
+  return out;
+}
+
+U256 U256::sar(unsigned n) const noexcept {
+  if (!negative()) return shr(n);
+  if (n >= 256) return ~U256{};  // all ones
+  // shr then set the top n bits.
+  U256 out = shr(n);
+  const U256 mask = (~U256{}).shl(256 - n);
+  return out | mask;
+}
+
+bool U256::signed_less(const U256& a, const U256& b) noexcept {
+  const bool an = a.negative();
+  const bool bn = b.negative();
+  if (an != bn) return an;
+  return a < b;
+}
+
+U256 U256::sdiv(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return U256{};
+  const bool an = a.negative();
+  const bool bn = b.negative();
+  const U256 ua = an ? a.negate() : a;
+  const U256 ub = bn ? b.negate() : b;
+  U256 q = ua / ub;
+  return (an != bn) ? q.negate() : q;
+}
+
+U256 U256::smod(const U256& a, const U256& b) noexcept {
+  if (b.is_zero()) return U256{};
+  const bool an = a.negative();
+  const U256 ua = an ? a.negate() : a;
+  const U256 ub = b.negative() ? b.negate() : b;
+  U256 r = ua % ub;
+  return an ? r.negate() : r;
+}
+
+U256 U256::addmod(const U256& a, const U256& b, const U256& m) noexcept {
+  if (m.is_zero()) return U256{};
+  Wide sum{};
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const __uint128_t cur =
+        static_cast<__uint128_t>(a.limb(i)) + b.limb(i) + carry;
+    sum[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  sum[4] = carry;
+  return wide_mod(sum, m);
+}
+
+U256 U256::mulmod(const U256& a, const U256& b, const U256& m) noexcept {
+  if (m.is_zero()) return U256{};
+  return wide_mod(mul_full(a, b), m);
+}
+
+U256 U256::exp(const U256& a, const U256& e) noexcept {
+  U256 result{1};
+  U256 base = a;
+  const int bits = e.bit_length();
+  for (int i = 0; i < bits; ++i) {
+    if (e.bit(i)) result *= base;
+    base *= base;
+  }
+  return result;
+}
+
+U256 U256::signextend(const U256& k, const U256& x) noexcept {
+  if (!k.fits64() || k.low64() >= 31) return x;
+  const unsigned bit_index = static_cast<unsigned>(k.low64()) * 8 + 7;
+  const U256 mask = (U256{1}.shl(bit_index + 1)) - U256{1};
+  if (x.bit(static_cast<int>(bit_index))) return x | ~mask;
+  return x & mask;
+}
+
+U256 U256::byte(const U256& i, const U256& x) noexcept {
+  if (!i.fits64() || i.low64() >= 32) return U256{};
+  const auto bytes = x.to_be_bytes();
+  return U256{bytes[static_cast<std::size_t>(i.low64())]};
+}
+
+std::size_t U256::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t limb : limbs_) {
+    h ^= limb;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace blockpilot

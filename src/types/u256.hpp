@@ -1,0 +1,166 @@
+// U256: the EVM's 256-bit word.
+//
+// Little-endian array of four 64-bit limbs (limb 0 = least significant).
+// Arithmetic wraps modulo 2^256 exactly as EVM opcodes require; division by
+// zero yields zero (EVM DIV/MOD semantics) rather than trapping.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace blockpilot {
+
+class U256 {
+ public:
+  constexpr U256() noexcept = default;
+  constexpr U256(std::uint64_t v) noexcept : limbs_{v, 0, 0, 0} {}  // NOLINT: implicit by design — mirrors EVM literals
+
+  constexpr U256(std::uint64_t l3, std::uint64_t l2, std::uint64_t l1,
+                 std::uint64_t l0) noexcept
+      : limbs_{l0, l1, l2, l3} {}  // big-endian limb order in the ctor
+
+  /// Interprets a big-endian byte string (up to 32 bytes) as an integer.
+  static U256 from_be_bytes(std::span<const std::uint8_t> bytes) noexcept;
+
+  /// 32-byte big-endian encoding (EVM word layout).
+  std::array<std::uint8_t, 32> to_be_bytes() const noexcept;
+
+  /// Parses "0x"-optional hexadecimal. Asserts on invalid characters.
+  static U256 from_hex(std::string_view hex);
+
+  /// Lower-case hex without leading zeros, "0x" prefix ("0x0" for zero).
+  std::string to_hex() const;
+
+  constexpr std::uint64_t limb(std::size_t i) const noexcept {
+    return limbs_[i];
+  }
+
+  constexpr bool is_zero() const noexcept {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+
+  /// Truncates to the low 64 bits.
+  constexpr std::uint64_t low64() const noexcept { return limbs_[0]; }
+
+  /// True iff the value fits in 64 bits.
+  constexpr bool fits64() const noexcept {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+
+  /// Index of the highest set bit plus one; 0 for the value zero.
+  int bit_length() const noexcept;
+
+  /// Value of bit i (0 = LSB).
+  constexpr bool bit(int i) const noexcept {
+    return (limbs_[static_cast<std::size_t>(i) / 64] >>
+            (static_cast<std::size_t>(i) % 64)) &
+           1;
+  }
+
+  // -- wrapping arithmetic (mod 2^256) --
+  friend U256 operator+(const U256& a, const U256& b) noexcept;
+  friend U256 operator-(const U256& a, const U256& b) noexcept;
+  friend U256 operator*(const U256& a, const U256& b) noexcept;
+  /// EVM DIV: x / 0 == 0.
+  friend U256 operator/(const U256& a, const U256& b) noexcept;
+  /// EVM MOD: x % 0 == 0.
+  friend U256 operator%(const U256& a, const U256& b) noexcept;
+
+  U256& operator+=(const U256& o) noexcept { return *this = *this + o; }
+  U256& operator-=(const U256& o) noexcept { return *this = *this - o; }
+  U256& operator*=(const U256& o) noexcept { return *this = *this * o; }
+
+  // -- bitwise --
+  friend constexpr U256 operator&(const U256& a, const U256& b) noexcept {
+    return raw(a.limbs_[0] & b.limbs_[0], a.limbs_[1] & b.limbs_[1],
+               a.limbs_[2] & b.limbs_[2], a.limbs_[3] & b.limbs_[3]);
+  }
+  friend constexpr U256 operator|(const U256& a, const U256& b) noexcept {
+    return raw(a.limbs_[0] | b.limbs_[0], a.limbs_[1] | b.limbs_[1],
+               a.limbs_[2] | b.limbs_[2], a.limbs_[3] | b.limbs_[3]);
+  }
+  friend constexpr U256 operator^(const U256& a, const U256& b) noexcept {
+    return raw(a.limbs_[0] ^ b.limbs_[0], a.limbs_[1] ^ b.limbs_[1],
+               a.limbs_[2] ^ b.limbs_[2], a.limbs_[3] ^ b.limbs_[3]);
+  }
+  friend constexpr U256 operator~(const U256& a) noexcept {
+    return raw(~a.limbs_[0], ~a.limbs_[1], ~a.limbs_[2], ~a.limbs_[3]);
+  }
+
+  /// Logical shifts; shifts >= 256 yield zero (EVM SHL/SHR).
+  U256 shl(unsigned n) const noexcept;
+  U256 shr(unsigned n) const noexcept;
+  /// Arithmetic right shift treating the value as two's-complement (SAR).
+  U256 sar(unsigned n) const noexcept;
+
+  // -- comparisons --
+  friend constexpr bool operator==(const U256& a, const U256& b) noexcept =
+      default;
+  friend constexpr std::strong_ordering operator<=>(const U256& a,
+                                                    const U256& b) noexcept {
+    for (int i = 3; i >= 0; --i) {
+      if (a.limbs_[static_cast<std::size_t>(i)] !=
+          b.limbs_[static_cast<std::size_t>(i)])
+        return a.limbs_[static_cast<std::size_t>(i)] <=>
+               b.limbs_[static_cast<std::size_t>(i)];
+    }
+    return std::strong_ordering::equal;
+  }
+
+  /// Signed comparison over the two's-complement interpretation (SLT/SGT).
+  static bool signed_less(const U256& a, const U256& b) noexcept;
+
+  constexpr bool negative() const noexcept {
+    return (limbs_[3] >> 63) != 0;
+  }
+
+  /// Two's-complement negation.
+  U256 negate() const noexcept { return ~*this + U256{1}; }
+
+  // -- EVM-specific operations --
+  /// Signed division: SDIV semantics (trunc toward zero, x/0 == 0,
+  /// MIN/-1 == MIN).
+  static U256 sdiv(const U256& a, const U256& b) noexcept;
+  /// Signed remainder: SMOD semantics (sign follows dividend, x%0 == 0).
+  static U256 smod(const U256& a, const U256& b) noexcept;
+  /// (a + b) mod m with 512-bit intermediate; m == 0 yields 0 (ADDMOD).
+  static U256 addmod(const U256& a, const U256& b, const U256& m) noexcept;
+  /// (a * b) mod m with 512-bit intermediate; m == 0 yields 0 (MULMOD).
+  static U256 mulmod(const U256& a, const U256& b, const U256& m) noexcept;
+  /// a ** e mod 2^256 by square-and-multiply (EXP).
+  static U256 exp(const U256& a, const U256& e) noexcept;
+  /// Sign-extends from byte index k (0-based from LSB); k >= 31 is identity
+  /// (SIGNEXTEND).
+  static U256 signextend(const U256& k, const U256& x) noexcept;
+  /// Byte i of the big-endian encoding (BYTE opcode; i >= 32 yields 0).
+  static U256 byte(const U256& i, const U256& x) noexcept;
+
+  /// FNV-1a style hash for unordered containers.
+  std::size_t hash() const noexcept;
+
+ private:
+  static constexpr U256 raw(std::uint64_t l0, std::uint64_t l1,
+                            std::uint64_t l2, std::uint64_t l3) noexcept {
+    U256 v;
+    v.limbs_ = {l0, l1, l2, l3};
+    return v;
+  }
+
+  // Divides producing quotient and remainder; divisor must be non-zero.
+  static void divmod(const U256& num, const U256& den, U256& quot,
+                     U256& rem) noexcept;
+
+  std::array<std::uint64_t, 4> limbs_{};  // little-endian limb order
+};
+
+}  // namespace blockpilot
+
+template <>
+struct std::hash<blockpilot::U256> {
+  std::size_t operator()(const blockpilot::U256& v) const noexcept {
+    return v.hash();
+  }
+};

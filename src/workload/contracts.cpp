@@ -1,0 +1,123 @@
+#include "workload/contracts.hpp"
+
+#include "evm/assembler.hpp"
+
+namespace blockpilot::workload {
+
+using evm::Assembler;
+using evm::Op;
+
+Bytes token_contract() {
+  Assembler a;
+  // [op] = calldata word 0; dispatch: op == 0 -> transfer.
+  a.push(0).op(Op::CALLDATALOAD);       // [op]
+  a.op(Op::ISZERO);                     // [op==0]
+  a.push_label("transfer").op(Op::JUMPI);
+  a.push(0).push(0).op(Op::REVERT);     // unknown selector
+
+  a.label("transfer");                  // JUMPDEST
+  a.push(0x40).op(Op::CALLDATALOAD);    // [amt]
+  a.op(Op::CALLER).op(Op::SLOAD);       // [fb, amt]
+  a.op(Op::DUP2).op(Op::DUP2);          // [fb, amt, fb, amt]
+  a.op(Op::LT);                         // [fb<amt, fb, amt]
+  a.push_label("insufficient").op(Op::JUMPI);  // [fb, amt]
+  a.op(Op::SUB);                        // [fb-amt]
+  a.op(Op::CALLER).op(Op::SSTORE);      // {} balance[caller] = fb-amt
+  a.push(0x20).op(Op::CALLDATALOAD);    // [to]
+  a.op(Op::DUP1).op(Op::SLOAD);         // [tb, to]
+  a.push(0x40).op(Op::CALLDATALOAD);    // [amt, tb, to]
+  a.op(Op::ADD);                        // [tb+amt, to]
+  a.op(Op::SWAP1);                      // [to, tb+amt]
+  a.op(Op::SSTORE);                     // {} balance[to] = tb+amt
+  // Transfer(from, to) event with the amount as data (ERC-20 shape).
+  a.push(0x40).op(Op::CALLDATALOAD);    // [amt]
+  a.push(0).op(Op::MSTORE);             // mem[0..32) = amt
+  a.push(0x20).op(Op::CALLDATALOAD);    // [to]
+  a.op(Op::CALLER);                     // [from, to]
+  a.push(0x20).push(0);                 // [0, 0x20, from, to]
+  a.op(Op::LOG2);                       // {} topics = (from, to)
+  a.push(1).push(0).op(Op::MSTORE);     // mem[0..32) = 1
+  a.push(0x20).push(0).op(Op::RETURN);
+
+  a.label("insufficient");
+  a.push(0).push(0).op(Op::REVERT);
+  return a.assemble();
+}
+
+Bytes dex_contract() {
+  Assembler a;
+  a.push(0).op(Op::CALLDATALOAD);   // [in]
+  a.push(0).op(Op::SLOAD);          // [r0, in]
+  a.push(1).op(Op::SLOAD);          // [r1, r0, in]
+  // out = in*r1 / (r0+in)  (constant-product quote)
+  a.op(Op::DUP3).op(Op::DUP2).op(Op::MUL);  // [in*r1, r1, r0, in]
+  a.op(Op::DUP4).op(Op::DUP4).op(Op::ADD);  // [r0+in, in*r1, r1, r0, in]
+  a.op(Op::SWAP1).op(Op::DIV);              // [out, r1, r0, in]
+  // reserves: slot1 = r1-out; slot0 = r0+in
+  a.op(Op::DUP1).op(Op::SWAP2);             // [r1, out, out, r0, in]
+  a.op(Op::SUB);                            // [r1-out, out, r0, in]
+  a.push(1).op(Op::SSTORE);                 // [out, r0, in]
+  a.op(Op::SWAP1);                          // [r0, out, in]
+  a.op(Op::DUP3).op(Op::ADD);               // [r0+in, out, in]
+  a.push(0).op(Op::SSTORE);                 // [out, in]
+  // credit caller: slot(caller) += out
+  a.op(Op::CALLER).op(Op::SLOAD);           // [bal, out, in]
+  a.op(Op::DUP2).op(Op::ADD);               // [bal+out, out, in]
+  a.op(Op::CALLER).op(Op::SSTORE);          // [out, in]
+  // return out
+  a.push(0).op(Op::MSTORE);                 // [in]
+  a.push(0x20).push(0).op(Op::RETURN);
+  return a.assemble();
+}
+
+Bytes counter_contract() {
+  Assembler a;
+  a.push(0).op(Op::SLOAD);
+  a.push(1).op(Op::ADD);
+  a.push(0).op(Op::SSTORE);
+  a.op(Op::STOP);
+  return a.assemble();
+}
+
+Bytes nft_contract() {
+  Assembler a;
+  a.push(0).op(Op::SLOAD);            // [id]
+  a.op(Op::DUP1);                     // [id, id]
+  a.push(1).op(Op::ADD);              // [id+1, id]
+  a.push(0).op(Op::SSTORE);           // {} next-id = id+1        [id]
+  a.op(Op::CALLER);                   // [caller, id]
+  a.op(Op::DUP2);                     // [id, caller, id]
+  a.push(U256{1}.shl(128));           // [2^128, id, caller, id]
+  a.op(Op::ADD);                      // [slot, caller, id]
+  a.op(Op::SSTORE);                   // {} owner[slot] = caller  [id]
+  a.push(0).op(Op::MSTORE);           // mem[0..32) = id
+  a.push(0x20).push(0).op(Op::RETURN);
+  return a.assemble();
+}
+
+namespace {
+
+void append_word(Bytes& out, const U256& word) {
+  const auto be = word.to_be_bytes();
+  out.insert(out.end(), be.begin(), be.end());
+}
+
+}  // namespace
+
+Bytes token_transfer_calldata(const Address& to, const U256& amount) {
+  Bytes data;
+  data.reserve(96);
+  append_word(data, U256{0});  // opcode 0 = transfer
+  append_word(data, to.to_u256());
+  append_word(data, amount);
+  return data;
+}
+
+Bytes dex_swap_calldata(const U256& amount_in) {
+  Bytes data;
+  data.reserve(32);
+  append_word(data, amount_in);
+  return data;
+}
+
+}  // namespace blockpilot::workload

@@ -1,0 +1,53 @@
+// Workload contracts, hand-assembled EVM bytecode.
+//
+// Three contract families reproduce the conflict structure the paper
+// measures on mainnet (§2.3, §5.5):
+//  * Token — ERC-20-style transfer; balances live at storage slot =
+//    holder address.  Conflicts arise only between transfers sharing a
+//    holder (sparse storage conflicts).
+//  * Dex — constant-product AMM swap; every swap reads and writes the
+//    global reserve slots 0 and 1, so all swaps on one DEX form a single
+//    conflict chain.  This is the "hotspot contract" (Uniswap pattern).
+//  * Counter — increments slot 0; maximal-conflict microbenchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "types/address.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::workload {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Token runtime bytecode.  Calldata ABI:
+///   word 0: opcode (0 = transfer; anything else reverts)
+///   word 1: recipient address
+///   word 2: amount
+/// Balance of holder H is storage slot u256(H).  Reverts on insufficient
+/// balance; returns 1 on success and emits a Transfer-style LOG2 with
+/// topics (from, to) and the amount as data.
+Bytes token_contract();
+
+/// DEX runtime bytecode.  Calldata ABI:
+///   word 0: amount_in
+/// Pool reserves in slots 0 (base) and 1 (quote); the caller's accumulated
+/// output is credited at slot u256(caller).  Returns amount_out.
+Bytes dex_contract();
+
+/// Counter runtime bytecode (no calldata): slot 0 += 1.
+Bytes counter_contract();
+
+/// NFT-mint runtime bytecode (no calldata): sequential-id mint, the "NFT
+/// drop" pattern of §5.5.  Slot 0 holds the next token id; minting stores
+/// the caller as owner of slot (id + 2^128) and bumps the counter — every
+/// mint conflicts on slot 0, a tiny-footprint hotspot distinct from the
+/// DEX's read-modify-write reserves.  Returns the minted id.
+Bytes nft_contract();
+
+// -- calldata builders matching the ABIs above --
+Bytes token_transfer_calldata(const Address& to, const U256& amount);
+Bytes dex_swap_calldata(const U256& amount_in);
+
+}  // namespace blockpilot::workload

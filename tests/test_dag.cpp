@@ -1,0 +1,130 @@
+#include "sched/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/blockpilot.hpp"
+
+namespace blockpilot::sched {
+namespace {
+
+using chain::BlockProfile;
+using chain::TxProfile;
+using state::StateKey;
+
+const Address kA = Address::from_id(1);
+const Address kB = Address::from_id(2);
+const Address kC = Address::from_id(3);
+
+TxProfile rw(const std::vector<Address>& reads,
+             const std::vector<Address>& writes, std::uint64_t gas_amount) {
+  TxProfile p;
+  for (const auto& a : reads) p.reads.push_back(StateKey::balance(a));
+  for (const auto& a : writes)
+    p.writes.emplace_back(StateKey::balance(a), U256{1});
+  p.gas_used = gas_amount;
+  return p;
+}
+
+TEST(TxDag, RawDependency) {
+  BlockProfile profile;
+  profile.txs = {rw({}, {kA}, 10), rw({kA}, {}, 10)};  // write then read
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  EXPECT_TRUE(dag.preds[0].empty());
+  EXPECT_EQ(dag.preds[1], (std::vector<std::size_t>{0}));
+}
+
+TEST(TxDag, WawDependency) {
+  BlockProfile profile;
+  profile.txs = {rw({}, {kA}, 10), rw({}, {kA}, 10)};
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  EXPECT_EQ(dag.preds[1], (std::vector<std::size_t>{0}));
+}
+
+TEST(TxDag, WarDependency) {
+  BlockProfile profile;
+  profile.txs = {rw({kA}, {}, 10), rw({}, {kA}, 10)};  // read then write
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  EXPECT_EQ(dag.preds[1], (std::vector<std::size_t>{0}));
+}
+
+TEST(TxDag, ReadersDoNotDependOnEachOther) {
+  BlockProfile profile;
+  profile.txs = {rw({}, {kA}, 10), rw({kA}, {}, 10), rw({kA}, {}, 10)};
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  // Both readers depend on the writer but not on each other.
+  EXPECT_EQ(dag.preds[1], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.preds[2], (std::vector<std::size_t>{0}));
+}
+
+TEST(TxDag, WriterWaitsForAllReaders) {
+  BlockProfile profile;
+  profile.txs = {rw({}, {kA}, 10), rw({kA}, {}, 10), rw({kA}, {}, 10),
+                 rw({}, {kA}, 10)};
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  // WAR edges to both readers plus the (transitively redundant but correct)
+  // WAW edge to the previous writer.
+  EXPECT_EQ(dag.preds[3], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TxDag, CriticalPathIsChainLength) {
+  BlockProfile profile;
+  // A chain of 4 writes to kA (100 gas each) + one independent tx.
+  for (int i = 0; i < 4; ++i) profile.txs.push_back(rw({}, {kA}, 100));
+  profile.txs.push_back(rw({}, {kB}, 50));
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  EXPECT_EQ(dag.critical_path_gas(), 400u);
+}
+
+TEST(TxDag, DagIsFinerThanSubgraphs) {
+  // Star pattern: one hub writer, then many readers of the hub, each also
+  // writing its own account.  Subgraph scheduling chains ALL of them (one
+  // component); the DAG lets the readers run in parallel after the hub.
+  BlockProfile profile;
+  profile.txs.push_back(rw({}, {kA}, 100));  // hub
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    profile.txs.push_back(
+        rw({kA}, {Address::from_id(100 + i)}, 100));  // fan-out
+  }
+
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.subgraphs.size(), 1u);  // one component: serial chain
+  EXPECT_EQ(graph.critical_path_gas(), 900u);
+
+  const TxDag dag = build_tx_dag(profile, Granularity::kAccount);
+  EXPECT_EQ(dag.critical_path_gas(), 200u);  // hub + one reader level
+  EXPECT_EQ(dag_makespan(dag, 8), 200u);
+  EXPECT_EQ(dag_makespan(dag, 4), 300u);  // 8 readers over 4 workers
+  EXPECT_EQ(dag_makespan(dag, 1), 900u);  // degenerates to serial
+}
+
+TEST(TxDag, MakespanBounds) {
+  workload::WorkloadGenerator gen(workload::preset_mainnet());
+  const state::WorldState genesis = gen.genesis();
+  evm::BlockContext ctx;
+  ctx.coinbase = Address::from_id(0xFEE);
+  const auto txs = gen.next_batch(80);
+  const auto serial = core::execute_serial(genesis, ctx, std::span(txs));
+
+  const TxDag dag =
+      build_tx_dag(serial.exec.profile, Granularity::kAccount);
+  const auto graph =
+      build_dependency_graph(serial.exec.profile, Granularity::kAccount);
+
+  std::uint64_t total = 0;
+  for (const auto g : dag.gas) total += g;
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u, 16u}) {
+    const std::uint64_t m = dag_makespan(dag, workers);
+    EXPECT_GE(m, dag.critical_path_gas());
+    EXPECT_GE(m, total / workers);
+    EXPECT_LE(m, total);
+  }
+  // The DAG's critical path can never exceed the subgraph critical path
+  // (DAG chains are paths inside components).
+  EXPECT_LE(dag.critical_path_gas(), graph.critical_path_gas());
+  // One worker degenerates to serial execution exactly.
+  EXPECT_EQ(dag_makespan(dag, 1), total);
+}
+
+}  // namespace
+}  // namespace blockpilot::sched

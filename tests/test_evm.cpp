@@ -1,0 +1,597 @@
+#include <gtest/gtest.h>
+
+#include "evm/assembler.hpp"
+#include "evm/gas.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/state_transition.hpp"
+#include "state/exec_buffer.hpp"
+#include "state/read_view.hpp"
+#include "workload/contracts.hpp"
+
+namespace blockpilot::evm {
+namespace {
+
+using state::ExecBuffer;
+using state::StateKey;
+using state::WorldState;
+using state::WorldStateView;
+using workload::Bytes;
+
+const Address kCaller = Address::from_id(0xAAAA);
+const Address kContract = Address::from_id(0xCCCC);
+const Address kCoinbase = Address::from_id(0xFEE);
+
+/// Deploys `code` at kContract and executes a message call against it.
+struct Runner {
+  WorldState ws;
+  BlockContext block;
+
+  Runner() {
+    block.number = 7;
+    block.timestamp = 1234567;
+    block.coinbase = kCoinbase;
+    ws.set(StateKey::balance(kCaller), U256{1'000'000'000});
+  }
+
+  CallResult run(const Bytes& code, Bytes calldata = {},
+                 const U256& value = U256{},
+                 std::uint64_t gas_budget = 1'000'000) {
+    ws.set_code(kContract, code);
+    view.emplace(ws);
+    buffer.emplace(*view);
+    TxContext tx;
+    tx.origin = kCaller;
+    tx.gas_price = U256{1};
+    tx.block = &block;
+    Message msg;
+    msg.caller = kCaller;
+    msg.to = kContract;
+    msg.value = value;
+    msg.data = std::move(calldata);
+    msg.gas = gas_budget;
+    return execute_call(*buffer, tx, msg);
+  }
+
+  U256 returned_word(const CallResult& r) const {
+    return U256::from_be_bytes(std::span(r.output));
+  }
+
+  std::optional<WorldStateView> view;
+  std::optional<ExecBuffer> buffer;
+};
+
+Bytes return_top_of_stack_suffix() {
+  // Stores the stack top at memory 0 and returns 32 bytes.
+  Assembler a;
+  a.push(0).op(Op::MSTORE);
+  a.push(0x20).push(0).op(Op::RETURN);
+  return a.assemble();
+}
+
+Bytes program_returning(Assembler& a) {
+  Bytes code = a.assemble();
+  const Bytes suffix = return_top_of_stack_suffix();
+  code.insert(code.end(), suffix.begin(), suffix.end());
+  return code;
+}
+
+TEST(Interpreter, ArithmeticPrograms) {
+  struct Case {
+    std::uint64_t a, b;
+    Op op;
+    U256 expect;
+  };
+  const Case cases[] = {
+      {3, 4, Op::ADD, U256{7}},
+      {10, 4, Op::SUB, U256{6}},   // note: operands pushed b-then-a
+      {6, 7, Op::MUL, U256{42}},
+      {42, 5, Op::DIV, U256{8}},
+      {42, 5, Op::MOD, U256{2}},
+      {2, 10, Op::EXP, U256{1024}},
+  };
+  for (const Case& c : cases) {
+    Runner r;
+    Assembler a;
+    // Push so that the SECOND push is the top (first operand popped).
+    a.push(c.b).push(c.a).op(c.op);
+    const CallResult res = r.run(program_returning(a));
+    ASSERT_EQ(res.status, Status::kSuccess) << op_name(static_cast<std::uint8_t>(c.op));
+    EXPECT_EQ(r.returned_word(res), c.expect)
+        << op_name(static_cast<std::uint8_t>(c.op));
+  }
+}
+
+TEST(Interpreter, ComparisonAndBitwise) {
+  Runner r;
+  Assembler a;
+  // (5 < 9) -> 1
+  a.push(9).push(5).op(Op::LT);
+  const CallResult res = r.run(program_returning(a));
+  EXPECT_EQ(r.returned_word(res), U256{1});
+
+  Runner r2;
+  Assembler a2;
+  a2.push(0x0f).push(0x3c).op(Op::AND);
+  EXPECT_EQ(r2.returned_word(r2.run(program_returning(a2))), U256{0x0c});
+
+  Runner r3;
+  Assembler a3;
+  a3.push(0).op(Op::ISZERO);
+  EXPECT_EQ(r3.returned_word(r3.run(program_returning(a3))), U256{1});
+}
+
+TEST(Interpreter, Sha3OfMemory) {
+  Runner r;
+  Assembler a;
+  // keccak256 of 32 zero bytes (memory starts zeroed after expansion).
+  a.push(32).push(0).op(Op::SHA3);
+  const CallResult res = r.run(program_returning(a));
+  ASSERT_EQ(res.status, Status::kSuccess);
+  const std::array<std::uint8_t, 32> zeros{};
+  const crypto::Digest digest = crypto::keccak256(std::span(zeros));
+  EXPECT_EQ(r.returned_word(res), U256::from_be_bytes(std::span(digest)));
+}
+
+TEST(Interpreter, EnvironmentOpcodes) {
+  Runner r;
+  Assembler a;
+  a.op(Op::CALLER);
+  EXPECT_EQ(r.returned_word(r.run(program_returning(a))), kCaller.to_u256());
+
+  Runner r2;
+  Assembler a2;
+  a2.op(Op::ADDRESS);
+  EXPECT_EQ(r2.returned_word(r2.run(program_returning(a2))),
+            kContract.to_u256());
+
+  Runner r3;
+  Assembler a3;
+  a3.op(Op::NUMBER);
+  EXPECT_EQ(r3.returned_word(r3.run(program_returning(a3))), U256{7});
+
+  Runner r4;
+  Assembler a4;
+  a4.op(Op::CALLVALUE);
+  EXPECT_EQ(r4.returned_word(r4.run(program_returning(a4), {}, U256{55})),
+            U256{55});
+}
+
+TEST(Interpreter, CalldataAccess) {
+  Runner r;
+  Assembler a;
+  a.push(0).op(Op::CALLDATALOAD);
+  Bytes calldata(32, 0);
+  calldata[31] = 0x2a;
+  EXPECT_EQ(r.returned_word(r.run(program_returning(a), calldata)), U256{42});
+
+  // Past-the-end loads are zero-padded.
+  Runner r2;
+  Assembler a2;
+  a2.push(100).op(Op::CALLDATALOAD);
+  EXPECT_EQ(r2.returned_word(r2.run(program_returning(a2), calldata)),
+            U256{});
+
+  Runner r3;
+  Assembler a3;
+  a3.op(Op::CALLDATASIZE);
+  EXPECT_EQ(r3.returned_word(r3.run(program_returning(a3), calldata)),
+            U256{32});
+}
+
+TEST(Interpreter, StorageRoundTrip) {
+  Runner r;
+  Assembler a;
+  a.push(123).push(5).op(Op::SSTORE);  // slot 5 = 123
+  a.push(5).op(Op::SLOAD);
+  const CallResult res = r.run(program_returning(a));
+  ASSERT_EQ(res.status, Status::kSuccess);
+  EXPECT_EQ(r.returned_word(res), U256{123});
+  // The write landed in the buffer's write set.
+  bool found = false;
+  for (const auto& [key, value] : r.buffer->write_set()) {
+    if (key == StateKey::storage(kContract, U256{5})) {
+      found = true;
+      EXPECT_EQ(value, U256{123});
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Interpreter, JumpAndConditional) {
+  Runner r;
+  Assembler a;
+  // if (1) x = 7 else x = 9 — via JUMPI over the else branch.
+  a.push(1);
+  a.push_label("then").op(Op::JUMPI);
+  a.push(9);
+  a.push_label("end").op(Op::JUMP);
+  a.label("then");
+  a.push(7);
+  a.label("end");
+  EXPECT_EQ(r.returned_word(r.run(program_returning(a))), U256{7});
+}
+
+TEST(Interpreter, InvalidJumpFails) {
+  Runner r;
+  Assembler a;
+  a.push(3).op(Op::JUMP);  // 3 is not a JUMPDEST
+  a.op(Op::STOP);
+  const CallResult res = r.run(a.assemble());
+  EXPECT_EQ(res.status, Status::kInvalid);
+  EXPECT_EQ(res.gas_left, 0u);  // exceptional halt consumes the frame gas
+}
+
+TEST(Interpreter, JumpIntoPushDataFails) {
+  Runner r;
+  Assembler a;
+  // PUSH2 0x5b5b embeds fake JUMPDEST bytes inside immediate data.
+  a.push(U256{0x5b5b});
+  a.push(1).op(Op::JUMP);  // offset 1 is inside the push immediate
+  const CallResult res = r.run(a.assemble());
+  EXPECT_EQ(res.status, Status::kInvalid);
+}
+
+TEST(Interpreter, StackUnderflowFails) {
+  Runner r;
+  Assembler a;
+  a.op(Op::ADD);  // nothing on the stack
+  EXPECT_EQ(r.run(a.assemble()).status, Status::kInvalid);
+}
+
+TEST(Interpreter, OutOfGasHalts) {
+  Runner r;
+  Assembler a;
+  a.label("loop");
+  a.push_label("loop").op(Op::JUMP);
+  const CallResult res = r.run(a.assemble(), {}, U256{}, 10'000);
+  EXPECT_EQ(res.status, Status::kOutOfGas);
+  EXPECT_EQ(res.gas_left, 0u);
+}
+
+TEST(Interpreter, RevertKeepsGasRollsBackState) {
+  Runner r;
+  Assembler a;
+  a.push(99).push(1).op(Op::SSTORE);
+  a.push(0).push(0).op(Op::REVERT);
+  const CallResult res = r.run(a.assemble());
+  EXPECT_EQ(res.status, Status::kRevert);
+  EXPECT_GT(res.gas_left, 0u);
+  EXPECT_TRUE(r.buffer->write_set().empty());  // SSTORE rolled back
+}
+
+TEST(Interpreter, LogsRecorded) {
+  Runner r;
+  Assembler a;
+  // LOG1 with topic 0xbeef over empty data.
+  a.push(0xbeef);                 // topic
+  a.push(0).push(0);              // len, offset -> stack [offset, len, topic]
+  a.op(Op::LOG1);
+  a.op(Op::STOP);
+  const CallResult res = r.run(a.assemble());
+  ASSERT_EQ(res.status, Status::kSuccess);
+  ASSERT_EQ(res.logs.size(), 1u);
+  EXPECT_EQ(res.logs[0].address, kContract);
+  ASSERT_EQ(res.logs[0].topics.size(), 1u);
+  EXPECT_EQ(res.logs[0].topics[0], U256{0xbeef});
+}
+
+TEST(Interpreter, MemoryExpansionChargesGas) {
+  Runner r1, r2;
+  Assembler small, large;
+  small.push(1).push(0).op(Op::MSTORE);
+  small.op(Op::STOP);
+  large.push(1).push(100'000).op(Op::MSTORE);
+  large.op(Op::STOP);
+  const CallResult rs = r1.run(small.assemble());
+  const CallResult rl = r2.run(large.assemble());
+  ASSERT_EQ(rs.status, Status::kSuccess);
+  ASSERT_EQ(rl.status, Status::kSuccess);
+  EXPECT_GT(rs.gas_left, rl.gas_left);
+}
+
+TEST(Interpreter, WarmColdStorageGas) {
+  Runner r;
+  Assembler a;
+  a.push(5).op(Op::SLOAD).op(Op::POP);   // cold
+  a.push(5).op(Op::SLOAD).op(Op::POP);   // warm
+  a.op(Op::STOP);
+  const std::uint64_t budget = 100'000;
+  const CallResult res = r.run(a.assemble(), {}, U256{}, budget);
+  ASSERT_EQ(res.status, Status::kSuccess);
+  const std::uint64_t used = budget - res.gas_left;
+  // 2x PUSH (3 each) + 2x POP (2 each) + cold SLOAD + warm SLOAD.
+  EXPECT_EQ(used, 2 * gas::kVeryLow + 2 * gas::kBase + gas::kColdSload +
+                      gas::kWarmAccess);
+}
+
+TEST(Interpreter, ValueTransferViaCallFrame) {
+  Runner r;
+  // Empty callee: pure value transfer.
+  const CallResult res = r.run({}, {}, U256{500});
+  ASSERT_EQ(res.status, Status::kSuccess);
+  EXPECT_EQ(r.buffer->read(StateKey::balance(kContract)), U256{500});
+  EXPECT_EQ(r.buffer->read(StateKey::balance(kCaller)),
+            U256{1'000'000'000 - 500});
+}
+
+TEST(Interpreter, InnerCallRevertIsContained) {
+  // Contract A stores 1 to slot 0, CALLs an address with no code (success),
+  // then CALLs a reverting contract; A's own storage write must survive.
+  const Address reverting = Address::from_id(0xBAD);
+  Runner r;
+  r.ws.set_code(reverting, [] {
+    Assembler a;
+    a.push(7).push(7).op(Op::SSTORE);  // a write that must be rolled back
+    a.push(0).push(0).op(Op::REVERT);
+    return a.assemble();
+  }());
+
+  Assembler a;
+  a.push(1).push(0).op(Op::SSTORE);
+  // CALL(gas=50000, to=reverting, value=0, in=0/0, out=0/0)
+  a.push(0).push(0).push(0).push(0).push(0);
+  a.push(reverting);
+  a.push(50'000);
+  a.op(Op::CALL);
+  // Leave the CALL status (0) as the return value.
+  const CallResult res = r.run(program_returning(a));
+  ASSERT_EQ(res.status, Status::kSuccess);
+  EXPECT_EQ(r.returned_word(res), U256{0});  // inner call failed
+  // Outer write survived; inner write rolled back.
+  const auto writes = r.buffer->write_set();
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].first, StateKey::storage(kContract, U256{0}));
+}
+
+TEST(Interpreter, NestedCallReturnsData) {
+  const Address callee = Address::from_id(0xCA11EE);
+  Runner r;
+  r.ws.set_code(callee, [] {
+    Assembler a;
+    a.push(1234).push(0).op(Op::MSTORE);
+    a.push(0x20).push(0).op(Op::RETURN);
+    return a.assemble();
+  }());
+
+  Assembler a;
+  // CALL with out region [0, 32); then MLOAD 0 and return it.
+  a.push(0x20).push(0).push(0).push(0).push(0);  // outLen outOff inLen inOff value
+  // stack must be: gas, to, value, inOff, inLen, outOff, outLen (top first)
+  // Rebuild in correct order:
+  Assembler b;
+  b.push(0x20);        // outLen
+  b.push(0);           // outOff
+  b.push(0);           // inLen
+  b.push(0);           // inOff
+  b.push(0);           // value
+  b.push(callee);      // to
+  b.push(100'000);     // gas  (top)
+  b.op(Op::CALL);
+  b.op(Op::POP);       // drop status
+  b.push(0).op(Op::MLOAD);
+  const Bytes code = program_returning(b);
+  const CallResult res = r.run(code);
+  ASSERT_EQ(res.status, Status::kSuccess);
+  EXPECT_EQ(r.returned_word(res), U256{1234});
+}
+
+TEST(Interpreter, CallDepthLimit) {
+  // Self-recursive contract: CALL(self) until depth limit; must terminate.
+  Runner r;
+  Assembler a;
+  a.push(0).push(0).push(0).push(0).push(0);
+  a.push(kContract);
+  a.op(Op::GAS);  // forward everything available
+  a.op(Op::CALL);
+  a.op(Op::STOP);
+  const CallResult res = r.run(a.assemble(), {}, U256{}, 5'000'000);
+  EXPECT_EQ(res.status, Status::kSuccess);  // bottoms out at depth cap / gas
+}
+
+// ---- workload contracts ----
+
+TEST(WorkloadContracts, TokenTransferMovesBalances) {
+  const Address token = Address::from_id(0x70);
+  const Address to = Address::from_id(0xB0B);
+  Runner r;
+  r.ws.set_code(token, workload::token_contract());
+  r.ws.set(StateKey::storage(token, kCaller.to_u256()), U256{1000});
+
+  TxContext tx;
+  tx.origin = kCaller;
+  tx.gas_price = U256{1};
+  tx.block = &r.block;
+  const WorldStateView view(r.ws);
+  ExecBuffer buffer(view);
+  Message msg;
+  msg.caller = kCaller;
+  msg.to = token;
+  msg.data = workload::token_transfer_calldata(to, U256{300});
+  msg.gas = 1'000'000;
+  const CallResult res = execute_call(buffer, tx, msg);
+  ASSERT_EQ(res.status, Status::kSuccess);
+  EXPECT_EQ(buffer.read(StateKey::storage(token, kCaller.to_u256())),
+            U256{700});
+  EXPECT_EQ(buffer.read(StateKey::storage(token, to.to_u256())), U256{300});
+}
+
+TEST(WorkloadContracts, TokenTransferInsufficientReverts) {
+  const Address token = Address::from_id(0x70);
+  const Address to = Address::from_id(0xB0B);
+  Runner r;
+  r.ws.set_code(token, workload::token_contract());
+  r.ws.set(StateKey::storage(token, kCaller.to_u256()), U256{100});
+
+  TxContext tx;
+  tx.origin = kCaller;
+  tx.gas_price = U256{1};
+  tx.block = &r.block;
+  const WorldStateView view(r.ws);
+  ExecBuffer buffer(view);
+  Message msg;
+  msg.caller = kCaller;
+  msg.to = token;
+  msg.data = workload::token_transfer_calldata(to, U256{300});
+  msg.gas = 1'000'000;
+  const CallResult res = execute_call(buffer, tx, msg);
+  EXPECT_EQ(res.status, Status::kRevert);
+  EXPECT_TRUE(buffer.write_set().empty());
+}
+
+TEST(WorkloadContracts, DexSwapUpdatesReserves) {
+  const Address dex = Address::from_id(0xDE);
+  Runner r;
+  r.ws.set_code(dex, workload::dex_contract());
+  r.ws.set(StateKey::storage(dex, U256{0}), U256{1'000'000});
+  r.ws.set(StateKey::storage(dex, U256{1}), U256{2'000'000});
+
+  TxContext tx;
+  tx.origin = kCaller;
+  tx.gas_price = U256{1};
+  tx.block = &r.block;
+  const WorldStateView view(r.ws);
+  ExecBuffer buffer(view);
+  Message msg;
+  msg.caller = kCaller;
+  msg.to = dex;
+  msg.data = workload::dex_swap_calldata(U256{10'000});
+  msg.gas = 1'000'000;
+  const CallResult res = execute_call(buffer, tx, msg);
+  ASSERT_EQ(res.status, Status::kSuccess);
+
+  // out = in*r1/(r0+in) = 10000*2000000/1010000 = 19801.
+  const U256 expected_out{19'801};
+  EXPECT_EQ(U256::from_be_bytes(std::span(res.output)), expected_out);
+  EXPECT_EQ(buffer.read(StateKey::storage(dex, U256{0})), U256{1'010'000});
+  EXPECT_EQ(buffer.read(StateKey::storage(dex, U256{1})),
+            U256{2'000'000} - expected_out);
+  EXPECT_EQ(buffer.read(StateKey::storage(dex, kCaller.to_u256())),
+            expected_out);
+}
+
+TEST(WorkloadContracts, CounterIncrements) {
+  const Address counter = Address::from_id(0xC0);
+  Runner r;
+  r.ws.set_code(counter, workload::counter_contract());
+
+  TxContext tx;
+  tx.origin = kCaller;
+  tx.gas_price = U256{1};
+  tx.block = &r.block;
+  const WorldStateView view(r.ws);
+  ExecBuffer buffer(view);
+  for (int i = 0; i < 3; ++i) {
+    Message msg;
+    msg.caller = kCaller;
+    msg.to = counter;
+    msg.gas = 100'000;
+    ASSERT_EQ(execute_call(buffer, tx, msg).status, Status::kSuccess);
+  }
+  EXPECT_EQ(buffer.read(StateKey::storage(counter, U256{0})), U256{3});
+}
+
+// ---- transaction-level state transition ----
+
+struct TransitionFixture : ::testing::Test {
+  WorldState ws;
+  BlockContext block;
+  chain::Transaction tx;
+
+  TransitionFixture() {
+    block.coinbase = kCoinbase;
+    block.number = 1;
+    ws.set(StateKey::balance(kCaller), U256{10'000'000});
+    tx.from = kCaller;
+    tx.to = Address::from_id(0xB0B);
+    tx.nonce = 0;
+    tx.gas_price = U256{2};
+    tx.gas_limit = 50'000;
+    tx.value = U256{1000};
+  }
+
+  TxExecResult run() {
+    const WorldStateView view(ws);
+    ExecBuffer buffer(view);
+    const TxExecResult r = execute_transaction(buffer, block, tx);
+    if (r.status == TxStatus::kIncluded) {
+      for (const auto& [key, value] : buffer.write_set()) ws.set(key, value);
+    }
+    return r;
+  }
+};
+
+TEST_F(TransitionFixture, PlainTransfer) {
+  const TxExecResult r = run();
+  ASSERT_EQ(r.status, TxStatus::kIncluded);
+  EXPECT_EQ(r.gas_used, gas::kTxIntrinsic);
+  EXPECT_EQ(ws.get(StateKey::balance(tx.to)), U256{1000});
+  EXPECT_EQ(ws.get(StateKey::nonce(kCaller)), U256{1});
+  // Sender paid value + gas_used * price (escrow refunded).
+  EXPECT_EQ(ws.get(StateKey::balance(kCaller)),
+            U256{10'000'000} - U256{1000} -
+                U256{2} * U256{gas::kTxIntrinsic});
+  EXPECT_EQ(r.fee(), U256{2} * U256{gas::kTxIntrinsic});
+}
+
+TEST_F(TransitionFixture, NonceGapIsNotReady) {
+  tx.nonce = 5;
+  EXPECT_EQ(run().status, TxStatus::kNotReady);
+  EXPECT_EQ(ws.get(StateKey::nonce(kCaller)), U256{});  // untouched
+}
+
+TEST_F(TransitionFixture, StaleNonceIsInvalid) {
+  ws.set(StateKey::nonce(kCaller), U256{3});
+  tx.nonce = 2;
+  EXPECT_EQ(run().status, TxStatus::kInvalid);
+}
+
+TEST_F(TransitionFixture, InsufficientFundsIsInvalid) {
+  tx.value = U256{999'999'999};
+  EXPECT_EQ(run().status, TxStatus::kInvalid);
+}
+
+TEST_F(TransitionFixture, GasLimitBelowIntrinsicIsInvalid) {
+  tx.gas_limit = 20'000;
+  EXPECT_EQ(run().status, TxStatus::kInvalid);
+}
+
+TEST_F(TransitionFixture, CalldataCostsIntrinsicGas) {
+  tx.data = Bytes{0, 0, 1, 2};  // 2 zero + 2 non-zero bytes
+  tx.to = Address::from_id(0x1234);  // no code: call is a no-op
+  const TxExecResult r = run();
+  ASSERT_EQ(r.status, TxStatus::kIncluded);
+  EXPECT_EQ(r.gas_used, gas::kTxIntrinsic + 2 * gas::kTxDataZero +
+                            2 * gas::kTxDataNonZero);
+}
+
+TEST_F(TransitionFixture, RevertedCallStillChargesFees) {
+  const Address reverter = Address::from_id(0xBAD);
+  ws.set_code(reverter, [] {
+    Assembler a;
+    a.push(0).push(0).op(Op::REVERT);
+    return a.assemble();
+  }());
+  tx.to = reverter;
+  tx.value = U256{1000};
+  const TxExecResult r = run();
+  ASSERT_EQ(r.status, TxStatus::kIncluded);
+  EXPECT_EQ(r.vm_status, Status::kRevert);
+  // Value transfer rolled back, but nonce bumped and gas charged.
+  EXPECT_EQ(ws.get(StateKey::balance(reverter)), U256{});
+  EXPECT_EQ(ws.get(StateKey::nonce(kCaller)), U256{1});
+  EXPECT_GT(r.gas_used, 0u);
+}
+
+TEST(Assembler, DisassemblerRoundTrip) {
+  Assembler a;
+  a.push(0x1234).op(Op::DUP1).op(Op::POP).label("x").push_label("x").op(
+      Op::JUMP);
+  const auto code = a.assemble();
+  const std::string text = disassemble(std::span(code));
+  EXPECT_NE(text.find("PUSH2 0x1234"), std::string::npos);
+  EXPECT_NE(text.find("JUMPDEST"), std::string::npos);
+  EXPECT_NE(text.find("JUMP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blockpilot::evm

@@ -1,0 +1,304 @@
+// Tests for the extended CALL family: DELEGATECALL, STATICCALL, the
+// return-data buffer (EIP-211 semantics) and EXTCODE* introspection.
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.hpp"
+#include "evm/assembler.hpp"
+#include "evm/gas.hpp"
+#include "evm/interpreter.hpp"
+#include "state/exec_buffer.hpp"
+#include "state/read_view.hpp"
+
+namespace blockpilot::evm {
+namespace {
+
+using state::ExecBuffer;
+using state::StateKey;
+using state::WorldState;
+using state::WorldStateView;
+
+const Address kCaller = Address::from_id(0xAAAA);
+const Address kProxy = Address::from_id(0x9997);
+const Address kTarget = Address::from_id(0x7A46);
+
+struct CallRunner {
+  WorldState ws;
+  BlockContext block;
+
+  CallRunner() {
+    block.coinbase = Address::from_id(0xFEE);
+    ws.set(StateKey::balance(kCaller), U256{1'000'000'000});
+  }
+
+  CallResult call(const Address& to, std::uint64_t gas_budget = 2'000'000) {
+    view.emplace(ws);
+    buffer.emplace(*view);
+    TxContext tx;
+    tx.origin = kCaller;
+    tx.gas_price = U256{1};
+    tx.block = &block;
+    Message msg;
+    msg.caller = kCaller;
+    msg.to = to;
+    msg.gas = gas_budget;
+    return execute_call(*buffer, tx, msg);
+  }
+
+  U256 word(const CallResult& r) const {
+    return U256::from_be_bytes(std::span(r.output));
+  }
+
+  std::optional<WorldStateView> view;
+  std::optional<ExecBuffer> buffer;
+};
+
+/// callee: stores 77 to slot 1, returns the 32-byte word 0xabcd.
+std::vector<std::uint8_t> writer_callee() {
+  Assembler a;
+  a.push(77).push(1).op(Op::SSTORE);
+  a.push(0xabcd).push(0).op(Op::MSTORE);
+  a.push(0x20).push(0).op(Op::RETURN);
+  return a.assemble();
+}
+
+/// Emits a 6-operand call (no value) of `kind` to `target`, output region
+/// [0, 32).
+void emit_call6(Assembler& a, Op kind, const Address& target,
+                std::uint64_t fwd) {
+  a.push(0x20);  // outLen
+  a.push(0);     // outOff
+  a.push(0);     // inLen
+  a.push(0);     // inOff
+  a.push(target);
+  a.push(fwd);
+  a.op(kind);
+}
+
+/// Emits a 7-operand zero-value CALL with no output region.
+void emit_call7_no_out(Assembler& a, const Address& target,
+                       std::uint64_t fwd) {
+  a.push(0).push(0).push(0).push(0).push(0);  // outLen outOff inLen inOff val
+  a.push(target);
+  a.push(fwd);
+  a.op(Op::CALL);
+}
+
+TEST(DelegateCall, RunsTargetCodeInCallerStorage) {
+  CallRunner r;
+  r.ws.set_code(kTarget, writer_callee());
+  Assembler a;
+  emit_call6(a, Op::DELEGATECALL, kTarget, 500'000);
+  a.op(Op::STOP);
+  r.ws.set_code(kProxy, a.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  // The write landed in the PROXY's storage, not the target's.
+  EXPECT_EQ(r.buffer->read(StateKey::storage(kProxy, U256{1})), U256{77});
+  EXPECT_EQ(r.buffer->read(StateKey::storage(kTarget, U256{1})), U256{});
+}
+
+TEST(DelegateCall, PreservesCaller) {
+  // Target returns CALLER; proxy delegatecalls it: the observed caller is
+  // the ORIGINAL caller, not the proxy.
+  CallRunner r;
+  Assembler target;
+  target.op(Op::CALLER);
+  target.push(0).op(Op::MSTORE);
+  target.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kTarget, target.assemble());
+
+  Assembler proxy;
+  emit_call6(proxy, Op::DELEGATECALL, kTarget, 500'000);
+  proxy.op(Op::POP);
+  proxy.push(0).op(Op::MLOAD);
+  proxy.push(0).op(Op::MSTORE);
+  proxy.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, proxy.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(r.word(result), kCaller.to_u256());
+}
+
+TEST(StaticCall, ReadsSucceed) {
+  CallRunner r;
+  r.ws.set(StateKey::storage(kTarget, U256{3}), U256{99});
+  Assembler target;
+  target.push(3).op(Op::SLOAD);
+  target.push(0).op(Op::MSTORE);
+  target.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kTarget, target.assemble());
+
+  Assembler outer;
+  emit_call6(outer, Op::STATICCALL, kTarget, 500'000);
+  outer.op(Op::POP);
+  outer.push(0).op(Op::MLOAD);
+  outer.push(0).op(Op::MSTORE);
+  outer.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, outer.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(r.word(result), U256{99});
+}
+
+TEST(StaticCall, WritesAreRejected) {
+  CallRunner r;
+  r.ws.set_code(kTarget, writer_callee());  // does an SSTORE
+  Assembler outer;
+  emit_call6(outer, Op::STATICCALL, kTarget, 500'000);
+  outer.push(0).op(Op::MSTORE);  // call status -> return word
+  outer.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, outer.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(r.word(result), U256{0});  // inner frame died on SSTORE
+  EXPECT_EQ(r.buffer->read(StateKey::storage(kTarget, U256{1})), U256{});
+}
+
+TEST(StaticCall, StaticnessIsTransitive) {
+  // static frame -> plain CALL -> SSTORE must still be rejected.
+  const Address middle = Address::from_id(0x3333);
+  CallRunner r;
+  r.ws.set_code(kTarget, writer_callee());
+  Assembler mid;
+  mid.push(0).push(0).push(0).push(0).push(0);
+  mid.push(kTarget);
+  mid.push(400'000);
+  mid.op(Op::CALL);               // [status]
+  mid.push(0).op(Op::MSTORE);     // mem[0..32) = inner status
+  mid.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(middle, mid.assemble());
+
+  Assembler outer;
+  emit_call6(outer, Op::STATICCALL, middle, 800'000);
+  outer.op(Op::POP);
+  outer.push(0).op(Op::MLOAD);    // middle's reported inner status
+  outer.push(0).op(Op::MSTORE);
+  outer.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, outer.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(r.word(result), U256{0});
+  EXPECT_EQ(r.buffer->read(StateKey::storage(kTarget, U256{1})), U256{});
+}
+
+TEST(ReturnData, SizeAndCopy) {
+  CallRunner r;
+  r.ws.set_code(kTarget, writer_callee());  // returns word 0xabcd
+  Assembler a;
+  emit_call7_no_out(a, kTarget, 500'000);  // no output region
+  a.op(Op::POP);
+  // Copy the full return buffer to memory 0 via RETURNDATACOPY and return
+  // it, after checking RETURNDATASIZE == 32 by storing size at mem 32.
+  a.op(Op::RETURNDATASIZE);        // [32]
+  a.push(0x20).op(Op::MSTORE);     // mem[32..64) = size
+  a.push(0x20);                    // len
+  a.push(0);                       // dataOff
+  a.push(0);                       // memOff (top)
+  a.op(Op::RETURNDATACOPY);
+  a.push(0x40).push(0).op(Op::RETURN);  // return mem[0..64)
+  r.ws.set_code(kProxy, a.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  ASSERT_EQ(result.output.size(), 64u);
+  EXPECT_EQ(U256::from_be_bytes(std::span(result.output).subspan(0, 32)),
+            U256{0xabcd});
+  EXPECT_EQ(U256::from_be_bytes(std::span(result.output).subspan(32, 32)),
+            U256{32});
+}
+
+TEST(ReturnData, OutOfBoundsCopyFails) {
+  CallRunner r;
+  r.ws.set_code(kTarget, writer_callee());
+  Assembler a;
+  emit_call7_no_out(a, kTarget, 500'000);
+  a.op(Op::POP);
+  a.push(0x40);  // len 64 > 32 available
+  a.push(0);     // dataOff
+  a.push(0);     // memOff
+  a.op(Op::RETURNDATACOPY);
+  a.op(Op::STOP);
+  r.ws.set_code(kProxy, a.assemble());
+  EXPECT_EQ(r.call(kProxy).status, Status::kInvalid);
+}
+
+TEST(ReturnData, EmptyBeforeAnyCall) {
+  CallRunner r;
+  Assembler a;
+  a.op(Op::RETURNDATASIZE);
+  a.push(0).op(Op::MSTORE);
+  a.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, a.assemble());
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(r.word(result), U256{0});
+}
+
+TEST(ReturnData, RevertDataIsVisible) {
+  // A callee that REVERTs with data: the caller sees status 0 but can read
+  // the revert payload via returndata (Solidity error propagation shape).
+  CallRunner r;
+  Assembler target;
+  target.push(0xdead).push(0).op(Op::MSTORE);
+  target.push(0x20).push(0).op(Op::REVERT);
+  r.ws.set_code(kTarget, target.assemble());
+
+  Assembler a;
+  emit_call7_no_out(a, kTarget, 500'000);
+  a.op(Op::POP);  // status (0)
+  a.push(0x20).push(0).push(0).op(Op::RETURNDATACOPY);
+  a.push(0x20).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, a.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(r.word(result), U256{0xdead});
+}
+
+TEST(ExtCode, SizeAndHash) {
+  CallRunner r;
+  const auto target_code = writer_callee();
+  r.ws.set_code(kTarget, target_code);
+
+  Assembler a;
+  a.push(kTarget).op(Op::EXTCODESIZE);  // [size]
+  a.push(0).op(Op::MSTORE);
+  a.push(kTarget).op(Op::EXTCODEHASH);  // [hash]
+  a.push(0x20).op(Op::MSTORE);
+  a.push(0x40).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, a.assemble());
+
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  ASSERT_EQ(result.output.size(), 64u);
+  EXPECT_EQ(U256::from_be_bytes(std::span(result.output).subspan(0, 32)),
+            U256{target_code.size()});
+  const crypto::Digest expected = crypto::keccak256(std::span(target_code));
+  EXPECT_EQ(U256::from_be_bytes(std::span(result.output).subspan(32, 32)),
+            U256::from_be_bytes(std::span(expected)));
+}
+
+TEST(ExtCode, CodelessAddressIsZero) {
+  CallRunner r;
+  Assembler a;
+  a.push(Address::from_id(0x404)).op(Op::EXTCODEHASH);
+  a.push(0).op(Op::MSTORE);
+  a.push(Address::from_id(0x404)).op(Op::EXTCODESIZE);
+  a.push(0x20).op(Op::MSTORE);
+  a.push(0x40).push(0).op(Op::RETURN);
+  r.ws.set_code(kProxy, a.assemble());
+  const CallResult result = r.call(kProxy);
+  ASSERT_EQ(result.status, Status::kSuccess);
+  EXPECT_EQ(U256::from_be_bytes(std::span(result.output).subspan(0, 32)),
+            U256{});
+  EXPECT_EQ(U256::from_be_bytes(std::span(result.output).subspan(32, 32)),
+            U256{});
+}
+
+}  // namespace
+}  // namespace blockpilot::evm

@@ -1,0 +1,134 @@
+// Differential testing: every binary/ternary arithmetic, comparison and
+// bitwise opcode executed through the interpreter must agree with the U256
+// reference implementation for random operands.
+#include <gtest/gtest.h>
+
+#include "evm/assembler.hpp"
+#include "evm/interpreter.hpp"
+#include "state/exec_buffer.hpp"
+#include "state/read_view.hpp"
+#include "support/rng.hpp"
+
+namespace blockpilot::evm {
+namespace {
+
+using state::ExecBuffer;
+using state::WorldState;
+using state::WorldStateView;
+
+const Address kContract = Address::from_id(0xD1FF);
+
+/// Executes code that leaves one word on the stack and returns it.
+U256 run_and_return(Assembler& a) {
+  a.push(0).op(Op::MSTORE);
+  a.push(0x20).push(0).op(Op::RETURN);
+  WorldState ws;
+  ws.set_code(kContract, a.assemble());
+  BlockContext block;
+  block.coinbase = Address::from_id(0xFEE);
+  const WorldStateView view(ws);
+  ExecBuffer buffer(view);
+  TxContext tx;
+  tx.origin = Address::from_id(1);
+  tx.gas_price = U256{1};
+  tx.block = &block;
+  Message msg;
+  msg.caller = tx.origin;
+  msg.to = kContract;
+  msg.gas = 10'000'000;
+  const CallResult r = execute_call(buffer, tx, msg);
+  EXPECT_EQ(r.status, Status::kSuccess);
+  return U256::from_be_bytes(std::span(r.output));
+}
+
+U256 eval_binary(Op op, const U256& a, const U256& b) {
+  Assembler assembler;
+  assembler.push(b).push(a).op(op);  // a on top = first popped
+  return run_and_return(assembler);
+}
+
+U256 eval_ternary(Op op, const U256& a, const U256& b, const U256& m) {
+  Assembler assembler;
+  assembler.push(m).push(b).push(a).op(op);
+  return run_and_return(assembler);
+}
+
+U256 rand_word(Xoshiro256& rng) {
+  // Mix full-width and small operands to hit fast paths and edge cases.
+  switch (rng.below(4)) {
+    case 0: return U256{rng.below(10)};
+    case 1: return U256{rng()};
+    case 2: return U256(rng(), rng(), 0, rng());
+    default: return U256(rng(), rng(), rng(), rng());
+  }
+}
+
+class EvmDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvmDiffTest, BinaryOpsMatchReference) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const U256 a = rand_word(rng);
+    const U256 b = rand_word(rng);
+
+    EXPECT_EQ(eval_binary(Op::ADD, a, b), a + b);
+    EXPECT_EQ(eval_binary(Op::SUB, a, b), a - b);
+    EXPECT_EQ(eval_binary(Op::MUL, a, b), a * b);
+    EXPECT_EQ(eval_binary(Op::DIV, a, b), a / b);
+    EXPECT_EQ(eval_binary(Op::MOD, a, b), a % b);
+    EXPECT_EQ(eval_binary(Op::SDIV, a, b), U256::sdiv(a, b));
+    EXPECT_EQ(eval_binary(Op::SMOD, a, b), U256::smod(a, b));
+    EXPECT_EQ(eval_binary(Op::AND, a, b), a & b);
+    EXPECT_EQ(eval_binary(Op::OR, a, b), a | b);
+    EXPECT_EQ(eval_binary(Op::XOR, a, b), a ^ b);
+    EXPECT_EQ(eval_binary(Op::LT, a, b), U256{a < b ? 1u : 0u});
+    EXPECT_EQ(eval_binary(Op::GT, a, b), U256{a > b ? 1u : 0u});
+    EXPECT_EQ(eval_binary(Op::SLT, a, b),
+              U256{U256::signed_less(a, b) ? 1u : 0u});
+    EXPECT_EQ(eval_binary(Op::SGT, a, b),
+              U256{U256::signed_less(b, a) ? 1u : 0u});
+    EXPECT_EQ(eval_binary(Op::EQ, a, b), U256{a == b ? 1u : 0u});
+    EXPECT_EQ(eval_binary(Op::BYTE, a, b), U256::byte(a, b));
+    EXPECT_EQ(eval_binary(Op::SIGNEXTEND, a, b), U256::signextend(a, b));
+  }
+}
+
+TEST_P(EvmDiffTest, ShiftsMatchReference) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const U256 x = rand_word(rng);
+    const U256 shift{rng.below(300)};  // includes >255 overshoot
+    const unsigned s = static_cast<unsigned>(shift.low64());
+    EXPECT_EQ(eval_binary(Op::SHL, shift, x),
+              s < 256 ? x.shl(s) : U256{});
+    EXPECT_EQ(eval_binary(Op::SHR, shift, x),
+              s < 256 ? x.shr(s) : U256{});
+  }
+}
+
+TEST_P(EvmDiffTest, TernaryOpsMatchReference) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    const U256 a = rand_word(rng);
+    const U256 b = rand_word(rng);
+    const U256 m = rand_word(rng);
+    EXPECT_EQ(eval_ternary(Op::ADDMOD, a, b, m), U256::addmod(a, b, m));
+    EXPECT_EQ(eval_ternary(Op::MULMOD, a, b, m), U256::mulmod(a, b, m));
+  }
+}
+
+TEST_P(EvmDiffTest, ExpMatchesReference) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const U256 base = rand_word(rng);
+    const U256 exponent{rng.below(1000)};
+    EXPECT_EQ(eval_binary(Op::EXP, base, exponent),
+              U256::exp(base, exponent));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvmDiffTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace blockpilot::evm

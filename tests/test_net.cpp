@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "net/consensus_sim.hpp"
+#include "net/network.hpp"
+
+namespace blockpilot::net {
+namespace {
+
+TEST(SimNetwork, PointToPointDelivery) {
+  SimNetwork net(3);
+  net.send(0, 1, 1000, {1, 2, 3});
+  ASSERT_FALSE(net.idle());
+  const auto msg = net.next_delivery();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 0u);
+  EXPECT_EQ(msg->to, 1u);
+  EXPECT_GT(msg->deliver_time_us, msg->send_time_us);
+  EXPECT_EQ(msg->payload, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(SimNetwork, BroadcastReachesEveryoneButSender) {
+  SimNetwork net(4);
+  net.broadcast(2, 0, {9});
+  std::vector<NodeId> receivers;
+  while (auto msg = net.next_delivery()) receivers.push_back(msg->to);
+  std::sort(receivers.begin(), receivers.end());
+  EXPECT_EQ(receivers, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(SimNetwork, DeliveryOrderedByTime) {
+  LinkModel link;
+  link.base_latency_us = 100;
+  link.bytes_per_us = 1;
+  SimNetwork net(2, link);
+  net.send(0, 1, 0, Bytes(500, 0));   // delivers at 600
+  net.send(0, 1, 200, Bytes(10, 0));  // delivers at 310
+  const auto first = net.next_delivery();
+  const auto second = net.next_delivery();
+  EXPECT_EQ(first->deliver_time_us, 310u);
+  EXPECT_EQ(second->deliver_time_us, 600u);
+}
+
+TEST(SimNetwork, LargerPayloadsTakeLonger) {
+  LinkModel link;
+  EXPECT_GT(link.transit_time(1'000'000), link.transit_time(100));
+  SimNetwork net(2, link);
+  net.send(0, 1, 0, Bytes(1'000'000, 0));
+  net.send(0, 1, 0, Bytes(100, 0));
+  EXPECT_EQ(net.bytes_sent(), 1'000'100u);
+}
+
+TEST(ConsensusSim, SingleProposerChainAdvances) {
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 1;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 1;
+  cfg.rounds = 3;
+  cfg.workload.txs_per_block = 30;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  ConsensusSim sim(cfg);
+  const auto result = sim.run();
+  ASSERT_TRUE(result.safety_held) << result.violation;
+  ASSERT_EQ(result.rounds.size(), 3u);
+  EXPECT_EQ(result.total_uncles, 0u);
+  EXPECT_GT(result.total_txs, 0u);
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.valid_siblings, 1u);
+    EXPECT_GT(round.round_latency_us, 0u);
+    EXPECT_FALSE(round.canonical_root.is_zero());
+  }
+}
+
+TEST(ConsensusSim, ForkedRoundsStaySafe) {
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 3;
+  cfg.validator_nodes = 4;
+  cfg.proposers_per_round = 2;  // every round forks
+  cfg.rounds = 3;
+  cfg.workload.txs_per_block = 30;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  ConsensusSim sim(cfg);
+  const auto result = sim.run();
+  ASSERT_TRUE(result.safety_held) << result.violation;
+  EXPECT_EQ(result.total_uncles, 3u);  // one uncle per forked round
+  EXPECT_GT(result.bytes_gossiped, 0u);
+}
+
+TEST(ConsensusSim, DeterministicAcrossRuns) {
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 2;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 2;
+  cfg.rounds = 2;
+  cfg.workload.txs_per_block = 25;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  const auto a = ConsensusSim(cfg).run();
+  const auto b = ConsensusSim(cfg).run();
+  ASSERT_TRUE(a.safety_held && b.safety_held);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].canonical_root, b.rounds[i].canonical_root);
+    EXPECT_EQ(a.rounds[i].round_latency_us, b.rounds[i].round_latency_us);
+    EXPECT_EQ(a.rounds[i].txs, b.rounds[i].txs);
+  }
+  EXPECT_EQ(a.bytes_gossiped, b.bytes_gossiped);
+}
+
+}  // namespace
+}  // namespace blockpilot::net

@@ -1,0 +1,113 @@
+// Two-phase OCC baseline tests: value-validated speculative execution must
+// reach the exact serial state.
+#include <gtest/gtest.h>
+
+#include "core/blockpilot.hpp"
+
+namespace blockpilot::core {
+namespace {
+
+evm::BlockContext ctx_for(std::uint64_t height) {
+  evm::BlockContext ctx;
+  ctx.number = height;
+  ctx.timestamp = 1'700'000'000;
+  ctx.coinbase = Address::from_id(0xC0FFEE);
+  return ctx;
+}
+
+chain::Block honest_block(const state::WorldState& genesis,
+                          const std::vector<chain::Transaction>& txs) {
+  const SerialResult r = execute_serial(genesis, ctx_for(1), std::span(txs));
+  return seal_block(ctx_for(1), r.exec, r.included);
+}
+
+TEST(TwoPhaseOcc, ValidatesLowConflictBlock) {
+  workload::WorkloadGenerator gen(workload::preset_low_conflict());
+  state::WorldState genesis = gen.genesis();
+  const auto block = honest_block(genesis, gen.next_batch(60));
+
+  ValidatorConfig cfg;
+  cfg.threads = 4;
+  TwoPhaseOcc occ(cfg);
+  ThreadPool workers(4);
+  const auto outcome = occ.validate(genesis, block, workers);
+  EXPECT_TRUE(outcome.valid) << outcome.reject_reason;
+  EXPECT_EQ(outcome.exec.state_root, block.header.state_root);
+  // Low-conflict workloads re-execute very little.
+  EXPECT_LT(outcome.stats.reexecuted, block.transactions.size() / 2);
+}
+
+TEST(TwoPhaseOcc, ValidatesHighConflictBlock) {
+  workload::WorkloadGenerator gen(workload::preset_high_conflict());
+  state::WorldState genesis = gen.genesis();
+  const auto block = honest_block(genesis, gen.next_batch(60));
+
+  ValidatorConfig cfg;
+  cfg.threads = 8;
+  TwoPhaseOcc occ(cfg);
+  ThreadPool workers(8);
+  const auto outcome = occ.validate(genesis, block, workers);
+  EXPECT_TRUE(outcome.valid) << outcome.reject_reason;
+  EXPECT_EQ(outcome.exec.state_root, block.header.state_root);
+  // Hotspot chains force most transactions through the serial phase.
+  EXPECT_GT(outcome.stats.reexecuted, block.transactions.size() / 4);
+}
+
+TEST(TwoPhaseOcc, RejectsTamperedRoot) {
+  workload::WorkloadGenerator gen(workload::preset_mainnet());
+  state::WorldState genesis = gen.genesis();
+  auto block = honest_block(genesis, gen.next_batch(30));
+  block.header.state_root.bytes[5] ^= 1;
+
+  ValidatorConfig cfg;
+  cfg.threads = 4;
+  TwoPhaseOcc occ(cfg);
+  ThreadPool workers(4);
+  EXPECT_FALSE(occ.validate(genesis, block, workers).valid);
+}
+
+TEST(TwoPhaseOcc, MoreConflictsMoreSerialWork) {
+  // The baseline's defining weakness: its serial tail grows with conflicts,
+  // so BlockPilot's scheduler should win on hotspot blocks (Fig. 7a).
+  ValidatorConfig cfg;
+  cfg.threads = 16;
+
+  workload::WorkloadGenerator low(workload::preset_low_conflict());
+  state::WorldState gl = low.genesis();
+  const auto bl = honest_block(gl, low.next_batch(100));
+  ThreadPool workers(16);
+  TwoPhaseOcc occ(cfg);
+  const auto low_out = occ.validate(gl, bl, workers);
+
+  workload::WorkloadGenerator high(workload::preset_high_conflict());
+  state::WorldState gh = high.genesis();
+  const auto bh = honest_block(gh, high.next_batch(100));
+  const auto high_out = occ.validate(gh, bh, workers);
+
+  ASSERT_TRUE(low_out.valid);
+  ASSERT_TRUE(high_out.valid);
+  EXPECT_LT(high_out.stats.virtual_speedup(), low_out.stats.virtual_speedup());
+}
+
+class OccSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OccSweep, RootEqualityAcrossThreadCounts) {
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 4242;
+  workload::WorkloadGenerator gen(wc);
+  state::WorldState genesis = gen.genesis();
+  const auto block = honest_block(genesis, gen.next_batch(80));
+
+  ValidatorConfig cfg;
+  cfg.threads = GetParam();
+  TwoPhaseOcc occ(cfg);
+  ThreadPool workers(GetParam());
+  const auto outcome = occ.validate(genesis, block, workers);
+  EXPECT_TRUE(outcome.valid) << outcome.reject_reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, OccSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace blockpilot::core

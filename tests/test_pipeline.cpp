@@ -1,0 +1,168 @@
+// Multi-block pipeline tests (paper §4.3 Fig. 5, §5.6).
+#include <gtest/gtest.h>
+
+#include "core/blockpilot.hpp"
+
+namespace blockpilot::core {
+namespace {
+
+evm::BlockContext ctx_for(std::uint64_t height) {
+  evm::BlockContext ctx;
+  ctx.number = height;
+  ctx.timestamp = 1'700'000'000 + height * 12;
+  ctx.coinbase = Address::from_id(0xC0FFEE);
+  return ctx;
+}
+
+BlockBundle bundle_from(const state::WorldState& pre,
+                        const std::vector<chain::Transaction>& txs,
+                        std::uint64_t height) {
+  const SerialResult r = execute_serial(pre, ctx_for(height), std::span(txs));
+  BlockBundle b;
+  b.block = seal_block(ctx_for(height), r.exec, r.included);
+  b.profile = r.exec.profile;
+  return b;
+}
+
+struct PipelineFixture : ::testing::Test {
+  workload::WorkloadGenerator gen{workload::preset_mainnet()};
+  state::WorldState genesis = gen.genesis();
+};
+
+TEST_F(PipelineFixture, SingleBlockHeight) {
+  const std::vector<BlockBundle> siblings = {
+      bundle_from(genesis, gen.next_batch(50), 1)};
+  PipelineConfig cfg;
+  cfg.workers = 8;
+  ValidatorPipeline pipeline(cfg);
+  ThreadPool workers(8);
+  const auto result =
+      pipeline.process_height(genesis, std::span(siblings), workers);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_TRUE(result.all_valid()) << result.outcomes[0].reject_reason;
+  EXPECT_GT(result.stats.virtual_speedup(), 1.0);
+}
+
+TEST_F(PipelineFixture, SiblingForksAllValidate) {
+  // Four different blocks at the same height (distinct tx sets) — the fork
+  // scenario of Fig. 1 / §3.4.
+  std::vector<BlockBundle> siblings;
+  for (int i = 0; i < 4; ++i)
+    siblings.push_back(bundle_from(genesis, gen.next_batch(40), 1));
+
+  PipelineConfig cfg;
+  cfg.workers = 8;
+  ValidatorPipeline pipeline(cfg);
+  ThreadPool workers(8);
+  const auto result =
+      pipeline.process_height(genesis, std::span(siblings), workers);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  for (const auto& o : result.outcomes)
+    EXPECT_TRUE(o.valid) << o.reject_reason;
+  EXPECT_EQ(result.stats.blocks, 4u);
+}
+
+TEST_F(PipelineFixture, ConcurrentAndSequentialAgree) {
+  std::vector<BlockBundle> siblings;
+  for (int i = 0; i < 3; ++i)
+    siblings.push_back(bundle_from(genesis, gen.next_batch(30), 1));
+
+  PipelineConfig seq_cfg;
+  seq_cfg.workers = 4;
+  seq_cfg.concurrent_blocks = false;
+  PipelineConfig par_cfg = seq_cfg;
+  par_cfg.concurrent_blocks = true;
+
+  ThreadPool workers(4);
+  const auto seq = ValidatorPipeline(seq_cfg).process_height(
+      genesis, std::span(siblings), workers);
+  const auto par = ValidatorPipeline(par_cfg).process_height(
+      genesis, std::span(siblings), workers);
+
+  ASSERT_EQ(seq.outcomes.size(), par.outcomes.size());
+  for (std::size_t i = 0; i < seq.outcomes.size(); ++i) {
+    EXPECT_EQ(seq.outcomes[i].valid, par.outcomes[i].valid);
+    if (seq.outcomes[i].valid) {
+      EXPECT_EQ(seq.outcomes[i].exec.state_root,
+                par.outcomes[i].exec.state_root);
+    }
+  }
+  // The virtual-time model is schedule-derived, not wall-clock-derived, so
+  // it is identical for both modes.
+  EXPECT_EQ(seq.stats.vtime_makespan, par.stats.vtime_makespan);
+}
+
+TEST_F(PipelineFixture, ChainedHeightsThreadState) {
+  // Height 1 then height 2 on top of height 1's post state.
+  const BlockBundle b1 = bundle_from(genesis, gen.next_batch(30), 1);
+  SerialOptions opts;
+  opts.drop_unincludable = false;
+  const SerialResult r1 = execute_serial(genesis, ctx_for(1),
+                                         std::span(b1.block.transactions), opts);
+  ASSERT_TRUE(r1.ok);
+  const BlockBundle b2 =
+      bundle_from(*r1.exec.post_state, gen.next_batch(30), 2);
+
+  const std::vector<std::vector<BlockBundle>> heights = {{b1}, {b2}};
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  ValidatorPipeline pipeline(cfg);
+  ThreadPool workers(4);
+  const auto result =
+      pipeline.process_chain(genesis, std::span(heights), workers);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_TRUE(result.outcomes[0].valid) << result.outcomes[0].reject_reason;
+  EXPECT_TRUE(result.outcomes[1].valid) << result.outcomes[1].reject_reason;
+  EXPECT_EQ(result.stats.blocks, 2u);
+}
+
+TEST_F(PipelineFixture, InvalidSiblingDoesNotPoisonOthers) {
+  std::vector<BlockBundle> siblings;
+  siblings.push_back(bundle_from(genesis, gen.next_batch(20), 1));
+  siblings.push_back(bundle_from(genesis, gen.next_batch(20), 1));
+  siblings[1].block.header.state_root.bytes[0] ^= 0x55;  // corrupt fork
+
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  ValidatorPipeline pipeline(cfg);
+  ThreadPool workers(4);
+  const auto result =
+      pipeline.process_height(genesis, std::span(siblings), workers);
+  EXPECT_TRUE(result.outcomes[0].valid);
+  EXPECT_FALSE(result.outcomes[1].valid);
+}
+
+TEST(PipelineSim, SingleBlockSingleWorker) {
+  const std::uint64_t makespan = simulate_shared_workers(
+      {{0, 100}, {0, 200}, {0, 300}}, 1, 50);
+  EXPECT_EQ(makespan, 600u);  // same block: no switch cost
+}
+
+TEST(PipelineSim, SwitchCostChargedAcrossBlocks) {
+  // One worker alternating between blocks pays the switch each time.
+  const std::uint64_t makespan = simulate_shared_workers(
+      {{0, 100}, {1, 100}, {0, 100}, {1, 100}}, 1, 10);
+  // LPT order groups equal costs by block index: 0,0,1,1 -> one switch.
+  EXPECT_EQ(makespan, 400u + 10u);
+}
+
+TEST(PipelineSim, PerfectSplitAcrossWorkers) {
+  const std::uint64_t makespan = simulate_shared_workers(
+      {{0, 100}, {1, 100}}, 2, 10);
+  EXPECT_EQ(makespan, 100u);  // each worker one block, no switches
+}
+
+TEST(PipelineSim, MoreBlocksIncreaseSwitchOverhead) {
+  // Fixed total work split over increasingly many blocks on few workers.
+  std::vector<PipelineJob> one_block, four_blocks;
+  for (int i = 0; i < 16; ++i) {
+    one_block.push_back({0, 100});
+    four_blocks.push_back({static_cast<std::size_t>(i % 4), 100});
+  }
+  const auto m1 = simulate_shared_workers(one_block, 2, 50);
+  const auto m4 = simulate_shared_workers(four_blocks, 2, 50);
+  EXPECT_GT(m4, m1);
+}
+
+}  // namespace
+}  // namespace blockpilot::core

@@ -1,0 +1,173 @@
+#include "rlp/rlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace blockpilot::rlp {
+namespace {
+
+std::string hex(const Bytes& b) {
+  return blockpilot::hex_encode(std::span(b));
+}
+
+Bytes str_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Canonical vectors from the Ethereum RLP specification.
+TEST(Rlp, SpecVectors) {
+  Encoder dog;
+  dog.add("dog");
+  EXPECT_EQ(hex(dog.take()), "0x83646f67");
+
+  Encoder list;
+  list.begin_list().add("cat").add("dog").end_list();
+  EXPECT_EQ(hex(list.take()), "0xc88363617483646f67");
+
+  Encoder empty;
+  empty.add("");
+  EXPECT_EQ(hex(empty.take()), "0x80");
+
+  Encoder zero;
+  zero.add(std::uint64_t{0});
+  EXPECT_EQ(hex(zero.take()), "0x80");  // integer 0 == empty string
+
+  Encoder fifteen;
+  fifteen.add(std::uint64_t{15});
+  EXPECT_EQ(hex(fifteen.take()), "0x0f");
+
+  Encoder k1024;
+  k1024.add(std::uint64_t{1024});
+  EXPECT_EQ(hex(k1024.take()), "0x820400");
+
+  Encoder empty_list;
+  empty_list.begin_list().end_list();
+  EXPECT_EQ(hex(empty_list.take()), "0xc0");
+
+  // Set-theoretic nesting: [ [], [[]], [ [], [[]] ] ].
+  Encoder nested;
+  nested.begin_list()
+      .begin_list().end_list()
+      .begin_list().begin_list().end_list().end_list()
+      .begin_list()
+          .begin_list().end_list()
+          .begin_list().begin_list().end_list().end_list()
+      .end_list()
+      .end_list();
+  EXPECT_EQ(hex(nested.take()), "0xc7c0c1c0c3c0c1c0");
+}
+
+TEST(Rlp, LongString) {
+  // 56 bytes crosses the short/long string boundary: 0xb8 prefix.
+  const std::string lorem =
+      "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  ASSERT_EQ(lorem.size(), 56u);
+  Encoder enc;
+  enc.add(lorem);
+  const Bytes out = enc.take();
+  EXPECT_EQ(out[0], 0xb8);
+  EXPECT_EQ(out[1], 56);
+  EXPECT_EQ(out.size(), 58u);
+}
+
+TEST(Rlp, BoundaryLengths) {
+  for (const std::size_t len : {0ul, 1ul, 55ul, 56ul, 255ul, 256ul, 1000ul}) {
+    const std::string payload(len, 'z');
+    Encoder enc;
+    enc.add(payload);
+    const Bytes encoded = enc.take();
+    const Item item = decode(std::span(encoded));
+    EXPECT_FALSE(item.is_list);
+    EXPECT_EQ(item.str, str_bytes(payload)) << "len=" << len;
+  }
+}
+
+TEST(Rlp, SingleByteBelow0x80EncodesItself) {
+  for (unsigned b = 0; b < 0x80; ++b) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(b);
+    Encoder enc;
+    enc.add(std::span(&byte, 1));
+    const Bytes out = enc.take();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], byte);
+  }
+}
+
+TEST(Rlp, IntegerRoundTrip) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 255ull, 256ull, 0xffffffffull,
+        0xdeadbeefcafebabeull}) {
+    const Bytes encoded = encode(v);
+    const Item item = decode(std::span(encoded));
+    EXPECT_EQ(item.as_u64(), v);
+  }
+}
+
+TEST(Rlp, U256RoundTrip) {
+  const U256 big = U256::from_hex(
+      "0xffeeddccbbaa99887766554433221100ffeeddccbbaa998877665544332211");
+  const Bytes encoded = encode(big);
+  EXPECT_EQ(decode(std::span(encoded)).as_u256(), big);
+}
+
+TEST(Rlp, NestedListDecode) {
+  Encoder enc;
+  enc.begin_list()
+      .add("hello")
+      .begin_list().add(std::uint64_t{1}).add(std::uint64_t{2}).end_list()
+      .add(std::uint64_t{3})
+      .end_list();
+  const Bytes encoded = enc.take();
+  const Item item = decode(std::span(encoded));
+  ASSERT_TRUE(item.is_list);
+  ASSERT_EQ(item.list.size(), 3u);
+  EXPECT_EQ(item.list[0].str, str_bytes("hello"));
+  ASSERT_TRUE(item.list[1].is_list);
+  EXPECT_EQ(item.list[1].list[0].as_u64(), 1u);
+  EXPECT_EQ(item.list[1].list[1].as_u64(), 2u);
+  EXPECT_EQ(item.list[2].as_u64(), 3u);
+}
+
+TEST(Rlp, AddressAndHashRoundTrip) {
+  const Address addr = Address::from_id(0xabcdef);
+  const Hash256 h = Hash256::of(std::span<const std::uint8_t>{});
+  Encoder enc;
+  enc.begin_list().add(addr).add(h).end_list();
+  const Bytes encoded = enc.take();
+  const Item item = decode(std::span(encoded));
+  EXPECT_EQ(item.list[0].as_address(), addr);
+  EXPECT_EQ(item.list[1].as_hash(), h);
+}
+
+// Property sweep: random nested structures must round-trip.
+class RlpFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RlpFuzzTest, RandomStringListsRoundTrip) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t count = rng.below(8);
+    std::vector<Bytes> strings;
+    Encoder enc;
+    enc.begin_list();
+    for (std::size_t i = 0; i < count; ++i) {
+      Bytes s(rng.below(120), 0);
+      for (auto& b : s) b = static_cast<std::uint8_t>(rng.below(256));
+      enc.add(std::span(s));
+      strings.push_back(std::move(s));
+    }
+    enc.end_list();
+    const Bytes encoded = enc.take();
+    const Item item = decode(std::span(encoded));
+    ASSERT_TRUE(item.is_list);
+    ASSERT_EQ(item.list.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(item.list[i].str, strings[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlpFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace blockpilot::rlp

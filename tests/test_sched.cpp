@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "sched/depgraph.hpp"
+#include "sched/union_find.hpp"
+
+namespace blockpilot::sched {
+namespace {
+
+using chain::BlockProfile;
+using chain::TxProfile;
+using state::StateKey;
+
+const Address kA = Address::from_id(1);
+const Address kB = Address::from_id(2);
+const Address kC = Address::from_id(3);
+const Address kD = Address::from_id(4);
+const Address kHot = Address::from_id(99);
+
+TxProfile reader(const Address& addr, std::uint64_t gas_amount) {
+  TxProfile p;
+  p.reads.push_back(StateKey::balance(addr));
+  p.gas_used = gas_amount;
+  return p;
+}
+
+TxProfile writer(const Address& addr, std::uint64_t gas_amount) {
+  TxProfile p;
+  p.writes.emplace_back(StateKey::balance(addr), U256{1});
+  p.gas_used = gas_amount;
+  return p;
+}
+
+TxProfile transfer(const Address& from, const Address& to,
+                   std::uint64_t gas_amount) {
+  TxProfile p;
+  p.reads.push_back(StateKey::balance(from));
+  p.reads.push_back(StateKey::balance(to));
+  p.writes.emplace_back(StateKey::balance(from), U256{1});
+  p.writes.emplace_back(StateKey::balance(to), U256{2});
+  p.gas_used = gas_amount;
+  return p;
+}
+
+TEST(UnionFind, BasicOperations) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.connected(0, 1));
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_TRUE(uf.connected(2, 3));
+  EXPECT_FALSE(uf.connected(1, 2));
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.component_size(0), 4u);
+  EXPECT_EQ(uf.component_size(4), 1u);
+}
+
+TEST(DepGraph, IndependentTxsAreSeparateSubgraphs) {
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kB, 100), transfer(kC, kD, 100)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.subgraphs.size(), 2u);
+  EXPECT_DOUBLE_EQ(graph.largest_subgraph_ratio(), 0.5);
+}
+
+TEST(DepGraph, SharedWriteKeyUnites) {
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kHot, 100), transfer(kB, kHot, 100),
+                 transfer(kC, kD, 100)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  ASSERT_EQ(graph.subgraphs.size(), 2u);
+  // The hot-recipient pair forms the larger subgraph.
+  EXPECT_EQ(graph.subgraphs[0].tx_indices, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DepGraph, ReadOnlySharingDoesNotConflict) {
+  BlockProfile profile;
+  profile.txs = {reader(kHot, 50), reader(kHot, 50), reader(kHot, 50)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.subgraphs.size(), 3u);  // RR sharing is harmless
+}
+
+TEST(DepGraph, ReadWriteConflictUnites) {
+  BlockProfile profile;
+  profile.txs = {reader(kHot, 50), writer(kHot, 50)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.subgraphs.size(), 1u);
+}
+
+TEST(DepGraph, WriteWriteConflictUnites) {
+  BlockProfile profile;
+  profile.txs = {writer(kHot, 50), writer(kHot, 50)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.subgraphs.size(), 1u);
+}
+
+TEST(DepGraph, TransitiveChainsMerge) {
+  // A-B, B-C, C-D: one chain even though A and D never touch directly.
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kB, 10), transfer(kB, kC, 10),
+                 transfer(kC, kD, 10)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.subgraphs.size(), 1u);
+  EXPECT_DOUBLE_EQ(graph.largest_subgraph_ratio(), 1.0);
+}
+
+TEST(DepGraph, AccountVsKeyGranularity) {
+  // Two txs write different storage slots of the same contract: at account
+  // granularity they conflict, at key granularity they do not.
+  TxProfile t1, t2;
+  t1.writes.emplace_back(StateKey::storage(kHot, U256{1}), U256{7});
+  t1.gas_used = 10;
+  t2.writes.emplace_back(StateKey::storage(kHot, U256{2}), U256{8});
+  t2.gas_used = 10;
+  BlockProfile profile;
+  profile.txs = {t1, t2};
+
+  EXPECT_EQ(build_dependency_graph(profile, Granularity::kAccount)
+                .subgraphs.size(),
+            1u);
+  EXPECT_EQ(build_dependency_graph(profile, Granularity::kKey)
+                .subgraphs.size(),
+            2u);
+}
+
+TEST(DepGraph, SubgraphsPreserveBlockOrder) {
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kHot, 10), transfer(kC, kD, 10),
+                 transfer(kB, kHot, 10), transfer(kHot, kA, 10)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  for (const auto& sg : graph.subgraphs) {
+    EXPECT_TRUE(std::is_sorted(sg.tx_indices.begin(), sg.tx_indices.end()));
+  }
+}
+
+TEST(DepGraph, StatsComputation) {
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kB, 300), transfer(kA, kC, 200),
+                 transfer(kD, kD, 100)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_EQ(graph.total_gas(), 600u);
+  EXPECT_EQ(graph.critical_path_gas(), 500u);  // the A-chain
+  EXPECT_NEAR(graph.largest_subgraph_ratio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(DepGraph, EmptyBlock) {
+  BlockProfile profile;
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  EXPECT_TRUE(graph.subgraphs.empty());
+  EXPECT_EQ(graph.largest_subgraph_ratio(), 0.0);
+  EXPECT_EQ(graph.critical_path_gas(), 0u);
+}
+
+TEST(LptSchedule, BalancesLoad) {
+  BlockProfile profile;
+  // Six independent txs with descending gas.
+  for (std::uint64_t g : {600u, 500u, 400u, 300u, 200u, 100u}) {
+    profile.txs.push_back(
+        transfer(Address::from_id(1000 + g), Address::from_id(2000 + g), g));
+  }
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  const auto plan = lpt_schedule(graph, 2);
+  ASSERT_EQ(plan.load.size(), 2u);
+  // LPT on {600,500,400,300,200,100} over 2 workers: loads 1100/1000.
+  EXPECT_EQ(std::max(plan.load[0], plan.load[1]), 1100u);
+  EXPECT_EQ(plan.load[0] + plan.load[1], 2100u);
+}
+
+TEST(LptSchedule, InThreadBlockOrder) {
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kB, 10), transfer(kC, kD, 20),
+                 transfer(kA, kC, 30)};  // merges everything via kC? no: A-B, C-D, A-C -> all one? A-C unites {0,2} and {1} via C-D? tx1 touches C,D; tx2 touches A,C -> C shared and written: all three unite.
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  const auto plan = lpt_schedule(graph, 4);
+  for (const auto& bucket : plan.per_thread)
+    EXPECT_TRUE(std::is_sorted(bucket.begin(), bucket.end()));
+}
+
+TEST(LptSchedule, MoreThreadsThanSubgraphs) {
+  BlockProfile profile;
+  profile.txs = {transfer(kA, kB, 10)};
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  const auto plan = lpt_schedule(graph, 8);
+  std::size_t populated = 0;
+  for (const auto& bucket : plan.per_thread)
+    if (!bucket.empty()) ++populated;
+  EXPECT_EQ(populated, 1u);
+}
+
+// Property sweep: every tx appears exactly once across the plan.
+class LptPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LptPropertyTest, PlanIsAPartition) {
+  const std::size_t threads = GetParam();
+  BlockProfile profile;
+  for (std::size_t i = 0; i < 40; ++i) {
+    profile.txs.push_back(transfer(Address::from_id(i % 7),
+                                   Address::from_id(100 + i % 11),
+                                   10 * (i + 1)));
+  }
+  const auto graph = build_dependency_graph(profile, Granularity::kAccount);
+  const auto plan = lpt_schedule(graph, threads);
+  std::vector<int> seen(profile.txs.size(), 0);
+  for (const auto& bucket : plan.per_thread)
+    for (const std::size_t i : bucket) ++seen[i];
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "tx " << i;
+  // Load bookkeeping matches subgraph gas.
+  std::uint64_t total = 0;
+  for (const auto l : plan.load) total += l;
+  EXPECT_EQ(total, graph.total_gas());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LptPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace blockpilot::sched

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "state/exec_buffer.hpp"
+#include "state/read_view.hpp"
+#include "state/versioned_state.hpp"
+#include "state/world_state.hpp"
+
+namespace blockpilot::state {
+namespace {
+
+const Address kAlice = Address::from_id(1);
+const Address kBob = Address::from_id(2);
+
+TEST(WorldState, DefaultsAreZero) {
+  WorldState ws;
+  EXPECT_EQ(ws.get(StateKey::balance(kAlice)), U256{});
+  EXPECT_EQ(ws.get(StateKey::nonce(kAlice)), U256{});
+  EXPECT_EQ(ws.get(StateKey::storage(kAlice, U256{7})), U256{});
+  EXPECT_EQ(ws.code(kAlice), nullptr);
+}
+
+TEST(WorldState, SetAndGetRoundTrip) {
+  WorldState ws;
+  ws.set(StateKey::balance(kAlice), U256{1000});
+  ws.set(StateKey::nonce(kAlice), U256{3});
+  ws.set(StateKey::storage(kAlice, U256{7}), U256{42});
+  EXPECT_EQ(ws.get(StateKey::balance(kAlice)), U256{1000});
+  EXPECT_EQ(ws.get(StateKey::nonce(kAlice)), U256{3});
+  EXPECT_EQ(ws.get(StateKey::storage(kAlice, U256{7})), U256{42});
+}
+
+TEST(WorldState, EmptyStateRootIsEmptyTrieRoot) {
+  WorldState ws;
+  EXPECT_EQ(ws.state_root().to_hex(),
+            "0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+}
+
+TEST(WorldState, RootChangesWithState) {
+  WorldState ws;
+  const Hash256 empty = ws.state_root();
+  ws.set(StateKey::balance(kAlice), U256{1});
+  const Hash256 one = ws.state_root();
+  EXPECT_NE(empty, one);
+  ws.set(StateKey::balance(kBob), U256{2});
+  const Hash256 two = ws.state_root();
+  EXPECT_NE(one, two);
+  // Removing Bob's balance restores the earlier root (empty accounts prune).
+  ws.set(StateKey::balance(kBob), U256{});
+  EXPECT_EQ(ws.state_root(), one);
+}
+
+TEST(WorldState, RootIsContentDeterministic) {
+  WorldState a, b;
+  a.set(StateKey::balance(kAlice), U256{5});
+  a.set(StateKey::storage(kBob, U256{1}), U256{9});
+  b.set(StateKey::storage(kBob, U256{1}), U256{9});
+  b.set(StateKey::balance(kAlice), U256{5});
+  EXPECT_EQ(a.state_root(), b.state_root());
+}
+
+TEST(WorldState, ZeroStorageWritePrunes) {
+  WorldState ws;
+  ws.set(StateKey::storage(kAlice, U256{1}), U256{5});
+  const Hash256 with_slot = ws.state_root();
+  ws.set(StateKey::storage(kAlice, U256{1}), U256{});
+  WorldState fresh;
+  EXPECT_EQ(ws.state_root(), fresh.state_root());
+  EXPECT_NE(with_slot, ws.state_root());
+}
+
+TEST(WorldState, CodeAffectsRoot) {
+  WorldState plain, coded;
+  plain.set(StateKey::balance(kAlice), U256{1});
+  coded.set(StateKey::balance(kAlice), U256{1});
+  coded.set_code(kAlice, {0x60, 0x00});
+  EXPECT_NE(plain.state_root(), coded.state_root());
+}
+
+TEST(StateKey, EqualityAndHash) {
+  const StateKey b1 = StateKey::balance(kAlice);
+  const StateKey b2 = StateKey::balance(kAlice);
+  const StateKey n = StateKey::nonce(kAlice);
+  const StateKey s1 = StateKey::storage(kAlice, U256{1});
+  const StateKey s2 = StateKey::storage(kAlice, U256{2});
+  EXPECT_EQ(b1, b2);
+  EXPECT_FALSE(b1 == n);
+  EXPECT_FALSE(s1 == s2);
+  // Balance/nonce keys ignore the slot field.
+  StateKey weird = b1;
+  weird.slot = U256{99};
+  EXPECT_EQ(weird, b1);
+  EXPECT_EQ(std::hash<StateKey>{}(b1), std::hash<StateKey>{}(b2));
+}
+
+TEST(VersionedState, SnapshotVisibility) {
+  WorldState base;
+  base.set(StateKey::balance(kAlice), U256{100});
+  VersionedState vs(base);
+  const StateKey key = StateKey::balance(kAlice);
+
+  EXPECT_EQ(vs.read_at(key, 0), U256{100});
+  vs.commit({{key, U256{90}}}, 1);
+  vs.commit({{key, U256{80}}}, 2);
+
+  EXPECT_EQ(vs.read_at(key, 0), U256{100});  // old snapshot unaffected
+  EXPECT_EQ(vs.read_at(key, 1), U256{90});
+  EXPECT_EQ(vs.read_at(key, 2), U256{80});
+  EXPECT_EQ(vs.read_at(key, 99), U256{80});  // future snapshot sees latest
+  EXPECT_EQ(vs.latest_version(key), 2u);
+  EXPECT_EQ(vs.committed_version(), 2u);
+}
+
+TEST(VersionedState, LatestVersionZeroForUntouchedKeys) {
+  WorldState base;
+  VersionedState vs(base);
+  EXPECT_EQ(vs.latest_version(StateKey::balance(kBob)), 0u);
+}
+
+TEST(VersionedState, FlattenProducesFinalState) {
+  WorldState base;
+  base.set(StateKey::balance(kAlice), U256{100});
+  base.set(StateKey::balance(kBob), U256{50});
+  VersionedState vs(base);
+  vs.commit({{StateKey::balance(kAlice), U256{70}}}, 1);
+  vs.commit({{StateKey::storage(kBob, U256{3}), U256{5}}}, 2);
+
+  WorldState out = base;
+  vs.flatten_into(out);
+  EXPECT_EQ(out.get(StateKey::balance(kAlice)), U256{70});
+  EXPECT_EQ(out.get(StateKey::balance(kBob)), U256{50});
+  EXPECT_EQ(out.get(StateKey::storage(kBob, U256{3})), U256{5});
+}
+
+TEST(ExecBuffer, ReadThroughAndRecord) {
+  WorldState ws;
+  ws.set(StateKey::balance(kAlice), U256{10});
+  const WorldStateView view(ws);
+  ExecBuffer buf(view);
+
+  EXPECT_EQ(buf.read(StateKey::balance(kAlice)), U256{10});
+  EXPECT_EQ(buf.read_set().size(), 1u);
+  EXPECT_EQ(buf.read_set().at(StateKey::balance(kAlice)), U256{10});
+
+  buf.write(StateKey::balance(kAlice), U256{5});
+  EXPECT_EQ(buf.read(StateKey::balance(kAlice)), U256{5});  // own write
+  EXPECT_EQ(buf.read_set().size(), 1u);  // own-write read not re-recorded
+}
+
+TEST(ExecBuffer, WriteSetIsSortedDeterministically) {
+  WorldState ws;
+  const WorldStateView view(ws);
+  ExecBuffer buf(view);
+  buf.write(StateKey::storage(kBob, U256{9}), U256{1});
+  buf.write(StateKey::balance(kAlice), U256{2});
+  buf.write(StateKey::nonce(kAlice), U256{3});
+  const auto ws1 = buf.write_set();
+  ASSERT_EQ(ws1.size(), 3u);
+  EXPECT_TRUE(state_key_less(ws1[0].first, ws1[1].first));
+  EXPECT_TRUE(state_key_less(ws1[1].first, ws1[2].first));
+}
+
+TEST(ExecBuffer, CheckpointRevert) {
+  WorldState ws;
+  ws.set(StateKey::balance(kAlice), U256{10});
+  const WorldStateView view(ws);
+  ExecBuffer buf(view);
+
+  buf.write(StateKey::balance(kAlice), U256{8});
+  const std::size_t cp = buf.checkpoint();
+  buf.write(StateKey::balance(kAlice), U256{6});
+  buf.write(StateKey::balance(kBob), U256{2});
+  buf.revert_to(cp);
+
+  EXPECT_EQ(buf.read(StateKey::balance(kAlice)), U256{8});
+  EXPECT_EQ(buf.read(StateKey::balance(kBob)), U256{});
+  // The revert removed Bob's write from the write set entirely.
+  bool bob_present = false;
+  for (const auto& [key, value] : buf.write_set())
+    if (key == StateKey::balance(kBob)) bob_present = true;
+  EXPECT_FALSE(bob_present);
+}
+
+TEST(ExecBuffer, NestedCheckpoints) {
+  WorldState ws;
+  const WorldStateView view(ws);
+  ExecBuffer buf(view);
+  const StateKey key = StateKey::storage(kAlice, U256{1});
+
+  buf.write(key, U256{1});
+  const std::size_t cp1 = buf.checkpoint();
+  buf.write(key, U256{2});
+  const std::size_t cp2 = buf.checkpoint();
+  buf.write(key, U256{3});
+  buf.revert_to(cp2);
+  EXPECT_EQ(buf.read(key), U256{2});
+  buf.revert_to(cp1);
+  EXPECT_EQ(buf.read(key), U256{1});
+}
+
+TEST(ExecBuffer, ReadsSurviveRevert) {
+  // A reverted frame still observed its reads; they stay conflict-relevant.
+  WorldState ws;
+  ws.set(StateKey::balance(kBob), U256{77});
+  const WorldStateView view(ws);
+  ExecBuffer buf(view);
+  const std::size_t cp = buf.checkpoint();
+  (void)buf.read(StateKey::balance(kBob));
+  buf.revert_to(cp);
+  EXPECT_EQ(buf.read_set().size(), 1u);
+}
+
+TEST(ExecBuffer, ResetClearsEverything) {
+  WorldState ws;
+  const WorldStateView view(ws);
+  ExecBuffer buf(view);
+  (void)buf.read(StateKey::balance(kAlice));
+  buf.write(StateKey::balance(kBob), U256{1});
+  buf.reset();
+  EXPECT_TRUE(buf.read_set().empty());
+  EXPECT_TRUE(buf.write_set().empty());
+}
+
+TEST(SnapshotView, ReadsAtFixedVersion) {
+  WorldState base;
+  base.set(StateKey::balance(kAlice), U256{100});
+  VersionedState vs(base);
+  const SnapshotView snap0(vs, 0);
+  vs.commit({{StateKey::balance(kAlice), U256{55}}}, 1);
+  const SnapshotView snap1(vs, 1);
+  EXPECT_EQ(snap0.read(StateKey::balance(kAlice)), U256{100});
+  EXPECT_EQ(snap1.read(StateKey::balance(kAlice)), U256{55});
+}
+
+}  // namespace
+}  // namespace blockpilot::state

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "support/mpmc_queue.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "vtime/vtime.hpp"
+
+namespace blockpilot {
+namespace {
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Xoshiro256 a2(42), c2(43);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Xoshiro, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const auto v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Xoshiro256 rng(11);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // rank 0 well above uniform share
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+  Xoshiro256 rng(13);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndBounded) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 60; ++i) {
+    pool.submit([&] {
+      const std::size_t idx = ThreadPool::worker_index();
+      std::scoped_lock lk(mu);
+      seen.insert(idx);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_LE(seen.size(), 3u);
+  for (const auto idx : seen) EXPECT_LT(idx, 3u);
+  EXPECT_EQ(ThreadPool::worker_index(), SIZE_MAX);  // non-pool thread
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, CloseDrainsThenEnds) {
+  MpmcQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, ProducersConsumersAgree) {
+  MpmcQueue<int> q(64);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::jthread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  // Join producers (first kProducers threads), then close.
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  threads.clear();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  long long expect = 0;
+  for (int i = 0; i < total; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(WorkLedger, TracksPerWorkerClocks) {
+  vtime::WorkLedger ledger(3);
+  ledger.add(0, 100);
+  ledger.add(1, 250);
+  ledger.add(1, 50);
+  ledger.add(2, 10);
+  EXPECT_EQ(ledger.clock(0), 100u);
+  EXPECT_EQ(ledger.clock(1), 300u);
+  EXPECT_EQ(ledger.makespan(), 300u);
+  EXPECT_EQ(ledger.total(), 410u);
+  ledger.reset();
+  EXPECT_EQ(ledger.total(), 0u);
+}
+
+TEST(WorkLedger, SpeedupHelper) {
+  EXPECT_DOUBLE_EQ(vtime::speedup(1000, 250), 4.0);
+  EXPECT_DOUBLE_EQ(vtime::speedup(1000, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace blockpilot

@@ -1,0 +1,212 @@
+#include "trie/mpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace blockpilot::trie {
+namespace {
+
+Bytes bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::span<const std::uint8_t> span_of(const Bytes& b) { return std::span(b); }
+
+void put_str(MerklePatriciaTrie& t, std::string_view k, std::string_view v) {
+  const Bytes kb = bytes(k), vb = bytes(v);
+  t.put(std::span(kb), std::span(vb));
+}
+
+TEST(HexPrefix, EncodingRules) {
+  // Yellow-paper examples: even extension, odd extension, even leaf, odd leaf.
+  EXPECT_EQ(hex_prefix_encode(std::vector<std::uint8_t>{1, 2, 3, 4, 5}, false),
+            (Bytes{0x11, 0x23, 0x45}));
+  EXPECT_EQ(hex_prefix_encode(std::vector<std::uint8_t>{0, 1, 2, 3, 4, 5}, false),
+            (Bytes{0x00, 0x01, 0x23, 0x45}));
+  EXPECT_EQ(hex_prefix_encode(std::vector<std::uint8_t>{0xf, 1, 0xc, 0xb, 8},
+                              true),
+            (Bytes{0x3f, 0x1c, 0xb8}));
+  EXPECT_EQ(hex_prefix_encode(std::vector<std::uint8_t>{0, 0xf, 1, 0xc, 0xb, 8},
+                              true),
+            (Bytes{0x20, 0x0f, 0x1c, 0xb8}));
+}
+
+TEST(Trie, EmptyRootIsCanonical) {
+  MerklePatriciaTrie t;
+  EXPECT_EQ(t.root_hash().to_hex(),
+            "0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trie, CanonicalFourKeyVector) {
+  // The classic MPT example from the Ethereum wiki / reference tests.
+  MerklePatriciaTrie t;
+  put_str(t, "do", "verb");
+  put_str(t, "dog", "puppy");
+  put_str(t, "doge", "coin");
+  put_str(t, "horse", "stallion");
+  EXPECT_EQ(t.root_hash().to_hex(),
+            "0x5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84");
+}
+
+TEST(Trie, GetReturnsStoredValues) {
+  MerklePatriciaTrie t;
+  put_str(t, "do", "verb");
+  put_str(t, "dog", "puppy");
+  put_str(t, "doge", "coin");
+  const Bytes key = bytes("dog");
+  const auto got = t.get(std::span(key));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, bytes("puppy"));
+  const Bytes missing = bytes("cat");
+  EXPECT_FALSE(t.get(std::span(missing)).has_value());
+  // Prefix of a stored key is not itself stored.
+  const Bytes prefix = bytes("dogs");
+  EXPECT_FALSE(t.get(std::span(prefix)).has_value());
+}
+
+TEST(Trie, OverwriteChangesRoot) {
+  MerklePatriciaTrie t;
+  put_str(t, "key", "value1");
+  const Hash256 r1 = t.root_hash();
+  put_str(t, "key", "value2");
+  const Hash256 r2 = t.root_hash();
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(t.size(), 1u);
+  put_str(t, "key", "value1");
+  EXPECT_EQ(t.root_hash(), r1);
+}
+
+TEST(Trie, InsertionOrderIndependence) {
+  const std::vector<std::pair<std::string, std::string>> kvs = {
+      {"do", "verb"},   {"dog", "puppy"},     {"doge", "coin"},
+      {"horse", "stallion"}, {"dodge", "car"}, {"dot", "point"},
+      {"a", "1"},       {"ab", "2"},          {"abc", "3"},
+  };
+  MerklePatriciaTrie forward, backward, shuffled;
+  for (const auto& [k, v] : kvs) put_str(forward, k, v);
+  for (auto it = kvs.rbegin(); it != kvs.rend(); ++it)
+    put_str(backward, it->first, it->second);
+  std::vector<std::size_t> order(kvs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Xoshiro256 rng(99);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  for (const std::size_t i : order) put_str(shuffled, kvs[i].first, kvs[i].second);
+
+  EXPECT_EQ(forward.root_hash(), backward.root_hash());
+  EXPECT_EQ(forward.root_hash(), shuffled.root_hash());
+}
+
+TEST(Trie, EraseRestoresPriorRoot) {
+  MerklePatriciaTrie t;
+  put_str(t, "do", "verb");
+  put_str(t, "dog", "puppy");
+  const Hash256 before = t.root_hash();
+  put_str(t, "doge", "coin");
+  EXPECT_NE(t.root_hash(), before);
+  const Bytes key = bytes("doge");
+  t.erase(std::span(key));
+  EXPECT_EQ(t.root_hash(), before);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Trie, EraseToEmpty) {
+  MerklePatriciaTrie t;
+  put_str(t, "alpha", "1");
+  put_str(t, "beta", "2");
+  const Bytes a = bytes("alpha"), b = bytes("beta");
+  t.erase(std::span(a));
+  t.erase(std::span(b));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.root_hash(), MerklePatriciaTrie::empty_root());
+}
+
+TEST(Trie, EmptyValueMeansErase) {
+  MerklePatriciaTrie t;
+  put_str(t, "k", "v");
+  const Bytes key = bytes("k");
+  t.put(std::span(key), std::span<const std::uint8_t>{});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trie, EraseMissingKeyIsNoop) {
+  MerklePatriciaTrie t;
+  put_str(t, "abc", "1");
+  const Hash256 before = t.root_hash();
+  for (const char* missing : {"ab", "abcd", "xyz", ""}) {
+    const Bytes key = bytes(missing);
+    t.erase(std::span(key));
+  }
+  EXPECT_EQ(t.root_hash(), before);
+}
+
+TEST(Trie, CopySemantics) {
+  MerklePatriciaTrie a;
+  put_str(a, "one", "1");
+  put_str(a, "two", "2");
+  MerklePatriciaTrie b = a;  // deep copy
+  put_str(b, "three", "3");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  const Bytes key = bytes("three");
+  EXPECT_FALSE(a.get(std::span(key)).has_value());
+  EXPECT_TRUE(b.get(std::span(key)).has_value());
+}
+
+TEST(SecureTrie, HashedKeysStillRoundTrip) {
+  SecureTrie st;
+  const Bytes key = bytes("account-key");
+  const Bytes value = bytes("account-value");
+  st.put(span_of(key), span_of(value));
+  const auto got = st.get(span_of(key));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, value);
+  EXPECT_NE(st.root_hash(), MerklePatriciaTrie::empty_root());
+}
+
+// Property sweep: the trie must agree with std::map under random workloads
+// and be history-independent (root depends only on final contents).
+class TrieFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieFuzzTest, MatchesReferenceMap) {
+  Xoshiro256 rng(GetParam());
+  MerklePatriciaTrie t;
+  std::map<Bytes, Bytes> reference;
+
+  for (int iter = 0; iter < 600; ++iter) {
+    Bytes key(rng.below(6) + 1, 0);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(4));  // dense
+    if (rng.chance(0.7)) {
+      Bytes value(rng.below(40) + 1, 0);
+      for (auto& b : value) b = static_cast<std::uint8_t>(rng.below(256));
+      t.put(std::span(key), std::span(value));
+      reference[key] = value;
+    } else {
+      t.erase(std::span(key));
+      reference.erase(key);
+    }
+  }
+
+  EXPECT_EQ(t.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    const auto got = t.get(std::span(k));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+
+  // History independence: rebuilding from the final map gives the same root.
+  MerklePatriciaTrie rebuilt;
+  for (const auto& [k, v] : reference) rebuilt.put(std::span(k), std::span(v));
+  EXPECT_EQ(t.root_hash(), rebuilt.root_hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzzTest,
+                         ::testing::Values(5u, 17u, 23u, 71u, 1234u));
+
+}  // namespace
+}  // namespace blockpilot::trie

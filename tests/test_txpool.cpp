@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "txpool/txpool.hpp"
+
+namespace blockpilot::txpool {
+namespace {
+
+chain::Transaction make_tx(std::uint64_t price, std::uint64_t nonce = 0) {
+  chain::Transaction tx;
+  tx.from = Address::from_id(1);
+  tx.to = Address::from_id(2);
+  tx.gas_price = U256{price};
+  tx.nonce = nonce;
+  tx.gas_limit = 21000;
+  return tx;
+}
+
+TEST(TxPool, PopsByGasPriceDescending) {
+  TxPool pool;
+  pool.add(make_tx(10));
+  pool.add(make_tx(50));
+  pool.add(make_tx(30));
+  EXPECT_EQ(pool.pop()->gas_price, U256{50});
+  EXPECT_EQ(pool.pop()->gas_price, U256{30});
+  EXPECT_EQ(pool.pop()->gas_price, U256{10});
+  EXPECT_EQ(pool.pop(), std::nullopt);
+}
+
+TEST(TxPool, EqualPricesFifo) {
+  TxPool pool;
+  pool.add(make_tx(10, 0));
+  pool.add(make_tx(10, 1));
+  pool.add(make_tx(10, 2));
+  EXPECT_EQ(pool.pop()->nonce, 0u);
+  EXPECT_EQ(pool.pop()->nonce, 1u);
+  EXPECT_EQ(pool.pop()->nonce, 2u);
+}
+
+TEST(TxPool, PushBackReenters) {
+  TxPool pool;
+  pool.add(make_tx(10));
+  auto tx = pool.pop();
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_TRUE(pool.empty());
+  pool.push_back(std::move(*tx));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.pop().has_value());
+}
+
+TEST(TxPool, DeferredReenterOnProgress) {
+  TxPool pool;
+  pool.add(make_tx(10, 1));
+  auto tx = pool.pop();
+  pool.defer(std::move(*tx));
+  EXPECT_EQ(pool.size(), 1u);
+  pool.progress();
+  EXPECT_TRUE(pool.pop().has_value());
+}
+
+TEST(TxPool, DeferredStayParkedUntilProgress) {
+  TxPool pool;
+  pool.add(make_tx(10, 1));
+  pool.defer(std::move(*pool.pop()));
+  // Without progress(), pop() must NOT surface the deferred entry — a
+  // worker would otherwise spin pop->defer->pop with no commit in between.
+  EXPECT_EQ(pool.pop(), std::nullopt);
+  EXPECT_EQ(pool.size(), 1u);  // but it still counts as pending work
+  pool.progress();
+  EXPECT_TRUE(pool.pop().has_value());
+}
+
+TEST(TxPool, AddAllBulkInsert) {
+  TxPool pool;
+  std::vector<chain::Transaction> txs;
+  for (int i = 0; i < 10; ++i) txs.push_back(make_tx(10 + i));
+  pool.add_all(std::move(txs));
+  EXPECT_EQ(pool.size(), 10u);
+  EXPECT_EQ(pool.pop()->gas_price, U256{19});
+}
+
+TEST(TxPool, ConcurrentPopsDrainExactly) {
+  TxPool pool;
+  constexpr int kTxs = 2000;
+  for (int i = 0; i < kTxs; ++i)
+    pool.add(make_tx(static_cast<std::uint64_t>(i % 97)));
+  std::atomic<int> popped{0};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (pool.pop().has_value()) popped.fetch_add(1);
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(popped.load(), kTxs);
+  EXPECT_TRUE(pool.empty());
+}
+
+}  // namespace
+}  // namespace blockpilot::txpool

@@ -1,0 +1,198 @@
+#include "types/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace blockpilot {
+namespace {
+
+const U256 kMax = ~U256{};  // 2^256 - 1
+
+TEST(U256, BasicConstructionAndHex) {
+  EXPECT_TRUE(U256{}.is_zero());
+  EXPECT_EQ(U256{42}.low64(), 42u);
+  EXPECT_EQ(U256{0}.to_hex(), "0x0");
+  EXPECT_EQ(U256{255}.to_hex(), "0xff");
+  EXPECT_EQ(U256::from_hex("0xff"), U256{255});
+  EXPECT_EQ(U256::from_hex("deadbeef"), U256{0xdeadbeefULL});
+  const U256 big = U256::from_hex(
+      "0x123456789abcdef0fedcba9876543210aaaabbbbccccddddeeeeffff00001111");
+  EXPECT_EQ(big.to_hex(),
+            "0x123456789abcdef0fedcba9876543210aaaabbbbccccddddeeeeffff00001111");
+}
+
+TEST(U256, BytesRoundTrip) {
+  const U256 v = U256::from_hex(
+      "0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  const auto be = v.to_be_bytes();
+  EXPECT_EQ(be[0], 0x01);
+  EXPECT_EQ(be[31], 0x20);
+  EXPECT_EQ(U256::from_be_bytes(std::span(be)), v);
+}
+
+TEST(U256, AdditionWraps) {
+  EXPECT_EQ(U256{1} + U256{2}, U256{3});
+  EXPECT_EQ(kMax + U256{1}, U256{});
+  // Carry propagation across limbs.
+  const U256 low_all_ones{0, 0, 0, ~0ULL};
+  EXPECT_EQ(low_all_ones + U256{1}, U256(0, 0, 1, 0));
+}
+
+TEST(U256, SubtractionWraps) {
+  EXPECT_EQ(U256{5} - U256{3}, U256{2});
+  EXPECT_EQ(U256{} - U256{1}, kMax);
+  EXPECT_EQ(U256(0, 0, 1, 0) - U256{1}, U256(0, 0, 0, ~0ULL));
+}
+
+TEST(U256, Multiplication) {
+  EXPECT_EQ(U256{7} * U256{6}, U256{42});
+  EXPECT_EQ(U256{1ULL << 32} * U256{1ULL << 32}, U256(0, 0, 1, 0));
+  EXPECT_EQ(kMax * kMax, U256{1});  // (-1)^2 == 1 mod 2^256
+}
+
+TEST(U256, DivisionAndModulo) {
+  EXPECT_EQ(U256{42} / U256{6}, U256{7});
+  EXPECT_EQ(U256{43} % U256{6}, U256{1});
+  EXPECT_EQ(U256{42} / U256{}, U256{});  // EVM: x/0 == 0
+  EXPECT_EQ(U256{42} % U256{}, U256{});  // EVM: x%0 == 0
+  // 128-bit+ divisor path.
+  const U256 num = U256::from_hex("0x100000000000000000000000000000000");
+  const U256 den = U256::from_hex("0x10000000000000000");
+  EXPECT_EQ(num / den, den);
+  EXPECT_EQ(num % den, U256{});
+}
+
+TEST(U256, SignedOps) {
+  const U256 minus_one = kMax;
+  const U256 minus_seven = U256{7}.negate();
+  EXPECT_TRUE(minus_one.negative());
+  EXPECT_EQ(U256::sdiv(minus_seven, U256{2}), U256{3}.negate());
+  EXPECT_EQ(U256::sdiv(U256{7}, U256{2}.negate()), U256{3}.negate());
+  EXPECT_EQ(U256::sdiv(minus_seven, U256{2}.negate()), U256{3});
+  EXPECT_EQ(U256::smod(minus_seven, U256{3}), U256{1}.negate());
+  EXPECT_EQ(U256::smod(U256{7}, U256{3}.negate()), U256{1});
+  EXPECT_TRUE(U256::signed_less(minus_one, U256{0}));
+  EXPECT_TRUE(U256::signed_less(minus_one, U256{1}));
+  EXPECT_FALSE(U256::signed_less(U256{1}, minus_one));
+  // INT_MIN / -1 == INT_MIN (EVM SDIV overflow rule).
+  const U256 int_min = U256{1}.shl(255);
+  EXPECT_EQ(U256::sdiv(int_min, minus_one), int_min);
+}
+
+TEST(U256, Shifts) {
+  EXPECT_EQ(U256{1}.shl(4), U256{16});
+  EXPECT_EQ(U256{16}.shr(4), U256{1});
+  EXPECT_EQ(U256{1}.shl(255).to_hex(),
+            "0x8000000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(U256{1}.shl(256), U256{});
+  EXPECT_EQ(kMax.shr(255), U256{1});
+  EXPECT_EQ(kMax.shr(256), U256{});
+  // Arithmetic shift preserves the sign.
+  EXPECT_EQ(kMax.sar(8), kMax);
+  EXPECT_EQ(U256{256}.sar(4), U256{16});
+}
+
+TEST(U256, AddmodMulmod) {
+  EXPECT_EQ(U256::addmod(U256{10}, U256{10}, U256{8}), U256{4});
+  EXPECT_EQ(U256::mulmod(U256{10}, U256{10}, U256{8}), U256{4});
+  EXPECT_EQ(U256::addmod(U256{1}, U256{2}, U256{}), U256{});
+  EXPECT_EQ(U256::mulmod(U256{1}, U256{2}, U256{}), U256{});
+  // 512-bit intermediate correctness: (2^255)*2 mod (2^256-1) == 1.
+  EXPECT_EQ(U256::mulmod(U256{1}.shl(255), U256{2}, kMax), U256{1});
+  // ADDMOD with wrap: max + max mod max == 0.
+  EXPECT_EQ(U256::addmod(kMax, kMax, kMax), U256{});
+}
+
+TEST(U256, Exp) {
+  EXPECT_EQ(U256::exp(U256{2}, U256{10}), U256{1024});
+  EXPECT_EQ(U256::exp(U256{0}, U256{0}), U256{1});  // EVM: 0^0 == 1
+  EXPECT_EQ(U256::exp(U256{3}, U256{0}), U256{1});
+  EXPECT_EQ(U256::exp(U256{2}, U256{256}), U256{});  // wraps to zero
+  EXPECT_EQ(U256::exp(U256{10}, U256{18}),
+            U256{1'000'000'000'000'000'000ULL});
+}
+
+TEST(U256, SignextendAndByte) {
+  EXPECT_EQ(U256::signextend(U256{0}, U256{0xff}), kMax);
+  EXPECT_EQ(U256::signextend(U256{0}, U256{0x7f}), U256{0x7f});
+  EXPECT_EQ(U256::signextend(U256{1}, U256{0x80ff}), ~U256{0x7f00});
+  EXPECT_EQ(U256::signextend(U256{31}, kMax), kMax);
+  EXPECT_EQ(U256::signextend(U256{100}, U256{5}), U256{5});
+
+  EXPECT_EQ(U256::byte(U256{31}, U256{0xab}), U256{0xab});
+  EXPECT_EQ(U256::byte(U256{30}, U256{0xabcd}), U256{0xab});
+  EXPECT_EQ(U256::byte(U256{0}, U256{0xab}), U256{});
+  EXPECT_EQ(U256::byte(U256{32}, kMax), U256{});
+}
+
+TEST(U256, Comparisons) {
+  EXPECT_LT(U256{1}, U256{2});
+  EXPECT_LT(U256{2}, U256(0, 0, 1, 0));
+  EXPECT_GT(kMax, U256{0});
+  EXPECT_EQ(U256{7}, U256{7});
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256{}.bit_length(), 0);
+  EXPECT_EQ(U256{1}.bit_length(), 1);
+  EXPECT_EQ(U256{255}.bit_length(), 8);
+  EXPECT_EQ(U256{256}.bit_length(), 9);
+  EXPECT_EQ(kMax.bit_length(), 256);
+  EXPECT_EQ(U256{1}.shl(200).bit_length(), 201);
+}
+
+// Property sweep: random (a, b) pairs must satisfy ring identities.
+class U256PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U256PropertyTest, RingIdentities) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const U256 a(rng(), rng(), rng(), rng());
+    const U256 b(rng(), rng(), rng(), rng());
+    // a + b - b == a
+    EXPECT_EQ(a + b - b, a);
+    // a * 1 == a; a * 0 == 0
+    EXPECT_EQ(a * U256{1}, a);
+    EXPECT_EQ(a * U256{}, U256{});
+    // commutativity
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    // division identity: a == (a/b)*b + a%b  (b != 0)
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b + (a % b), a);
+      EXPECT_LT(a % b, b);
+    }
+    // shl/shr consistency for small shifts
+    const unsigned s = static_cast<unsigned>(rng.below(64)) + 1;
+    EXPECT_EQ(a.shl(s).shr(s), a & (kMax.shr(s)));
+    // double negation
+    EXPECT_EQ(a.negate().negate(), a);
+    // De Morgan
+    EXPECT_EQ(~(a & b), (~a | ~b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256PropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 31337u));
+
+// Property sweep: divmod against 64-bit reference arithmetic.
+class U256SmallDivTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U256SmallDivTest, MatchesNativeUint64) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng() | 1;  // non-zero
+    EXPECT_EQ(U256{a} / U256{b}, U256{a / b});
+    EXPECT_EQ(U256{a} % U256{b}, U256{a % b});
+    // 64-bit addition wraps earlier than 256-bit; compare the low limb only.
+    EXPECT_EQ((U256{a} + U256{b}).low64(), a + b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256SmallDivTest,
+                         ::testing::Values(7u, 1234u, 999983u));
+
+}  // namespace
+}  // namespace blockpilot

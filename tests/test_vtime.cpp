@@ -1,0 +1,122 @@
+// Virtual-time bookkeeping and transaction-envelope edge cases.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "evm/gas.hpp"
+#include "evm/state_transition.hpp"
+#include "state/exec_buffer.hpp"
+#include "state/read_view.hpp"
+#include "vtime/vtime.hpp"
+
+namespace blockpilot {
+namespace {
+
+TEST(WorkLedger, ConcurrentAddsAreLossless) {
+  vtime::WorkLedger ledger(4);
+  std::vector<std::jthread> threads;
+  for (std::size_t w = 0; w < 4; ++w) {
+    threads.emplace_back([&ledger, w] {
+      for (int i = 0; i < 10'000; ++i) ledger.add(w, 3);
+    });
+  }
+  threads.clear();
+  for (std::size_t w = 0; w < 4; ++w) EXPECT_EQ(ledger.clock(w), 30'000u);
+  EXPECT_EQ(ledger.total(), 120'000u);
+  EXPECT_EQ(ledger.makespan(), 30'000u);
+}
+
+TEST(CostModel, DefaultsAreGasScaled) {
+  // Overheads must stay small relative to a plain transfer (21000 gas) so
+  // they perturb rather than dominate the schedules.
+  const vtime::CostModel costs;
+  EXPECT_LT(costs.commit_cost, evm::gas::kTxIntrinsic / 4);
+  EXPECT_LT(costs.apply_cost, evm::gas::kTxIntrinsic / 4);
+  EXPECT_LT(costs.dispatch_cost, costs.commit_cost);
+  // Block-level costs are of block scale, not transaction scale.
+  EXPECT_GT(costs.block_switch_cost, evm::gas::kTxIntrinsic);
+  EXPECT_GT(costs.block_fixed_cost, costs.block_switch_cost / 2);
+}
+
+// ---- state-transition envelope edges ----
+
+struct EnvelopeFixture : ::testing::Test {
+  state::WorldState ws;
+  evm::BlockContext block;
+  chain::Transaction tx;
+
+  EnvelopeFixture() {
+    block.coinbase = Address::from_id(0xFEE);
+    tx.from = Address::from_id(1);
+    tx.to = Address::from_id(2);
+    tx.gas_limit = 21'000;
+    tx.gas_price = U256{3};
+  }
+
+  evm::TxExecResult run() {
+    const state::WorldStateView view(ws);
+    state::ExecBuffer buffer(view);
+    const auto r = evm::execute_transaction(buffer, block, tx);
+    if (r.status == evm::TxStatus::kIncluded)
+      for (const auto& [key, value] : buffer.write_set()) ws.set(key, value);
+    return r;
+  }
+};
+
+TEST_F(EnvelopeFixture, ExactBalanceSucceeds) {
+  // Balance == value + gas_limit * price exactly: must be includable.
+  tx.value = U256{500};
+  ws.set(state::StateKey::balance(tx.from),
+         tx.value + tx.gas_price * U256{tx.gas_limit});
+  const auto r = run();
+  ASSERT_EQ(r.status, evm::TxStatus::kIncluded);
+  // Transfer used all gas == intrinsic; sender ends at zero.
+  EXPECT_EQ(ws.get(state::StateKey::balance(tx.from)), U256{});
+  EXPECT_EQ(ws.get(state::StateKey::balance(tx.to)), U256{500});
+}
+
+TEST_F(EnvelopeFixture, OneWeiShortFails) {
+  tx.value = U256{500};
+  ws.set(state::StateKey::balance(tx.from),
+         tx.value + tx.gas_price * U256{tx.gas_limit} - U256{1});
+  EXPECT_EQ(run().status, evm::TxStatus::kInvalid);
+}
+
+TEST_F(EnvelopeFixture, ZeroValueZeroPriceTransfer) {
+  ws.set(state::StateKey::balance(tx.from), U256{1});
+  tx.gas_price = U256{};
+  tx.value = U256{};
+  const auto r = run();
+  ASSERT_EQ(r.status, evm::TxStatus::kIncluded);
+  EXPECT_EQ(r.fee(), U256{});
+  EXPECT_EQ(ws.get(state::StateKey::nonce(tx.from)), U256{1});
+}
+
+TEST_F(EnvelopeFixture, SelfTransferPreservesBalanceMinusFees) {
+  tx.to = tx.from;
+  tx.value = U256{1000};
+  ws.set(state::StateKey::balance(tx.from), U256{1'000'000});
+  const auto r = run();
+  ASSERT_EQ(r.status, evm::TxStatus::kIncluded);
+  EXPECT_EQ(ws.get(state::StateKey::balance(tx.from)),
+            U256{1'000'000} - r.fee());
+}
+
+TEST_F(EnvelopeFixture, GasLimitAboveBlockLimitInvalid) {
+  ws.set(state::StateKey::balance(tx.from), ~U256{}.shr(1));
+  tx.gas_limit = block.gas_limit + 1;
+  EXPECT_EQ(run().status, evm::TxStatus::kInvalid);
+}
+
+TEST_F(EnvelopeFixture, IntrinsicGasExactlyAtLimit) {
+  ws.set(state::StateKey::balance(tx.from), U256{1'000'000});
+  tx.data = {0x01};  // intrinsic 21016
+  tx.gas_limit = evm::intrinsic_gas(tx);
+  const auto r = run();
+  ASSERT_EQ(r.status, evm::TxStatus::kIncluded);
+  EXPECT_EQ(r.gas_used, tx.gas_limit);  // nothing left for the call: fine,
+                                        // target has no code
+}
+
+}  // namespace
+}  // namespace blockpilot
