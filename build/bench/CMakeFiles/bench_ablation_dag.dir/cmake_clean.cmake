@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dag.dir/bench_ablation_dag.cpp.o"
+  "CMakeFiles/bench_ablation_dag.dir/bench_ablation_dag.cpp.o.d"
+  "bench_ablation_dag"
+  "bench_ablation_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

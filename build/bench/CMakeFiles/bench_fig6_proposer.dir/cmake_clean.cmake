@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_proposer.dir/bench_fig6_proposer.cpp.o"
+  "CMakeFiles/bench_fig6_proposer.dir/bench_fig6_proposer.cpp.o.d"
+  "bench_fig6_proposer"
+  "bench_fig6_proposer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_proposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_validator_scalability.dir/bench_fig7a_validator_scalability.cpp.o"
+  "CMakeFiles/bench_fig7a_validator_scalability.dir/bench_fig7a_validator_scalability.cpp.o.d"
+  "bench_fig7a_validator_scalability"
+  "bench_fig7a_validator_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_validator_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

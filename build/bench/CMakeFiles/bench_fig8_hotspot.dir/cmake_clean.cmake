@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hotspot.dir/bench_fig8_hotspot.cpp.o"
+  "CMakeFiles/bench_fig8_hotspot.dir/bench_fig8_hotspot.cpp.o.d"
+  "bench_fig8_hotspot"
+  "bench_fig8_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multiblock.dir/bench_fig9_multiblock.cpp.o"
+  "CMakeFiles/bench_fig9_multiblock.dir/bench_fig9_multiblock.cpp.o.d"
+  "bench_fig9_multiblock"
+  "bench_fig9_multiblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multiblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

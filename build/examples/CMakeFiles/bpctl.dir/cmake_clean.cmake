@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpctl.dir/bpctl.cpp.o"
+  "CMakeFiles/bpctl.dir/bpctl.cpp.o.d"
+  "bpctl"
+  "bpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

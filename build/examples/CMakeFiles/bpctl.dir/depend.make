@@ -1,0 +1,2 @@
+# Empty dependencies file for bpctl.
+# This may be replaced when dependencies are built.

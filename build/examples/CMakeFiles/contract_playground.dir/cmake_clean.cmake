@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_playground.dir/contract_playground.cpp.o"
+  "CMakeFiles/contract_playground.dir/contract_playground.cpp.o.d"
+  "contract_playground"
+  "contract_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

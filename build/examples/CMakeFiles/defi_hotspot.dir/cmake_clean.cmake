@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defi_hotspot.dir/defi_hotspot.cpp.o"
+  "CMakeFiles/defi_hotspot.dir/defi_hotspot.cpp.o.d"
+  "defi_hotspot"
+  "defi_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defi_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_pipeline.dir/fork_pipeline.cpp.o"
+  "CMakeFiles/fork_pipeline.dir/fork_pipeline.cpp.o.d"
+  "fork_pipeline"
+  "fork_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/network_sim.cpp" "examples/CMakeFiles/network_sim.dir/network_sim.cpp.o" "gcc" "examples/CMakeFiles/network_sim.dir/network_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txpool/CMakeFiles/bp_txpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/bp_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/bp_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/bp_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bp_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/bp_rlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/bp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("crypto")
+subdirs("types")
+subdirs("rlp")
+subdirs("trie")
+subdirs("state")
+subdirs("evm")
+subdirs("txpool")
+subdirs("chain")
+subdirs("sched")
+subdirs("vtime")
+subdirs("workload")
+subdirs("core")
+subdirs("net")

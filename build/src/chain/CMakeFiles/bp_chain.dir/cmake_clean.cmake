@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_chain.dir/archive.cpp.o"
+  "CMakeFiles/bp_chain.dir/archive.cpp.o.d"
+  "CMakeFiles/bp_chain.dir/block.cpp.o"
+  "CMakeFiles/bp_chain.dir/block.cpp.o.d"
+  "CMakeFiles/bp_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/bp_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/bp_chain.dir/codec.cpp.o"
+  "CMakeFiles/bp_chain.dir/codec.cpp.o.d"
+  "CMakeFiles/bp_chain.dir/receipt.cpp.o"
+  "CMakeFiles/bp_chain.dir/receipt.cpp.o.d"
+  "libbp_chain.a"
+  "libbp_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

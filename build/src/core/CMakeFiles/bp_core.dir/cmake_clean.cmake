@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_core.dir/occ_baseline.cpp.o"
+  "CMakeFiles/bp_core.dir/occ_baseline.cpp.o.d"
+  "CMakeFiles/bp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/bp_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bp_core.dir/proposer.cpp.o"
+  "CMakeFiles/bp_core.dir/proposer.cpp.o.d"
+  "CMakeFiles/bp_core.dir/serial_executor.cpp.o"
+  "CMakeFiles/bp_core.dir/serial_executor.cpp.o.d"
+  "CMakeFiles/bp_core.dir/validator.cpp.o"
+  "CMakeFiles/bp_core.dir/validator.cpp.o.d"
+  "libbp_core.a"
+  "libbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

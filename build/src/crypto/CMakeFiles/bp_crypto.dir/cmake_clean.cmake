@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/bp_crypto.dir/keccak.cpp.o.d"
+  "libbp_crypto.a"
+  "libbp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evm/assembler.cpp" "src/evm/CMakeFiles/bp_evm.dir/assembler.cpp.o" "gcc" "src/evm/CMakeFiles/bp_evm.dir/assembler.cpp.o.d"
+  "/root/repo/src/evm/interpreter.cpp" "src/evm/CMakeFiles/bp_evm.dir/interpreter.cpp.o" "gcc" "src/evm/CMakeFiles/bp_evm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/evm/state_transition.cpp" "src/evm/CMakeFiles/bp_evm.dir/state_transition.cpp.o" "gcc" "src/evm/CMakeFiles/bp_evm.dir/state_transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/state/CMakeFiles/bp_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/bp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bp_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlp/CMakeFiles/bp_rlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_evm.dir/assembler.cpp.o"
+  "CMakeFiles/bp_evm.dir/assembler.cpp.o.d"
+  "CMakeFiles/bp_evm.dir/interpreter.cpp.o"
+  "CMakeFiles/bp_evm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/bp_evm.dir/state_transition.cpp.o"
+  "CMakeFiles/bp_evm.dir/state_transition.cpp.o.d"
+  "libbp_evm.a"
+  "libbp_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_net.dir/consensus_sim.cpp.o"
+  "CMakeFiles/bp_net.dir/consensus_sim.cpp.o.d"
+  "CMakeFiles/bp_net.dir/network.cpp.o"
+  "CMakeFiles/bp_net.dir/network.cpp.o.d"
+  "libbp_net.a"
+  "libbp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_rlp.dir/rlp.cpp.o"
+  "CMakeFiles/bp_rlp.dir/rlp.cpp.o.d"
+  "libbp_rlp.a"
+  "libbp_rlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_rlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

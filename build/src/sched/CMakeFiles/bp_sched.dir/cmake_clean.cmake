@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_sched.dir/dag.cpp.o"
+  "CMakeFiles/bp_sched.dir/dag.cpp.o.d"
+  "CMakeFiles/bp_sched.dir/depgraph.cpp.o"
+  "CMakeFiles/bp_sched.dir/depgraph.cpp.o.d"
+  "libbp_sched.a"
+  "libbp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

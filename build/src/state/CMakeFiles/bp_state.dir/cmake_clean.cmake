@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_state.dir/exec_buffer.cpp.o"
+  "CMakeFiles/bp_state.dir/exec_buffer.cpp.o.d"
+  "CMakeFiles/bp_state.dir/versioned_state.cpp.o"
+  "CMakeFiles/bp_state.dir/versioned_state.cpp.o.d"
+  "CMakeFiles/bp_state.dir/world_state.cpp.o"
+  "CMakeFiles/bp_state.dir/world_state.cpp.o.d"
+  "libbp_state.a"
+  "libbp_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_support.dir/rng.cpp.o"
+  "CMakeFiles/bp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/bp_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/bp_support.dir/thread_pool.cpp.o.d"
+  "libbp_support.a"
+  "libbp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_trie.dir/mpt.cpp.o"
+  "CMakeFiles/bp_trie.dir/mpt.cpp.o.d"
+  "CMakeFiles/bp_trie.dir/proof.cpp.o"
+  "CMakeFiles/bp_trie.dir/proof.cpp.o.d"
+  "libbp_trie.a"
+  "libbp_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_txpool.dir/txpool.cpp.o"
+  "CMakeFiles/bp_txpool.dir/txpool.cpp.o.d"
+  "libbp_txpool.a"
+  "libbp_txpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_txpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

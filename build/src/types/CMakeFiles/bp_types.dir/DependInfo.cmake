@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/address.cpp" "src/types/CMakeFiles/bp_types.dir/address.cpp.o" "gcc" "src/types/CMakeFiles/bp_types.dir/address.cpp.o.d"
+  "/root/repo/src/types/u256.cpp" "src/types/CMakeFiles/bp_types.dir/u256.cpp.o" "gcc" "src/types/CMakeFiles/bp_types.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_types.dir/address.cpp.o"
+  "CMakeFiles/bp_types.dir/address.cpp.o.d"
+  "CMakeFiles/bp_types.dir/u256.cpp.o"
+  "CMakeFiles/bp_types.dir/u256.cpp.o.d"
+  "libbp_types.a"
+  "libbp_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

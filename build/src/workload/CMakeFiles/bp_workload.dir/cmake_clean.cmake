@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_workload.dir/contracts.cpp.o"
+  "CMakeFiles/bp_workload.dir/contracts.cpp.o.d"
+  "CMakeFiles/bp_workload.dir/generator.cpp.o"
+  "CMakeFiles/bp_workload.dir/generator.cpp.o.d"
+  "libbp_workload.a"
+  "libbp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

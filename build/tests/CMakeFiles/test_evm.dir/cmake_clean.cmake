@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm.dir/test_evm.cpp.o"
+  "CMakeFiles/test_evm.dir/test_evm.cpp.o.d"
+  "test_evm"
+  "test_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm_calls.dir/test_evm_calls.cpp.o"
+  "CMakeFiles/test_evm_calls.dir/test_evm_calls.cpp.o.d"
+  "test_evm_calls"
+  "test_evm_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

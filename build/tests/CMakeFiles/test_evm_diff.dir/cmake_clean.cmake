@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm_diff.dir/test_evm_diff.cpp.o"
+  "CMakeFiles/test_evm_diff.dir/test_evm_diff.cpp.o.d"
+  "test_evm_diff"
+  "test_evm_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm_fuzz.dir/test_evm_fuzz.cpp.o"
+  "CMakeFiles/test_evm_fuzz.dir/test_evm_fuzz.cpp.o.d"
+  "test_evm_fuzz"
+  "test_evm_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occ_baseline.dir/test_occ_baseline.cpp.o"
+  "CMakeFiles/test_occ_baseline.dir/test_occ_baseline.cpp.o.d"
+  "test_occ_baseline"
+  "test_occ_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occ_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proof.dir/test_proof.cpp.o"
+  "CMakeFiles/test_proof.dir/test_proof.cpp.o.d"
+  "test_proof"
+  "test_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

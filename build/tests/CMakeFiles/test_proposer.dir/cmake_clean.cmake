@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proposer.dir/test_proposer.cpp.o"
+  "CMakeFiles/test_proposer.dir/test_proposer.cpp.o.d"
+  "test_proposer"
+  "test_proposer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtime.dir/test_vtime.cpp.o"
+  "CMakeFiles/test_vtime.dir/test_vtime.cpp.o.d"
+  "test_vtime"
+  "test_vtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
