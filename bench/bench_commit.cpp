@@ -1,0 +1,267 @@
+// State-commitment bench: incremental MPT roots + the async commit pipeline.
+//
+// Two experiments over the fig-9 multi-block workload (preset_mainnet,
+// ~132-tx blocks, chained heights):
+//
+//  1. Root recomputation — after applying one block's writes, time
+//     state_root() (incremental: only dirty paths re-hash) against
+//     state_root_full_rebuild() (the seed implementation: every trie node
+//     rebuilt and re-hashed).  The paper's §5.2 root-equality check pays
+//     this cost on every block, so the ratio is the direct win.
+//
+//  2. Pipeline overlap — propose a chain of blocks with header sealing on
+//     the CommitPipeline vs inline.  Stopwatch phases per height show block
+//     N's commitment running during block N+1's execution; the JSON records
+//     both walls and the tail wait.
+//
+// Emits BENCH_commit.json (machine-readable) plus a stdout summary.
+#include <cinttypes>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "commit/commit_pipeline.hpp"
+#include "support/stopwatch.hpp"
+#include "trie/node_cache.hpp"
+
+namespace blockpilot::bench {
+namespace {
+
+constexpr std::size_t kHeights = 8;
+
+struct RootSample {
+  std::size_t txs = 0;
+  double incremental_ms = 0.0;
+  double full_rebuild_ms = 0.0;
+};
+
+struct OverlapSample {
+  std::size_t txs = 0;
+  double exec_ms = 0.0;    // propose wall (execution + assembly)
+  double commit_ms = 0.0;  // root hashing on the commit pool
+};
+
+// ---- experiment 1: incremental vs full-rebuild root recomputation ----
+std::vector<RootSample> run_root_recompute(double* oracle_mismatch) {
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xF19;
+  workload::WorkloadGenerator gen(wc);
+
+  // Chain of honest blocks; each block's profile carries its write sets.
+  std::vector<HonestBlock> chain;
+  const state::WorldState genesis = gen.genesis();
+  const state::WorldState* parent = &genesis;
+  for (std::size_t h = 1; h <= kHeights; ++h) {
+    chain.push_back(build_honest_block(*parent, gen.next_block(), h));
+    parent = chain.back().post_state.get();
+  }
+
+  state::WorldState running = genesis;
+  (void)running.state_root();  // commit the baseline
+
+  std::vector<RootSample> samples;
+  *oracle_mismatch = 0;
+  for (const HonestBlock& hb : chain) {
+    // Replay the block as raw write sets (value-identical to the honest
+    // execution for commitment purposes).
+    for (const chain::TxProfile& tx : hb.bundle.profile.txs)
+      for (const auto& [key, value] : tx.writes) running.set(key, value);
+
+    RootSample s;
+    s.txs = hb.bundle.profile.size();
+    Stopwatch sw;
+    const Hash256 incremental = running.state_root();
+    s.incremental_ms = sw.elapsed_ms();
+    sw.reset();
+    const Hash256 oracle = running.state_root_full_rebuild();
+    s.full_rebuild_ms = sw.elapsed_ms();
+    if (incremental != oracle) *oracle_mismatch += 1;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+// ---- experiment 2: async seal overlap across a proposed chain ----
+std::vector<OverlapSample> run_overlap_once(commit::CommitPipeline* pipe,
+                                            double* wall_out,
+                                            double* tail_out) {
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xF19;
+  workload::WorkloadGenerator gen(wc);
+  state::WorldState genesis = gen.genesis();
+  // A live node starts from a parent whose commitment is final: commit the
+  // genesis root outside the timed region so height 1 doesn't pay the
+  // one-off whole-state build in either mode.
+  (void)genesis.state_root();
+
+  core::ProposerConfig cfg;
+  cfg.threads = 4;
+  cfg.commit_pipeline = pipe;
+  core::OccWsiProposer proposer(cfg);
+
+  std::vector<OverlapSample> samples;
+  std::vector<core::ProposedBlock> blocks;
+  Stopwatch wall;
+  const state::WorldState* parent = &genesis;
+  for (std::size_t h = 1; h <= kHeights; ++h) {
+    txpool::TxPool pool;
+    pool.add_all(gen.next_block());
+    Stopwatch sw;
+    blocks.push_back(proposer.propose_virtual(*parent, ctx_for(h), pool));
+    OverlapSample s;
+    s.txs = blocks.back().block.transactions.size();
+    s.exec_ms = sw.elapsed_ms();  // inline mode: includes sealing
+    samples.push_back(s);
+    parent = blocks.back().post_state.get();
+  }
+  // Overlap window closes here: settle every pending seal.
+  Stopwatch tail;
+  for (std::size_t h = 0; h < blocks.size(); ++h) {
+    blocks[h].await_seal();
+    if (blocks[h].commit.valid())
+      samples[h].commit_ms = blocks[h].commit.get().commit_ms;
+  }
+  *tail_out = tail.elapsed_ms();
+  *wall_out = wall.elapsed_ms();
+  return samples;
+}
+
+// Scheduler noise dominates single-digit-ms walls (especially on low-core
+// boxes where the commit pool time-slices against the proposer), so take
+// the best of a few repeats per mode.
+constexpr int kOverlapRepeats = 3;
+
+std::vector<OverlapSample> run_overlap(commit::CommitPipeline* pipe,
+                                       double* wall_out, double* tail_out) {
+  std::vector<OverlapSample> best;
+  double best_wall = 0, best_tail = 0;
+  for (int rep = 0; rep < kOverlapRepeats; ++rep) {
+    double w = 0, t = 0;
+    std::vector<OverlapSample> s = run_overlap_once(pipe, &w, &t);
+    if (rep == 0 || w < best_wall) {
+      best = std::move(s);
+      best_wall = w;
+      best_tail = t;
+    }
+  }
+  *wall_out = best_wall;
+  *tail_out = best_tail;
+  return best;
+}
+
+void run() {
+  print_header("State commitment: incremental MPT + async commit pipeline",
+               "root check moves off the critical path (§5.2 overlap)");
+
+  trie::NodeCache::global().clear();
+  trie::NodeCache::global().reset_stats();
+
+  double mismatches = 0;
+  const std::vector<RootSample> roots = run_root_recompute(&mismatches);
+  const trie::NodeCache::Stats cache = trie::NodeCache::global().stats();
+
+  double incr_total = 0, full_total = 0;
+  std::printf("%8s %6s %16s %16s %10s\n", "height", "txs", "incremental-ms",
+              "full-rebuild-ms", "speedup");
+  for (std::size_t h = 0; h < roots.size(); ++h) {
+    const RootSample& s = roots[h];
+    incr_total += s.incremental_ms;
+    full_total += s.full_rebuild_ms;
+    std::printf("%8zu %6zu %16.3f %16.3f %9.1fx\n", h + 1, s.txs,
+                s.incremental_ms, s.full_rebuild_ms,
+                s.incremental_ms > 0 ? s.full_rebuild_ms / s.incremental_ms
+                                     : 0.0);
+  }
+  const double speedup = incr_total > 0 ? full_total / incr_total : 0.0;
+  std::printf("root recompute: %.3f ms incremental vs %.3f ms full "
+              "(%.1fx), oracle mismatches: %.0f\n",
+              incr_total, full_total, speedup, mismatches);
+  std::printf("node cache: %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64
+              " evictions (%zu entries)\n",
+              cache.hits, cache.misses, cache.evictions, cache.entries);
+
+  // Overlap experiment: inline sealing vs commit-pipeline sealing.
+  double serial_wall = 0, serial_tail = 0;
+  const auto serial = run_overlap(nullptr, &serial_wall, &serial_tail);
+
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  double async_wall = 0, async_tail = 0;
+  const auto overlapped = run_overlap(&pipe, &async_wall, &async_tail);
+
+  std::printf("\n%8s %6s %14s %14s %14s\n", "height", "txs", "serial-ms",
+              "async-exec-ms", "commit-ms");
+  for (std::size_t h = 0; h < overlapped.size(); ++h) {
+    std::printf("%8zu %6zu %14.2f %14.2f %14.2f\n", h + 1, overlapped[h].txs,
+                serial[h].exec_ms, overlapped[h].exec_ms,
+                overlapped[h].commit_ms);
+  }
+  double commit_total = 0;
+  for (const OverlapSample& s : overlapped) commit_total += s.commit_ms;
+  std::printf("pipeline wall: %.2f ms inline-seal vs %.2f ms overlapped "
+              "(tail wait %.2f ms, saved %.2f ms)\n",
+              serial_wall, async_wall, async_tail, serial_wall - async_wall);
+  std::printf("commitment hashing: %.2f ms total, %.2f ms hidden under "
+              "execution (%.0f%%) on %u hardware threads\n",
+              commit_total, commit_total - async_tail,
+              commit_total > 0
+                  ? 100.0 * (commit_total - async_tail) / commit_total
+                  : 0.0,
+              std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() < 2)
+    std::printf("note: single hardware thread -- overlapped wall cannot beat "
+                "inline (no parallelism); overlap evidence is the hidden/tail "
+                "split above\n");
+
+  // ---- machine-readable record ----
+  FILE* f = std::fopen("BENCH_commit.json", "w");
+  if (f == nullptr) {
+    std::printf("cannot write BENCH_commit.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"preset_mainnet fig9 seed=0xF19\",\n");
+  std::fprintf(f, "  \"heights\": %zu,\n", kHeights);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"root_recompute\": {\n    \"per_block\": [\n");
+  for (std::size_t h = 0; h < roots.size(); ++h) {
+    std::fprintf(f,
+                 "      {\"height\": %zu, \"txs\": %zu, \"incremental_ms\": "
+                 "%.4f, \"full_rebuild_ms\": %.4f}%s\n",
+                 h + 1, roots[h].txs, roots[h].incremental_ms,
+                 roots[h].full_rebuild_ms, h + 1 < roots.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"incremental_total_ms\": %.4f,\n", incr_total);
+  std::fprintf(f, "    \"full_rebuild_total_ms\": %.4f,\n", full_total);
+  std::fprintf(f, "    \"speedup\": %.2f,\n", speedup);
+  std::fprintf(f, "    \"oracle_mismatches\": %.0f\n  },\n", mismatches);
+  std::fprintf(f,
+               "  \"node_cache\": {\"hits\": %" PRIu64 ", \"misses\": %" PRIu64
+               ", \"evictions\": %" PRIu64 ", \"entries\": %zu},\n",
+               cache.hits, cache.misses, cache.evictions, cache.entries);
+  std::fprintf(f, "  \"overlap\": {\n    \"phases\": [\n");
+  for (std::size_t h = 0; h < overlapped.size(); ++h) {
+    std::fprintf(f,
+                 "      {\"height\": %zu, \"txs\": %zu, \"serial_ms\": %.4f, "
+                 "\"async_exec_ms\": %.4f, \"commit_ms\": %.4f}%s\n",
+                 h + 1, overlapped[h].txs, serial[h].exec_ms,
+                 overlapped[h].exec_ms, overlapped[h].commit_ms,
+                 h + 1 < overlapped.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"serial_wall_ms\": %.4f,\n", serial_wall);
+  std::fprintf(f, "    \"overlapped_wall_ms\": %.4f,\n", async_wall);
+  std::fprintf(f, "    \"commit_total_ms\": %.4f,\n", commit_total);
+  std::fprintf(f, "    \"commit_tail_wait_ms\": %.4f,\n", async_tail);
+  std::fprintf(f, "    \"commit_hidden_ms\": %.4f,\n",
+               commit_total - async_tail);
+  std::fprintf(f, "    \"saved_ms\": %.4f\n  }\n}\n",
+               serial_wall - async_wall);
+  std::fclose(f);
+  std::printf("wrote BENCH_commit.json\n");
+}
+
+}  // namespace
+}  // namespace blockpilot::bench
+
+int main() { blockpilot::bench::run(); }

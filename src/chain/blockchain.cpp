@@ -31,6 +31,20 @@ void Blockchain::commit_block(
   if (number > blocks_.at(head_hash_)->header.number) head_hash_ = h;
 }
 
+void Blockchain::commit_block(Block block, commit::CommitHandle commit,
+                              std::vector<Receipt> receipts) {
+  BP_ASSERT_MSG(commit.valid(), "commit handle not submitted");
+  const commit::CommitResult& r = commit.get();
+  const Hash256 zero{};
+  if (block.header.state_root == zero) {
+    block.header.state_root = r.state_root;  // un-sealed proposer header
+  } else {
+    BP_ASSERT_MSG(block.header.state_root == r.state_root,
+                  "async commitment contradicts sealed header");
+  }
+  commit_block(std::move(block), r.post_state, std::move(receipts));
+}
+
 const std::vector<Receipt>* Blockchain::receipts_of(const Hash256& h) const {
   std::scoped_lock lk(mu_);
   const auto it = receipts_.find(h);

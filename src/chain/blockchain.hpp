@@ -15,6 +15,7 @@
 
 #include "chain/block.hpp"
 #include "chain/receipt.hpp"
+#include "commit/commit_pipeline.hpp"
 #include "state/world_state.hpp"
 
 namespace blockpilot::chain {
@@ -33,6 +34,13 @@ class Blockchain {
   /// (longest-chain by height otherwise).
   void commit_block(Block block,
                     std::shared_ptr<const state::WorldState> post_state,
+                    std::vector<Receipt> receipts = {});
+
+  /// Asynchronous-commitment variant: blocks on `commit` (the ledger is
+  /// where the pipeline's overlap window closes), seals the header's state
+  /// root from the result when the proposer left it zero, and asserts
+  /// equality when the header already carries one.
+  void commit_block(Block block, commit::CommitHandle commit,
                     std::vector<Receipt> receipts = {});
 
   /// Looks up a block by hash.

@@ -1,0 +1,76 @@
+#include "commit/commit_pipeline.hpp"
+
+#include "support/assert.hpp"
+#include "support/stopwatch.hpp"
+
+namespace blockpilot::commit {
+
+CommitResult CommitPipeline::compute(
+    std::shared_ptr<const state::WorldState> post, const AuxRootFn& aux,
+    std::uint64_t sequence) {
+  BP_ASSERT_MSG(post != nullptr, "commit of null state");
+  Stopwatch sw;
+  CommitResult out;
+  out.sequence = sequence;
+  out.state_root = post->state_root();
+  if (aux) out.aux_root = aux();
+  out.post_state = std::move(post);
+  out.commit_ms = sw.elapsed_ms();
+  return out;
+}
+
+CommitHandle CommitPipeline::submit(
+    std::shared_ptr<const state::WorldState> post, AuxRootFn aux) {
+  std::scoped_lock lk(mu_);
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.submitted;
+
+  if (pool_ == nullptr) {
+    // Degraded/sync mode: do the work at submit time.
+    std::promise<CommitResult> p;
+    CommitResult r = compute(std::move(post), aux, seq);
+    stats_.total_commit_ms += r.commit_ms;
+    ++stats_.inline_runs;
+    p.set_value(std::move(r));
+    auto fut = p.get_future().share();
+    tail_ = fut;
+    return CommitHandle(fut);
+  }
+
+  // ThreadPool::Task is a copyable std::function, so the move-only promise
+  // rides in a shared_ptr.
+  auto promise = std::make_shared<std::promise<CommitResult>>();
+  auto fut = promise->get_future().share();
+  std::shared_future<CommitResult> prev = tail_;
+  tail_ = fut;
+  pool_->submit([this, promise, prev, post = std::move(post),
+                 aux = std::move(aux), seq]() mutable {
+    // FIFO publication: never resolve before the predecessor.  The pool's
+    // queue is FIFO too, so by the time this task runs its predecessor has
+    // at least started — waiting here cannot starve the pool.
+    if (prev.valid()) prev.wait();
+    CommitResult r = compute(std::move(post), aux, seq);
+    {
+      std::scoped_lock lk(mu_);
+      stats_.total_commit_ms += r.commit_ms;
+    }
+    promise->set_value(std::move(r));
+  });
+  return CommitHandle(fut);
+}
+
+CommitHandle CommitPipeline::submit_writes(
+    const state::WorldState& parent,
+    std::vector<std::pair<state::StateKey, U256>> writes, AuxRootFn aux) {
+  auto post = std::make_shared<state::WorldState>(parent);
+  for (const auto& [key, value] : writes) post->set(key, value);
+  return submit(std::static_pointer_cast<const state::WorldState>(post),
+                std::move(aux));
+}
+
+CommitPipelineStats CommitPipeline::stats() const {
+  std::scoped_lock lk(mu_);
+  return stats_;
+}
+
+}  // namespace blockpilot::commit

@@ -1,0 +1,122 @@
+// CommitPipeline: state commitment off the critical path.
+//
+// BlockPilot's proposer and validator agree on a block when their post-state
+// MPT roots match (paper §5.2), but computing that root is pure hashing —
+// it reads the post state and touches nothing the *next* block's execution
+// needs.  This subsystem moves root computation onto the shared thread pool
+// and hands back a future-style CommitHandle, so the core pipeline overlaps
+// block N's commitment with block N+1's execution and compares roots only
+// where the handle is awaited.
+//
+// Ordering: submissions complete in FIFO order (each task waits on its
+// predecessor before publishing), so block N's root is always ready no
+// later than block N+1's — the chain layer relies on this when it settles
+// a round speculatively.
+//
+// Layering: bp_commit sits on bp_state/bp_support only.  Roots that need
+// higher layers (the receipts root lives in bp_chain) are injected as an
+// AuxRootFn closure, keeping the dependency arrow pointing downward.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "state/state_key.hpp"
+#include "state/world_state.hpp"
+#include "support/thread_pool.hpp"
+#include "types/address.hpp"
+
+namespace blockpilot::commit {
+
+/// Extra root computed alongside the state root (e.g. the receipts root),
+/// injected by the caller so this module stays below bp_chain.
+using AuxRootFn = std::function<Hash256()>;
+
+/// Result of one asynchronous commitment.
+struct CommitResult {
+  Hash256 state_root;
+  Hash256 aux_root;  // zero when no AuxRootFn was supplied
+  std::shared_ptr<const state::WorldState> post_state;
+  double commit_ms = 0.0;   // time spent hashing (excludes queue wait)
+  std::uint64_t sequence = 0;  // FIFO position within the pipeline
+};
+
+class CommitPipeline;
+
+/// Future-style handle to a pending commitment.  Copyable (shared-future
+/// semantics); a default-constructed handle is invalid and means "no async
+/// commitment was requested".
+class CommitHandle {
+ public:
+  CommitHandle() = default;
+
+  /// True when this handle refers to a submitted commitment.
+  bool valid() const noexcept { return future_.valid(); }
+
+  /// True when the result is available without blocking.
+  bool ready() const {
+    return valid() && future_.wait_for(std::chrono::seconds(0)) ==
+                          std::future_status::ready;
+  }
+
+  /// Blocks until the result is available and returns it.
+  const CommitResult& get() const { return future_.get(); }
+
+  void wait() const { future_.wait(); }
+
+ private:
+  friend class CommitPipeline;
+  explicit CommitHandle(std::shared_future<CommitResult> f)
+      : future_(std::move(f)) {}
+
+  std::shared_future<CommitResult> future_;
+};
+
+/// Aggregate pipeline counters (bench/test hooks).
+struct CommitPipelineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t inline_runs = 0;  // executed synchronously (no pool)
+  double total_commit_ms = 0.0;   // sum of CommitResult::commit_ms
+};
+
+class CommitPipeline {
+ public:
+  /// With a pool, commitments run asynchronously on it; with nullptr they
+  /// run inline at submit time (useful for tests and as a degraded mode).
+  explicit CommitPipeline(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Queues the commitment of `post`.  The state must not be mutated after
+  /// submission (the pipeline hashes it concurrently) — callers hand over a
+  /// sealed post-state snapshot.
+  CommitHandle submit(std::shared_ptr<const state::WorldState> post,
+                      AuxRootFn aux = {});
+
+  /// Convenience: copies `parent` (O(1) shared-structure copy), applies
+  /// `writes`, and queues the commitment of the result.
+  CommitHandle submit_writes(
+      const state::WorldState& parent,
+      std::vector<std::pair<state::StateKey, U256>> writes, AuxRootFn aux = {});
+
+  /// Synchronous commitment of a state (the work one task performs).
+  static CommitResult compute(std::shared_ptr<const state::WorldState> post,
+                              const AuxRootFn& aux, std::uint64_t sequence);
+
+  CommitPipelineStats stats() const;
+
+  bool async() const noexcept { return pool_ != nullptr; }
+
+ private:
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::shared_future<CommitResult> tail_;  // FIFO ordering chain
+  std::uint64_t next_seq_ = 0;
+  CommitPipelineStats stats_;
+};
+
+}  // namespace blockpilot::commit

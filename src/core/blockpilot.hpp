@@ -15,6 +15,7 @@
 #include "chain/profile.hpp"
 #include "chain/receipt.hpp"
 #include "chain/transaction.hpp"
+#include "commit/commit_pipeline.hpp"
 #include "core/occ_baseline.hpp"
 #include "core/pipeline.hpp"
 #include "core/proposer.hpp"

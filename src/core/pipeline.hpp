@@ -41,6 +41,13 @@ struct PipelineConfig {
   /// sequentially (false; virtual-time result is identical — useful for
   /// deterministic debugging).
   bool concurrent_blocks = true;
+  /// When set, per-block state-root computation runs asynchronously on
+  /// this pipeline.  process_height() settles roots before returning;
+  /// process_chain() overlaps height h's commitment with height h+1's
+  /// execution, selecting the canonical branch speculatively and cascading
+  /// invalidation if a root check later fails ("parent block failed
+  /// commitment").
+  commit::CommitPipeline* commit_pipeline = nullptr;
 };
 
 struct PipelineStats {
@@ -48,6 +55,8 @@ struct PipelineStats {
   std::uint64_t vtime_makespan = 0;  // pipeline virtual completion time
   double wall_ms = 0.0;
   std::size_t blocks = 0;
+  std::uint64_t async_commits = 0;   // outcomes settled via CommitHandle
+  double commit_wait_ms = 0.0;       // wall time blocked awaiting roots
 
   double virtual_speedup() const noexcept {
     return vtime::speedup(serial_gas, vtime_makespan);

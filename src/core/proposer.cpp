@@ -181,14 +181,13 @@ ProposedBlock OccWsiProposer::propose_host_threads(
   result.block.header.timestamp = block_ctx.timestamp;
   result.block.header.gas_limit = config_.block_gas_limit;
   result.block.header.gas_used = shared.gas_used;
-  result.block.header.state_root = post->state_root();
   result.block.header.tx_root = chain::transactions_root(shared.included);
-  result.block.header.receipts_root = chain::receipts_root(shared.receipts);
   result.block.header.logs_bloom = chain::block_bloom(shared.receipts);
   result.block.transactions = std::move(shared.included);
   result.profile = std::move(shared.profile);
   result.receipts = std::move(shared.receipts);
   result.post_state = std::move(post);
+  seal_commitment(result);
 
   stats.committed = result.block.transactions.size();
   stats.serial_gas = shared.gas_used;
@@ -358,14 +357,13 @@ ProposedBlock OccWsiProposer::propose_virtual(
   result.block.header.timestamp = block_ctx.timestamp;
   result.block.header.gas_limit = config_.block_gas_limit;
   result.block.header.gas_used = gas_used;
-  result.block.header.state_root = post->state_root();
   result.block.header.tx_root = chain::transactions_root(included);
-  result.block.header.receipts_root = chain::receipts_root(receipts);
   result.block.header.logs_bloom = chain::block_bloom(receipts);
   result.block.transactions = std::move(included);
   result.profile = std::move(block_profile);
   result.receipts = std::move(receipts);
   result.post_state = std::move(post);
+  seal_commitment(result);
 
   stats.committed = result.block.transactions.size();
   stats.serial_gas = gas_used;
@@ -374,6 +372,26 @@ ProposedBlock OccWsiProposer::propose_virtual(
   stats.wall_ms = wall.elapsed_ms();
   result.stats = stats;
   return result;
+}
+
+void OccWsiProposer::seal_commitment(ProposedBlock& result) {
+  if (config_.commit_pipeline == nullptr) {
+    result.block.header.state_root = result.post_state->state_root();
+    result.block.header.receipts_root = chain::receipts_root(result.receipts);
+    return;
+  }
+  // Receipts root rides along as the aux root so the whole commitment —
+  // not just the state root — leaves the proposer's critical path.
+  result.commit = config_.commit_pipeline->submit(
+      result.post_state,
+      [receipts = result.receipts] { return chain::receipts_root(receipts); });
+}
+
+void ProposedBlock::await_seal() {
+  if (!commit.valid()) return;
+  const commit::CommitResult& r = commit.get();
+  block.header.state_root = r.state_root;
+  block.header.receipts_root = r.aux_root;
 }
 
 }  // namespace blockpilot::core

@@ -27,6 +27,7 @@
 
 #include "chain/block.hpp"
 #include "chain/receipt.hpp"
+#include "commit/commit_pipeline.hpp"
 #include "core/execution_result.hpp"
 #include "evm/state_transition.hpp"
 #include "support/thread_pool.hpp"
@@ -67,6 +68,12 @@ struct ProposerConfig {
   /// predecessor never arrives ultimately hits it.
   int max_not_ready_attempts = 100'000;
   vtime::CostModel costs;
+  /// When set, header sealing (state root + receipts root) runs
+  /// asynchronously on this pipeline: propose() returns a block whose
+  /// state_root / receipts_root are zero until ProposedBlock::await_seal()
+  /// fills them from the CommitHandle.  When null, sealing is inline
+  /// (original behavior).
+  commit::CommitPipeline* commit_pipeline = nullptr;
 };
 
 struct ProposerStats {
@@ -89,6 +96,14 @@ struct ProposedBlock {
   std::vector<chain::Receipt> receipts;  // commit order (== block order)
   std::shared_ptr<state::WorldState> post_state;
   ProposerStats stats;
+
+  /// Pending asynchronous seal (invalid handle when sealing was inline).
+  commit::CommitHandle commit;
+
+  /// Settles an asynchronous seal: blocks on the commit handle and fills
+  /// header.state_root / header.receipts_root.  No-op when sealing was
+  /// inline.  The block must not be broadcast before this returns.
+  void await_seal();
 };
 
 class OccWsiProposer {
@@ -116,6 +131,11 @@ class OccWsiProposer {
   const ProposerConfig& config() const noexcept { return config_; }
 
  private:
+  /// Fills the commitment-derived header fields (state root, receipts root)
+  /// inline, or queues them on config_.commit_pipeline.  Requires
+  /// result.post_state and result.receipts to be in place.
+  void seal_commitment(ProposedBlock& result);
+
   ProposerConfig config_;
 };
 

@@ -259,23 +259,45 @@ ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
     return outcome;
   }
 
-  const Hash256 root = post->state_root();
-  if (root != block.header.state_root) {
-    outcome.reject_reason = "state root mismatch";
-    outcome.stats.wall_ms = wall.elapsed_ms();
-    return outcome;
+  outcome.expected_state_root = block.header.state_root;
+  if (config_.commit_pipeline != nullptr) {
+    // ---- Block Commitment, asynchronous ----
+    // The root computation moves onto the commit pipeline; `valid` is
+    // provisional (execution-level) until await_commit() compares the root
+    // against the header.  The post state is sealed — nothing mutates it
+    // after submission.
+    outcome.commit = config_.commit_pipeline->submit(post);
+  } else {
+    const Hash256 root = post->state_root();
+    if (root != block.header.state_root) {
+      outcome.reject_reason = "state root mismatch";
+      outcome.stats.wall_ms = wall.elapsed_ms();
+      return outcome;
+    }
+    outcome.exec.state_root = root;
   }
 
   // ---- ready for Block Commitment (caller appends to the ledger) ----
   outcome.valid = true;
   outcome.exec.profile = profile;
   outcome.exec.gas_used = gas_used;
-  outcome.exec.state_root = root;
   outcome.exec.post_state = std::move(post);
   outcome.stats.serial_gas = gas_used;
   outcome.stats.vtime_makespan = std::max(ledger.makespan(), applier_chain);
   outcome.stats.wall_ms = wall.elapsed_ms();
   return outcome;
+}
+
+bool ValidationOutcome::await_commit() {
+  if (!commit.valid()) return valid;  // inline-committed (or rejected early)
+  if (!valid) return false;           // execution already failed
+  const commit::CommitResult& r = commit.get();
+  exec.state_root = r.state_root;
+  if (r.state_root != expected_state_root) {
+    valid = false;
+    reject_reason = "state root mismatch";
+  }
+  return valid;
 }
 
 }  // namespace blockpilot::core

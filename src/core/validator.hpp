@@ -22,6 +22,7 @@
 
 #include "chain/block.hpp"
 #include "chain/profile.hpp"
+#include "commit/commit_pipeline.hpp"
 #include "core/execution_result.hpp"
 #include "evm/state_transition.hpp"
 #include "sched/depgraph.hpp"
@@ -39,6 +40,12 @@ struct ValidatorConfig {
   /// enables, §5.4).  When false, every first-touch read charges
   /// costs.io_read_cost on its worker's virtual clock.
   bool prefetch = true;
+  /// When set, the Block Commitment phase (state-root computation + header
+  /// comparison) runs asynchronously on this pipeline: validate() returns a
+  /// provisionally-valid outcome carrying a CommitHandle, and the root check
+  /// happens in ValidationOutcome::await_commit().  When null, the root is
+  /// checked inline (original behavior).
+  commit::CommitPipeline* commit_pipeline = nullptr;
 };
 
 struct ValidatorStats {
@@ -59,6 +66,17 @@ struct ValidationOutcome {
   std::string reject_reason;  // empty when valid
   BlockExecution exec;        // meaningful when valid
   ValidatorStats stats;
+
+  /// Pending asynchronous Block Commitment (invalid handle when the root
+  /// was checked inline).  While the handle is pending, `valid` reflects
+  /// execution-level validity only.
+  commit::CommitHandle commit;
+  Hash256 expected_state_root;  // header root to compare against
+
+  /// Settles the asynchronous root check: blocks on the commit handle,
+  /// fills exec.state_root, and downgrades `valid` on mismatch.  Idempotent;
+  /// a no-op for inline-committed outcomes.  Returns the final validity.
+  bool await_commit();
 };
 
 class BlockValidator {

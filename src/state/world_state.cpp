@@ -18,6 +18,60 @@ std::string StateKey::to_string() const {
   return "?";
 }
 
+// Copying shares the persistent tries (O(1) per trie) and carries the memos
+// over, so a copied state answers state_root() without re-hashing anything
+// the source had already committed.  The source's commit mutex is taken
+// because copying is a const-read of the source by contract.
+WorldState::WorldState(const WorldState& other) {
+  std::scoped_lock lk(other.commit_mu_);
+  accounts_ = other.accounts_;
+  account_trie_ = other.account_trie_;
+  commit_ = other.commit_;
+  dirty_ = other.dirty_;
+  root_memo_ = other.root_memo_;
+  root_valid_ = other.root_valid_;
+  stats_ = other.stats_;
+}
+
+WorldState& WorldState::operator=(const WorldState& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lk(commit_mu_, other.commit_mu_);
+  accounts_ = other.accounts_;
+  account_trie_ = other.account_trie_;
+  commit_ = other.commit_;
+  dirty_ = other.dirty_;
+  root_memo_ = other.root_memo_;
+  root_valid_ = other.root_valid_;
+  stats_ = other.stats_;
+  return *this;
+}
+
+// Moving is a mutation of the source, which by contract cannot race with
+// any other access — no locking needed.
+WorldState::WorldState(WorldState&& other) noexcept
+    : accounts_(std::move(other.accounts_)),
+      account_trie_(std::move(other.account_trie_)),
+      commit_(std::move(other.commit_)),
+      dirty_(std::move(other.dirty_)),
+      root_memo_(other.root_memo_),
+      root_valid_(other.root_valid_),
+      stats_(other.stats_) {
+  other.root_valid_ = false;
+}
+
+WorldState& WorldState::operator=(WorldState&& other) noexcept {
+  if (this == &other) return *this;
+  accounts_ = std::move(other.accounts_);
+  account_trie_ = std::move(other.account_trie_);
+  commit_ = std::move(other.commit_);
+  dirty_ = std::move(other.dirty_);
+  root_memo_ = other.root_memo_;
+  root_valid_ = other.root_valid_;
+  stats_ = other.stats_;
+  other.root_valid_ = false;
+  return *this;
+}
+
 U256 WorldState::get(const StateKey& key) const {
   const auto it = accounts_.find(key.addr);
   if (it == accounts_.end()) return U256{};
@@ -40,16 +94,19 @@ void WorldState::set(const StateKey& key, const U256& value) {
   switch (key.field) {
     case Field::kBalance:
       acct.balance = value;
+      mark_dirty_account(key.addr);
       break;
     case Field::kNonce:
       BP_ASSERT_MSG(value.fits64(), "nonce overflow");
       acct.nonce = value.low64();
+      mark_dirty_account(key.addr);
       break;
     case Field::kStorage:
       if (value.is_zero())
         acct.storage.erase(key.slot);
       else
         acct.storage[key.slot] = value;
+      mark_dirty_slot(key.addr, key.slot);
       break;
   }
 }
@@ -62,6 +119,7 @@ std::shared_ptr<const Bytes> WorldState::code(const Address& addr) const {
 
 void WorldState::set_code(const Address& addr, Bytes code) {
   account(addr).code = std::make_shared<const Bytes>(std::move(code));
+  mark_dirty_account(addr);
 }
 
 Hash256 storage_root_of(const std::unordered_map<U256, U256>& storage) {
@@ -93,13 +151,81 @@ Bytes encode_account(const AccountData& acct, const Hash256& storage_root) {
   return enc.take();
 }
 
+void WorldState::sync_commit_locked() const {
+  if (dirty_.empty()) return;
+  stats_.dirty_accounts += dirty_.size();
+  for (const auto& [addr, slots] : dirty_) {
+    const auto ait = accounts_.find(addr);
+    if (ait == accounts_.end() || ait->second.empty_account()) {
+      // Pruned like post-EIP-161: drop from the commitment (and the memo,
+      // so a later resurrection rebuilds from scratch).
+      account_trie_.erase(std::span(addr.bytes));
+      commit_.erase(addr);
+      continue;
+    }
+    const AccountData& acct = ait->second;
+    AccountCommit& cc = commit_[addr];
+    if (cc.fresh) {
+      // First commitment of this account: seed the storage trie from the
+      // whole slot map.
+      cc.storage_trie = trie::SecureTrie{};
+      for (const auto& [slot, value] : acct.storage) {
+        if (value.is_zero()) continue;
+        const auto key = slot.to_be_bytes();
+        const auto encoded = rlp::encode(value);
+        cc.storage_trie.put(std::span(key), std::span(encoded));
+      }
+      cc.storage_root = cc.storage_trie.root_hash();
+      cc.fresh = false;
+      ++stats_.accounts_resynced;
+    } else if (!slots.empty()) {
+      // Apply only the touched slots; the untouched subtrees keep their
+      // memoized hashes inside the persistent trie.
+      for (const U256& slot : slots) {
+        const auto key = slot.to_be_bytes();
+        const auto sit = acct.storage.find(slot);
+        if (sit == acct.storage.end() || sit->second.is_zero()) {
+          cc.storage_trie.erase(std::span(key));
+        } else {
+          const auto encoded = rlp::encode(sit->second);
+          cc.storage_trie.put(std::span(key), std::span(encoded));
+        }
+        ++stats_.slots_resynced;
+      }
+      cc.storage_root = cc.storage_trie.root_hash();
+    }
+    const Bytes encoded = encode_account(acct, cc.storage_root);
+    account_trie_.put(std::span(addr.bytes), std::span(encoded));
+  }
+  dirty_.clear();
+}
+
 Hash256 WorldState::storage_root(const Address& addr) const {
+  std::scoped_lock lk(commit_mu_);
   const auto it = accounts_.find(addr);
   if (it == accounts_.end()) return trie::MerklePatriciaTrie::empty_root();
+  const auto cit = commit_.find(addr);
+  const auto dit = dirty_.find(addr);
+  const bool storage_clean = dit == dirty_.end() || dit->second.empty();
+  if (cit != commit_.end() && !cit->second.fresh && storage_clean)
+    return cit->second.storage_root;
   return storage_root_of(it->second.storage);
 }
 
 Hash256 WorldState::state_root() const {
+  std::scoped_lock lk(commit_mu_);
+  if (root_valid_ && dirty_.empty()) {
+    ++stats_.root_memo_hits;
+    return root_memo_;
+  }
+  sync_commit_locked();
+  root_memo_ = account_trie_.root_hash();
+  root_valid_ = true;
+  ++stats_.root_recomputes;
+  return root_memo_;
+}
+
+Hash256 WorldState::state_root_full_rebuild() const {
   trie::SecureTrie accounts_trie;
   for (const auto& [addr, acct] : accounts_) {
     if (acct.empty_account()) continue;
@@ -107,6 +233,11 @@ Hash256 WorldState::state_root() const {
     accounts_trie.put(std::span(addr.bytes), std::span(encoded));
   }
   return accounts_trie.root_hash();
+}
+
+CommitStats WorldState::commit_stats() const {
+  std::scoped_lock lk(commit_mu_);
+  return stats_;
 }
 
 }  // namespace blockpilot::state

@@ -6,11 +6,25 @@
 // each account RLP-encoded as [nonce, balance, storageRoot, codeHash] under
 // the keccak of its address.  Root equality is the correctness criterion of
 // the whole framework (§5.2).
+//
+// Commitment is *incremental*: every write records the touched account (and
+// storage slot) in a dirty set, and state_root() re-encodes only dirty
+// accounts into a persistent account trie that is kept alive across calls.
+// Per-account storage tries and their roots are memoized the same way, so a
+// block touching k accounts re-hashes O(k * depth) trie nodes instead of
+// rebuilding the whole trie.  state_root_full_rebuild() preserves the
+// original from-scratch computation as a differential oracle.
+//
+// Thread-safety matches the trie layer: concurrent const reads (including
+// state_root(), whose memo bookkeeping is mutex-guarded) are safe; writes
+// must not race with any other access to the same object.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "state/state_key.hpp"
@@ -43,8 +57,23 @@ struct AccountData {
   }
 };
 
+/// Counters for the incremental-commitment machinery (bench/test hooks).
+struct CommitStats {
+  std::uint64_t root_recomputes = 0;    // state_root() calls that re-hashed
+  std::uint64_t root_memo_hits = 0;     // state_root() calls answered by memo
+  std::uint64_t accounts_resynced = 0;  // full storage-trie (re)builds
+  std::uint64_t slots_resynced = 0;     // individual dirty-slot updates
+  std::uint64_t dirty_accounts = 0;     // dirty accounts folded in, cumulative
+};
+
 class WorldState {
  public:
+  WorldState() = default;
+  WorldState(const WorldState& other);
+  WorldState& operator=(const WorldState& other);
+  WorldState(WorldState&& other) noexcept;
+  WorldState& operator=(WorldState&& other) noexcept;
+
   /// Reads a balance/nonce/storage cell; absent keys read as zero (EVM
   /// semantics for untouched accounts and slots).
   U256 get(const StateKey& key) const;
@@ -66,19 +95,62 @@ class WorldState {
 
   /// Yellow-paper world-state commitment: secure MPT over
   /// rlp([nonce, balance, storageRoot, codeHash]) per non-empty account.
+  /// Incremental: folds the dirty set into the persistent account trie and
+  /// re-hashes only touched paths; answered from a memo when nothing is
+  /// dirty.  Bit-identical to state_root_full_rebuild() at all times.
   Hash256 state_root() const;
 
+  /// From-scratch commitment rebuilding every trie — the original (seed)
+  /// implementation, kept as the differential oracle for tests and benches.
+  Hash256 state_root_full_rebuild() const;
+
   /// Storage-trie root for one account (used in account RLP and tests).
+  /// Served from the per-account memo when that account's storage is clean.
   Hash256 storage_root(const Address& addr) const;
+
+  /// Incremental-commitment counters (cumulative for this object's life;
+  /// copies start from the source's counters).
+  CommitStats commit_stats() const;
 
   const std::unordered_map<Address, AccountData>& accounts() const noexcept {
     return accounts_;
   }
 
  private:
+  /// Memoized commitment pieces for one account.  `fresh` marks a memo that
+  /// has never been built (storage trie must be seeded from the whole map).
+  struct AccountCommit {
+    trie::SecureTrie storage_trie;
+    Hash256 storage_root = trie::MerklePatriciaTrie::empty_root();
+    bool fresh = true;
+  };
+
   AccountData& account(const Address& addr) { return accounts_[addr]; }
 
+  /// Records a write for the incremental commitment.  An entry with an empty
+  /// slot set means the account body (balance/nonce/code) changed but its
+  /// storage did not.
+  void mark_dirty_account(const Address& addr) { dirty_[addr]; }
+  void mark_dirty_slot(const Address& addr, const U256& slot) {
+    dirty_[addr].insert(slot);
+  }
+
+  /// Folds the dirty set into account_trie_ / commit_.  Requires commit_mu_.
+  void sync_commit_locked() const;
+
   std::unordered_map<Address, AccountData> accounts_;
+
+  // Incremental commitment state.  Mutable + mutex-guarded so const root
+  // queries may run concurrently (e.g. on the commit pool) while still
+  // updating the memos.  The dirty set is only ever grown by non-const
+  // writes, which by contract never race with other access.
+  mutable std::mutex commit_mu_;
+  mutable trie::SecureTrie account_trie_;
+  mutable std::unordered_map<Address, AccountCommit> commit_;
+  mutable std::unordered_map<Address, std::unordered_set<U256>> dirty_;
+  mutable Hash256 root_memo_;
+  mutable bool root_valid_ = false;
+  mutable CommitStats stats_;
 };
 
 /// Computes the storage-trie root of a slot map (shared by WorldState and

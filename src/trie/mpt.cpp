@@ -5,6 +5,7 @@
 #include "rlp/rlp.hpp"
 #include "support/assert.hpp"
 #include "trie/mpt_node.hpp"
+#include "trie/node_cache.hpp"
 
 namespace blockpilot::trie {
 
@@ -50,6 +51,7 @@ std::pair<Nibbles, bool> hex_prefix_decode(std::span<const std::uint8_t> hp) {
 }
 
 using Node = detail::MptNode;
+using NodePtr = std::shared_ptr<Node>;
 
 MerklePatriciaTrie::MerklePatriciaTrie() = default;
 MerklePatriciaTrie::~MerklePatriciaTrie() = default;
@@ -57,26 +59,15 @@ MerklePatriciaTrie::MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept = default;
 MerklePatriciaTrie& MerklePatriciaTrie::operator=(MerklePatriciaTrie&&) noexcept =
     default;
 
-std::unique_ptr<detail::MptNode> MerklePatriciaTrie::clone(
-    const detail::MptNode* n) {
-  if (n == nullptr) return nullptr;
-  auto out = std::make_unique<Node>();
-  out->kind = n->kind;
-  out->path = n->path;
-  out->value = n->value;
-  out->child = clone(n->child.get());
-  for (std::size_t i = 0; i < 16; ++i)
-    out->children[i] = clone(n->children[i].get());
-  return out;
-}
-
+// Persistent copy: shares the node graph; subsequent writes on either side
+// path-copy, so the copies diverge without disturbing each other.
 MerklePatriciaTrie::MerklePatriciaTrie(const MerklePatriciaTrie& other)
-    : root_(clone(other.root_.get())), size_(other.size_) {}
+    : root_(other.root_), size_(other.size_) {}
 
 MerklePatriciaTrie& MerklePatriciaTrie::operator=(
     const MerklePatriciaTrie& other) {
   if (this != &other) {
-    root_ = clone(other.root_.get());
+    root_ = other.root_;
     size_ = other.size_;
   }
   return *this;
@@ -92,16 +83,37 @@ std::size_t common_prefix(std::span<const std::uint8_t> a,
   return i;
 }
 
+// Returns a uniquely-owned, mutation-safe version of `node`: in place when
+// this is the only reference (invalidating its hash memo), a shallow clone
+// (children still shared) otherwise.  Callers must have moved the pointer
+// out of its parent slot so use_count reflects true external sharing, and
+// must take ownership top-down — owning a parent bumps its children's
+// counts, so a shared ancestor can never leak an in-place child mutation.
+NodePtr owned(NodePtr node) {
+  if (node == nullptr) return node;
+  if (node.use_count() == 1) {
+    node->invalidate_ref();
+    return node;
+  }
+  auto copy = std::make_shared<Node>();
+  copy->kind = node->kind;
+  copy->path = node->path;
+  copy->value = node->value;
+  copy->child = node->child;
+  copy->children = node->children;
+  return copy;
+}
+
 // Inserts (key-suffix, value) into the subtree rooted at `node`, returning
 // the (possibly replaced) subtree root. `inserted` reports whether a new key
 // was added (vs overwritten).
-std::unique_ptr<Node> insert(std::unique_ptr<Node> node,
-                             std::span<const std::uint8_t> key, Bytes value,
-                             bool& inserted) {
+NodePtr insert(NodePtr node, std::span<const std::uint8_t> key, Bytes value,
+               bool& inserted) {
   if (node == nullptr) {
     inserted = true;
     return Node::leaf(Nibbles(key.begin(), key.end()), std::move(value));
   }
+  node = owned(std::move(node));
 
   switch (node->kind) {
     case Node::Kind::kLeaf: {
@@ -216,7 +228,8 @@ const Bytes* lookup(const Node* node, std::span<const std::uint8_t> key) {
 }
 
 // Collapses a branch that lost children down to the minimal canonical form.
-std::unique_ptr<Node> normalize_branch(std::unique_ptr<Node> node) {
+// `node` must be uniquely owned (the remove path guarantees it).
+NodePtr normalize_branch(NodePtr node) {
   int child_count = 0;
   int only_idx = -1;
   for (int i = 0; i < 16; ++i) {
@@ -231,12 +244,13 @@ std::unique_ptr<Node> normalize_branch(std::unique_ptr<Node> node) {
     return Node::leaf({}, std::move(node->value));
   }
   if (child_count == 1 && !has_value) {
-    std::unique_ptr<Node> child =
+    NodePtr child =
         std::move(node->children[static_cast<std::size_t>(only_idx)]);
     const auto idx = static_cast<std::uint8_t>(only_idx);
     switch (child->kind) {
       case Node::Kind::kLeaf:
       case Node::Kind::kExtension: {
+        child = owned(std::move(child));  // its path is about to change
         Nibbles merged;
         merged.reserve(1 + child->path.size());
         merged.push_back(idx);
@@ -251,9 +265,8 @@ std::unique_ptr<Node> normalize_branch(std::unique_ptr<Node> node) {
   return node;
 }
 
-std::unique_ptr<Node> remove(std::unique_ptr<Node> node,
-                             std::span<const std::uint8_t> key,
-                             bool& removed) {
+NodePtr remove(NodePtr node, std::span<const std::uint8_t> key,
+               bool& removed) {
   if (node == nullptr) return nullptr;
   switch (node->kind) {
     case Node::Kind::kLeaf:
@@ -269,26 +282,29 @@ std::unique_ptr<Node> remove(std::unique_ptr<Node> node,
       if (key.size() < n ||
           !std::equal(node->path.begin(), node->path.end(), key.begin()))
         return node;
+      node = owned(std::move(node));
       node->child = remove(std::move(node->child), key.subspan(n), removed);
       if (!removed) return node;
       if (node->child == nullptr) return nullptr;
       // Merge with the (possibly collapsed) child to stay canonical.
       if (node->child->kind == Node::Kind::kBranch) return node;
+      NodePtr child = owned(std::move(node->child));
       Nibbles merged = node->path;
-      merged.insert(merged.end(), node->child->path.begin(),
-                    node->child->path.end());
-      node->child->path = std::move(merged);
-      return std::move(node->child);
+      merged.insert(merged.end(), child->path.begin(), child->path.end());
+      child->path = std::move(merged);
+      return child;
     }
 
     case Node::Kind::kBranch: {
       if (key.empty()) {
         if (node->value.empty()) return node;
+        node = owned(std::move(node));
         removed = true;
         node->value.clear();
         return normalize_branch(std::move(node));
       }
       const std::uint8_t idx = key[0];
+      node = owned(std::move(node));
       node->children[idx] =
           remove(std::move(node->children[idx]), key.subspan(1), removed);
       if (!removed) return node;
@@ -302,6 +318,29 @@ std::unique_ptr<Node> remove(std::unique_ptr<Node> node,
 
 namespace detail {
 
+const Bytes& node_ref(const MptNode* node) {
+  // Fast path: published memo.
+  if (node->ref_ready.load(std::memory_order_acquire))
+    return node->cached_ref;
+  // Serialize the first computation across tries sharing this node.  Lock
+  // order is strictly parent-before-child along an acyclic node graph, so
+  // nested acquisition in encode_node below cannot deadlock.
+  while (node->ref_lock.test_and_set(std::memory_order_acquire)) {
+  }
+  if (!node->ref_ready.load(std::memory_order_relaxed)) {
+    Bytes encoded = encode_node(node);
+    if (encoded.size() < 32) {
+      node->cached_ref = std::move(encoded);
+    } else {
+      const Hash256 digest = NodeCache::global().hash_of(std::span(encoded));
+      node->cached_ref.assign(digest.bytes.begin(), digest.bytes.end());
+    }
+    node->ref_ready.store(true, std::memory_order_release);
+  }
+  node->ref_lock.clear(std::memory_order_release);
+  return node->cached_ref;
+}
+
 // A reference to a child node: inline RLP when < 32 bytes, else the keccak
 // hash as a 32-byte string.
 void append_reference(rlp::Encoder& enc, const Node* node) {
@@ -309,12 +348,11 @@ void append_reference(rlp::Encoder& enc, const Node* node) {
     enc.add(std::span<const std::uint8_t>{});
     return;
   }
-  const Bytes encoded = encode_node(node);
-  if (encoded.size() < 32) {
-    enc.add_raw(std::span(encoded));
+  const Bytes& ref = node_ref(node);
+  if (ref.size() < 32) {
+    enc.add_raw(std::span(ref));
   } else {
-    const auto digest = crypto::keccak256(std::span(encoded));
-    enc.add(std::span<const std::uint8_t>(digest));
+    enc.add(std::span<const std::uint8_t>(ref));
   }
 }
 
@@ -377,8 +415,15 @@ void MerklePatriciaTrie::erase(std::span<const std::uint8_t> key) {
 
 Hash256 MerklePatriciaTrie::root_hash() const {
   if (root_ == nullptr) return empty_root();
-  const Bytes encoded = encode_node(root_.get());
-  return Hash256{crypto::keccak256(std::span(encoded))};
+  const Bytes& ref = detail::node_ref(root_.get());
+  if (ref.size() == 32) {
+    Hash256 h;
+    std::memcpy(h.bytes.data(), ref.data(), 32);
+    return h;
+  }
+  // Tiny root whose encoding inlines below 32 bytes: the root is always
+  // hashed regardless (yellow paper), and the inline ref IS the encoding.
+  return Hash256{crypto::keccak256(std::span(ref))};
 }
 
 Hash256 MerklePatriciaTrie::empty_root() {

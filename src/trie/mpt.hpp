@@ -42,11 +42,20 @@ Bytes hex_prefix_encode(std::span<const std::uint8_t> nibbles, bool is_leaf);
 /// Inverse of hex_prefix_encode: recovers (nibbles, is_leaf).
 std::pair<Nibbles, bool> hex_prefix_decode(std::span<const std::uint8_t> hp);
 
-/// In-memory Merkle Patricia Trie over byte-string keys and values.
+/// In-memory *persistent* Merkle Patricia Trie over byte-string keys and
+/// values.
 ///
-/// Not thread-safe; callers in the concurrent executors serialize trie
-/// commits (the paper's applier commits blocks in order, CP.43-style short
-/// critical sections around root computation).
+/// Copies share structure: copying a trie is O(1) and mutations path-copy,
+/// cloning only the spine from the root to the touched key while every
+/// untouched subtree stays shared between the copies.  Shared nodes also
+/// keep their memoized hash references, which is what makes `root_hash()`
+/// incremental — after k updates only O(k * depth) nodes re-hash.
+///
+/// Thread-safety: concurrent reads (get / root_hash / prove) are safe, even
+/// across tries sharing structure (node hash memos are internally
+/// synchronized).  Writes (put / erase) must not race with any other access
+/// to the *same* trie object; writes to distinct tries sharing structure
+/// are safe (mutation never touches shared nodes).
 class MerklePatriciaTrie {
  public:
   MerklePatriciaTrie();
@@ -84,10 +93,8 @@ class MerklePatriciaTrie {
   const detail::MptNode* root_node() const noexcept { return root_.get(); }
 
  private:
-  std::unique_ptr<detail::MptNode> root_;
+  std::shared_ptr<detail::MptNode> root_;
   std::size_t size_ = 0;
-
-  static std::unique_ptr<detail::MptNode> clone(const detail::MptNode* n);
 };
 
 /// "Secure" trie wrapper: keys are keccak-hashed before insertion, matching

@@ -1,9 +1,23 @@
 // Internal MPT node representation and node encoding, shared between the
 // trie implementation (mpt.cpp) and the proof generator (proof.cpp).
 // Not part of the public API.
+//
+// Nodes are reference-counted and structurally shared between tries: copying
+// a trie shares the whole node graph, and mutations path-copy (clone only
+// the nodes on the root-to-leaf spine, cloning shallowly so subtrees stay
+// shared).  This is what makes per-block world-state copies O(1) and state
+// commitment incremental — see docs/commit_pipeline.md.
+//
+// Each node memoizes its *reference* (the inline RLP when shorter than 32
+// bytes, else the keccak digest of the RLP).  The memo is filled lazily on
+// first hash and survives until a mutation invalidates the node (mutations
+// only ever touch uniquely-owned nodes, so shared subtrees keep their
+// references).  Because tries that share structure may hash concurrently on
+// the commit pool, the memo is guarded by a per-node spinlock.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 
 #include "crypto/keccak.hpp"
@@ -20,38 +34,56 @@ struct MptNode {
   // Leaf / extension:
   Nibbles path;
   Bytes value;                     // leaf value, or branch value slot
-  std::unique_ptr<MptNode> child;  // extension child
+  std::shared_ptr<MptNode> child;  // extension child
 
   // Branch:
-  std::array<std::unique_ptr<MptNode>, 16> children;
+  std::array<std::shared_ptr<MptNode>, 16> children;
 
-  static std::unique_ptr<MptNode> leaf(Nibbles p, Bytes v) {
-    auto n = std::make_unique<MptNode>();
+  // Memoized node reference: inline RLP when < 32 bytes, else the 32-byte
+  // keccak digest.  `ref_ready` is the publication flag; `ref_lock` is a
+  // spinlock that serializes the (rare) concurrent first computation when
+  // two tries sharing this node hash at the same time.
+  mutable std::atomic<bool> ref_ready{false};
+  mutable std::atomic_flag ref_lock = ATOMIC_FLAG_INIT;
+  mutable Bytes cached_ref;
+
+  /// Drops the memoized reference.  Callers must hold unique ownership of
+  /// the node (mutation contract), so no locking is needed.
+  void invalidate_ref() noexcept {
+    ref_ready.store(false, std::memory_order_relaxed);
+  }
+
+  static std::shared_ptr<MptNode> leaf(Nibbles p, Bytes v) {
+    auto n = std::make_shared<MptNode>();
     n->kind = Kind::kLeaf;
     n->path = std::move(p);
     n->value = std::move(v);
     return n;
   }
-  static std::unique_ptr<MptNode> extension(Nibbles p,
-                                            std::unique_ptr<MptNode> c) {
+  static std::shared_ptr<MptNode> extension(Nibbles p,
+                                            std::shared_ptr<MptNode> c) {
     BP_ASSERT(!p.empty());
-    auto n = std::make_unique<MptNode>();
+    auto n = std::make_shared<MptNode>();
     n->kind = Kind::kExtension;
     n->path = std::move(p);
     n->child = std::move(c);
     return n;
   }
-  static std::unique_ptr<MptNode> branch() {
-    auto n = std::make_unique<MptNode>();
+  static std::shared_ptr<MptNode> branch() {
+    auto n = std::make_shared<MptNode>();
     n->kind = Kind::kBranch;
     return n;
   }
 };
 
-// Encodes a node to RLP (yellow paper node composition function c).
+// Encodes a node to RLP (yellow paper node composition function c).  Child
+// references resolve through each child's memoized reference.
 Bytes encode_node(const MptNode* node);
 
 // Appends a child reference: inline RLP when < 32 bytes, else keccak hash.
 void append_reference(rlp::Encoder& enc, const MptNode* node);
+
+// The node's memoized reference (computing and caching it on first use).
+const Bytes& node_ref(const MptNode* node);
 
 }  // namespace blockpilot::trie::detail

@@ -1,0 +1,116 @@
+#include "trie/node_cache.hpp"
+
+#include <cstring>
+
+#include "crypto/keccak.hpp"
+
+namespace blockpilot::trie {
+
+NodeCache::NodeCache(std::size_t capacity)
+    : shard_capacity_((capacity + kShards - 1) / kShards) {}
+
+NodeCache::Shard& NodeCache::shard_for(
+    std::span<const std::uint8_t> encoding) {
+  // Cheap stable shard choice: FNV over a prefix is enough to spread nodes.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const std::size_t probe = encoding.size() < 16 ? encoding.size() : 16;
+  for (std::size_t i = 0; i < probe; ++i) {
+    h ^= encoding[i];
+    h *= 0x100000001b3ULL;
+  }
+  h ^= encoding.size();
+  return shards_[h % kShards];
+}
+
+void NodeCache::evict_one(Shard& s) {
+  const Hash256 victim = s.fifo.front();
+  s.fifo.pop_front();
+  const auto hit = s.by_hash.find(victim);
+  if (hit != s.by_hash.end()) {
+    s.by_encoding.erase(*hit->second);
+    s.by_hash.erase(hit);
+    ++s.evictions;
+  }
+}
+
+Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
+  const std::size_t cap = shard_capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return Hash256{crypto::keccak256(encoding)};
+
+  Shard& s = shard_for(encoding);
+  Bytes key(encoding.begin(), encoding.end());
+  std::scoped_lock lk(s.mu);
+  const auto it = s.by_encoding.find(key);
+  if (it != s.by_encoding.end()) {
+    ++s.hits;
+    return it->second;
+  }
+  ++s.misses;
+  const Hash256 digest{crypto::keccak256(encoding)};
+  while (s.by_encoding.size() >= cap && !s.fifo.empty()) evict_one(s);
+  const auto [slot, inserted] = s.by_encoding.emplace(std::move(key), digest);
+  if (inserted) {
+    s.by_hash[digest] = &slot->first;
+    s.fifo.push_back(digest);
+  }
+  return digest;
+}
+
+std::optional<std::vector<std::uint8_t>> NodeCache::encoding_of(
+    const Hash256& h) const {
+  for (const Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    const auto it = s.by_hash.find(h);
+    if (it != s.by_hash.end()) return *it->second;
+  }
+  return std::nullopt;
+}
+
+NodeCache::Stats NodeCache::stats() const {
+  Stats out;
+  out.capacity = shard_capacity_.load(std::memory_order_relaxed) * kShards;
+  for (const Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.entries += s.by_encoding.size();
+  }
+  return out;
+}
+
+void NodeCache::clear() {
+  for (Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    s.by_encoding.clear();
+    s.by_hash.clear();
+    s.fifo.clear();
+  }
+}
+
+void NodeCache::reset_stats() {
+  for (Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    s.hits = s.misses = s.evictions = 0;
+  }
+}
+
+void NodeCache::set_capacity(std::size_t capacity) {
+  const std::size_t per_shard = (capacity + kShards - 1) / kShards;
+  shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    while (s.by_encoding.size() > per_shard && !s.fifo.empty()) evict_one(s);
+  }
+}
+
+std::size_t NodeCache::capacity() const {
+  return shard_capacity_.load(std::memory_order_relaxed) * kShards;
+}
+
+NodeCache& NodeCache::global() {
+  static NodeCache cache;
+  return cache;
+}
+
+}  // namespace blockpilot::trie

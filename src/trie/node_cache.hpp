@@ -1,0 +1,103 @@
+// NodeCache: a bounded, hash-consed cache of MPT node encodings.
+//
+// State commitment spends most of its time keccak-hashing node encodings.
+// Distinct tries frequently contain bit-identical nodes — sibling blocks at
+// one height share almost the whole account trie, a from-scratch rebuild
+// re-creates every node of the incremental trie, and hot contracts repeat
+// storage-subtree shapes.  The cache interns `encoding -> keccak(encoding)`
+// so the second computation of any node hash is a map lookup instead of a
+// keccak permutation, and keeps the reverse `hash -> encoding` index so
+// tooling (proof debugging, the commit bench) can resolve a node by its
+// hash.
+//
+// Bounded FIFO eviction; sharded to keep the commit pool's concurrent root
+// computations from serializing on one mutex.  Hit/miss/eviction counters
+// are exposed for benches and tests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "types/address.hpp"
+
+namespace blockpilot::trie {
+
+class NodeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit NodeCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Hash-consed keccak of a node encoding: returns the memoized digest when
+  /// an identical encoding was hashed before, computing and interning it
+  /// otherwise.  A capacity of 0 disables interning (plain keccak).
+  Hash256 hash_of(std::span<const std::uint8_t> encoding);
+
+  /// Reverse lookup: the RLP encoding of a cached node by its hash.
+  std::optional<std::vector<std::uint8_t>> encoding_of(const Hash256& h) const;
+
+  /// Aggregate statistics over all shards.
+  Stats stats() const;
+
+  /// Drops every entry (counters survive; see reset_stats).
+  void clear();
+  void reset_stats();
+
+  /// Rebounds the cache; shrinking evicts FIFO order.  Capacity 0 bypasses
+  /// the cache entirely.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// The process-wide cache the trie layer's node hashing goes through.
+  static NodeCache& global();
+
+ private:
+  using Bytes = std::vector<std::uint8_t>;
+
+  struct BytesHash {
+    std::size_t operator()(const Bytes& b) const noexcept {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (const std::uint8_t byte : b) {
+        h ^= byte;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Bytes, Hash256, BytesHash> by_encoding;
+    // Values point at the stable keys of `by_encoding` (node-based map).
+    std::unordered_map<Hash256, const Bytes*> by_hash;
+    std::deque<Hash256> fifo;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static constexpr std::size_t kShards = 8;
+
+  Shard& shard_for(std::span<const std::uint8_t> encoding);
+  static void evict_one(Shard& s);
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> shard_capacity_;
+};
+
+}  // namespace blockpilot::trie

@@ -1,0 +1,458 @@
+// Asynchronous state-commitment subsystem tests: incremental WorldState
+// roots (differential vs the from-scratch oracle), the hash-consed
+// NodeCache, CommitPipeline ordering, and the async integration through
+// validator / pipeline / blockchain.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "commit/commit_pipeline.hpp"
+#include "core/blockpilot.hpp"
+#include "support/rng.hpp"
+#include "trie/node_cache.hpp"
+
+namespace blockpilot {
+namespace {
+
+using state::StateKey;
+using state::WorldState;
+
+// ---------------------------------------------------------------------------
+// NodeCache
+
+TEST(NodeCache, InternsAndCounts) {
+  trie::NodeCache cache(64);
+  const std::vector<std::uint8_t> enc = {0x01, 0x02, 0x03, 0x04};
+  const Hash256 expected{crypto::keccak256(std::span(enc))};
+
+  EXPECT_EQ(cache.hash_of(std::span(enc)), expected);
+  EXPECT_EQ(cache.hash_of(std::span(enc)), expected);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // Reverse index resolves the encoding by hash.
+  const auto back = cache.encoding_of(expected);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, enc);
+}
+
+TEST(NodeCache, ZeroCapacityBypasses) {
+  trie::NodeCache cache(0);
+  const std::vector<std::uint8_t> enc = {0xaa, 0xbb};
+  const Hash256 expected{crypto::keccak256(std::span(enc))};
+  EXPECT_EQ(cache.hash_of(std::span(enc)), expected);
+  EXPECT_EQ(cache.hash_of(std::span(enc)), expected);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(NodeCache, EvictsWhenFullAndStaysCorrect) {
+  trie::NodeCache cache(8);  // 1 slot per shard
+  std::vector<std::vector<std::uint8_t>> encodings;
+  for (std::uint8_t i = 0; i < 64; ++i)
+    encodings.push_back({i, static_cast<std::uint8_t>(i + 1), 0x7f});
+
+  // Fill far past capacity, then re-query everything: answers must stay
+  // bit-identical to plain keccak whether served from cache or recomputed.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& enc : encodings) {
+      const Hash256 expected{crypto::keccak256(std::span(enc))};
+      EXPECT_EQ(cache.hash_of(std::span(enc)), expected);
+    }
+  }
+  const auto s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.entries, cache.capacity());
+}
+
+TEST(NodeCache, ShrinkingCapacityEvicts) {
+  trie::NodeCache cache(128);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    const std::vector<std::uint8_t> enc = {i, 0x55, static_cast<std::uint8_t>(0xff - i)};
+    cache.hash_of(std::span(enc));
+  }
+  EXPECT_GT(cache.stats().entries, 8u);
+  cache.set_capacity(8);
+  EXPECT_LE(cache.stats().entries, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental WorldState commitment vs the from-scratch oracle
+
+Address addr_of(std::uint64_t id) { return Address::from_id(id); }
+
+TEST(IncrementalRoot, MatchesOracleOnBasicFlow) {
+  WorldState ws;
+  EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild());
+
+  ws.set(StateKey::balance(addr_of(1)), U256{100});
+  ws.set(StateKey::nonce(addr_of(1)), U256{7});
+  ws.set(StateKey::storage(addr_of(2), U256{1}), U256{42});
+  EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild());
+
+  // Memo hit when nothing changed.
+  const auto before = ws.commit_stats();
+  const Hash256 again = ws.state_root();
+  const auto after = ws.commit_stats();
+  EXPECT_EQ(again, ws.state_root_full_rebuild());
+  EXPECT_EQ(after.root_memo_hits, before.root_memo_hits + 1);
+  EXPECT_EQ(after.root_recomputes, before.root_recomputes);
+}
+
+TEST(IncrementalRoot, OldValueRewriteRegression) {
+  // Write, commit, overwrite the same slot with its old value, commit:
+  // the root must equal that of a state which never changed the slot.
+  WorldState ws;
+  ws.set(StateKey::storage(addr_of(9), U256{5}), U256{1234});
+  ws.set(StateKey::balance(addr_of(9)), U256{1});
+  const Hash256 committed = ws.state_root();
+
+  ws.set(StateKey::storage(addr_of(9), U256{5}), U256{9999});
+  (void)ws.state_root();
+  ws.set(StateKey::storage(addr_of(9), U256{5}), U256{1234});
+  EXPECT_EQ(ws.state_root(), committed);
+  EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild());
+}
+
+TEST(IncrementalRoot, EmptyAccountPrunes) {
+  WorldState ws;
+  ws.set(StateKey::balance(addr_of(3)), U256{50});
+  const Hash256 with_account = ws.state_root();
+
+  ws.set(StateKey::balance(addr_of(4)), U256{10});
+  (void)ws.state_root();
+  // Draining account 4 back to empty must prune it from the trie.
+  ws.set(StateKey::balance(addr_of(4)), U256{});
+  EXPECT_EQ(ws.state_root(), with_account);
+  EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild());
+
+  // Resurrection after pruning rebuilds correctly.
+  ws.set(StateKey::balance(addr_of(4)), U256{11});
+  ws.set(StateKey::storage(addr_of(4), U256{0}), U256{1});
+  EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild());
+}
+
+TEST(IncrementalRoot, ZeroStorageWriteErases) {
+  WorldState ws;
+  ws.set(StateKey::storage(addr_of(5), U256{1}), U256{77});
+  ws.set(StateKey::storage(addr_of(5), U256{2}), U256{88});
+  ws.set(StateKey::balance(addr_of(5)), U256{1});
+  (void)ws.state_root();
+
+  ws.set(StateKey::storage(addr_of(5), U256{2}), U256{});
+  EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild());
+  EXPECT_EQ(ws.storage_root(addr_of(5)),
+            state::storage_root_of(ws.accounts().at(addr_of(5)).storage));
+}
+
+TEST(IncrementalRoot, CopiesDivergeIndependently) {
+  WorldState a;
+  a.set(StateKey::balance(addr_of(1)), U256{100});
+  a.set(StateKey::storage(addr_of(1), U256{0}), U256{5});
+  const Hash256 root_a = a.state_root();
+
+  WorldState b = a;  // shares trie structure + memos
+  EXPECT_EQ(b.state_root(), root_a);
+
+  b.set(StateKey::storage(addr_of(1), U256{0}), U256{6});
+  b.set(StateKey::balance(addr_of(2)), U256{1});
+  EXPECT_EQ(b.state_root(), b.state_root_full_rebuild());
+  EXPECT_NE(b.state_root(), root_a);
+
+  // The original is untouched by the copy's writes.
+  EXPECT_EQ(a.state_root(), root_a);
+  EXPECT_EQ(a.state_root(), a.state_root_full_rebuild());
+}
+
+TEST(IncrementalRoot, DifferentialFuzzAgainstOracle) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xdecafULL}) {
+    Xoshiro256 rng(seed);
+    WorldState ws;
+    for (int step = 0; step < 400; ++step) {
+      const Address addr = addr_of(rng() % 12);
+      switch (rng() % 5) {
+        case 0:
+          ws.set(StateKey::balance(addr), U256{rng() % 1000});
+          break;
+        case 1:
+          ws.set(StateKey::nonce(addr), U256{rng() % 50});
+          break;
+        case 2:
+          ws.set(StateKey::storage(addr, U256{rng() % 20}), U256{rng() % 256});
+          break;
+        case 3:  // erase a slot
+          ws.set(StateKey::storage(addr, U256{rng() % 20}), U256{});
+          break;
+        case 4:  // drain an account toward emptiness
+          ws.set(StateKey::balance(addr), U256{});
+          ws.set(StateKey::nonce(addr), U256{});
+          break;
+      }
+      if (step % 7 == 0)
+        ASSERT_EQ(ws.state_root(), ws.state_root_full_rebuild())
+            << "seed " << seed << " step " << step;
+    }
+    EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild()) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CommitPipeline
+
+TEST(CommitPipeline, InlineModeComputesImmediately) {
+  commit::CommitPipeline pipe;  // no pool: degraded/sync mode
+  auto ws = std::make_shared<WorldState>();
+  ws->set(StateKey::balance(addr_of(1)), U256{10});
+  const Hash256 expected = ws->state_root_full_rebuild();
+
+  auto handle = pipe.submit(ws);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_TRUE(handle.ready());
+  EXPECT_EQ(handle.get().state_root, expected);
+  EXPECT_EQ(pipe.stats().inline_runs, 1u);
+}
+
+TEST(CommitPipeline, AsyncComputesOffThread) {
+  ThreadPool pool(2);
+  commit::CommitPipeline pipe(&pool);
+  auto ws = std::make_shared<WorldState>();
+  ws->set(StateKey::storage(addr_of(2), U256{3}), U256{99});
+  const Hash256 expected = ws->state_root_full_rebuild();
+
+  auto handle = pipe.submit(ws, [] { return Hash256{}; });
+  ASSERT_TRUE(handle.valid());
+  handle.wait();
+  EXPECT_EQ(handle.get().state_root, expected);
+  EXPECT_EQ(pipe.stats().submitted, 1u);
+  EXPECT_EQ(pipe.stats().inline_runs, 0u);
+}
+
+TEST(CommitPipeline, FifoOrderingAcrossSubmissions) {
+  // Block N's root must be ready no later than block N+1's: when a later
+  // handle resolves, every earlier one has resolved too.
+  ThreadPool pool(4);
+  commit::CommitPipeline pipe(&pool);
+
+  std::vector<commit::CommitHandle> handles;
+  WorldState ws;
+  for (std::uint64_t n = 0; n < 8; ++n) {
+    ws.set(StateKey::balance(addr_of(n + 1)), U256{n + 1});
+    handles.push_back(pipe.submit(std::make_shared<WorldState>(ws)));
+  }
+  for (std::size_t n = handles.size(); n-- > 0;) {
+    handles[n].wait();
+    for (std::size_t m = 0; m < n; ++m)
+      EXPECT_TRUE(handles[m].ready()) << "handle " << m << " after " << n;
+  }
+  for (std::size_t n = 0; n < handles.size(); ++n)
+    EXPECT_EQ(handles[n].get().sequence, n);
+}
+
+TEST(CommitPipeline, SubmitWritesAppliesOnTopOfParent) {
+  commit::CommitPipeline pipe;
+  WorldState parent;
+  parent.set(StateKey::balance(addr_of(1)), U256{100});
+  (void)parent.state_root();
+
+  auto handle = pipe.submit_writes(
+      parent, {{StateKey::balance(addr_of(1)), U256{90}},
+               {StateKey::balance(addr_of(2)), U256{10}}});
+  WorldState expected = parent;
+  expected.set(StateKey::balance(addr_of(1)), U256{90});
+  expected.set(StateKey::balance(addr_of(2)), U256{10});
+  EXPECT_EQ(handle.get().state_root, expected.state_root_full_rebuild());
+  // Parent unchanged.
+  EXPECT_EQ(parent.get(StateKey::balance(addr_of(1))), U256{100});
+}
+
+// ---------------------------------------------------------------------------
+// Async integration: proposer / validator / pipeline / blockchain
+
+evm::BlockContext ctx_for(std::uint64_t height) {
+  evm::BlockContext ctx;
+  ctx.number = height;
+  ctx.timestamp = 1'700'000'000 + height * 12;
+  ctx.coinbase = Address::from_id(0xC0FFEE);
+  return ctx;
+}
+
+core::BlockBundle bundle_from(const WorldState& pre,
+                              const std::vector<chain::Transaction>& txs,
+                              std::uint64_t height) {
+  const core::SerialResult r =
+      core::execute_serial(pre, ctx_for(height), std::span(txs));
+  core::BlockBundle b;
+  b.block = core::seal_block(ctx_for(height), r.exec, r.included);
+  b.profile = r.exec.profile;
+  return b;
+}
+
+struct AsyncCommitFixture : ::testing::Test {
+  workload::WorkloadGenerator gen{workload::preset_mainnet()};
+  WorldState genesis = gen.genesis();
+};
+
+TEST_F(AsyncCommitFixture, ProposerAsyncSealMatchesInlineSeal) {
+  auto propose = [&](commit::CommitPipeline* cp) {
+    workload::WorkloadGenerator local{workload::preset_mainnet()};
+    txpool::TxPool pool;
+    pool.add_all(local.next_batch(60));
+    core::ProposerConfig cfg;
+    cfg.threads = 4;
+    cfg.commit_pipeline = cp;
+    core::OccWsiProposer proposer(cfg);
+    return proposer.propose_virtual(genesis, ctx_for(1), pool);
+  };
+
+  const auto inline_sealed = propose(nullptr);
+
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  auto async_sealed = propose(&pipe);
+  ASSERT_TRUE(async_sealed.commit.valid());
+  EXPECT_EQ(async_sealed.block.header.state_root, Hash256{});
+  async_sealed.await_seal();
+
+  EXPECT_EQ(async_sealed.block.header.state_root,
+            inline_sealed.block.header.state_root);
+  EXPECT_EQ(async_sealed.block.header.receipts_root,
+            inline_sealed.block.header.receipts_root);
+  EXPECT_EQ(async_sealed.block.header.logs_bloom,
+            inline_sealed.block.header.logs_bloom);
+}
+
+TEST_F(AsyncCommitFixture, ValidatorAsyncRootCheckAcceptsHonestBlock) {
+  const auto bundle = bundle_from(genesis, gen.next_batch(50), 1);
+
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  core::ValidatorConfig vc;
+  vc.threads = 4;
+  vc.commit_pipeline = &pipe;
+  core::BlockValidator validator(vc);
+  ThreadPool workers(4);
+  auto outcome = validator.validate(genesis, bundle.block, bundle.profile,
+                                    workers);
+  ASSERT_TRUE(outcome.valid) << outcome.reject_reason;  // provisional
+  ASSERT_TRUE(outcome.commit.valid());
+  EXPECT_TRUE(outcome.await_commit()) << outcome.reject_reason;
+  EXPECT_EQ(outcome.exec.state_root, bundle.block.header.state_root);
+}
+
+TEST_F(AsyncCommitFixture, ValidatorAsyncRootCheckRejectsTamperedRoot) {
+  auto bundle = bundle_from(genesis, gen.next_batch(30), 1);
+  bundle.block.header.state_root.bytes[0] ^= 0xff;  // Byzantine header
+
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  core::ValidatorConfig vc;
+  vc.threads = 2;
+  vc.commit_pipeline = &pipe;
+  core::BlockValidator validator(vc);
+  ThreadPool workers(2);
+  auto outcome = validator.validate(genesis, bundle.block, bundle.profile,
+                                    workers);
+  ASSERT_TRUE(outcome.valid);  // execution-level: provisionally accepted
+  EXPECT_FALSE(outcome.await_commit());
+  EXPECT_EQ(outcome.reject_reason, "state root mismatch");
+}
+
+TEST_F(AsyncCommitFixture, PipelineAsyncMatchesSyncOverChain) {
+  // Build a 3-height honest chain.
+  std::vector<std::vector<core::BlockBundle>> heights;
+  const WorldState* parent = &genesis;
+  std::shared_ptr<const WorldState> holder;
+  for (std::uint64_t h = 1; h <= 3; ++h) {
+    auto bundle = bundle_from(*parent, gen.next_batch(25), h);
+    core::SerialOptions opts;
+    opts.drop_unincludable = false;
+    const auto r = core::execute_serial(
+        *parent, ctx_for(h), std::span(bundle.block.transactions), opts);
+    ASSERT_TRUE(r.ok);
+    holder = r.exec.post_state;
+    parent = holder.get();
+    heights.push_back({std::move(bundle)});
+  }
+
+  core::PipelineConfig sync_cfg;
+  sync_cfg.workers = 4;
+  core::PipelineConfig async_cfg = sync_cfg;
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  async_cfg.commit_pipeline = &pipe;
+
+  ThreadPool workers(4);
+  const auto sync_result = core::ValidatorPipeline(sync_cfg).process_chain(
+      genesis, std::span(heights), workers);
+  const auto async_result = core::ValidatorPipeline(async_cfg).process_chain(
+      genesis, std::span(heights), workers);
+
+  ASSERT_EQ(sync_result.outcomes.size(), async_result.outcomes.size());
+  EXPECT_EQ(async_result.stats.async_commits, 3u);
+  for (std::size_t i = 0; i < sync_result.outcomes.size(); ++i) {
+    EXPECT_EQ(sync_result.outcomes[i].valid, async_result.outcomes[i].valid)
+        << async_result.outcomes[i].reject_reason;
+    EXPECT_EQ(sync_result.outcomes[i].exec.state_root,
+              async_result.outcomes[i].exec.state_root);
+  }
+}
+
+TEST_F(AsyncCommitFixture, PipelineCascadesParentCommitFailure) {
+  // Height 1's only block carries a tampered state root: execution-valid,
+  // commitment-invalid.  The speculatively-validated height 2 must be
+  // invalidated by the settle pass.
+  auto b1 = bundle_from(genesis, gen.next_batch(20), 1);
+  core::SerialOptions opts;
+  opts.drop_unincludable = false;
+  const auto r1 = core::execute_serial(
+      genesis, ctx_for(1), std::span(b1.block.transactions), opts);
+  ASSERT_TRUE(r1.ok);
+  auto b2 = bundle_from(*r1.exec.post_state, gen.next_batch(20), 2);
+  b1.block.header.state_root.bytes[0] ^= 0xff;
+
+  std::vector<std::vector<core::BlockBundle>> heights = {{b1}, {b2}};
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  core::PipelineConfig cfg;
+  cfg.workers = 4;
+  cfg.commit_pipeline = &pipe;
+  ThreadPool workers(4);
+  const auto result = core::ValidatorPipeline(cfg).process_chain(
+      genesis, std::span(heights), workers);
+
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_FALSE(result.outcomes[0].valid);
+  EXPECT_EQ(result.outcomes[0].reject_reason, "state root mismatch");
+  EXPECT_FALSE(result.outcomes[1].valid);
+  EXPECT_EQ(result.outcomes[1].reject_reason, "parent block failed commitment");
+}
+
+TEST_F(AsyncCommitFixture, BlockchainCommitsFromHandle) {
+  chain::Blockchain bc(genesis);
+
+  txpool::TxPool pool;
+  pool.add_all(gen.next_batch(40));
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline pipe(&commit_pool);
+  core::ProposerConfig cfg;
+  cfg.threads = 4;
+  cfg.commit_pipeline = &pipe;
+  core::OccWsiProposer proposer(cfg);
+  auto proposed = proposer.propose_virtual(*bc.head_state(), ctx_for(1), pool);
+  ASSERT_TRUE(proposed.commit.valid());
+
+  proposed.block.header.parent_hash = bc.head().header.hash();
+  bc.commit_block(proposed.block, proposed.commit, proposed.receipts);
+
+  EXPECT_EQ(bc.height(), 1u);
+  const Hash256 head_root = bc.head().header.state_root;
+  EXPECT_EQ(head_root, bc.head_state()->state_root());
+  EXPECT_NE(head_root, Hash256{});
+}
+
+}  // namespace
+}  // namespace blockpilot

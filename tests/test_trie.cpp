@@ -149,7 +149,7 @@ TEST(Trie, CopySemantics) {
   MerklePatriciaTrie a;
   put_str(a, "one", "1");
   put_str(a, "two", "2");
-  MerklePatriciaTrie b = a;  // deep copy
+  MerklePatriciaTrie b = a;  // persistent copy (shares structure)
   put_str(b, "three", "3");
   EXPECT_EQ(a.size(), 2u);
   EXPECT_EQ(b.size(), 3u);
@@ -207,6 +207,82 @@ TEST_P(TrieFuzzTest, MatchesReferenceMap) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzzTest,
                          ::testing::Values(5u, 17u, 23u, 71u, 1234u));
+
+// ---- incremental-hashing regressions (persistent tries + node-ref memos) --
+
+TEST(TrieIncremental, DirtyPathRegression) {
+  // Write, commit (hash), overwrite the same slot with its old value,
+  // commit again: the root must equal that of a trie never touched after
+  // the first write.  Catches stale node-ref memos on the rewritten path.
+  MerklePatriciaTrie t;
+  put_str(t, "do", "verb");
+  put_str(t, "dog", "puppy");
+  put_str(t, "horse", "stallion");
+  const Hash256 committed = t.root_hash();
+
+  put_str(t, "dog", "cat");      // dirty the path...
+  (void)t.root_hash();           // ...commit the wrong value...
+  put_str(t, "dog", "puppy");    // ...restore the original...
+  EXPECT_EQ(t.root_hash(), committed);  // ...root must round-trip exactly.
+}
+
+TEST(TrieIncremental, SharedStructureKeepsRootsIndependent) {
+  MerklePatriciaTrie a;
+  put_str(a, "alpha", "1");
+  put_str(a, "beta", "2");
+  put_str(a, "gamma", "3");
+  const Hash256 root_a = a.root_hash();
+
+  MerklePatriciaTrie b = a;         // shares every node with a
+  EXPECT_EQ(b.root_hash(), root_a);  // memoized refs carry over
+
+  put_str(b, "beta", "22");         // path-copies the beta spine only
+  const Hash256 root_b = b.root_hash();
+  EXPECT_NE(root_b, root_a);
+  EXPECT_EQ(a.root_hash(), root_a);  // a's nodes were never touched
+
+  // Mutating a after the copy diverged must not disturb b either.
+  const Bytes gamma = bytes("gamma");
+  a.erase(std::span(gamma));
+  EXPECT_EQ(b.root_hash(), root_b);
+
+  // Both sides still equal from-scratch rebuilds of their contents.
+  MerklePatriciaTrie a2, b2;
+  put_str(a2, "alpha", "1");
+  put_str(a2, "beta", "2");
+  put_str(b2, "alpha", "1");
+  put_str(b2, "beta", "22");
+  put_str(b2, "gamma", "3");
+  EXPECT_EQ(a.root_hash(), a2.root_hash());
+  EXPECT_EQ(b.root_hash(), b2.root_hash());
+}
+
+TEST(TrieIncremental, InterleavedHashingMatchesColdRebuild) {
+  // Hash after every mutation (maximally exercising memo invalidation) and
+  // compare against a cold trie built once from the same final contents.
+  Xoshiro256 rng(99);
+  MerklePatriciaTrie warm;
+  std::map<Bytes, Bytes> reference;
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes key(rng.below(5) + 1, 0);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(4));
+    if (rng.chance(0.75)) {
+      Bytes value(rng.below(48) + 1, 0);
+      for (auto& b : value) b = static_cast<std::uint8_t>(rng.below(256));
+      warm.put(std::span(key), std::span(value));
+      reference[key] = value;
+    } else {
+      warm.erase(std::span(key));
+      reference.erase(key);
+    }
+    const Hash256 incremental = warm.root_hash();
+    if (iter % 20 == 19) {
+      MerklePatriciaTrie cold;
+      for (const auto& [k, v] : reference) cold.put(std::span(k), std::span(v));
+      ASSERT_EQ(incremental, cold.root_hash()) << "iter " << iter;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace blockpilot::trie
