@@ -14,7 +14,17 @@
 //     N's commitment running during block N+1's execution; the JSON records
 //     both walls and the tail wait.
 //
+//  3. Copy under commit — a pool thread runs a heavyweight state_root()
+//     (the in-flight commit) while the main thread keeps taking
+//     finalize-time WorldState copies of the same object.  The seed
+//     implementation held commit_mu_ across the whole computation, so
+//     every copy stalled for the full commit; with the snapshot-based
+//     phase split a copy only contends for the short collect/install
+//     critical sections.  The worst copy latency vs the commit wall is
+//     the evidence.
+//
 // Emits BENCH_commit.json (machine-readable) plus a stdout summary.
+#include <atomic>
 #include <cinttypes>
 #include <thread>
 
@@ -125,6 +135,77 @@ std::vector<OverlapSample> run_overlap_once(commit::CommitPipeline* pipe,
   return samples;
 }
 
+// ---- experiment 3: finalize-time copies racing an in-flight commit ----
+struct CopyUnderCommit {
+  double commit_ms = 0.0;         // wall of the in-flight state_root()
+  double copy_idle_ms = 0.0;      // best-of-3 copy with no commit running
+  double copy_worst_ms = 0.0;     // worst copy taken while commit in flight
+  double copy_mean_ms = 0.0;
+  std::size_t copies = 0;         // copies completed before the commit did
+  bool roots_agree = false;       // mid-commit snapshot == oracle root
+};
+
+CopyUnderCommit run_copy_under_commit() {
+  workload::WorkloadConfig wc = workload::preset_mainnet();
+  wc.seed = 0xF19;
+  workload::WorkloadGenerator gen(wc);
+
+  // Heavyweight commit: genesis is never rooted, and every block's writes
+  // pile onto the dirty set, so the pool thread's state_root() builds the
+  // entire trie in one go.
+  state::WorldState running = gen.genesis();
+  {
+    std::shared_ptr<state::WorldState> keep;
+    const state::WorldState* parent = &running;
+    for (std::size_t h = 1; h <= kHeights; ++h) {
+      const HonestBlock hb = build_honest_block(*parent, gen.next_block(), h);
+      for (const chain::TxProfile& tx : hb.bundle.profile.txs)
+        for (const auto& [key, value] : tx.writes) running.set(key, value);
+      keep = hb.post_state;
+      parent = keep.get();
+    }
+  }
+
+  CopyUnderCommit out;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    const state::WorldState idle_copy(running);
+    const double ms = sw.elapsed_ms();
+    if (rep == 0 || ms < out.copy_idle_ms) out.copy_idle_ms = ms;
+  }
+
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> done{false};
+  pool.submit([&running, &started, &done, &out] {
+    started.store(true, std::memory_order_release);
+    Stopwatch sw;
+    (void)running.state_root();
+    out.commit_ms = sw.elapsed_ms();
+    done.store(true, std::memory_order_release);
+  });
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  std::vector<state::WorldState> snapshots;
+  double total = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    Stopwatch sw;
+    snapshots.emplace_back(running);
+    const double ms = sw.elapsed_ms();
+    total += ms;
+    if (ms > out.copy_worst_ms) out.copy_worst_ms = ms;
+  }
+  pool.wait_idle();
+  out.copies = snapshots.size();
+  out.copy_mean_ms = out.copies > 0 ? total / out.copies : 0.0;
+
+  // A copy taken mid-commit is logically identical to the source: its own
+  // root must land on the same hash the committed source settled on.
+  if (!snapshots.empty())
+    out.roots_agree = snapshots.back().state_root() == running.state_root();
+  return out;
+}
+
 // Scheduler noise dominates single-digit-ms walls (especially on low-core
 // boxes where the commit pool time-slices against the proposer), so take
 // the best of a few repeats per mode.
@@ -176,8 +257,9 @@ void run() {
               "(%.1fx), oracle mismatches: %.0f\n",
               incr_total, full_total, speedup, mismatches);
   std::printf("node cache: %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64
-              " evictions (%zu entries)\n",
-              cache.hits, cache.misses, cache.evictions, cache.entries);
+              " evictions, %zu entries, %zu / %zu bytes (CLOCK)\n",
+              cache.hits, cache.misses, cache.evictions, cache.entries,
+              cache.bytes, cache.capacity);
 
   // Overlap experiment: inline sealing vs commit-pipeline sealing.
   double serial_wall = 0, serial_tail = 0;
@@ -212,6 +294,19 @@ void run() {
                 "inline (no parallelism); overlap evidence is the hidden/tail "
                 "split above\n");
 
+  // Copy-under-commit experiment: the finalize path must not stall.
+  const CopyUnderCommit cuc = run_copy_under_commit();
+  std::printf("\ncopy under in-flight commit: %zu copies completed during a "
+              "%.2f ms commit\n",
+              cuc.copies, cuc.commit_ms);
+  std::printf("  copy latency: %.3f ms idle, %.3f ms mean / %.3f ms worst "
+              "while committing (commit would have blocked each for up to "
+              "%.2f ms pre-snapshot)\n",
+              cuc.copy_idle_ms, cuc.copy_mean_ms, cuc.copy_worst_ms,
+              cuc.commit_ms);
+  std::printf("  mid-commit snapshot root agrees with committed source: %s\n",
+              cuc.roots_agree ? "yes" : (cuc.copies ? "NO" : "n/a"));
+
   // ---- machine-readable record ----
   FILE* f = std::fopen("BENCH_commit.json", "w");
   if (f == nullptr) {
@@ -236,9 +331,12 @@ void run() {
   std::fprintf(f, "    \"speedup\": %.2f,\n", speedup);
   std::fprintf(f, "    \"oracle_mismatches\": %.0f\n  },\n", mismatches);
   std::fprintf(f,
-               "  \"node_cache\": {\"hits\": %" PRIu64 ", \"misses\": %" PRIu64
-               ", \"evictions\": %" PRIu64 ", \"entries\": %zu},\n",
-               cache.hits, cache.misses, cache.evictions, cache.entries);
+               "  \"node_cache\": {\"policy\": \"clock\", \"hits\": %" PRIu64
+               ", \"misses\": %" PRIu64 ", \"evictions\": %" PRIu64
+               ", \"entries\": %zu, \"bytes\": %zu, \"capacity_bytes\": "
+               "%zu},\n",
+               cache.hits, cache.misses, cache.evictions, cache.entries,
+               cache.bytes, cache.capacity);
   std::fprintf(f, "  \"overlap\": {\n    \"phases\": [\n");
   for (std::size_t h = 0; h < overlapped.size(); ++h) {
     std::fprintf(f,
@@ -255,8 +353,16 @@ void run() {
   std::fprintf(f, "    \"commit_tail_wait_ms\": %.4f,\n", async_tail);
   std::fprintf(f, "    \"commit_hidden_ms\": %.4f,\n",
                commit_total - async_tail);
-  std::fprintf(f, "    \"saved_ms\": %.4f\n  }\n}\n",
+  std::fprintf(f, "    \"saved_ms\": %.4f\n  },\n",
                serial_wall - async_wall);
+  std::fprintf(f, "  \"copy_under_commit\": {\n");
+  std::fprintf(f, "    \"commit_ms\": %.4f,\n", cuc.commit_ms);
+  std::fprintf(f, "    \"copies_during_commit\": %zu,\n", cuc.copies);
+  std::fprintf(f, "    \"copy_idle_ms\": %.4f,\n", cuc.copy_idle_ms);
+  std::fprintf(f, "    \"copy_mean_ms\": %.4f,\n", cuc.copy_mean_ms);
+  std::fprintf(f, "    \"copy_worst_ms\": %.4f,\n", cuc.copy_worst_ms);
+  std::fprintf(f, "    \"roots_agree\": %s\n  }\n}\n",
+               cuc.roots_agree ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_commit.json\n");
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify (full build + test suite) plus the commit-labeled
+# tests — including the concurrency stress layer — under ThreadSanitizer.
+#
+#   ./ci.sh            # tier-1 + tsan commit/stress gate
+#   ./ci.sh --tier1    # tier-1 only (fast path)
+#   JOBS=8 ./ci.sh     # override parallelism
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> tier-1: configure + build (RelWithDebInfo)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${JOBS}"
+
+echo "==> tier-1: full test suite"
+ctest --preset default -j "${JOBS}"
+
+if [[ "${1:-}" == "--tier1" ]]; then
+  echo "==> tier-1 only: done"
+  exit 0
+fi
+
+echo "==> tsan: configure + build (BLOCKPILOT_SANITIZE=thread)"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}"
+
+echo "==> tsan: commit-labeled tests (includes the stress label)"
+ctest --preset tsan-commit
+
+echo "==> ci: all gates passed"

@@ -130,6 +130,12 @@ PipelineResult ValidatorPipeline::process_height(
   return result;
 }
 
+PipelineResult ValidatorPipeline::process_height_speculative(
+    const state::WorldState& pre, std::span<const BlockBundle> siblings,
+    ThreadPool& workers) {
+  return process_one_height(pre, siblings, workers);
+}
+
 PipelineResult ValidatorPipeline::process_chain(
     const state::WorldState& pre,
     std::span<const std::vector<BlockBundle>> heights, ThreadPool& workers) {

@@ -84,6 +84,17 @@ class ValidatorPipeline {
                                 std::span<const BlockBundle> siblings,
                                 ThreadPool& workers);
 
+  /// Speculative variant of process_height(): returns as soon as execution
+  /// finishes, leaving each outcome's asynchronous root check pending on its
+  /// CommitHandle.  `valid` then reflects execution-level validity only —
+  /// callers may vote on and build on the speculative tip, but must settle
+  /// every outcome (ValidationOutcome::await_commit()) before treating it
+  /// as final.  Behaves exactly like process_height() when no commit
+  /// pipeline is configured (roots are then checked inline).
+  PipelineResult process_height_speculative(
+      const state::WorldState& pre, std::span<const BlockBundle> siblings,
+      ThreadPool& workers);
+
   /// Validates a chain of heights; heights[i] holds the sibling blocks of
   /// height i.  The canonical branch follows the first valid block of each
   /// height.  Virtual time charges same-height overlap but serializes

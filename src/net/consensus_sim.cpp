@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "support/assert.hpp"
 
@@ -17,13 +18,34 @@ evm::BlockContext ctx_for(std::uint64_t height, const Address& coinbase) {
   return ctx;
 }
 
-/// One validator node: its own ledger replica plus a pipeline validator.
+/// One validator node: its own ledger replica, its own commit pipeline
+/// (backed by the shared commit pool), and its speculative tip — the post
+/// state of the last block it voted for, which may still have its root
+/// check in flight.
 struct ValidatorNode {
-  explicit ValidatorNode(const state::WorldState& genesis)
-      : chain(genesis) {}
+  ValidatorNode(const state::WorldState& genesis, ThreadPool* commit_pool)
+      : chain(genesis), commits(commit_pool) {
+    tip = chain.head_state();
+  }
 
   chain::Blockchain chain;
+  commit::CommitPipeline commits;
+  std::shared_ptr<const state::WorldState> tip;
   std::uint64_t busy_until_us = 0;  // virtual time this node frees up
+};
+
+/// One validator's view of one round, parked until the settle pass.
+struct PendingValidation {
+  std::vector<core::BlockBundle> bundles;        // this node's arrival order
+  std::vector<core::ValidationOutcome> outcomes;  // parallel to bundles
+  Hash256 vote;                // provisional vote (zero = no valid sibling)
+  std::size_t vote_idx = SIZE_MAX;
+};
+
+struct PendingRound {
+  RoundReport report;
+  Hash256 canonical_hash;
+  std::vector<PendingValidation> per_validator;
 };
 
 }  // namespace
@@ -46,26 +68,37 @@ ConsensusSimResult ConsensusSim::run() {
   const std::size_t V = config_.validator_nodes;
   SimNetwork network(P + V, config_.link);
 
+  ThreadPool workers(4);
+  std::unique_ptr<ThreadPool> commit_pool;
+  if (config_.commit_threads > 0)
+    commit_pool = std::make_unique<ThreadPool>(config_.commit_threads);
+  commit::CommitPipeline proposer_commits(commit_pool.get());
+
   std::vector<std::unique_ptr<ValidatorNode>> validators;
   validators.reserve(V);
   for (std::size_t v = 0; v < V; ++v)
-    validators.push_back(std::make_unique<ValidatorNode>(genesis));
+    validators.push_back(
+        std::make_unique<ValidatorNode>(genesis, commit_pool.get()));
 
-  ThreadPool workers(4);
   core::ProposerConfig pcfg;
   pcfg.threads = config_.proposer_threads;
+  pcfg.commit_pipeline = &proposer_commits;
   core::PipelineConfig plcfg;
   plcfg.workers = config_.validator_workers;
 
   auto canonical_state = std::make_shared<const state::WorldState>(genesis);
   Hash256 canonical_head_hash = validators[0]->chain.genesis_hash();
   std::uint64_t clock_us = 0;  // global round clock (virtual)
+  std::vector<PendingRound> pending;
 
   for (std::uint64_t height = 1; height <= config_.rounds; ++height) {
-    RoundReport report;
+    PendingRound pr;
+    RoundReport& report = pr.report;
     report.height = height;
 
     // ---- propose: round-robin leader set over the proposer nodes ----
+    // Sealing is routed through the proposer commit pipeline; await_seal()
+    // closes the future before broadcast (an unsealed root cannot gossip).
     std::uint64_t propose_end_us = clock_us;
     for (std::size_t k = 0; k < config_.proposers_per_round; ++k) {
       const NodeId proposer_id =
@@ -78,6 +111,13 @@ ConsensusSimResult ConsensusSim::run() {
           ctx_for(height, Address::from_id(0xFEE000 + proposer_id)), pool,
           workers);
       blk.block.header.parent_hash = canonical_head_hash;
+      blk.await_seal();
+      if (height == config_.byzantine_height) {
+        // Byzantine proposer set: gossip a block whose sealed root lies.
+        // Execution still replays cleanly, so the lie survives until the
+        // validators' commitments settle.
+        blk.block.header.state_root.bytes[0] ^= 0xA5;
+      }
       propose_end_us = std::max(
           propose_end_us, clock_us + blk.stats.vtime_makespan / kGasPerUs);
 
@@ -103,49 +143,41 @@ ConsensusSimResult ConsensusSim::run() {
           std::max(last_arrival[msg->to], msg->deliver_time_us);
     }
 
-    // ---- validate: every validator runs its pipeline over the forks ----
+    // ---- validate speculatively: root checks stay on the pipelines ----
     std::uint64_t round_end_us = propose_end_us;
-    std::vector<Hash256> votes;  // one per validator: chosen block hash
-    Hash256 canonical_hash;
-    std::shared_ptr<const state::WorldState> next_state;
+    pr.per_validator.resize(V);
 
     for (std::size_t v = 0; v < V; ++v) {
       const NodeId vid = P + v;
       auto& node = *validators[v];
-      auto& bundles = inbox[vid];
-      BP_ASSERT_MSG(bundles.size() == report.siblings,
+      PendingValidation& pv = pr.per_validator[v];
+      pv.bundles = std::move(inbox[vid]);
+      BP_ASSERT_MSG(pv.bundles.size() == report.siblings,
                     "gossip lost an announcement");
 
+      plcfg.commit_pipeline = &node.commits;
       core::ValidatorPipeline pipeline(plcfg);
-      const core::PipelineResult piped = pipeline.process_height(
-          *node.chain.head_state(), std::span(bundles), workers);
+      core::PipelineResult piped = pipeline.process_height_speculative(
+          *node.tip, std::span(pv.bundles.data(), pv.bundles.size()),
+          workers);
 
-      // Vote: first valid sibling in arrival order.
-      Hash256 vote;
+      // Provisional vote: first execution-valid sibling in arrival order.
+      // The voted block's root check may still be in flight — that is the
+      // speculative tip the next round builds on.
       for (std::size_t i = 0; i < piped.outcomes.size(); ++i) {
         if (piped.outcomes[i].valid) {
-          vote = bundles[i].block.header.hash();
+          pv.vote = pv.bundles[i].block.header.hash();
+          pv.vote_idx = i;
           break;
         }
       }
-      votes.push_back(vote);
-
-      // Commit every valid sibling (uncles are stored too, §3.4).
-      std::size_t valid = 0;
-      for (std::size_t i = 0; i < piped.outcomes.size(); ++i) {
-        if (!piped.outcomes[i].valid) continue;
-        ++valid;
-        node.chain.commit_block(bundles[i].block,
-                                piped.outcomes[i].exec.post_state);
-        if (v == 0 && bundles[i].block.header.hash() == vote) {
-          next_state = piped.outcomes[i].exec.post_state;
-          report.txs += bundles[i].block.transactions.size();
-        }
+      if (pv.vote_idx != SIZE_MAX) {
+        const auto& voted = piped.outcomes[pv.vote_idx];
+        if (voted.commit.valid() && !voted.commit.ready())
+          ++report.speculative_votes;
+        node.tip = voted.exec.post_state;
       }
-      if (v == 0) {
-        report.valid_siblings = valid;
-        report.uncles = valid > 0 ? valid - 1 : 0;
-      }
+      pv.outcomes = std::move(piped.outcomes);
 
       const std::uint64_t node_end =
           std::max(node.busy_until_us, last_arrival[vid]) +
@@ -153,43 +185,105 @@ ConsensusSimResult ConsensusSim::run() {
       node.busy_until_us = node_end;
       round_end_us = std::max(round_end_us, node_end);
     }
+    result.speculative_votes += report.speculative_votes;
 
-    // ---- consensus: majority vote must be unanimous among honest nodes ----
-    canonical_hash = votes.front();
-    for (const Hash256& vote : votes) {
-      if (!(vote == canonical_hash)) {
+    // ---- consensus: provisional votes must be unanimous ----
+    pr.canonical_hash = pr.per_validator.front().vote;
+    for (const PendingValidation& pv : pr.per_validator) {
+      if (pv.vote.is_zero()) {
+        result.safety_held = false;
+        result.violation =
+            "no valid block at height " + std::to_string(height);
+        return result;
+      }
+      if (!(pv.vote == pr.canonical_hash)) {
         result.safety_held = false;
         result.violation = "validators voted for different blocks at height " +
                            std::to_string(height);
         return result;
       }
     }
-    if (next_state == nullptr) {
-      result.safety_held = false;
-      result.violation =
-          "no valid block at height " + std::to_string(height);
-      return result;
-    }
 
-    // All replicas must hold the identical canonical root.
-    const Hash256 root0 =
-        validators[0]->chain.state_of(canonical_hash)->state_root();
-    for (std::size_t v = 1; v < V; ++v) {
-      const auto st = validators[v]->chain.state_of(canonical_hash);
-      if (st == nullptr || !(st->state_root() == root0)) {
-        result.safety_held = false;
-        result.violation =
-            "replica state divergence at height " + std::to_string(height);
-        return result;
-      }
-    }
-
-    canonical_state = next_state;
-    canonical_head_hash = canonical_hash;
-    report.canonical_root = root0;
+    canonical_state = pr.per_validator[0].outcomes[pr.per_validator[0].vote_idx]
+                          .exec.post_state;
+    canonical_head_hash = pr.canonical_hash;
     report.round_latency_us = round_end_us - clock_us;
     clock_us = round_end_us;
+    pending.push_back(std::move(pr));
+  }
 
+  // ---- settle: await pending roots height by height ----
+  // A root mismatch on a round's canonical block revokes that round's votes
+  // and cascades to every descendant round — their executions consumed a
+  // state that was never committed — truncating the settled chain there.
+  bool chain_ok = true;
+  for (PendingRound& pr : pending) {
+    RoundReport& report = pr.report;
+
+    if (!chain_ok) {
+      // Cascade: the parent round was revoked, so every vote here is too.
+      for (PendingValidation& pv : pr.per_validator) {
+        for (core::ValidationOutcome& o : pv.outcomes) {
+          if (o.valid) {
+            o.valid = false;
+            o.reject_reason = "parent block failed commitment";
+          }
+        }
+      }
+      result.revoked_votes += V;
+      result.rounds.push_back(report);
+      continue;
+    }
+
+    std::size_t revoked = 0;
+    for (PendingValidation& pv : pr.per_validator) {
+      for (core::ValidationOutcome& o : pv.outcomes) o.await_commit();
+      if (!pv.outcomes[pv.vote_idx].valid) ++revoked;
+    }
+    // Deterministic replay means settlement is unanimous; anything else is
+    // a replica divergence.
+    if (revoked != 0 && revoked != V) {
+      result.safety_held = false;
+      result.violation = "validators disagree on settlement at height " +
+                         std::to_string(report.height);
+      return result;
+    }
+    if (revoked == V) {
+      chain_ok = false;
+      result.revoked_votes += V;
+      result.rounds.push_back(report);
+      continue;
+    }
+
+    // The round settled: ledgers advance, replicas must agree on the root.
+    const Hash256 root0 =
+        pr.per_validator[0].outcomes[pr.per_validator[0].vote_idx]
+            .exec.state_root;
+    std::size_t valid = 0;
+    for (std::size_t v = 0; v < V; ++v) {
+      PendingValidation& pv = pr.per_validator[v];
+      if (!(pv.outcomes[pv.vote_idx].exec.state_root == root0)) {
+        result.safety_held = false;
+        result.violation = "replica state divergence at height " +
+                           std::to_string(report.height);
+        return result;
+      }
+      std::size_t node_valid = 0;
+      for (std::size_t i = 0; i < pv.outcomes.size(); ++i) {
+        if (!pv.outcomes[i].valid) continue;
+        ++node_valid;
+        validators[v]->chain.commit_block(pv.bundles[i].block,
+                                          pv.outcomes[i].exec.post_state);
+        if (v == 0 && pv.bundles[i].block.header.hash() == pr.canonical_hash)
+          report.txs += pv.bundles[i].block.transactions.size();
+      }
+      if (v == 0) valid = node_valid;
+    }
+    report.settled = true;
+    report.canonical_root = root0;
+    report.valid_siblings = valid;
+    report.uncles = valid > 0 ? valid - 1 : 0;
+    result.settled_height = report.height;
     result.total_txs += report.txs;
     result.total_uncles += report.uncles;
     result.rounds.push_back(report);

@@ -1,20 +1,39 @@
 // ConsensusSim: a round-based proposer/validator network simulation —
 // the full DiCE loop (Dissemination, Consensus, Execution) of §3.2 with
-// BlockPilot engines inside every node.
+// BlockPilot engines inside every node, routed end to end through the
+// asynchronous commitment subsystem.
 //
 // Per round (block height):
 //  1. `proposers_per_round` proposer nodes each draw a pending batch and
 //     produce a block with the parallel OCC-WSI engine (forks when > 1);
+//     header sealing awaits the proposer-side CommitPipeline future before
+//     the block is broadcast (a block cannot gossip an unsealed root);
 //  2. each announcement (block + profile, RLP-encoded) is broadcast over
 //     the simulated gossip network;
 //  3. every validator node receives all sibling announcements, decodes
-//     them, and validates them concurrently through its pipeline;
-//  4. validators vote for the first valid sibling (by arrival order); the
-//     majority block becomes canonical, the rest are uncles (§3.4);
-//  5. all nodes advance their local chains to the canonical head.
+//     them, and validates them *speculatively* through its pipeline: the
+//     root check stays pending on the validator's CommitPipeline while the
+//     next round already executes on top of the chosen tip;
+//  4. validators cast a provisional vote for the first execution-valid
+//     sibling (by arrival order); the vote is over a speculative tip — it
+//     asserts "this block re-executed cleanly", not yet "its root matched";
+//  5. all nodes advance their speculative tip to the voted block's post
+//     state and the next round begins without waiting for any root.
+//
+// After the last round a settle pass walks the heights in order, awaits
+// every pending commitment, and finalizes votes: a late root mismatch on a
+// round's canonical block revokes that round's votes and cascades the
+// revocation to every descendant round (their executions consumed a state
+// that was never committed), truncating the settled chain — the §5.2
+// overlap window closing at the ledger.  Blocks are committed to the node
+// ledgers only as their rounds settle.
 //
 // The simulation asserts consensus safety at every height: all honest
-// validators must agree on the canonical state root.
+// validators must agree on the provisional vote, on settlement, and on the
+// canonical state root.  A Byzantine proposer (see
+// ConsensusSimConfig::byzantine_height) tampers with sealed roots; safety
+// holds as long as the honest validators *agree* on detecting and revoking
+// it.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +42,7 @@
 
 #include "chain/blockchain.hpp"
 #include "chain/codec.hpp"
+#include "commit/commit_pipeline.hpp"
 #include "core/pipeline.hpp"
 #include "core/proposer.hpp"
 #include "net/network.hpp"
@@ -39,6 +59,15 @@ struct ConsensusSimConfig {
 
   std::size_t proposer_threads = 8;
   std::size_t validator_workers = 16;
+  /// Size of the shared commitment pool backing every node's
+  /// CommitPipeline.  0 runs every pipeline inline (degraded mode: sealing
+  /// and root checks happen synchronously; votes are never speculative).
+  std::size_t commit_threads = 2;
+  /// When nonzero, every proposer at this height broadcasts a block whose
+  /// sealed state root was tampered with — the mismatch is only discovered
+  /// when the validators' commitments settle, exercising the cascading
+  /// vote-revocation path.  0 = all-honest run.
+  std::uint64_t byzantine_height = 0;
   workload::WorkloadConfig workload = workload::preset_mainnet();
   LinkModel link;
 };
@@ -46,22 +75,36 @@ struct ConsensusSimConfig {
 struct RoundReport {
   std::uint64_t height = 0;
   std::size_t siblings = 0;
-  std::size_t valid_siblings = 0;
+  std::size_t valid_siblings = 0;  // post-settle validity (validator 0)
   std::size_t uncles = 0;
-  Hash256 canonical_root;
-  std::uint64_t txs = 0;
+  /// Votes cast while the voted block's root check was still in flight.
+  std::size_t speculative_votes = 0;
+  /// False when the round's canonical block failed settlement (its own
+  /// root mismatched, or a parent round's did and the failure cascaded).
+  bool settled = false;
+  Hash256 canonical_root;  // zero when the round did not settle
+  std::uint64_t txs = 0;   // canonical txs; 0 when revoked
   /// End-to-end virtual latency: propose + gossip + slowest validator's
-  /// pipeline, in microseconds (gas converted via gas_per_us).
+  /// pipeline, in microseconds (gas converted via gas_per_us).  Measured
+  /// over the speculative round — settle latency is what the overlap
+  /// hides, so it is deliberately not part of this number.
   std::uint64_t round_latency_us = 0;
 };
 
 struct ConsensusSimResult {
   std::vector<RoundReport> rounds;
-  std::uint64_t total_txs = 0;
+  std::uint64_t total_txs = 0;       // settled rounds only
   std::uint64_t total_uncles = 0;
   std::uint64_t bytes_gossiped = 0;
-  bool safety_held = true;      // all validators agreed every round
-  std::string violation;        // populated when safety_held == false
+  /// Provisional votes cast on speculative (pre-settle) tips, summed over
+  /// rounds and validators.
+  std::uint64_t speculative_votes = 0;
+  /// Votes revoked by the settle pass (root mismatch + cascades).
+  std::uint64_t revoked_votes = 0;
+  /// Highest height whose canonical block settled (0 = none did).
+  std::uint64_t settled_height = 0;
+  bool safety_held = true;  // all validators agreed every round + at settle
+  std::string violation;    // populated when safety_held == false
 
   double avg_round_latency_ms() const noexcept {
     if (rounds.empty()) return 0.0;
@@ -76,7 +119,8 @@ class ConsensusSim {
  public:
   explicit ConsensusSim(ConsensusSimConfig config);
 
-  /// Runs the configured number of rounds and returns the report.
+  /// Runs the configured number of rounds plus the settle pass and returns
+  /// the report.
   ConsensusSimResult run();
 
   /// Gas-to-time conversion for latency reporting: EVM gas throughput of

@@ -20,11 +20,14 @@ std::string StateKey::to_string() const {
 
 // Copying shares the persistent tries (O(1) per trie) and carries the memos
 // over, so a copied state answers state_root() without re-hashing anything
-// the source had already committed.  The source's commit mutex is taken
-// because copying is a const-read of the source by contract.
+// the source had already committed.  accounts_ is copied outside the commit
+// mutex — it is never mutated concurrently (writes don't race by contract)
+// — and the lock-guarded commitment structures are pure memory copies, so a
+// copy taken while a commit is in flight waits only for that commit's short
+// structural fold, never for its hashing.
 WorldState::WorldState(const WorldState& other) {
-  std::scoped_lock lk(other.commit_mu_);
   accounts_ = other.accounts_;
+  std::scoped_lock lk(other.commit_mu_);
   account_trie_ = other.account_trie_;
   commit_ = other.commit_;
   dirty_ = other.dirty_;
@@ -35,8 +38,8 @@ WorldState::WorldState(const WorldState& other) {
 
 WorldState& WorldState::operator=(const WorldState& other) {
   if (this == &other) return *this;
-  std::scoped_lock lk(commit_mu_, other.commit_mu_);
   accounts_ = other.accounts_;
+  std::scoped_lock lk(commit_mu_, other.commit_mu_);
   account_trie_ = other.account_trie_;
   commit_ = other.commit_;
   dirty_ = other.dirty_;
@@ -89,6 +92,18 @@ U256 WorldState::get(const StateKey& key) const {
   return U256{};
 }
 
+// A storage write changes the slot map's content-version, so the account
+// must leave any seed cell that copies may still share or that was already
+// filled.  A still-private, unfilled cell has never been observed by anyone
+// else and can absorb consecutive writes from this lineage.
+static void refresh_storage_seed(AccountData& acct) {
+  auto& cell = acct.storage_seed;
+  if (cell != nullptr && cell.use_count() == 1 &&
+      !cell->ready.load(std::memory_order_relaxed))
+    return;
+  cell = std::make_shared<StorageSeed>();
+}
+
 void WorldState::set(const StateKey& key, const U256& value) {
   AccountData& acct = account(key.addr);
   switch (key.field) {
@@ -106,6 +121,7 @@ void WorldState::set(const StateKey& key, const U256& value) {
         acct.storage.erase(key.slot);
       else
         acct.storage[key.slot] = value;
+      refresh_storage_seed(acct);
       mark_dirty_slot(key.addr, key.slot);
       break;
   }
@@ -151,78 +167,224 @@ Bytes encode_account(const AccountData& acct, const Hash256& storage_root) {
   return enc.take();
 }
 
-void WorldState::sync_commit_locked() const {
-  if (dirty_.empty()) return;
+// state_root() protocol — every keccak runs outside commit_mu_:
+//
+//   collect (commit_mu_)   snapshot the dirty set into per-account folds:
+//                          persistent copies of the storage tries to apply
+//                          slots to, seed cells for fresh accounts, memoized
+//                          roots for body-only changes.  No hashing.
+//   hash    (unlocked)     build/adopt/apply storage tries, hash their
+//                          roots, RLP-encode the accounts.  Reads accounts_
+//                          without the lock — writes never race with root
+//                          queries by contract, so the maps are stable.
+//   install (commit_mu_)   fold results back into commit_ and the account
+//                          trie (puts/erases only — the leaf hashes were
+//                          already memoized in the hash phase), clear the
+//                          dirty set, take a persistent account-trie
+//                          snapshot.  No hashing beyond keccak(address).
+//   root    (unlocked)     hash the snapshot's root.
+//   memo    (commit_mu_)   publish the memo if nothing re-dirtied.
+//
+// The fold is idempotent — re-seeding a fresh account or re-applying dirty
+// slots from the current accounts_ values reproduces the same tries — so a
+// copy taken between any two phases (which still sees the dirty set) simply
+// re-folds on its own first state_root() and lands on the same root.
+// root_mu_ serializes whole computations so two rooters on the same object
+// cannot interleave their unlocked phases.
+struct WorldState::StorageFold {
+  enum class Kind { kPrune, kBuild, kApplySlots, kBodyOnly };
+
+  Address addr;
+  Kind kind = Kind::kBodyOnly;
+  const AccountData* acct = nullptr;  // stable: no writes during root calls
+  std::shared_ptr<StorageSeed> seed;  // kBuild: the account's cell (may be null)
+  trie::SecureTrie trie;              // working persistent copy
+  std::vector<U256> slots;            // kApplySlots: touched slots
+  Hash256 storage_root;
+  Bytes encoded;                      // account RLP, produced off-lock
+  bool adopted = false;               // kBuild: served from a ready seed
+  bool published = false;             // kBuild: this computation filled it
+};
+
+std::vector<WorldState::StorageFold> WorldState::collect_folds_locked() const {
+  std::vector<StorageFold> folds;
+  folds.reserve(dirty_.size());
   stats_.dirty_accounts += dirty_.size();
   for (const auto& [addr, slots] : dirty_) {
+    StorageFold f;
+    f.addr = addr;
     const auto ait = accounts_.find(addr);
     if (ait == accounts_.end() || ait->second.empty_account()) {
       // Pruned like post-EIP-161: drop from the commitment (and the memo,
-      // so a later resurrection rebuilds from scratch).
-      account_trie_.erase(std::span(addr.bytes));
-      commit_.erase(addr);
+      // so a later resurrection rebuilds — or re-adopts its seed).
+      f.kind = StorageFold::Kind::kPrune;
+      folds.push_back(std::move(f));
       continue;
     }
-    const AccountData& acct = ait->second;
+    f.acct = &ait->second;
     AccountCommit& cc = commit_[addr];
     if (cc.fresh) {
-      // First commitment of this account: seed the storage trie from the
-      // whole slot map.
-      cc.storage_trie = trie::SecureTrie{};
-      for (const auto& [slot, value] : acct.storage) {
-        if (value.is_zero()) continue;
-        const auto key = slot.to_be_bytes();
-        const auto encoded = rlp::encode(value);
-        cc.storage_trie.put(std::span(key), std::span(encoded));
-      }
-      cc.storage_root = cc.storage_trie.root_hash();
-      cc.fresh = false;
-      ++stats_.accounts_resynced;
+      f.kind = StorageFold::Kind::kBuild;
+      f.seed = ait->second.storage_seed;
     } else if (!slots.empty()) {
-      // Apply only the touched slots; the untouched subtrees keep their
-      // memoized hashes inside the persistent trie.
-      for (const U256& slot : slots) {
-        const auto key = slot.to_be_bytes();
-        const auto sit = acct.storage.find(slot);
-        if (sit == acct.storage.end() || sit->second.is_zero()) {
-          cc.storage_trie.erase(std::span(key));
-        } else {
-          const auto encoded = rlp::encode(sit->second);
-          cc.storage_trie.put(std::span(key), std::span(encoded));
-        }
-        ++stats_.slots_resynced;
-      }
-      cc.storage_root = cc.storage_trie.root_hash();
+      f.kind = StorageFold::Kind::kApplySlots;
+      f.trie = cc.storage_trie;  // persistent: puts off-lock path-copy
+      f.slots.assign(slots.begin(), slots.end());
+    } else {
+      f.kind = StorageFold::Kind::kBodyOnly;
+      f.storage_root = cc.storage_root;
     }
-    const Bytes encoded = encode_account(acct, cc.storage_root);
-    account_trie_.put(std::span(addr.bytes), std::span(encoded));
+    folds.push_back(std::move(f));
+  }
+  return folds;
+}
+
+void WorldState::hash_folds_unlocked(std::vector<StorageFold>& folds) const {
+  for (StorageFold& f : folds) {
+    switch (f.kind) {
+      case StorageFold::Kind::kPrune:
+        continue;
+      case StorageFold::Kind::kBuild: {
+        if (f.seed != nullptr &&
+            f.seed->ready.load(std::memory_order_acquire)) {
+          // Another lineage already committed this exact slot map (cell
+          // identity guarantees content identity): adopt its trie in O(1).
+          f.trie = f.seed->trie;
+          f.storage_root = f.seed->storage_root;
+          f.adopted = true;
+          break;
+        }
+        for (const auto& [slot, value] : f.acct->storage) {
+          if (value.is_zero()) continue;
+          const auto key = slot.to_be_bytes();
+          const auto encoded = rlp::encode(value);
+          f.trie.put(std::span(key), std::span(encoded));
+        }
+        f.storage_root = f.trie.root_hash();
+        if (f.seed != nullptr) {
+          std::scoped_lock sl(f.seed->mu);
+          if (!f.seed->ready.load(std::memory_order_relaxed)) {
+            f.seed->trie = f.trie;
+            f.seed->storage_root = f.storage_root;
+            f.seed->ready.store(true, std::memory_order_release);
+            f.published = true;
+          }
+        }
+        break;
+      }
+      case StorageFold::Kind::kApplySlots: {
+        // Only the touched slots; untouched subtrees keep their memoized
+        // hashes inside the persistent trie.
+        for (const U256& slot : f.slots) {
+          const auto key = slot.to_be_bytes();
+          const auto sit = f.acct->storage.find(slot);
+          if (sit == f.acct->storage.end() || sit->second.is_zero()) {
+            f.trie.erase(std::span(key));
+          } else {
+            const auto encoded = rlp::encode(sit->second);
+            f.trie.put(std::span(key), std::span(encoded));
+          }
+        }
+        f.storage_root = f.trie.root_hash();
+        break;
+      }
+      case StorageFold::Kind::kBodyOnly:
+        break;
+    }
+    f.encoded = encode_account(*f.acct, f.storage_root);
+  }
+}
+
+trie::SecureTrie WorldState::install_folds_locked(
+    std::vector<StorageFold>& folds) const {
+  for (StorageFold& f : folds) {
+    if (f.kind == StorageFold::Kind::kPrune) {
+      account_trie_.erase(std::span(f.addr.bytes));
+      commit_.erase(f.addr);
+      continue;
+    }
+    AccountCommit& cc = commit_[f.addr];
+    switch (f.kind) {
+      case StorageFold::Kind::kBuild:
+        cc.storage_trie = std::move(f.trie);
+        cc.storage_root = f.storage_root;
+        cc.fresh = false;
+        if (f.adopted)
+          ++stats_.seeds_adopted;
+        else
+          ++stats_.accounts_resynced;
+        if (f.published) ++stats_.seeds_built;
+        break;
+      case StorageFold::Kind::kApplySlots:
+        cc.storage_trie = std::move(f.trie);
+        cc.storage_root = f.storage_root;
+        stats_.slots_resynced += f.slots.size();
+        break;
+      case StorageFold::Kind::kBodyOnly:
+      case StorageFold::Kind::kPrune:
+        break;
+    }
+    account_trie_.put(std::span(f.addr.bytes), std::span(f.encoded));
   }
   dirty_.clear();
+  root_valid_ = false;
+  return account_trie_;  // persistent snapshot: shares nodes, O(1)
 }
 
 Hash256 WorldState::storage_root(const Address& addr) const {
-  std::scoped_lock lk(commit_mu_);
   const auto it = accounts_.find(addr);
   if (it == accounts_.end()) return trie::MerklePatriciaTrie::empty_root();
-  const auto cit = commit_.find(addr);
-  const auto dit = dirty_.find(addr);
-  const bool storage_clean = dit == dirty_.end() || dit->second.empty();
-  if (cit != commit_.end() && !cit->second.fresh && storage_clean)
-    return cit->second.storage_root;
+  {
+    std::scoped_lock lk(commit_mu_);
+    const auto cit = commit_.find(addr);
+    const auto dit = dirty_.find(addr);
+    const bool storage_clean = dit == dirty_.end() || dit->second.empty();
+    if (cit != commit_.end() && !cit->second.fresh && storage_clean)
+      return cit->second.storage_root;
+  }
+  // A ready seed cell is always in sync with the current slot map (writes
+  // swap the cell), so it answers even before this state's first commit.
+  if (const auto& seed = it->second.storage_seed;
+      seed != nullptr && seed->ready.load(std::memory_order_acquire))
+    return seed->storage_root;
   return storage_root_of(it->second.storage);
 }
 
 Hash256 WorldState::state_root() const {
-  std::scoped_lock lk(commit_mu_);
-  if (root_valid_ && dirty_.empty()) {
-    ++stats_.root_memo_hits;
-    return root_memo_;
+  {
+    std::scoped_lock lk(commit_mu_);
+    if (root_valid_ && dirty_.empty()) {
+      ++stats_.root_memo_hits;
+      return root_memo_;
+    }
   }
-  sync_commit_locked();
-  root_memo_ = account_trie_.root_hash();
-  root_valid_ = true;
-  ++stats_.root_recomputes;
-  return root_memo_;
+  // Serialize whole computations; copies contend only on commit_mu_ below.
+  std::scoped_lock rl(root_mu_);
+  std::vector<StorageFold> folds;
+  {
+    std::scoped_lock lk(commit_mu_);
+    if (root_valid_ && dirty_.empty()) {
+      ++stats_.root_memo_hits;
+      return root_memo_;
+    }
+    folds = collect_folds_locked();
+  }
+  hash_folds_unlocked(folds);
+  trie::SecureTrie snapshot;
+  {
+    std::scoped_lock lk(commit_mu_);
+    snapshot = install_folds_locked(folds);
+  }
+  const Hash256 root = snapshot.root_hash();
+  {
+    std::scoped_lock lk(commit_mu_);
+    ++stats_.root_recomputes;
+    if (dirty_.empty()) {
+      root_memo_ = root;
+      root_valid_ = true;
+    }
+  }
+  return root;
 }
 
 Hash256 WorldState::state_root_full_rebuild() const {

@@ -15,11 +15,24 @@
 // rebuilding the whole trie.  state_root_full_rebuild() preserves the
 // original from-scratch computation as a differential oracle.
 //
+// Two sharing mechanisms keep copies cheap:
+//  * commit_mu_ is a short-hold structural lock: state_root() folds dirty
+//    entries under it but performs every hash on persistent-trie snapshots
+//    *outside* it, so a finalize-time copy taken while a commit is in
+//    flight never waits for hashing (root_mu_ serializes whole root
+//    computations instead);
+//  * each account carries a shared StorageSeed cell identifying its slot
+//    map's content-version: the first lineage to commit a fresh account
+//    builds the storage trie once and publishes it through the cell, and
+//    every copy still holding the same cell adopts the persistent trie in
+//    O(1) instead of re-seeding it from the whole map.
+//
 // Thread-safety matches the trie layer: concurrent const reads (including
-// state_root(), whose memo bookkeeping is mutex-guarded) are safe; writes
-// must not race with any other access to the same object.
+// state_root() and copying) are safe; writes must not race with any other
+// access to the same object.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,6 +49,19 @@ namespace blockpilot::state {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// One-shot shared cell publishing a fresh account's storage commitment.
+/// The cell's identity encodes a slot-map content-version: the write path
+/// swaps in a new cell whenever the map changes (unless the old one is
+/// still private and unfilled), so every WorldState holding the *same*
+/// cell is guaranteed to hold the identical slot map.  The first committer
+/// fills it; later committers adopt the persistent trie in O(1).
+struct StorageSeed {
+  std::mutex mu;                  // serializes the one-time fill
+  std::atomic<bool> ready{false};
+  trie::SecureTrie trie;          // immutable once ready
+  Hash256 storage_root;
+};
+
 /// Mutable per-account record.  An account is part of the state commitment
 /// iff it is non-empty (nonzero nonce, balance, code, or storage) — empty
 /// accounts are pruned from the trie like post-EIP-161 Ethereum.
@@ -44,6 +70,9 @@ struct AccountData {
   std::uint64_t nonce = 0;
   std::shared_ptr<const Bytes> code;  // nullptr for externally-owned accounts
   std::unordered_map<U256, U256> storage;
+  /// Shared storage-trie seed (see StorageSeed); copies of this state share
+  /// the cell until one of them writes storage again.
+  std::shared_ptr<StorageSeed> storage_seed;
 
   bool empty_account() const noexcept {
     return balance.is_zero() && nonce == 0 &&
@@ -64,6 +93,8 @@ struct CommitStats {
   std::uint64_t accounts_resynced = 0;  // full storage-trie (re)builds
   std::uint64_t slots_resynced = 0;     // individual dirty-slot updates
   std::uint64_t dirty_accounts = 0;     // dirty accounts folded in, cumulative
+  std::uint64_t seeds_built = 0;        // storage seeds built + published
+  std::uint64_t seeds_adopted = 0;      // fresh accounts served from a seed
 };
 
 class WorldState {
@@ -98,6 +129,8 @@ class WorldState {
   /// Incremental: folds the dirty set into the persistent account trie and
   /// re-hashes only touched paths; answered from a memo when nothing is
   /// dirty.  Bit-identical to state_root_full_rebuild() at all times.
+  /// All hashing runs outside commit_mu_ (see the protocol in the .cpp), so
+  /// concurrent copies only wait for the short structural folds.
   Hash256 state_root() const;
 
   /// From-scratch commitment rebuilding every trie — the original (seed)
@@ -118,12 +151,17 @@ class WorldState {
 
  private:
   /// Memoized commitment pieces for one account.  `fresh` marks a memo that
-  /// has never been built (storage trie must be seeded from the whole map).
+  /// has never been built (storage trie must be seeded from the whole map,
+  /// or adopted from the account's StorageSeed cell).
   struct AccountCommit {
     trie::SecureTrie storage_trie;
     Hash256 storage_root = trie::MerklePatriciaTrie::empty_root();
     bool fresh = true;
   };
+
+  /// Per-account unit of work carried between state_root()'s locked
+  /// structural phases and its unlocked hashing phase.
+  struct StorageFold;
 
   AccountData& account(const Address& addr) { return accounts_[addr]; }
 
@@ -135,15 +173,20 @@ class WorldState {
     dirty_[addr].insert(slot);
   }
 
-  /// Folds the dirty set into account_trie_ / commit_.  Requires commit_mu_.
-  void sync_commit_locked() const;
+  // state_root() phases; see the protocol comment in the .cpp.
+  std::vector<StorageFold> collect_folds_locked() const;
+  void hash_folds_unlocked(std::vector<StorageFold>& folds) const;
+  trie::SecureTrie install_folds_locked(std::vector<StorageFold>& folds) const;
 
   std::unordered_map<Address, AccountData> accounts_;
 
-  // Incremental commitment state.  Mutable + mutex-guarded so const root
-  // queries may run concurrently (e.g. on the commit pool) while still
-  // updating the memos.  The dirty set is only ever grown by non-const
-  // writes, which by contract never race with other access.
+  // Incremental commitment state.  Mutable so const root queries may run
+  // concurrently (e.g. on the commit pool) while still updating the memos.
+  // commit_mu_ guards the structures below with *short* structural holds;
+  // root_mu_ serializes whole state_root() computations so their unlocked
+  // hashing phases cannot interleave.  The dirty set is only ever grown by
+  // non-const writes, which by contract never race with other access.
+  mutable std::mutex root_mu_;
   mutable std::mutex commit_mu_;
   mutable trie::SecureTrie account_trie_;
   mutable std::unordered_map<Address, AccountCommit> commit_;

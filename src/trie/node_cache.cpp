@@ -6,8 +6,8 @@
 
 namespace blockpilot::trie {
 
-NodeCache::NodeCache(std::size_t capacity)
-    : shard_capacity_((capacity + kShards - 1) / kShards) {}
+NodeCache::NodeCache(std::size_t capacity_bytes)
+    : shard_capacity_((capacity_bytes + kShards - 1) / kShards) {}
 
 NodeCache::Shard& NodeCache::shard_for(
     std::span<const std::uint8_t> encoding) {
@@ -22,14 +22,27 @@ NodeCache::Shard& NodeCache::shard_for(
   return shards_[h % kShards];
 }
 
+// One CLOCK sweep step ending in an eviction.  Referenced entries get their
+// second chance (bit cleared, hand advances); the first unreferenced entry
+// at the hand is evicted.  Terminates in at most two passes over the ring
+// because every skip clears a bit.  Precondition: the ring is non-empty.
 void NodeCache::evict_one(Shard& s) {
-  const Hash256 victim = s.fifo.front();
-  s.fifo.pop_front();
-  const auto hit = s.by_hash.find(victim);
-  if (hit != s.by_hash.end()) {
-    s.by_encoding.erase(*hit->second);
-    s.by_hash.erase(hit);
+  for (;;) {
+    if (s.hand == s.ring.end()) s.hand = s.ring.begin();
+    MapNode* node = *s.hand;
+    if (node->second.referenced) {
+      node->second.referenced = false;
+      ++s.hand;
+      continue;
+    }
+    s.bytes -= entry_bytes(node->first.size());
+    const auto rit = s.by_hash.find(node->second.hash);
+    if (rit != s.by_hash.end() && rit->second == node) s.by_hash.erase(rit);
+    s.hand = s.ring.erase(s.hand);
+    const auto mit = s.by_encoding.find(node->first);
+    s.by_encoding.erase(mit);
     ++s.evictions;
+    return;
   }
 }
 
@@ -43,15 +56,24 @@ Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
   const auto it = s.by_encoding.find(key);
   if (it != s.by_encoding.end()) {
     ++s.hits;
-    return it->second;
+    it->second.referenced = true;  // second chance on the next sweep
+    return it->second.hash;
   }
   ++s.misses;
   const Hash256 digest{crypto::keccak256(encoding)};
-  while (s.by_encoding.size() >= cap && !s.fifo.empty()) evict_one(s);
-  const auto [slot, inserted] = s.by_encoding.emplace(std::move(key), digest);
+  const std::size_t need = entry_bytes(key.size());
+  if (need > cap) return digest;  // jumbo entry: never worth a whole shard
+  while (s.bytes + need > cap && !s.ring.empty()) evict_one(s);
+  const auto [slot, inserted] = s.by_encoding.emplace(
+      std::move(key), Entry{digest, /*referenced=*/false});
   if (inserted) {
-    s.by_hash[digest] = &slot->first;
-    s.fifo.push_back(digest);
+    MapNode* node = &*slot;
+    // Insert just behind the hand: the new entry is the last the current
+    // sweep cycle examines, so with no intervening hits the eviction order
+    // is exactly insertion order (FIFO with second chances).
+    s.ring.insert(s.hand, node);
+    s.by_hash[digest] = node;
+    s.bytes += need;
   }
   return digest;
 }
@@ -61,7 +83,7 @@ std::optional<std::vector<std::uint8_t>> NodeCache::encoding_of(
   for (const Shard& s : shards_) {
     std::scoped_lock lk(s.mu);
     const auto it = s.by_hash.find(h);
-    if (it != s.by_hash.end()) return *it->second;
+    if (it != s.by_hash.end()) return it->second->first;
   }
   return std::nullopt;
 }
@@ -75,6 +97,7 @@ NodeCache::Stats NodeCache::stats() const {
     out.misses += s.misses;
     out.evictions += s.evictions;
     out.entries += s.by_encoding.size();
+    out.bytes += s.bytes;
   }
   return out;
 }
@@ -84,7 +107,9 @@ void NodeCache::clear() {
     std::scoped_lock lk(s.mu);
     s.by_encoding.clear();
     s.by_hash.clear();
-    s.fifo.clear();
+    s.ring.clear();
+    s.hand = s.ring.end();
+    s.bytes = 0;
   }
 }
 
@@ -95,12 +120,12 @@ void NodeCache::reset_stats() {
   }
 }
 
-void NodeCache::set_capacity(std::size_t capacity) {
-  const std::size_t per_shard = (capacity + kShards - 1) / kShards;
+void NodeCache::set_capacity(std::size_t capacity_bytes) {
+  const std::size_t per_shard = (capacity_bytes + kShards - 1) / kShards;
   shard_capacity_.store(per_shard, std::memory_order_relaxed);
   for (Shard& s : shards_) {
     std::scoped_lock lk(s.mu);
-    while (s.by_encoding.size() > per_shard && !s.fifo.empty()) evict_one(s);
+    while (s.bytes > per_shard && !s.ring.empty()) evict_one(s);
   }
 }
 

@@ -10,15 +10,20 @@
 // tooling (proof debugging, the commit bench) can resolve a node by its
 // hash.
 //
-// Bounded FIFO eviction; sharded to keep the commit pool's concurrent root
-// computations from serializing on one mutex.  Hit/miss/eviction counters
-// are exposed for benches and tests.
+// Capacity is accounted in *bytes* (encoding length plus a fixed per-entry
+// overhead), not entry counts, so a cache full of fat branch nodes and one
+// full of slim leaves bound the same memory.  Eviction is CLOCK
+// (second-chance): a hit sets the entry's reference bit; the sweep hand
+// clears set bits and evicts the first clear entry it meets, so the policy
+// degenerates to FIFO exactly when nothing is re-used.  Sharded to keep the
+// commit pool's concurrent root computations from serializing on one mutex.
+// Hit/miss/eviction/byte counters are exposed for benches and tests.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -36,16 +41,29 @@ class NodeCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;
-    std::size_t capacity = 0;
+    std::size_t bytes = 0;     // resident, per entry_bytes()
+    std::size_t capacity = 0;  // byte budget across all shards
   };
 
-  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  /// Default byte budget (~the old 2^16-entry bound at typical node sizes).
+  static constexpr std::size_t kDefaultCapacity = std::size_t{16} << 20;
 
-  explicit NodeCache(std::size_t capacity = kDefaultCapacity);
+  /// Fixed accounting overhead charged per entry on top of the encoding
+  /// length: digest (32B) plus map/ring bookkeeping.
+  static constexpr std::size_t kEntryOverhead = 96;
+
+  /// Bytes one cached entry of the given encoding length is charged.
+  static constexpr std::size_t entry_bytes(std::size_t encoding_size) noexcept {
+    return encoding_size + kEntryOverhead;
+  }
+
+  explicit NodeCache(std::size_t capacity_bytes = kDefaultCapacity);
 
   /// Hash-consed keccak of a node encoding: returns the memoized digest when
   /// an identical encoding was hashed before, computing and interning it
-  /// otherwise.  A capacity of 0 disables interning (plain keccak).
+  /// otherwise.  A capacity of 0 disables interning (plain keccak); an
+  /// encoding whose entry_bytes() alone exceeds a shard's budget is hashed
+  /// but never cached.
   Hash256 hash_of(std::span<const std::uint8_t> encoding);
 
   /// Reverse lookup: the RLP encoding of a cached node by its hash.
@@ -58,9 +76,9 @@ class NodeCache {
   void clear();
   void reset_stats();
 
-  /// Rebounds the cache; shrinking evicts FIFO order.  Capacity 0 bypasses
-  /// the cache entirely.
-  void set_capacity(std::size_t capacity);
+  /// Rebounds the byte budget; shrinking evicts by CLOCK sweep.  Capacity 0
+  /// bypasses the cache entirely.
+  void set_capacity(std::size_t capacity_bytes);
   std::size_t capacity() const;
 
   /// The process-wide cache the trie layer's node hashing goes through.
@@ -80,15 +98,26 @@ class NodeCache {
     }
   };
 
+  struct Entry {
+    Hash256 hash;
+    bool referenced = false;  // CLOCK second-chance bit, set on hit
+  };
+  // Map nodes are pointer-stable across rehash, so the ring and the reverse
+  // index address entries by node pointer.
+  using MapNode = std::pair<const Bytes, Entry>;
+
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Bytes, Hash256, BytesHash> by_encoding;
-    // Values point at the stable keys of `by_encoding` (node-based map).
-    std::unordered_map<Hash256, const Bytes*> by_hash;
-    std::deque<Hash256> fifo;
+    std::unordered_map<Bytes, Entry, BytesHash> by_encoding;
+    std::unordered_map<Hash256, MapNode*> by_hash;
+    std::list<MapNode*> ring;          // CLOCK order; new entries join
+    std::list<MapNode*>::iterator hand;  // behind the hand
+    std::size_t bytes = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+
+    Shard() : hand(ring.end()) {}
   };
 
   static constexpr std::size_t kShards = 8;
@@ -97,7 +126,7 @@ class NodeCache {
   static void evict_one(Shard& s);
 
   std::array<Shard, kShards> shards_;
-  std::atomic<std::size_t> shard_capacity_;
+  std::atomic<std::size_t> shard_capacity_;  // byte budget per shard
 };
 
 }  // namespace blockpilot::trie

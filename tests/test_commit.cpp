@@ -21,7 +21,7 @@ using state::WorldState;
 // NodeCache
 
 TEST(NodeCache, InternsAndCounts) {
-  trie::NodeCache cache(64);
+  trie::NodeCache cache(4096);
   const std::vector<std::uint8_t> enc = {0x01, 0x02, 0x03, 0x04};
   const Hash256 expected{crypto::keccak256(std::span(enc))};
 
@@ -31,6 +31,9 @@ TEST(NodeCache, InternsAndCounts) {
   EXPECT_EQ(s.misses, 1u);
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.entries, 1u);
+  // Byte accounting: one resident entry, charged encoding + overhead.
+  EXPECT_EQ(s.bytes, trie::NodeCache::entry_bytes(enc.size()));
+  EXPECT_GE(s.capacity, 4096u);
 
   // Reverse index resolves the encoding by hash.
   const auto back = cache.encoding_of(expected);
@@ -51,7 +54,8 @@ TEST(NodeCache, ZeroCapacityBypasses) {
 }
 
 TEST(NodeCache, EvictsWhenFullAndStaysCorrect) {
-  trie::NodeCache cache(8);  // 1 slot per shard
+  // ~1 resident 3-byte entry per shard: every shard is constantly evicting.
+  trie::NodeCache cache(8 * trie::NodeCache::entry_bytes(3));
   std::vector<std::vector<std::uint8_t>> encodings;
   for (std::uint8_t i = 0; i < 64; ++i)
     encodings.push_back({i, static_cast<std::uint8_t>(i + 1), 0x7f});
@@ -66,18 +70,144 @@ TEST(NodeCache, EvictsWhenFullAndStaysCorrect) {
   }
   const auto s = cache.stats();
   EXPECT_GT(s.evictions, 0u);
-  EXPECT_LE(s.entries, cache.capacity());
+  EXPECT_LE(s.bytes, s.capacity);
+  EXPECT_EQ(s.bytes, s.entries * trie::NodeCache::entry_bytes(3));
 }
 
 TEST(NodeCache, ShrinkingCapacityEvicts) {
-  trie::NodeCache cache(128);
+  trie::NodeCache cache(std::size_t{1} << 20);
   for (std::uint8_t i = 0; i < 100; ++i) {
-    const std::vector<std::uint8_t> enc = {i, 0x55, static_cast<std::uint8_t>(0xff - i)};
+    const std::vector<std::uint8_t> enc = {i, 0x55,
+                                           static_cast<std::uint8_t>(0xff - i)};
     cache.hash_of(std::span(enc));
   }
-  EXPECT_GT(cache.stats().entries, 8u);
-  cache.set_capacity(8);
-  EXPECT_LE(cache.stats().entries, 8u);
+  EXPECT_EQ(cache.stats().entries, 100u);
+  const std::size_t shrunk = 8 * trie::NodeCache::entry_bytes(3);
+  cache.set_capacity(shrunk);
+  const auto s = cache.stats();
+  EXPECT_LE(s.bytes, s.capacity);
+  EXPECT_LE(s.entries, 8u);
+  EXPECT_GT(s.evictions, 0u);
+  // Survivors still answer correctly after the shrink sweep.
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    const std::vector<std::uint8_t> enc = {i, 0x55,
+                                           static_cast<std::uint8_t>(0xff - i)};
+    EXPECT_EQ(cache.hash_of(std::span(enc)),
+              Hash256{crypto::keccak256(std::span(enc))});
+  }
+}
+
+// Mirror of NodeCache's internal shard choice (FNV over a 16-byte prefix,
+// xor size, mod 8) so the CLOCK tests below can pin all traffic to one
+// shard.  Whitebox by design: if the shard function changes, update both.
+std::size_t shard_index_of(const std::vector<std::uint8_t>& enc) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const std::size_t probe = enc.size() < 16 ? enc.size() : 16;
+  for (std::size_t i = 0; i < probe; ++i) {
+    h ^= enc[i];
+    h *= 0x100000001b3ULL;
+  }
+  h ^= enc.size();
+  return h % 8;
+}
+
+// 3-byte encodings that all land in shard 0, in generation order.
+std::vector<std::vector<std::uint8_t>> shard0_encodings(std::size_t n) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::uint32_t seed = 0; out.size() < n; ++seed) {
+    std::vector<std::uint8_t> enc = {static_cast<std::uint8_t>(seed),
+                                     static_cast<std::uint8_t>(seed >> 8),
+                                     static_cast<std::uint8_t>(seed >> 16)};
+    if (shard_index_of(enc) == 0) out.push_back(std::move(enc));
+  }
+  return out;
+}
+
+TEST(NodeCache, ClockGivesSecondChanceToHitEntries) {
+  // Budget: exactly two 3-byte entries per shard.
+  trie::NodeCache cache(8 * 2 * trie::NodeCache::entry_bytes(3));
+  const auto encs = shard0_encodings(3);
+  const auto& a = encs[0];
+  const auto& b = encs[1];
+  const auto& c = encs[2];
+
+  cache.hash_of(std::span(a));
+  cache.hash_of(std::span(b));  // shard 0 now full: [a, b]
+  cache.hash_of(std::span(a));  // sets a's reference bit
+
+  // Inserting c forces one eviction.  The sweep meets a first (referenced:
+  // bit cleared, spared) and evicts b — the second chance in action.
+  cache.hash_of(std::span(c));
+  const auto before = cache.stats();
+  cache.hash_of(std::span(a));
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);  // a survived
+  cache.hash_of(std::span(b));
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);  // b did not
+}
+
+TEST(NodeCache, ClockDegeneratesToFifoWithoutHits) {
+  trie::NodeCache cache(8 * 2 * trie::NodeCache::entry_bytes(3));
+  const auto encs = shard0_encodings(3);
+  const auto& a = encs[0];
+  const auto& b = encs[1];
+  const auto& c = encs[2];
+
+  cache.hash_of(std::span(a));
+  cache.hash_of(std::span(b));
+  cache.hash_of(std::span(c));  // no hits anywhere: evicts a (the oldest)
+  const auto before = cache.stats();
+  cache.hash_of(std::span(b));
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);  // b survived
+  cache.hash_of(std::span(a));
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);  // a was evicted
+}
+
+TEST(NodeCache, JumboEncodingBypassesCache) {
+  trie::NodeCache cache(8 * 2 * trie::NodeCache::entry_bytes(3));
+  const auto resident = shard0_encodings(1);
+  cache.hash_of(std::span(resident[0]));
+  const auto before = cache.stats();
+
+  // An encoding whose charge alone exceeds a shard's budget is hashed but
+  // never admitted — it must not wipe out the resident entries.
+  std::vector<std::uint8_t> jumbo(4096, 0xEE);
+  EXPECT_EQ(cache.hash_of(std::span(jumbo)),
+            Hash256{crypto::keccak256(std::span(jumbo))});
+  const auto after = cache.stats();
+  EXPECT_EQ(after.entries, before.entries);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.evictions, before.evictions);
+}
+
+TEST(NodeCache, ClockPropertyRandomizedOps) {
+  // Property sweep: under random insert/hit traffic with mixed encoding
+  // sizes, the byte budget is never exceeded, accounting stays exact, and
+  // the counters are consistent with the operation count.
+  trie::NodeCache cache(4 * 1024);
+  std::mt19937_64 rng(0xC10C);
+  std::uint64_t ops = 0;
+  std::vector<std::vector<std::uint8_t>> pool;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t len = 1 + rng() % 200;
+    std::vector<std::uint8_t> enc(len);
+    for (auto& byte : enc) byte = static_cast<std::uint8_t>(rng());
+    pool.push_back(std::move(enc));
+  }
+  for (int op = 0; op < 3000; ++op) {
+    const auto& enc = pool[rng() % pool.size()];
+    ++ops;
+    ASSERT_EQ(cache.hash_of(std::span(enc)),
+              Hash256{crypto::keccak256(std::span(enc))});
+    if (op % 64 == 0) {
+      const auto s = cache.stats();
+      ASSERT_LE(s.bytes, s.capacity);
+      ASSERT_LE(s.evictions, s.misses);
+    }
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, ops);
+  EXPECT_LE(s.bytes, s.capacity);
+  EXPECT_GT(s.evictions, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -198,6 +328,130 @@ TEST(IncrementalRoot, DifferentialFuzzAgainstOracle) {
     }
     EXPECT_EQ(ws.state_root(), ws.state_root_full_rebuild()) << "seed " << seed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Shared storage seeds across WorldState copies
+
+TEST(StorageSeeds, FreshAccountAdoptedAcrossCopies) {
+  // A fresh account's pending storage writes are shared by two forks; the
+  // first fork to commit builds the storage trie once and publishes it
+  // through the seed cell, the second adopts it in O(1) instead of
+  // re-seeding from the whole slot map.
+  WorldState head;
+  for (std::uint64_t s = 0; s < 24; ++s)
+    head.set(StateKey::storage(addr_of(77), U256{s}), U256{s * s + 1});
+  head.set(StateKey::balance(addr_of(77)), U256{5});
+
+  WorldState a = head;  // both forks share the dirty set and the seed cell
+  WorldState b = head;
+  const auto base = head.commit_stats();
+
+  const Hash256 ra = a.state_root();
+  const auto sa = a.commit_stats();
+  EXPECT_EQ(sa.seeds_built, base.seeds_built + 1);   // a built + published
+  EXPECT_EQ(sa.seeds_adopted, base.seeds_adopted);
+
+  const Hash256 rb = b.state_root();
+  const auto sb = b.commit_stats();
+  EXPECT_EQ(sb.seeds_adopted, base.seeds_adopted + 1);  // b adopted a's trie
+  EXPECT_EQ(sb.accounts_resynced, base.accounts_resynced);  // no rebuild
+
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(ra, a.state_root_full_rebuild());
+  EXPECT_EQ(head.state_root(), ra);  // the source itself adopts too
+}
+
+TEST(StorageSeeds, PostCopyWriteDetachesFromSeed) {
+  // A storage write after the fork must detach the writer from the shared
+  // cell — otherwise it would adopt a trie for a slot map it no longer has.
+  WorldState head;
+  head.set(StateKey::storage(addr_of(88), U256{0}), U256{111});
+  head.set(StateKey::storage(addr_of(88), U256{1}), U256{222});
+
+  WorldState a = head;
+  WorldState b = head;
+  b.set(StateKey::storage(addr_of(88), U256{1}), U256{999});  // detaches b
+
+  const Hash256 ra = a.state_root();  // publishes the {111,222} seed
+  const Hash256 rb = b.state_root();  // must NOT adopt it
+  EXPECT_NE(ra, rb);
+  EXPECT_EQ(ra, a.state_root_full_rebuild());
+  EXPECT_EQ(rb, b.state_root_full_rebuild());
+  EXPECT_EQ(b.commit_stats().seeds_adopted, 0u);
+}
+
+TEST(StorageSeeds, DifferentialFuzzSharedTriesAcrossCopies) {
+  // The headline differential fuzz: >= 1000 randomized blocks, each block
+  // forking the head into two siblings that commit independently (storage
+  // tries and seed cells shared wherever contents allow), every root
+  // checked against the from-scratch oracle.
+  constexpr int kBlocks = 1024;
+  Xoshiro256 rng(0x5EED5);
+  std::uint64_t adopted = 0;
+  std::uint64_t built = 0;
+
+  const auto random_writes = [&rng](WorldState& ws, std::uint64_t addr_space,
+                                    int count) {
+    for (int i = 0; i < count; ++i) {
+      const Address addr = addr_of(1 + rng() % addr_space);
+      switch (rng() % 8) {
+        case 0:
+          ws.set(StateKey::balance(addr), U256{rng() % 200});
+          break;
+        case 1:
+          ws.set(StateKey::nonce(addr), U256{rng() % 64});
+          break;
+        case 2:  // drain toward emptiness (prune + later resurrection)
+          ws.set(StateKey::balance(addr), U256{});
+          ws.set(StateKey::nonce(addr), U256{});
+          break;
+        default: {
+          const U256 slot{rng() % 16};
+          const U256 val = (rng() % 4 == 0) ? U256{} : U256{rng() % 100'000};
+          ws.set(StateKey::storage(addr, slot), val);
+        }
+      }
+    }
+  };
+
+  WorldState head;
+  random_writes(head, 16, 48);
+  ASSERT_EQ(head.state_root(), head.state_root_full_rebuild());
+
+  for (int block = 0; block < kBlocks; ++block) {
+    // A slowly growing address space keeps fresh accounts (and therefore
+    // seed builds/adoptions) appearing throughout the run.
+    const std::uint64_t addr_space = 16 + block / 64;
+
+    // Pending writes on the head are shared by both forks via seed cells.
+    random_writes(head, addr_space, 1 + static_cast<int>(rng() % 6));
+    const auto base = head.commit_stats();
+    WorldState a = head;
+    WorldState b = head;
+
+    // Divergent tails detach the touched accounts from the shared cells.
+    if (rng() % 2) random_writes(a, addr_space, 1 + static_cast<int>(rng() % 4));
+    if (rng() % 2) random_writes(b, addr_space, 1 + static_cast<int>(rng() % 4));
+
+    const Hash256 ra = a.state_root();
+    const Hash256 rb = b.state_root();
+    ASSERT_EQ(ra, a.state_root_full_rebuild()) << "block " << block;
+    ASSERT_EQ(rb, b.state_root_full_rebuild()) << "block " << block;
+    const auto sa = a.commit_stats();
+    const auto sb = b.commit_stats();
+    built += (sa.seeds_built - base.seeds_built) +
+             (sb.seeds_built - base.seeds_built);
+    adopted += (sa.seeds_adopted - base.seeds_adopted) +
+               (sb.seeds_adopted - base.seeds_adopted);
+
+    head = (rng() % 2) ? std::move(a) : std::move(b);
+  }
+  // Full oracle check on the surviving lineage.
+  ASSERT_EQ(head.state_root(), head.state_root_full_rebuild());
+  // The sharing machinery actually engaged during the run.
+  EXPECT_GT(built, 0u);
+  EXPECT_GT(adopted, 0u);
 }
 
 // ---------------------------------------------------------------------------

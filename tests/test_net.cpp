@@ -109,5 +109,77 @@ TEST(ConsensusSim, DeterministicAcrossRuns) {
   EXPECT_EQ(a.bytes_gossiped, b.bytes_gossiped);
 }
 
+TEST(ConsensusSim, SpeculativeRunSettlesCleanAndMatchesInline) {
+  // Honest run through the commit pipelines: every provisional vote must
+  // survive the settle pass, the whole chain settles, and the canonical
+  // roots are bit-identical to a fully inline (synchronous-commit) run.
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 2;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 2;
+  cfg.rounds = 3;
+  cfg.workload.txs_per_block = 25;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+
+  cfg.commit_threads = 2;  // async sealing + speculative validation
+  const auto async_run = ConsensusSim(cfg).run();
+  ASSERT_TRUE(async_run.safety_held) << async_run.violation;
+  EXPECT_EQ(async_run.revoked_votes, 0u);
+  EXPECT_EQ(async_run.settled_height, cfg.rounds);
+  ASSERT_EQ(async_run.rounds.size(), cfg.rounds);
+  for (const auto& round : async_run.rounds) {
+    EXPECT_TRUE(round.settled);
+    EXPECT_FALSE(round.canonical_root.is_zero());
+  }
+
+  cfg.commit_threads = 0;  // degraded mode: inline seal + inline root check
+  const auto inline_run = ConsensusSim(cfg).run();
+  ASSERT_TRUE(inline_run.safety_held) << inline_run.violation;
+  EXPECT_EQ(inline_run.speculative_votes, 0u);  // nothing pends inline
+  ASSERT_EQ(inline_run.rounds.size(), cfg.rounds);
+  for (std::size_t i = 0; i < cfg.rounds; ++i) {
+    EXPECT_EQ(async_run.rounds[i].canonical_root,
+              inline_run.rounds[i].canonical_root);
+    EXPECT_EQ(async_run.rounds[i].txs, inline_run.rounds[i].txs);
+  }
+}
+
+TEST(ConsensusSim, LateRootMismatchCascadesVoteRevocation) {
+  // A Byzantine proposer set tampers with the sealed roots at height 2.
+  // The blocks re-execute cleanly, so every validator casts a provisional
+  // vote for one of them; the lie is only discovered when the commitments
+  // settle.  The settle pass must revoke the votes at height 2 AND cascade
+  // the revocation to every descendant round (their executions consumed a
+  // state that was never committed), truncating the settled chain at 1.
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 1;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 1;
+  cfg.rounds = 4;
+  cfg.byzantine_height = 2;
+  cfg.workload.txs_per_block = 20;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  cfg.commit_threads = 2;
+
+  const auto result = ConsensusSim(cfg).run();
+  // Safety holds: the honest validators *agree* on detection + revocation.
+  ASSERT_TRUE(result.safety_held) << result.violation;
+  ASSERT_EQ(result.rounds.size(), 4u);
+
+  EXPECT_TRUE(result.rounds[0].settled);
+  EXPECT_FALSE(result.rounds[0].canonical_root.is_zero());
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(result.rounds[i].settled) << "height " << i + 1;
+    EXPECT_TRUE(result.rounds[i].canonical_root.is_zero());
+    EXPECT_EQ(result.rounds[i].txs, 0u);
+  }
+  EXPECT_EQ(result.settled_height, 1u);
+  // Heights 2, 3, 4 each lose all validator votes.
+  EXPECT_EQ(result.revoked_votes, 3u * cfg.validator_nodes);
+  EXPECT_EQ(result.total_txs, result.rounds[0].txs);
+}
+
 }  // namespace
 }  // namespace blockpilot::net

@@ -1,0 +1,254 @@
+// Concurrency stress tests for the commit subsystem and its supporting
+// primitives.  Registered under the `stress` ctest label (and `commit`, so
+// the tsan-commit preset picks them up): the interesting assertions here
+// are the ones ThreadSanitizer makes — copies taken while commits are in
+// flight, concurrent rooters sharing persistent tries and seed cells, and
+// producer/consumer hammering of ThreadPool / MpmcQueue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "commit/commit_pipeline.hpp"
+#include "state/world_state.hpp"
+#include "support/mpmc_queue.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace blockpilot {
+namespace {
+
+using state::StateKey;
+using state::WorldState;
+
+Address addr_of(std::uint64_t id) { return Address::from_id(id); }
+
+void random_writes(Xoshiro256& rng, WorldState& ws, int count) {
+  for (int i = 0; i < count; ++i) {
+    const Address addr = addr_of(1 + rng() % 48);
+    switch (rng() % 6) {
+      case 0:
+        ws.set(StateKey::balance(addr), U256{rng() % 500});
+        break;
+      case 1:
+        ws.set(StateKey::nonce(addr), U256{rng() % 32});
+        break;
+      default: {
+        const U256 val = (rng() % 5 == 0) ? U256{} : U256{rng() % 10'000};
+        ws.set(StateKey::storage(addr, U256{rng() % 12}), val);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorldState: copy / commit overlap
+
+TEST(StressWorldState, CopiesTakenDuringInFlightCommitStayCorrect) {
+  // One thread computes the root (the in-flight commit) while the main
+  // thread repeatedly copies the same state and a second thread roots it
+  // again concurrently.  Every copy must produce the oracle root.
+  Xoshiro256 rng(0xAB1E);
+  WorldState ws;
+  random_writes(rng, ws, 256);
+  const Hash256 oracle = ws.state_root_full_rebuild();
+
+  for (int round = 0; round < 4; ++round) {
+    random_writes(rng, ws, 64);
+    const Hash256 expect = ws.state_root_full_rebuild();
+
+    std::vector<WorldState> copies;
+    {
+      std::jthread rooter1([&ws] { (void)ws.state_root(); });
+      std::jthread rooter2([&ws] { (void)ws.state_root(); });
+      for (int c = 0; c < 6; ++c) copies.emplace_back(ws);
+    }  // join rooters
+
+    EXPECT_EQ(ws.state_root(), expect) << "round " << round;
+    for (auto& copy : copies)
+      EXPECT_EQ(copy.state_root(), expect) << "round " << round;
+  }
+  (void)oracle;
+}
+
+TEST(StressWorldState, ConcurrentRootersAgreeOnOneObject) {
+  Xoshiro256 rng(0xCAFE);
+  WorldState ws;
+  for (int round = 0; round < 6; ++round) {
+    random_writes(rng, ws, 96);
+    const Hash256 expect = ws.state_root_full_rebuild();
+    std::vector<Hash256> roots(4);
+    {
+      std::vector<std::jthread> rooters;
+      for (std::size_t t = 0; t < roots.size(); ++t)
+        rooters.emplace_back([&ws, &roots, t] { roots[t] = ws.state_root(); });
+    }
+    for (const Hash256& r : roots) EXPECT_EQ(r, expect) << "round " << round;
+  }
+}
+
+TEST(StressWorldState, ForksCommittingConcurrentlyShareSeeds) {
+  // Fresh accounts with pending storage writes are forked, and both forks
+  // commit at the same time: the seed cells' fill-once / adopt-many path
+  // runs under real contention.  Roots must match the oracle either way.
+  Xoshiro256 rng(0x5EED);
+  WorldState head;
+  random_writes(rng, head, 64);
+  for (int round = 0; round < 6; ++round) {
+    // Touch a batch of brand-new accounts so both forks see them fresh.
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const Address fresh = addr_of(1000 + round * 16 + i);
+      head.set(StateKey::storage(fresh, U256{i}), U256{round * 100 + i + 1});
+      head.set(StateKey::balance(fresh), U256{1});
+    }
+    WorldState a = head;
+    WorldState b = head;
+    Hash256 ra, rb;
+    {
+      std::jthread ta([&a, &ra] { ra = a.state_root(); });
+      std::jthread tb([&b, &rb] { rb = b.state_root(); });
+    }
+    EXPECT_EQ(ra, rb) << "round " << round;
+    EXPECT_EQ(ra, head.state_root_full_rebuild()) << "round " << round;
+    random_writes(rng, head, 24);
+    head = (round % 2) ? std::move(a) : std::move(b);
+    random_writes(rng, head, 24);
+  }
+  EXPECT_EQ(head.state_root(), head.state_root_full_rebuild());
+}
+
+TEST(StressWorldState, CommitPipelineOverlapsCopiesAndSubmissions) {
+  // Chained submissions through a real pool while the main thread keeps
+  // copying the just-submitted (immutable) states.
+  ThreadPool pool(2);
+  commit::CommitPipeline pipe(&pool);
+  Xoshiro256 rng(0xF10);
+
+  auto parent = std::make_shared<const WorldState>();
+  std::vector<commit::CommitHandle> handles;
+  std::vector<Hash256> oracles;
+  for (int h = 0; h < 8; ++h) {
+    auto next = std::make_shared<WorldState>(*parent);
+    random_writes(rng, *next, 48);
+    std::shared_ptr<const WorldState> sealed = std::move(next);
+    handles.push_back(pipe.submit(sealed));
+    oracles.push_back(sealed->state_root_full_rebuild());
+    // Copy while the pipeline may still be hashing this very state.
+    const WorldState snapshot(*sealed);
+    EXPECT_EQ(snapshot.state_root_full_rebuild(), oracles.back());
+    parent = std::move(sealed);
+  }
+  for (std::size_t h = 0; h < handles.size(); ++h) {
+    const auto& res = handles[h].get();
+    EXPECT_EQ(res.state_root, oracles[h]) << "height " << h;
+    if (h > 0) EXPECT_GT(res.sequence, handles[h - 1].get().sequence);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / MpmcQueue hammering
+
+TEST(StressSupport, ThreadPoolHammerFromManyProducers) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kProducers = 8;
+  constexpr int kTasksEach = 500;
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&pool, &sum, p] {
+        for (int t = 0; t < kTasksEach; ++t)
+          pool.submit([&sum, p, t] {
+            sum.fetch_add(static_cast<std::uint64_t>(p) * kTasksEach + t + 1,
+                          std::memory_order_relaxed);
+          });
+      });
+    }
+  }  // join producers
+  pool.wait_idle();
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kProducers) * kTasksEach;
+  EXPECT_EQ(sum.load(), kTotal * (kTotal + 1) / 2);
+}
+
+TEST(StressSupport, ThreadPoolNestedSubmissionsDrain) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  for (int t = 0; t < 64; ++t) {
+    pool.submit([&pool, &executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      pool.submit(
+          [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), 128);
+}
+
+TEST(StressSupport, MpmcQueueConservesItemsUnderContention) {
+  MpmcQueue<std::uint64_t> queue(64);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kItemsEach = 2000;
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+
+  std::vector<std::jthread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &consumed_sum, &consumed_count] {
+      while (auto item = queue.pop()) {
+        consumed_sum.fetch_add(*item, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&queue, p] {
+        for (std::uint64_t i = 0; i < kItemsEach; ++i)
+          ASSERT_TRUE(queue.push(p * kItemsEach + i + 1));
+      });
+    }
+  }  // join producers
+  queue.close();
+  consumers.clear();  // join consumers
+
+  constexpr std::uint64_t kTotal = kProducers * kItemsEach;
+  EXPECT_EQ(consumed_count.load(), kTotal);
+  EXPECT_EQ(consumed_sum.load(), kTotal * (kTotal + 1) / 2);
+}
+
+TEST(StressSupport, MpmcQueueMixedPopAndTryPop) {
+  MpmcQueue<int> queue(16);
+  std::atomic<int> got{0};
+  std::vector<std::jthread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&queue, &got, c] {
+      for (;;) {
+        if (c == 0) {
+          // One consumer spins on try_pop to exercise the non-blocking path.
+          if (auto item = queue.try_pop()) {
+            got.fetch_add(1, std::memory_order_relaxed);
+          } else if (queue.closed() && queue.size() == 0) {
+            return;
+          } else {
+            std::this_thread::yield();
+          }
+        } else {
+          auto item = queue.pop();
+          if (!item.has_value()) return;
+          got.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 3000; ++i) ASSERT_TRUE(queue.push(i));
+  queue.close();
+  consumers.clear();
+  EXPECT_EQ(got.load(), 3000);
+}
+
+}  // namespace
+}  // namespace blockpilot

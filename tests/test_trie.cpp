@@ -257,6 +257,59 @@ TEST(TrieIncremental, SharedStructureKeepsRootsIndependent) {
   EXPECT_EQ(b.root_hash(), b2.root_hash());
 }
 
+TEST(TrieIncremental, ForkedCopiesFuzzMatchReferenceMaps) {
+  // Persistent-structure fuzz: a lineage of forked copies mutated in
+  // divergent directions, hashed in interleaved order, must each agree with
+  // a cold rebuild of its own reference map — shared spines never leak
+  // writes between forks, no matter which fork is committed first.
+  Xoshiro256 rng(0xF0F0);
+  constexpr int kRounds = 24;
+  constexpr int kForks = 4;
+
+  MerklePatriciaTrie base;
+  std::map<Bytes, Bytes> base_ref;
+  for (int i = 0; i < 80; ++i) {
+    Bytes key(rng.below(5) + 1, 0);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(4));
+    Bytes value(rng.below(40) + 1, 0);
+    for (auto& b : value) b = static_cast<std::uint8_t>(rng.below(256));
+    base.put(std::span(key), std::span(value));
+    base_ref[key] = value;
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<MerklePatriciaTrie> forks(kForks, base);  // all share nodes
+    std::vector<std::map<Bytes, Bytes>> refs(kForks, base_ref);
+    for (int f = 0; f < kForks; ++f) {
+      for (int op = 0; op < 30; ++op) {
+        Bytes key(rng.below(5) + 1, 0);
+        for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(4));
+        if (rng.chance(0.7)) {
+          Bytes value(rng.below(40) + 1, 0);
+          for (auto& b : value) b = static_cast<std::uint8_t>(rng.below(256));
+          forks[f].put(std::span(key), std::span(value));
+          refs[f][key] = value;
+        } else {
+          forks[f].erase(std::span(key));
+          refs[f].erase(key);
+        }
+        // Interleave hashing so sibling forks alternately memoize refs in
+        // nodes the others still share.
+        if (rng.chance(0.2)) (void)forks[f].root_hash();
+      }
+    }
+    for (int f = 0; f < kForks; ++f) {
+      MerklePatriciaTrie cold;
+      for (const auto& [k, v] : refs[f]) cold.put(std::span(k), std::span(v));
+      ASSERT_EQ(forks[f].root_hash(), cold.root_hash())
+          << "round " << round << " fork " << f;
+    }
+    const std::size_t keep = rng.below(kForks);
+    base = std::move(forks[keep]);
+    base_ref = std::move(refs[keep]);
+  }
+}
+
 TEST(TrieIncremental, InterleavedHashingMatchesColdRebuild) {
   // Hash after every mutation (maximally exercising memo invalidation) and
   // compare against a cold trie built once from the same final contents.
