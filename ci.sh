@@ -2,7 +2,7 @@
 # CI gate: tier-1 verify (full build + test suite) plus the commit-labeled
 # tests — including the concurrency stress layer — under ThreadSanitizer.
 #
-#   ./ci.sh            # tier-1 + tsan commit/stress gate
+#   ./ci.sh            # tier-1 + perf-smoke + tsan commit/stress gate
 #   ./ci.sh --tier1    # tier-1 only (fast path)
 #   JOBS=8 ./ci.sh     # override parallelism
 set -euo pipefail
@@ -21,6 +21,13 @@ if [[ "${1:-}" == "--tier1" ]]; then
   echo "==> tier-1 only: done"
   exit 0
 fi
+
+echo "==> perf-smoke: bench_versioned_state --smoke (sharded-store gates)"
+# Fails on crash, on the regression sentinel (sharded store slower than the
+# embedded single-lock baseline), or on a differential mismatch (proposed
+# blocks not bit-identical to the pre-change capture).  Time-capped so a
+# livelocked store cannot hang CI.
+timeout 120 ./build/bench/bench_versioned_state --smoke
 
 echo "==> tsan: configure + build (BLOCKPILOT_SANITIZE=thread)"
 cmake --preset tsan >/dev/null

@@ -45,13 +45,11 @@ void encode_key_into(rlp::Encoder& enc, const StateKey& key) {
 
 StateKey decode_key(const rlp::Item& item) {
   BP_ASSERT(item.is_list && item.list.size() >= 3);
-  StateKey key;
-  key.addr = item.list[0].as_address();
   const std::uint64_t field = item.list[1].as_u64();
   BP_ASSERT_MSG(field <= 2, "unknown state-key field");
-  key.field = static_cast<Field>(field);
-  key.slot = item.list[2].as_u256();
-  return key;
+  // The converting constructor fills the cached hash.
+  return StateKey{item.list[0].as_address(), static_cast<Field>(field),
+                  item.list[2].as_u256()};
 }
 
 }  // namespace

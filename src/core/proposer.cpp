@@ -55,6 +55,13 @@ ProposedBlock OccWsiProposer::propose_host_threads(
     std::uint64_t local_aborts = 0;
     std::uint64_t local_not_ready = 0;
     std::uint64_t local_dropped = 0;
+    // Lane-private execution scratch, recycled across transactions and
+    // across re-executions of aborted ones: the buffer keeps its table
+    // allocations, and the read cache keeps memoized snapshot values that
+    // the version stamps prove still current (so a retry re-reads only the
+    // keys that actually changed).
+    state::ReadCache read_cache;
+    state::ExecBuffer buffer;
 
     while (!shared.full.load(std::memory_order_acquire)) {
       auto popped = pool.pop();
@@ -64,8 +71,9 @@ ProposedBlock OccWsiProposer::propose_host_threads(
       // Execute against a snapshot of the currently committed state
       // (Algorithm 1 lines 8-9).
       const std::uint64_t snapshot_version = versioned.committed_version();
-      const state::SnapshotView snapshot(versioned, snapshot_version);
-      state::ExecBuffer buffer(snapshot);
+      const state::SnapshotView snapshot(versioned, snapshot_version,
+                                         &read_cache);
+      buffer.rebase(snapshot);
       const evm::TxExecResult r =
           evm::execute_transaction(buffer, block_ctx, tx);
 
@@ -116,9 +124,11 @@ ProposedBlock OccWsiProposer::propose_host_threads(
 
         // WSI validation: abort iff a read key was overwritten after the
         // snapshot (Algorithm 1 lines 13-16).  Write-write overlap commits.
+        // newer_than is exact here: commits are serialized by commit_mu, so
+        // no stamp can lag an in-flight commit while we scan.
         bool stale = false;
         for (const auto& [key, observed] : buffer.read_set()) {
-          if (versioned.latest_version(key) > snapshot_version) {
+          if (versioned.newer_than(key, snapshot_version)) {
             stale = true;
             break;
           }
@@ -237,6 +247,12 @@ ProposedBlock OccWsiProposer::propose_virtual(
   using Event = std::pair<std::uint64_t, std::size_t>;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
 
+  // Execution scratch shared by all virtual workers (the event loop runs on
+  // one real thread): the buffer's tables and the read cache are recycled
+  // across every execution, including re-runs of aborted transactions.
+  state::ReadCache read_cache;
+  state::ExecBuffer buffer;
+
   // Starts the next transaction on worker w at virtual time `now`.
   // Executes immediately (real EVM run) against the snapshot committed as
   // of `now`; the completion event carries the result forward.
@@ -248,8 +264,8 @@ ProposedBlock OccWsiProposer::propose_virtual(
       slot.tx = std::move(*popped);
 
       const std::uint64_t snapshot = versioned.committed_version();
-      const state::SnapshotView view(versioned, snapshot);
-      state::ExecBuffer buffer(view);
+      const state::SnapshotView view(versioned, snapshot, &read_cache);
+      buffer.rebase(view);
       const evm::TxExecResult r =
           evm::execute_transaction(buffer, block_ctx, slot.tx);
 
@@ -269,8 +285,8 @@ ProposedBlock OccWsiProposer::propose_virtual(
       }
 
       slot.result = r;
-      slot.reads = buffer.sorted_read_keys();
-      slot.writes = buffer.write_set();
+      buffer.sorted_read_keys_into(slot.reads);   // reuses slot capacity
+      buffer.write_set_into(slot.writes);
       slot.snapshot_version = snapshot;
       slot.busy = true;
       clock[w] = now;
@@ -302,7 +318,7 @@ ProposedBlock OccWsiProposer::propose_virtual(
     // after this transaction's snapshot (== during its execution window).
     bool stale = false;
     for (const auto& key : slot.reads) {
-      if (versioned.latest_version(key) > slot.snapshot_version) {
+      if (versioned.newer_than(key, slot.snapshot_version)) {
         stale = true;
         break;
       }

@@ -160,9 +160,12 @@ ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
     }
     ledger.add(lane, lane_subgraphs * config_.costs.dispatch_cost);
 
+    // One buffer per lane, reset per transaction: keeps the read/write
+    // table allocations hot instead of reallocating for every replay.
+    state::ExecBuffer buffer(overlay);
     for (const std::size_t i : my_txs) {
       if (board.failed.load(std::memory_order_acquire)) return;
-      state::ExecBuffer buffer(overlay);
+      buffer.reset();
       const evm::TxExecResult r = evm::execute_transaction(
           buffer, block_ctx, block.transactions[i]);
       if (r.status != evm::TxStatus::kIncluded) {
@@ -174,8 +177,8 @@ ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
 
       TxOutcome out;
       out.result = r;
-      out.reads = buffer.sorted_read_keys();
-      out.writes = buffer.write_set();
+      buffer.sorted_read_keys_into(out.reads);
+      buffer.write_set_into(out.writes);
 
       if (!config_.prefetch) {
         std::size_t cold_reads = 0;

@@ -11,17 +11,23 @@ U256 ExecBuffer::read(const StateKey& key) const {
   if (it != writes_.end()) return it->second;
   const auto rit = reads_.find(key);
   if (rit != reads_.end()) return rit->second;  // repeatable reads
-  const U256 value = base_.read(key);
+  BP_ASSERT_MSG(base_ != nullptr, "ExecBuffer used before rebase()");
+  const U256 value = base_->read(key);
   reads_.emplace(key, value);
   return value;
 }
 
 std::vector<StateKey> ExecBuffer::sorted_read_keys() const {
   std::vector<StateKey> keys;
-  keys.reserve(reads_.size());
-  for (const auto& [key, value] : reads_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end(), state_key_less);
+  sorted_read_keys_into(keys);
   return keys;
+}
+
+void ExecBuffer::sorted_read_keys_into(std::vector<StateKey>& out) const {
+  out.clear();
+  out.reserve(reads_.size());
+  for (const auto& [key, value] : reads_) out.push_back(key);
+  std::sort(out.begin(), out.end(), state_key_less);
 }
 
 void ExecBuffer::write(const StateKey& key, const U256& value) {
@@ -49,11 +55,19 @@ void ExecBuffer::revert_to(std::size_t token) {
 }
 
 std::vector<std::pair<StateKey, U256>> ExecBuffer::write_set() const {
-  std::vector<std::pair<StateKey, U256>> out(writes_.begin(), writes_.end());
+  std::vector<std::pair<StateKey, U256>> out;
+  write_set_into(out);
+  return out;
+}
+
+void ExecBuffer::write_set_into(
+    std::vector<std::pair<StateKey, U256>>& out) const {
+  out.clear();
+  out.reserve(writes_.size());
+  out.insert(out.end(), writes_.begin(), writes_.end());
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return state_key_less(a.first, b.first);
   });
-  return out;
 }
 
 void ExecBuffer::reset() {

@@ -26,7 +26,18 @@ namespace blockpilot::state {
 
 class ExecBuffer final : public ReadView {
  public:
-  explicit ExecBuffer(const ReadView& base) noexcept : base_(base) {}
+  /// A default-constructed buffer has no base view: rebase() before use.
+  ExecBuffer() noexcept = default;
+  explicit ExecBuffer(const ReadView& base) noexcept : base_(&base) {}
+
+  /// Discards all buffered state and reseats the base view.  The backing
+  /// allocations (read/write tables, journal) are retained, so one buffer
+  /// can be recycled across transactions — and across re-executions of
+  /// aborted transactions — without reallocating per attempt.
+  void rebase(const ReadView& base) noexcept {
+    reset();
+    base_ = &base;
+  }
 
   /// Read-through: buffered write if present, else base; every base read is
   /// recorded in the read set (reads of own writes are not conflicts —
@@ -34,7 +45,7 @@ class ExecBuffer final : public ReadView {
   U256 read(const StateKey& key) const override;
 
   std::shared_ptr<const Bytes> code(const Address& addr) const override {
-    return base_.code(addr);
+    return base_->code(addr);
   }
 
   /// Buffers a write (journaled for checkpoint rollback).
@@ -58,9 +69,13 @@ class ExecBuffer final : public ReadView {
 
   /// Read keys in deterministic (state_key_less) order.
   std::vector<StateKey> sorted_read_keys() const;
+  /// As sorted_read_keys, reusing `out`'s capacity (hot-path variant).
+  void sorted_read_keys_into(std::vector<StateKey>& out) const;
   /// Final buffered writes, in deterministic (key-sorted) order so that
   /// profiles and commits are bit-stable across runs.
   std::vector<std::pair<StateKey, U256>> write_set() const;
+  /// As write_set, reusing `out`'s capacity (hot-path variant).
+  void write_set_into(std::vector<std::pair<StateKey, U256>>& out) const;
 
   /// Discards all buffered state (abort path: transaction returns to pool).
   void reset();
@@ -72,7 +87,7 @@ class ExecBuffer final : public ReadView {
     U256 prior;
   };
 
-  const ReadView& base_;
+  const ReadView* base_ = nullptr;
   mutable std::unordered_map<StateKey, U256> reads_;
   std::unordered_map<StateKey, U256> writes_;
   std::vector<JournalEntry> journal_;

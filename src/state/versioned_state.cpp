@@ -7,13 +7,28 @@
 
 namespace blockpilot::state {
 
+VersionedState::VersionedState(const WorldState& base)
+    : base_(base),
+      stamps_(std::make_unique<std::atomic<std::uint64_t>[]>(kStampSlots)) {
+  // value-initialized by make_unique: every stamp starts at 0 (= base only)
+}
+
 U256 VersionedState::read_at(const StateKey& key,
                              std::uint64_t snapshot_version) const {
+  // Fast path: stamp 0 proves no version of this key (or any stamp-slot
+  // sibling) has been published, and versions <= snapshot_version are always
+  // fully published before the snapshot version became visible — so the
+  // base value is exact.  Snapshot 0 never sees versions (they start at 1).
+  if (snapshot_version == 0 ||
+      stamp_for(key.hash).load(std::memory_order_acquire) == 0)
+    return base_.get(key);
+
   {
-    std::shared_lock lk(mu_);
-    const auto it = versions_.find(key);
-    if (it != versions_.end()) {
-      const auto& chain = it->second;
+    const Stripe& s = stripe_for(key.hash);
+    std::shared_lock lk(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      const Chain& chain = it->second;
       // Last entry with version <= snapshot_version.  Chains are short
       // (bounded by block size), so a reverse scan beats binary search here.
       for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
@@ -24,37 +39,80 @@ U256 VersionedState::read_at(const StateKey& key,
   return base_.get(key);
 }
 
-std::uint64_t VersionedState::latest_version(const StateKey& key) const {
-  std::shared_lock lk(mu_);
-  const auto it = versions_.find(key);
-  if (it == versions_.end() || it->second.empty()) return 0;
+U256 VersionedState::read_at(const StateKey& key,
+                             std::uint64_t snapshot_version,
+                             ReadCache& cache) const {
+  const auto [it, inserted] = cache.map_.try_emplace(key);
+  if (!inserted && it->second.as_of <= snapshot_version &&
+      stamp_for(key.hash).load(std::memory_order_acquire) <=
+          it->second.as_of) {
+    // No version in (as_of, snapshot_version] can exist: everything <=
+    // snapshot_version is published, and the published upper bound says
+    // nothing landed after as_of.  The cached value is the snapshot value.
+    ++cache.hits;
+    return it->second.value;
+  }
+  ++cache.misses;
+  const U256 value = read_at(key, snapshot_version);
+  it->second.value = value;
+  it->second.as_of = snapshot_version;
+  return value;
+}
+
+std::uint64_t VersionedState::latest_version_locked(
+    const StateKey& key) const {
+  const Stripe& s = stripe_for(key.hash);
+  std::shared_lock lk(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end() || it->second.empty()) return 0;
   return it->second.back().first;
+}
+
+std::uint64_t VersionedState::latest_version(const StateKey& key) const {
+  if (stamp_for(key.hash).load(std::memory_order_acquire) == 0) return 0;
+  return latest_version_locked(key);
+}
+
+bool VersionedState::newer_than(const StateKey& key,
+                                std::uint64_t snapshot_version) const {
+  // The stamp upper-bounds the key's published latest version: a bound
+  // <= snapshot rules staleness out without a lock.  Above the bound,
+  // confirm against the exact chain — stamp slots are shared by hash, so a
+  // hot sibling key must not abort this one.
+  if (stamp_for(key.hash).load(std::memory_order_acquire) <= snapshot_version)
+    return false;
+  return latest_version_locked(key) > snapshot_version;
 }
 
 void VersionedState::commit(
     const std::vector<std::pair<StateKey, U256>>& write_set,
     std::uint64_t version) {
-  std::unique_lock lk(mu_);
-  BP_ASSERT_MSG(version > committed_version_,
+  BP_ASSERT_MSG(version > committed_version_.load(std::memory_order_relaxed),
                 "commit versions must be strictly increasing");
   for (const auto& [key, value] : write_set) {
-    auto& chain = versions_[key];
-    BP_ASSERT(chain.empty() || chain.back().first < version);
-    chain.emplace_back(version, value);
+    Stripe& s = stripe_for(key.hash);
+    {
+      std::unique_lock lk(s.mu);
+      Chain& chain = s.map[key];
+      BP_ASSERT(chain.empty() || chain.back().first < version);
+      chain.emplace_back(version, value);
+    }
+    // Publish the chain entry before the stamp: a reader that observes the
+    // raised stamp and takes the slow path must find the entry.
+    stamp_for(key.hash).store(version, std::memory_order_release);
   }
-  committed_version_ = version;
-}
-
-std::uint64_t VersionedState::committed_version() const {
-  std::shared_lock lk(mu_);
-  return committed_version_;
+  // Publish all stamps before the version: a reader whose snapshot covers
+  // `version` must see every stamp at >= its covered versions.
+  committed_version_.store(version, std::memory_order_release);
 }
 
 void VersionedState::flatten_into(WorldState& out) const {
-  std::shared_lock lk(mu_);
-  for (const auto& [key, chain] : versions_) {
-    BP_ASSERT(!chain.empty());
-    out.set(key, chain.back().second);
+  for (const Stripe& s : stripes_) {
+    std::shared_lock lk(s.mu);
+    for (const auto& [key, chain] : s.map) {
+      BP_ASSERT(!chain.empty());
+      out.set(key, chain.back().second);
+    }
   }
 }
 

@@ -11,12 +11,35 @@
 // latest-version index of this store, so no separate table is kept — one
 // source of truth for both snapshot reads and conflict validation.
 //
-// Concurrency: many executor threads read snapshots while the (serialized)
-// commit section appends versions; a shared_mutex arbitrates
-// (readers-shared / committer-exclusive, CP.43 short critical sections).
+// Concurrency (the Fig. 6 hot path): many executor threads read snapshots
+// while the (serialized) commit section appends versions.  Three layers keep
+// readers off shared cache lines:
+//
+//  1. the version chains are sharded by StateKey hash into kStripeCount
+//     stripes, each with its own shared_mutex, so concurrent readers of
+//     unrelated keys never contend on one lock word;
+//  2. a fixed-size table of atomic version stamps (the materialized reserve
+//     table) upper-bounds each key's latest committed version.  Stamp slots
+//     are shared by hash, which only ever *raises* the bound — so a stamp of
+//     0 proves the key was never written (read base state, no lock), and a
+//     stamp <= snapshot proves a read set entry cannot be stale (validate,
+//     no lock).  Both fast paths are exact, never heuristic: a too-high
+//     bound just falls back to the locked stripe lookup;
+//  3. ReadCache memoizes snapshot reads per executor thread, revalidated
+//     against the stamps, so re-executions of aborted transactions skip the
+//     stripe locks for every key whose stamp did not advance.
+//
+// Publication order makes the stamp fast paths sound: commit() appends the
+// chain entry under the stripe lock, then release-stores the stamp, then
+// release-stores committed_version_.  A reader's snapshot version comes from
+// an acquire-load of committed_version_, so every stamp covering a version
+// <= its snapshot is already visible to it.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
@@ -28,18 +51,52 @@
 
 namespace blockpilot::state {
 
+/// Per-executor-thread memo of snapshot reads (value + the snapshot version
+/// it was read at), revalidated against the store's version stamps.  Not
+/// thread-safe: one cache per executor thread.
+class ReadCache {
+ public:
+  void clear() { map_.clear(); }
+  std::size_t size() const noexcept { return map_.size(); }
+
+  std::uint64_t hits = 0;    // reads served without touching a stripe lock
+  std::uint64_t misses = 0;  // reads that fell through to the store
+
+ private:
+  friend class VersionedState;
+  struct Entry {
+    U256 value;
+    std::uint64_t as_of = 0;  // snapshot version the value was read at
+  };
+  std::unordered_map<StateKey, Entry> map_;
+};
+
 class VersionedState {
  public:
   /// Wraps a base state as version 0.  The base must outlive this object
   /// and is not mutated.
-  explicit VersionedState(const WorldState& base) noexcept : base_(base) {}
+  explicit VersionedState(const WorldState& base);
 
   /// Value of `key` visible to a snapshot taken at `snapshot_version`.
   U256 read_at(const StateKey& key, std::uint64_t snapshot_version) const;
 
+  /// As read_at, memoizing through `cache`: a cached value whose stamp has
+  /// not advanced past its fill version is returned without touching any
+  /// stripe lock.  Exact — cached hits equal what read_at would return.
+  U256 read_at(const StateKey& key, std::uint64_t snapshot_version,
+               ReadCache& cache) const;
+
   /// Version of the latest committed write to `key` (0 = base only).
   /// This is Algorithm 1's Table[rec].
   std::uint64_t latest_version(const StateKey& key) const;
+
+  /// True iff `key` has a committed version > snapshot_version — the WSI
+  /// staleness test.  Lock-free whenever the key's stamp rules it out
+  /// (the common case: most read sets validate clean).  Exact under the
+  /// proposer's contract that validation runs inside the serialized commit
+  /// section (no commit concurrently in flight); a racing commit may be
+  /// missed until its stamp publishes.
+  bool newer_than(const StateKey& key, std::uint64_t snapshot_version) const;
 
   /// Applies a transaction's write set at `version`.  Versions must be
   /// committed in strictly increasing order; the proposer's commit section
@@ -47,8 +104,10 @@ class VersionedState {
   void commit(const std::vector<std::pair<StateKey, U256>>& write_set,
               std::uint64_t version);
 
-  /// Highest committed version (0 before the first commit).
-  std::uint64_t committed_version() const;
+  /// Highest committed version (0 before the first commit).  Lock-free.
+  std::uint64_t committed_version() const noexcept {
+    return committed_version_.load(std::memory_order_acquire);
+  }
 
   /// Materializes base + all committed versions into `out` (used to derive
   /// the post-block world state whose root goes into the block header).
@@ -56,24 +115,54 @@ class VersionedState {
 
   const WorldState& base() const noexcept { return base_; }
 
+  static constexpr std::size_t kStripeCount = 64;       // power of two
+  static constexpr std::size_t kStampSlots = 1 << 14;   // power of two
+
  private:
-  const WorldState& base_;
-  mutable std::shared_mutex mu_;
   // Per-key version chain, ascending by version (append-only).
-  std::unordered_map<StateKey, std::vector<std::pair<std::uint64_t, U256>>>
-      versions_;
-  std::uint64_t committed_version_ = 0;
+  using Chain = std::vector<std::pair<std::uint64_t, U256>>;
+
+  /// One shard of the version-chain map.  Cache-line aligned so reader
+  /// threads spinning on neighbouring stripes don't false-share lock words.
+  struct alignas(64) Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<StateKey, Chain> map;
+  };
+
+  Stripe& stripe_for(std::size_t hash) const noexcept {
+    return stripes_[hash & (kStripeCount - 1)];
+  }
+  std::atomic<std::uint64_t>& stamp_for(std::size_t hash) const noexcept {
+    // Distinct bit range from the stripe index so stripe siblings don't
+    // also collide on one stamp slot.
+    return stamps_[(hash >> 6) & (kStampSlots - 1)];
+  }
+
+  /// Exact latest version of `key` under the stripe lock.
+  std::uint64_t latest_version_locked(const StateKey& key) const;
+
+  const WorldState& base_;
+  mutable std::array<Stripe, kStripeCount> stripes_;
+  // The materialized reserve table: per-slot upper bound on the latest
+  // committed version of every key hashing there.  Heap-allocated (128 KiB)
+  // to keep VersionedState movable-sized; zero-initialized.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stamps_;
+  std::atomic<std::uint64_t> committed_version_{0};
 };
 
 /// ReadView of a VersionedState frozen at one snapshot version; what an
-/// OCC-WSI executor thread hands to the EVM.
+/// OCC-WSI executor thread hands to the EVM.  With a per-thread ReadCache
+/// attached, repeated reads (and re-executions after aborts) bypass the
+/// stripe locks whenever the version stamps prove the cached value current.
 class SnapshotView final : public ReadView {
  public:
-  SnapshotView(const VersionedState& vs, std::uint64_t version) noexcept
-      : vs_(vs), version_(version) {}
+  SnapshotView(const VersionedState& vs, std::uint64_t version,
+               ReadCache* cache = nullptr) noexcept
+      : vs_(vs), version_(version), cache_(cache) {}
 
   U256 read(const StateKey& key) const override {
-    return vs_.read_at(key, version_);
+    return cache_ ? vs_.read_at(key, version_, *cache_)
+                  : vs_.read_at(key, version_);
   }
   std::shared_ptr<const Bytes> code(const Address& addr) const override {
     return vs_.base().code(addr);
@@ -84,6 +173,7 @@ class SnapshotView final : public ReadView {
  private:
   const VersionedState& vs_;
   std::uint64_t version_;
+  ReadCache* cache_;
 };
 
 }  // namespace blockpilot::state

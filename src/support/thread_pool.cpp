@@ -57,6 +57,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       ++active_;
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::scoped_lock lk(mu_);
       --active_;

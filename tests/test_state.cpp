@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
 #include "state/exec_buffer.hpp"
 #include "state/read_view.hpp"
 #include "state/versioned_state.hpp"
 #include "state/world_state.hpp"
+#include "support/rng.hpp"
 
 namespace blockpilot::state {
 namespace {
@@ -90,6 +96,147 @@ TEST(StateKey, EqualityAndHash) {
   weird.slot = U256{99};
   EXPECT_EQ(weird, b1);
   EXPECT_EQ(std::hash<StateKey>{}(b1), std::hash<StateKey>{}(b2));
+}
+
+TEST(StateKeyHash, CachedHashMatchesRecompute) {
+  const StateKey s = StateKey::storage(kAlice, U256{12345});
+  EXPECT_EQ(s.hash, StateKey::compute_hash(s.addr, s.field, s.slot));
+  EXPECT_EQ(std::hash<StateKey>{}(s), s.hash);
+  StateKey mutated = s;
+  mutated.slot = U256{54321};
+  mutated.rehash();
+  EXPECT_EQ(mutated.hash,
+            StateKey::compute_hash(mutated.addr, mutated.field, mutated.slot));
+  EXPECT_NE(mutated.hash, s.hash);
+}
+
+TEST(StateKeyHash, SlotIgnoredForAccountFields) {
+  // operator== ignores the slot for balance/nonce keys; the hash must too,
+  // or equal keys would land in different buckets/stripes.
+  StateKey b = StateKey::balance(kAlice);
+  b.slot = U256{99};
+  b.rehash();
+  EXPECT_EQ(b, StateKey::balance(kAlice));
+  EXPECT_EQ(b.hash, StateKey::balance(kAlice).hash);
+}
+
+TEST(StateKeyHash, SequentialStorageSlotsSpreadAcrossStripes) {
+  // The sharded store uses hash & 63 as its stripe index.  Sequential
+  // storage slots of one hot contract are the worst realistic case: without
+  // an avalanche finalizer they would cluster into a few stripes and
+  // serialize the executor threads.
+  constexpr std::size_t kStripes = 64;
+  constexpr std::size_t kKeys = 4096;  // 64 expected per stripe
+  std::array<std::size_t, kStripes> counts{};
+  for (std::size_t s = 0; s < kKeys; ++s)
+    ++counts[StateKey::storage(kAlice, U256{s}).hash & (kStripes - 1)];
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    EXPECT_GT(counts[i], 0u) << "stripe " << i << " empty";
+    EXPECT_LT(counts[i], 160u) << "stripe " << i << " overloaded";
+  }
+}
+
+TEST(StateKeyHash, SequentialAccountIdsSpreadAcrossStripes) {
+  constexpr std::size_t kStripes = 64;
+  constexpr std::size_t kKeys = 2048;  // 32 expected per stripe
+  std::array<std::size_t, kStripes> counts{};
+  for (std::size_t a = 0; a < kKeys; ++a)
+    ++counts[StateKey::balance(Address::from_id(a + 1)).hash & (kStripes - 1)];
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    EXPECT_GT(counts[i], 0u) << "stripe " << i << " empty";
+    EXPECT_LT(counts[i], 112u) << "stripe " << i << " overloaded";
+  }
+}
+
+TEST(StateKeyHash, SingleBitFlipsAvalanche) {
+  // Flipping one input bit should flip ~32 of the 64 output bits.  Checks
+  // both address bits and slot bits; guards the stamp-slot bit-slice
+  // ((hash >> 6) & 0x3fff) as well as the stripe bits.
+  double total_flips = 0;
+  std::size_t samples = 0;
+  const StateKey base_key = StateKey::storage(kAlice, U256{7});
+  for (std::size_t byte = 0; byte < base_key.addr.bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      StateKey flipped = base_key;
+      flipped.addr.bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      flipped.rehash();
+      const int flips = std::popcount(base_key.hash ^ flipped.hash);
+      EXPECT_GE(flips, 8) << "byte " << byte << " bit " << bit;
+      total_flips += flips;
+      ++samples;
+    }
+  }
+  for (int bit = 0; bit < 256; ++bit) {
+    std::uint64_t limbs[4] = {0, 0, 0, 0};
+    limbs[bit / 64] = 1ULL << (bit % 64);
+    StateKey flipped = base_key;
+    flipped.slot =
+        base_key.slot ^ U256{limbs[3], limbs[2], limbs[1], limbs[0]};
+    flipped.rehash();
+    const int flips = std::popcount(base_key.hash ^ flipped.hash);
+    EXPECT_GE(flips, 8) << "slot bit " << bit;
+    total_flips += flips;
+    ++samples;
+  }
+  const double avg = total_flips / static_cast<double>(samples);
+  EXPECT_GT(avg, 26.0);
+  EXPECT_LT(avg, 38.0);
+}
+
+TEST(VersionedState, ReadCacheHitsAndInvalidation) {
+  WorldState base;
+  base.set(StateKey::balance(kAlice), U256{100});
+  VersionedState vs(base);
+  const StateKey key = StateKey::balance(kAlice);
+  ReadCache cache;
+
+  EXPECT_EQ(vs.read_at(key, 0, cache), U256{100});  // miss, fills cache
+  EXPECT_EQ(vs.read_at(key, 0, cache), U256{100});  // hit
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+
+  // A commit raises the key's stamp past the cached as_of: the stale entry
+  // must be refreshed, not served.
+  vs.commit({{key, U256{90}}}, 1);
+  EXPECT_EQ(vs.read_at(key, 1, cache), U256{90});
+  EXPECT_EQ(cache.misses, 2u);
+
+  // Snapshot isolation through the cache: an older snapshot re-reads the
+  // old value even though the cache last saw version 1.
+  EXPECT_EQ(vs.read_at(key, 0, cache), U256{100});
+  EXPECT_EQ(vs.read_at(key, 1, cache), U256{90});
+}
+
+TEST(VersionedState, NewerThanMatchesLatestVersion) {
+  // newer_than's stamp fast path is an upper bound + exact fallback; on a
+  // quiescent store it must agree with latest_version for every key and
+  // snapshot, including keys sharing stamp slots.
+  WorldState base;
+  VersionedState vs(base);
+  Xoshiro256 rng(0x7E57);
+  std::vector<StateKey> keys;
+  for (std::size_t a = 0; a < 64; ++a) {
+    keys.push_back(StateKey::balance(Address::from_id(a + 1)));
+    keys.push_back(StateKey::storage(Address::from_id(a + 1), U256{a}));
+  }
+  for (std::uint64_t v = 1; v <= 40; ++v) {
+    std::vector<std::pair<StateKey, U256>> ws;
+    std::unordered_map<StateKey, bool> seen;
+    while (ws.size() < 4) {
+      const StateKey& k = keys[rng.below(keys.size())];
+      if (seen.try_emplace(k, true).second) ws.emplace_back(k, U256{v});
+    }
+    vs.commit(ws, v);
+  }
+  for (const StateKey& k : keys) {
+    const std::uint64_t latest = vs.latest_version(k);
+    const std::uint64_t snaps[] = {0,  latest > 0 ? latest - 1 : 0,
+                                   latest, latest + 1, 40, 99};
+    for (const std::uint64_t snap : snaps) {
+      EXPECT_EQ(vs.newer_than(k, snap), latest > snap)
+          << k.to_string() << " snap=" << snap << " latest=" << latest;
+    }
+  }
 }
 
 TEST(VersionedState, SnapshotVisibility) {

@@ -77,6 +77,19 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   SUCCEED();
 }
 
+TEST(ThreadPool, TasksExecutedCounterIsExact) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 250; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(pool.tasks_executed(), 250u);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(pool.tasks_executed(), 251u);
+}
+
 TEST(ThreadPool, WorkerIndexIsStableAndBounded) {
   ThreadPool pool(3);
   std::mutex mu;
