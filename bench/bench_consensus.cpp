@@ -1,0 +1,196 @@
+// Settle latency / throughput vs speculation depth (§5.2 overlap).
+//
+// Sweeps the event-driven consensus loop over speculation_depth ∈
+// {0, 1, 2, 4, 8} on an identical single-proposer workload and reports the
+// average virtual settle latency, round latency, makespan, and parked-
+// proposal stall per depth, with the pre-refactor post-hoc settle pass
+// (run_batch_reference) as the baseline row.
+//
+// The commitment throughput (commit_gas_per_us) is calibrated from two
+// depth-0 probe runs so the per-height commitment cost c lands near
+// 6× the per-height advance time `adv`: the window then still binds at
+// depth 4 (c > 4·adv), which is the regime where every step of the sweep
+// strictly shrinks the settle latency — the property this bench asserts
+// (exit 1 on violation).  All quantities are virtual-time, so the sweep is
+// deterministic for a fixed workload seed.
+//
+// Emits BENCH_consensus.json (machine-readable) plus a stdout table.
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/consensus_sim.hpp"
+
+namespace {
+
+using blockpilot::net::ConsensusSim;
+using blockpilot::net::ConsensusSimConfig;
+using blockpilot::net::ConsensusSimResult;
+
+ConsensusSimConfig base_config() {
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 1;
+  cfg.proposers_per_round = 1;  // forkless: the pure depth/latency signal
+  cfg.validator_nodes = 3;
+  cfg.rounds = 12;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  cfg.commit_threads = 2;
+  cfg.workload.seed = 0xC0456ULL;
+  cfg.workload.txs_per_block = 40;
+  // Fast links so commitment, not gossip, dominates the settle path.
+  cfg.link.base_latency_us = 1'000;
+  return cfg;
+}
+
+ConsensusSimResult run_at(const ConsensusSimConfig& base, std::size_t depth,
+                          std::uint64_t gas_per_us) {
+  ConsensusSimConfig cfg = base;
+  cfg.speculation_depth = depth;
+  cfg.commit_gas_per_us = gas_per_us;
+  ConsensusSimResult r = ConsensusSim(cfg).run();
+  if (!r.safety_held) {
+    std::printf("FATAL: safety violation in bench run: %s\n",
+                r.violation.c_str());
+    std::exit(1);
+  }
+  return r;
+}
+
+double tx_per_s(const ConsensusSimResult& r) {
+  if (r.makespan_us == 0) return 0.0;
+  return static_cast<double>(r.total_txs) * 1e6 /
+         static_cast<double>(r.makespan_us);
+}
+
+}  // namespace
+
+int main() {
+  const ConsensusSimConfig base = base_config();
+
+  // --- Calibration: two depth-0 probes isolate `adv` (per-height advance
+  // with free commitment) and the gas folded per height.
+  const std::uint64_t kDefaultGas = base.commit_gas_per_us;
+  const ConsensusSimResult probe_free =
+      run_at(base, 0, 1'000'000'000);  // c ≈ 0
+  const ConsensusSimResult probe_paid = run_at(base, 0, kDefaultGas);
+  const std::uint64_t adv_us = probe_free.makespan_us / base.rounds;
+  const std::uint64_t paid_c_us =
+      (probe_paid.makespan_us - probe_free.makespan_us) / base.rounds;
+  const std::uint64_t gas_per_height = paid_c_us * kDefaultGas;
+  std::uint64_t cal_gas_per_us =
+      gas_per_height / std::max<std::uint64_t>(1, 6 * adv_us);
+  if (cal_gas_per_us == 0) cal_gas_per_us = 1;
+  const std::uint64_t target_c_us = gas_per_height / cal_gas_per_us;
+
+  std::printf("calibration: adv=%llu us/height, gas=%llu/height, "
+              "commit_gas_per_us=%llu -> c=%llu us (%.2fx adv)\n",
+              (unsigned long long)adv_us, (unsigned long long)gas_per_height,
+              (unsigned long long)cal_gas_per_us,
+              (unsigned long long)target_c_us,
+              static_cast<double>(target_c_us) / static_cast<double>(adv_us));
+
+  // --- Baseline: the old round-batch algorithm + post-hoc settle pass.
+  ConsensusSimConfig batch_cfg = base;
+  batch_cfg.commit_gas_per_us = cal_gas_per_us;
+  const ConsensusSimResult batch =
+      ConsensusSim(batch_cfg).run_batch_reference();
+
+  // --- Sweep.
+  const std::size_t kDepths[] = {0, 1, 2, 4, 8};
+  std::vector<ConsensusSimResult> sweep;
+  for (const std::size_t d : kDepths)
+    sweep.push_back(run_at(base, d, cal_gas_per_us));
+
+  std::printf("\n%-14s %16s %16s %14s %14s %12s\n", "mode",
+              "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "stall(ms)",
+              "tx/s");
+  std::printf("%-14s %16.2f %16.2f %14.2f %14.2f %12.0f\n", "batch-ref",
+              batch.avg_settle_latency_ms(), batch.avg_round_latency_ms(),
+              batch.makespan_us / 1000.0, batch.settle_stall_us / 1000.0,
+              tx_per_s(batch));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "depth=%zu", kDepths[i]);
+    std::printf("%-14s %16.2f %16.2f %14.2f %14.2f %12.0f\n", label,
+                sweep[i].avg_settle_latency_ms(),
+                sweep[i].avg_round_latency_ms(),
+                sweep[i].makespan_us / 1000.0,
+                sweep[i].settle_stall_us / 1000.0, tx_per_s(sweep[i]));
+  }
+
+  bool strictly_decreasing = true;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].avg_settle_latency_ms() >=
+        sweep[i - 1].avg_settle_latency_ms())
+      strictly_decreasing = false;
+  }
+  // Depth 0 must not beat the settle pass it re-slices, and every settled
+  // root must agree across the whole sweep (same workload, same chain).
+  bool roots_agree = true;
+  for (const auto& r : sweep) {
+    if (r.settled_height != base.rounds) roots_agree = false;
+    for (std::size_t h = 0; h < r.rounds.size() && roots_agree; ++h)
+      if (r.rounds[h].canonical_root != sweep[0].rounds[h].canonical_root)
+        roots_agree = false;
+  }
+
+  FILE* f = std::fopen("BENCH_consensus.json", "w");
+  if (f == nullptr) {
+    std::printf("cannot write BENCH_consensus.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"workload\": \"preset_mainnet txs=%llu seed=0x%llX\",\n"
+               "  \"rounds\": %llu,\n  \"validators\": %zu,\n",
+               (unsigned long long)base.workload.txs_per_block,
+               (unsigned long long)base.workload.seed,
+               (unsigned long long)base.rounds, base.validator_nodes);
+  std::fprintf(f,
+               "  \"calibration\": {\"adv_us\": %llu, \"gas_per_height\": "
+               "%llu, \"commit_gas_per_us\": %llu, \"commit_cost_us\": "
+               "%llu},\n",
+               (unsigned long long)adv_us, (unsigned long long)gas_per_height,
+               (unsigned long long)cal_gas_per_us,
+               (unsigned long long)target_c_us);
+  std::fprintf(f,
+               "  \"batch_reference\": {\"settle_latency_ms\": %.4f, "
+               "\"round_latency_ms\": %.4f, \"makespan_ms\": %.4f, "
+               "\"throughput_tx_s\": %.1f},\n",
+               batch.avg_settle_latency_ms(), batch.avg_round_latency_ms(),
+               batch.makespan_us / 1000.0, tx_per_s(batch));
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r = sweep[i];
+    std::fprintf(f,
+                 "    {\"depth\": %zu, \"settle_latency_ms\": %.4f, "
+                 "\"round_latency_ms\": %.4f, \"makespan_ms\": %.4f, "
+                 "\"stall_ms\": %.4f, \"throughput_tx_s\": %.1f, "
+                 "\"speculative_votes\": %llu, \"seeds_adopted\": %llu}%s\n",
+                 kDepths[i], r.avg_settle_latency_ms(),
+                 r.avg_round_latency_ms(), r.makespan_us / 1000.0,
+                 r.settle_stall_us / 1000.0, tx_per_s(r),
+                 (unsigned long long)r.speculative_votes,
+                 (unsigned long long)r.seeds_adopted,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"roots_agree_across_depths\": %s,\n",
+               roots_agree ? "true" : "false");
+  std::fprintf(f, "  \"settle_latency_strictly_decreasing\": %s\n",
+               strictly_decreasing ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_consensus.json\n");
+
+  if (!roots_agree) {
+    std::printf("FAIL: canonical roots diverge across depths\n");
+    return 1;
+  }
+  if (!strictly_decreasing) {
+    std::printf("FAIL: settle latency not strictly decreasing with depth\n");
+    return 1;
+  }
+  std::printf("PASS: settle latency strictly decreasing with depth\n");
+  return 0;
+}

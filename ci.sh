@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (full build + test suite) plus the commit-labeled
-# tests — including the concurrency stress layer — under ThreadSanitizer.
+# CI gate: tier-1 verify (full build + test suite), the commit-labeled
+# tests — including the concurrency stress layer — under ThreadSanitizer,
+# and the net-labeled consensus-loop tests (event-driven nodes + fork-choice
+# fuzz) under both ThreadSanitizer and AddressSanitizer.
 #
-#   ./ci.sh            # tier-1 + perf-smoke + tsan commit/stress gate
+#   ./ci.sh            # tier-1 + perf-smoke + tsan commit/stress + tsan/asan net
 #   ./ci.sh --tier1    # tier-1 only (fast path)
 #   JOBS=8 ./ci.sh     # override parallelism
 set -euo pipefail
@@ -35,5 +37,15 @@ cmake --build --preset tsan -j "${JOBS}"
 
 echo "==> tsan: commit-labeled tests (includes the stress label)"
 ctest --preset tsan-commit
+
+echo "==> tsan: net-labeled tests (event-driven consensus + fork-choice fuzz)"
+ctest --preset tsan-net
+
+echo "==> asan: configure + build (BLOCKPILOT_SANITIZE=address)"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "${JOBS}"
+
+echo "==> asan: net-labeled tests"
+ctest --preset asan-net
 
 echo "==> ci: all gates passed"

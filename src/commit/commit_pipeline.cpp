@@ -20,20 +20,25 @@ CommitResult CommitPipeline::compute(
 }
 
 CommitHandle CommitPipeline::submit(
-    std::shared_ptr<const state::WorldState> post, AuxRootFn aux) {
-  std::scoped_lock lk(mu_);
+    std::shared_ptr<const state::WorldState> post, AuxRootFn aux,
+    SettleFn on_settled) {
+  std::unique_lock lk(mu_);
   const std::uint64_t seq = next_seq_++;
   ++stats_.submitted;
 
   if (pool_ == nullptr) {
-    // Degraded/sync mode: do the work at submit time.
+    // Degraded/sync mode: do the work at submit time.  The settlement
+    // notification fires inline, before submit() returns — nothing pends.
     std::promise<CommitResult> p;
     CommitResult r = compute(std::move(post), aux, seq);
     stats_.total_commit_ms += r.commit_ms;
     ++stats_.inline_runs;
+    ++stats_.settled;
     p.set_value(std::move(r));
     auto fut = p.get_future().share();
     tail_ = fut;
+    lk.unlock();
+    if (on_settled) on_settled(fut.get());
     return CommitHandle(fut);
   }
 
@@ -43,18 +48,36 @@ CommitHandle CommitPipeline::submit(
   auto fut = promise->get_future().share();
   std::shared_future<CommitResult> prev = tail_;
   tail_ = fut;
-  pool_->submit([this, promise, prev, post = std::move(post),
-                 aux = std::move(aux), seq]() mutable {
+  ++pending_;
+  stats_.max_pending = std::max(stats_.max_pending, pending_);
+  pool_->submit([this, promise, prev, fut, post = std::move(post),
+                 aux = std::move(aux), on_settled = std::move(on_settled),
+                 seq]() mutable {
     // FIFO publication: never resolve before the predecessor.  The pool's
     // queue is FIFO too, so by the time this task runs its predecessor has
     // at least started — waiting here cannot starve the pool.
     if (prev.valid()) prev.wait();
     CommitResult r = compute(std::move(post), aux, seq);
+    const double commit_ms = r.commit_ms;
+    promise->set_value(std::move(r));
+    // The callback fires BEFORE this task releases its pending slot, so
+    // drain() — and the destructor, which drains — implies every
+    // settlement notification has finished.  The task must not touch the
+    // pipeline after the decrement below: a drained pipeline may already
+    // be destroyed.  (Callbacks may submit follow-ups, but must not block
+    // on this pipeline's own backpressure.)
+    if (on_settled) on_settled(fut.get());
     {
       std::scoped_lock lk(mu_);
-      stats_.total_commit_ms += r.commit_ms;
+      stats_.total_commit_ms += commit_ms;
+      ++stats_.settled;
+      --pending_;
+      // Notify UNDER the lock: a drain()er woken by this broadcast cannot
+      // re-acquire mu_ (and thus cannot return and destroy the pipeline)
+      // until this task has fully left the condition variable and released
+      // the mutex — the unlock below is the task's last touch of `this`.
+      settled_cv_.notify_all();
     }
-    promise->set_value(std::move(r));
   });
   return CommitHandle(fut);
 }
@@ -71,6 +94,16 @@ CommitHandle CommitPipeline::submit_writes(
 CommitPipelineStats CommitPipeline::stats() const {
   std::scoped_lock lk(mu_);
   return stats_;
+}
+
+std::size_t CommitPipeline::pending() const {
+  std::scoped_lock lk(mu_);
+  return pending_;
+}
+
+void CommitPipeline::wait_pending_at_most(std::size_t max_pending) const {
+  std::unique_lock lk(mu_);
+  settled_cv_.wait(lk, [&] { return pending_ <= max_pending; });
 }
 
 }  // namespace blockpilot::commit

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -37,6 +38,13 @@ namespace blockpilot::commit {
 /// Extra root computed alongside the state root (e.g. the receipts root),
 /// injected by the caller so this module stays below bp_chain.
 using AuxRootFn = std::function<Hash256()>;
+
+/// Settlement notification: invoked exactly once per submission, right after
+/// the commitment's result publishes (in FIFO order).  Runs on the committing
+/// pool thread in async mode and inline at submit time in degraded mode, so
+/// the callback must be cheap and must not block on the pipeline itself.
+struct CommitResult;
+using SettleFn = std::function<void(const CommitResult&)>;
 
 /// Result of one asynchronous commitment.
 struct CommitResult {
@@ -82,6 +90,8 @@ class CommitHandle {
 struct CommitPipelineStats {
   std::uint64_t submitted = 0;
   std::uint64_t inline_runs = 0;  // executed synchronously (no pool)
+  std::uint64_t settled = 0;      // results published (== callbacks fired)
+  std::size_t max_pending = 0;    // high-water mark of in-flight commitments
   double total_commit_ms = 0.0;   // sum of CommitResult::commit_ms
 };
 
@@ -91,11 +101,23 @@ class CommitPipeline {
   /// run inline at submit time (useful for tests and as a degraded mode).
   explicit CommitPipeline(ThreadPool* pool = nullptr) : pool_(pool) {}
 
+  /// Drains before dying: in-flight tasks reference the pipeline's mutex,
+  /// counters, and condition variable, so destruction must wait for every
+  /// submitted commitment — including abandoned ones whose handles were
+  /// dropped by a revoked speculative suffix — to publish.
+  ~CommitPipeline() { drain(); }
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
   /// Queues the commitment of `post`.  The state must not be mutated after
   /// submission (the pipeline hashes it concurrently) — callers hand over a
-  /// sealed post-state snapshot.
+  /// sealed post-state snapshot.  `on_settled`, when provided, fires once the
+  /// result publishes (see SettleFn) — the push-style settlement
+  /// notification the event-driven node loop consumes instead of polling
+  /// CommitHandle::ready().
   CommitHandle submit(std::shared_ptr<const state::WorldState> post,
-                      AuxRootFn aux = {});
+                      AuxRootFn aux = {}, SettleFn on_settled = {});
 
   /// Convenience: copies `parent` (O(1) shared-structure copy), applies
   /// `writes`, and queues the commitment of the result.
@@ -111,11 +133,25 @@ class CommitPipeline {
 
   bool async() const noexcept { return pool_ != nullptr; }
 
+  /// Commitments submitted but not yet published.  Always 0 in inline mode.
+  std::size_t pending() const;
+
+  /// Speculation-depth backpressure: blocks the caller until at most
+  /// `max_pending` commitments are in flight.  A node that may run only
+  /// `depth` unsettled heights ahead parks here instead of spinning on
+  /// await(); returns immediately in inline mode (nothing ever pends).
+  void wait_pending_at_most(std::size_t max_pending) const;
+
+  /// Blocks until every submitted commitment has published.
+  void drain() const { wait_pending_at_most(0); }
+
  private:
   ThreadPool* pool_;
   mutable std::mutex mu_;
+  mutable std::condition_variable settled_cv_;
   std::shared_future<CommitResult> tail_;  // FIFO ordering chain
   std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
   CommitPipelineStats stats_;
 };
 

@@ -52,6 +52,7 @@ PipelineResult ValidatorPipeline::process_one_height(
   vc.granularity = config_.granularity;
   vc.costs = config_.costs;
   vc.commit_pipeline = config_.commit_pipeline;
+  vc.seed_directory = config_.seed_directory;
 
   if (config_.concurrent_blocks && siblings.size() > 1) {
     // Each driver gets its own single-block worker allotment through the
@@ -218,6 +219,110 @@ PipelineResult ValidatorPipeline::process_chain(
 
   total.stats.wall_ms = wall.elapsed_ms();
   return total;
+}
+
+// ---- ChainSession ----
+
+std::size_t ChainSession::push_height(std::span<const BlockBundle> siblings,
+                                      ThreadPool& workers) {
+  PipelineResult round =
+      pipeline_.process_height_speculative(tip(), siblings, workers);
+  HeightRecord rec;
+  rec.block_hashes.reserve(siblings.size());
+  for (const BlockBundle& b : siblings)
+    rec.block_hashes.push_back(b.block.header.hash());
+  for (std::size_t i = 0; i < round.outcomes.size(); ++i) {
+    if (round.outcomes[i].valid) {
+      rec.canonical = i;
+      break;
+    }
+  }
+  rec.outcomes = std::move(round.outcomes);
+  stats_.serial_gas += round.stats.serial_gas;
+  // Heights serialize in the validation phase (same rule as process_chain):
+  // the next height's execution consumes this height's final state.
+  stats_.vtime_makespan += round.stats.vtime_makespan;
+  stats_.blocks += round.stats.blocks;
+  stats_.wall_ms += round.stats.wall_ms;
+  heights_.push_back(std::move(rec));
+  return heights_.back().canonical;
+}
+
+void ChainSession::choose(std::size_t height, std::size_t sibling) {
+  BP_ASSERT(height < heights_.size());
+  HeightRecord& rec = heights_[height];
+  BP_ASSERT_MSG(!rec.settled, "re-choosing a settled height");
+  BP_ASSERT(sibling < rec.outcomes.size());
+  rec.canonical = sibling;
+}
+
+bool ChainSession::settle_next() {
+  BP_ASSERT_MSG(settled_ < heights_.size(), "nothing unsettled");
+  HeightRecord& rec = heights_[settled_];
+  Stopwatch settle;
+  // Every sibling settles, not just the canonical one: fork-choice needs to
+  // know which survivors' roots matched their own headers.
+  for (ValidationOutcome& o : rec.outcomes) {
+    if (o.commit.valid()) ++stats_.async_commits;
+    o.await_commit();
+  }
+  stats_.commit_wait_ms += settle.elapsed_ms();
+  rec.settled = true;
+  rec.ok = rec.canonical != SIZE_MAX && rec.outcomes[rec.canonical].valid;
+  ++settled_;
+  return rec.ok;
+}
+
+std::size_t ChainSession::fork_choice(std::size_t height) const {
+  BP_ASSERT(height < heights_.size());
+  const HeightRecord& rec = heights_[height];
+  BP_ASSERT_MSG(rec.settled, "fork-choice before settlement");
+  std::size_t best = SIZE_MAX;
+  for (std::size_t i = 0; i < rec.outcomes.size(); ++i) {
+    if (!rec.outcomes[i].valid) continue;
+    if (best == SIZE_MAX || rec.block_hashes[i] < rec.block_hashes[best])
+      best = i;
+  }
+  return best;
+}
+
+void ChainSession::adopt_fork(std::size_t height, std::size_t sibling) {
+  BP_ASSERT(height < heights_.size());
+  HeightRecord& rec = heights_[height];
+  BP_ASSERT_MSG(rec.settled, "adopting before settlement");
+  BP_ASSERT(sibling < rec.outcomes.size());
+  BP_ASSERT_MSG(rec.outcomes[sibling].valid, "adopting a failed sibling");
+  rec.canonical = sibling;
+  rec.ok = true;
+  for (std::size_t h = height + 1; h < heights_.size(); ++h)
+    if (on_revoke_) on_revoke_(h);
+  heights_.resize(height + 1);
+  if (settled_ > heights_.size()) settled_ = heights_.size();
+}
+
+void ChainSession::cascade_from(std::size_t height) {
+  for (std::size_t h = height; h < heights_.size(); ++h) {
+    HeightRecord& rec = heights_[h];
+    for (ValidationOutcome& o : rec.outcomes) {
+      if (o.valid) {
+        o.valid = false;
+        o.reject_reason = "parent block failed commitment";
+      }
+    }
+    rec.settled = true;
+    rec.ok = false;
+  }
+  settled_ = heights_.size();
+}
+
+const state::WorldState& ChainSession::tip() const {
+  for (std::size_t h = heights_.size(); h-- > 0;) {
+    const HeightRecord& rec = heights_[h];
+    if (rec.canonical != SIZE_MAX &&
+        rec.outcomes[rec.canonical].exec.post_state != nullptr)
+      return *rec.outcomes[rec.canonical].exec.post_state;
+  }
+  return *base_;
 }
 
 }  // namespace blockpilot::core

@@ -21,6 +21,8 @@
 // measured per-block schedules.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -48,6 +50,9 @@ struct PipelineConfig {
   /// invalidation if a root check later fails ("parent block failed
   /// commitment").
   commit::CommitPipeline* commit_pipeline = nullptr;
+  /// Block-hash-keyed storage-seed sharing across sibling validators (see
+  /// ValidatorConfig::seed_directory); forwarded to every BlockValidator.
+  state::BlockSeedDirectory* seed_directory = nullptr;
 };
 
 struct PipelineStats {
@@ -111,6 +116,116 @@ class ValidatorPipeline {
                                     ThreadPool& workers);
 
   PipelineConfig config_;
+};
+
+/// ChainSession: height-granular chain validation for an event-driven node.
+///
+/// process_chain() consumes a whole fork tree at once and settles in a
+/// post-hoc pass; a live node instead receives one height's siblings at a
+/// time, votes, keeps executing ahead while commitments are still in
+/// flight, and must be able to *revoke* a speculative suffix when a
+/// settlement fails.  ChainSession is that incremental surface:
+///
+///   push_height()  speculatively validates the next height's siblings on
+///                  the current tip (roots pending on the commit pipeline);
+///   choose()       overrides the canonical sibling (the node's vote);
+///   settle_next()  awaits the oldest unsettled height's roots and reports
+///                  whether its canonical block survived;
+///   fork_choice()  after a failed settlement, picks the survivor with the
+///                  smallest block hash among siblings whose settled root
+///                  matched their own header;
+///   adopt_fork()   re-roots the chain on that survivor and truncates every
+///                  height built on the revoked block, invoking the
+///                  revocation callback per dropped height so the node can
+///                  retract votes and re-propose.
+///
+/// Speculation safety mirrors process_chain(): heights build on the first
+/// execution-valid sibling (or the explicitly chosen one) before its root
+/// is known, which is exactly the paper's §5.2 overlap of commitment with
+/// the next block's execution.
+class ChainSession {
+ public:
+  /// Invoked by adopt_fork() once per truncated height index (ascending),
+  /// before the records are dropped.
+  using RevokeFn = std::function<void(std::size_t height)>;
+
+  ChainSession(PipelineConfig config, const state::WorldState& genesis)
+      : pipeline_(config),
+        base_(std::make_shared<state::WorldState>(genesis)) {}
+
+  void set_revocation_callback(RevokeFn fn) { on_revoke_ = std::move(fn); }
+
+  /// Validates the next height's siblings on the current tip; returns the
+  /// default canonical sibling (first execution-valid, SIZE_MAX when none).
+  /// With an async commit pipeline the outcomes' root checks stay pending.
+  std::size_t push_height(std::span<const BlockBundle> siblings,
+                          ThreadPool& workers);
+
+  /// Overrides the canonical sibling of an unsettled height (the node's
+  /// vote).  The next push_height() builds on this sibling's post state.
+  void choose(std::size_t height, std::size_t sibling);
+
+  /// Awaits every sibling root of the oldest unsettled height; returns
+  /// whether the canonical sibling settled clean.  On false, the caller
+  /// runs fork_choice()/adopt_fork() (or abandons the chain).
+  bool settle_next();
+
+  /// Survivor with the smallest block hash among this settled height's
+  /// siblings whose root matched their own header; SIZE_MAX when none.
+  std::size_t fork_choice(std::size_t height) const;
+
+  /// Re-roots the chain on `sibling` at `height` and truncates every height
+  /// above it (revocation callback fires per dropped height).  The next
+  /// push_height() resumes from the survivor's post state.
+  void adopt_fork(std::size_t height, std::size_t sibling);
+
+  /// Marks every outcome from `height` on invalid ("parent block failed
+  /// commitment") — the no-survivor terminal path, matching the batch
+  /// cascade's bookkeeping.
+  void cascade_from(std::size_t height);
+
+  std::size_t height_count() const noexcept { return heights_.size(); }
+  std::size_t settled_count() const noexcept { return settled_; }
+
+  /// Post state of the deepest canonical block (the speculative tip);
+  /// genesis before any push.
+  const state::WorldState& tip() const;
+
+  std::size_t sibling_count(std::size_t height) const {
+    return heights_[height].outcomes.size();
+  }
+  std::size_t canonical(std::size_t height) const {
+    return heights_[height].canonical;
+  }
+  ValidationOutcome& outcome(std::size_t height, std::size_t sibling) {
+    return heights_[height].outcomes[sibling];
+  }
+  const ValidationOutcome& outcome(std::size_t height,
+                                   std::size_t sibling) const {
+    return heights_[height].outcomes[sibling];
+  }
+  const Hash256& block_hash(std::size_t height, std::size_t sibling) const {
+    return heights_[height].block_hashes[sibling];
+  }
+
+  /// Accumulated pipeline stats over every push/settle so far.
+  const PipelineStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct HeightRecord {
+    std::vector<ValidationOutcome> outcomes;
+    std::vector<Hash256> block_hashes;
+    std::size_t canonical = SIZE_MAX;
+    bool settled = false;
+    bool ok = false;  // canonical survived settlement
+  };
+
+  ValidatorPipeline pipeline_;
+  std::shared_ptr<const state::WorldState> base_;
+  std::vector<HeightRecord> heights_;
+  std::size_t settled_ = 0;
+  PipelineStats stats_;
+  RevokeFn on_revoke_;
 };
 
 /// Virtual-time list-scheduling model for one pipeline round: `jobs` are

@@ -263,6 +263,9 @@ ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
   }
 
   outcome.expected_state_root = block.header.state_root;
+  if (config_.seed_directory != nullptr)
+    post->adopt_block_seeds(config_.seed_directory->for_block(
+        block.header.hash()));
   if (config_.commit_pipeline != nullptr) {
     // ---- Block Commitment, asynchronous ----
     // The root computation moves onto the commit pipeline; `valid` is

@@ -46,6 +46,10 @@ struct ValidatorConfig {
   /// happens in ValidationOutcome::await_commit().  When null, the root is
   /// checked inline (original behavior).
   commit::CommitPipeline* commit_pipeline = nullptr;
+  /// When set, the post state adopts the block-hash-keyed seed set before
+  /// commitment, so sibling validators of the same block build each dirty
+  /// account's storage fold once and share it (see state::BlockSeedSet).
+  state::BlockSeedDirectory* seed_directory = nullptr;
 };
 
 struct ValidatorStats {

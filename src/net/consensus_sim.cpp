@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <queue>
+#include <span>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "support/assert.hpp"
 
@@ -18,12 +22,506 @@ evm::BlockContext ctx_for(std::uint64_t height, const Address& coinbase) {
   return ctx;
 }
 
+// ---------------------------------------------------------------------------
+// Event-driven simulation
+// ---------------------------------------------------------------------------
+
 /// One validator node: its own ledger replica, its own commit pipeline
-/// (backed by the shared commit pool), and its speculative tip — the post
-/// state of the last block it voted for, which may still have its root
-/// check in flight.
-struct ValidatorNode {
-  ValidatorNode(const state::WorldState& genesis, ThreadPool* commit_pool)
+/// (backed by the shared commit pool), and a live ChainSession whose tip is
+/// the post state of the last block it voted for — possibly with the root
+/// check still in flight.
+struct VNode {
+  std::unique_ptr<chain::Blockchain> chain;
+  std::unique_ptr<commit::CommitPipeline> commits;
+  std::unique_ptr<core::ChainSession> session;
+  std::uint64_t busy_until_us = 0;  // virtual time this node frees up
+  std::size_t revocations = 0;      // suffix heights dropped by adopt_fork
+};
+
+enum class Phase { kIdle, kProposed, kVoted, kSettled };
+
+/// The shared per-height scoreboard: which attempt is live, what each
+/// validator has received and voted, and the report being assembled.
+struct HeightSim {
+  Phase phase = Phase::kIdle;
+  std::size_t attempt = 0;        // bumped on revocation; stales old events
+  std::uint64_t ready_us = 0;     // when the height first became proposable
+  std::uint64_t propose_start_us = 0;
+  std::uint64_t vote_done_us = 0;
+  Hash256 vote_hash;
+  std::size_t votes_cast = 0;
+  std::vector<Hash256> node_vote;                      // per validator
+  std::vector<std::vector<core::BlockBundle>> inbox;   // per validator
+  std::vector<std::uint64_t> last_arrival;             // per validator
+  std::uint64_t commit_cost_us = 0;
+  RoundReport report;
+};
+
+// Event kinds double as same-time priorities: settlement outcomes must be
+// visible before arrivals/votes at the same instant, and proposals go last
+// so they build on everything that settled "now".
+constexpr int kEvSettle = 0;
+constexpr int kEvArrival = 1;
+constexpr int kEvVote = 2;
+constexpr int kEvPropose = 3;
+
+struct Ev {
+  std::uint64_t t = 0;
+  int kind = kEvPropose;
+  std::size_t node = 0;     // validator index for arrivals/votes
+  std::uint64_t height = 0;
+  std::size_t attempt = 0;  // matched against HeightSim::attempt
+  std::uint64_t seq = 0;    // creation order, final determinism tiebreak
+  std::size_t payload = SIZE_MAX;  // arrival arena index
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.node != b.node) return a.node > b.node;
+    return a.seq > b.seq;
+  }
+};
+
+struct ArrivalPayload {
+  std::size_t validator = 0;
+  core::BlockBundle bundle;
+};
+
+class EventDriver {
+ public:
+  explicit EventDriver(const ConsensusSimConfig& config)
+      : config_(config),
+        P_(config.proposer_nodes),
+        V_(config.validator_nodes),
+        ppr_(config.proposers_per_round),
+        gen_(config.workload),
+        genesis_(gen_.genesis()),
+        network_(P_ + V_, config.link),
+        workers_(4) {
+    if (config_.commit_threads > 0)
+      commit_pool_ = std::make_unique<ThreadPool>(config_.commit_threads);
+    proposer_commits_ =
+        std::make_unique<commit::CommitPipeline>(commit_pool_.get());
+
+    pcfg_.threads = config_.proposer_threads;
+    pcfg_.commit_pipeline = proposer_commits_.get();
+
+    nodes_.reserve(V_);
+    for (std::size_t v = 0; v < V_; ++v) {
+      auto node = std::make_unique<VNode>();
+      node->chain = std::make_unique<chain::Blockchain>(genesis_);
+      node->commits =
+          std::make_unique<commit::CommitPipeline>(commit_pool_.get());
+      core::PipelineConfig plcfg;
+      plcfg.workers = config_.validator_workers;
+      plcfg.commit_pipeline = node->commits.get();
+      if (config_.share_block_seeds) plcfg.seed_directory = &seed_dir_;
+      node->session = std::make_unique<core::ChainSession>(plcfg, genesis_);
+      VNode* raw = node.get();
+      node->session->set_revocation_callback(
+          [raw](std::size_t) { ++raw->revocations; });
+      nodes_.push_back(std::move(node));
+    }
+
+    canon_hash_ = nodes_[0]->chain->genesis_hash();
+    hs_.resize(config_.rounds + 1);
+    for (std::uint64_t h = 1; h <= config_.rounds; ++h)
+      hs_[h].report.height = h;
+  }
+
+  ConsensusSimResult run() {
+    try_schedule_propose(1, 0);
+    while (!queue_.empty() && !violated_) {
+      Ev ev = queue_.top();
+      queue_.pop();
+      switch (ev.kind) {
+        case kEvPropose: handle_propose(ev); break;
+        case kEvArrival: handle_arrival(ev); break;
+        case kEvVote: handle_vote(ev); break;
+        case kEvSettle: handle_settle(ev); break;
+      }
+    }
+
+    for (std::uint64_t h = 1; h <= config_.rounds; ++h)
+      result_.rounds.push_back(hs_[h].report);
+    result_.bytes_gossiped = network_.bytes_sent();
+    if (config_.share_block_seeds) {
+      const state::BlockSeedDirectory::Stats s = seed_dir_.stats();
+      result_.seeds_built = s.seeds_built;
+      result_.seeds_adopted = s.seeds_adopted;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void fail(std::string why) {
+    result_.safety_held = false;
+    result_.violation = std::move(why);
+    violated_ = true;
+  }
+
+  void push_ev(Ev ev) {
+    ev.seq = seq_++;
+    queue_.push(ev);
+  }
+
+  /// Requests a proposal for `height` no earlier than `ready_us`; parks it
+  /// when the speculation window is full (at most one height can ever be
+  /// parked — proposals are requested strictly in height order).
+  void try_schedule_propose(std::uint64_t height, std::uint64_t ready_us) {
+    if (dead_ || height > config_.rounds) return;
+    HeightSim& h = hs_[height];
+    if (h.phase != Phase::kIdle) return;
+    h.ready_us = ready_us;
+    if (height > last_settled_ + config_.speculation_depth + 1) {
+      parked_height_ = height;
+      parked_ready_us_ = ready_us;
+      return;
+    }
+    push_ev({ready_us, kEvPropose, 0, height, h.attempt, 0, SIZE_MAX});
+  }
+
+  void handle_propose(const Ev& ev) {
+    HeightSim& h = hs_[ev.height];
+    if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kIdle) return;
+    result_.makespan_us = std::max(result_.makespan_us, ev.t);
+    h.phase = Phase::kProposed;
+    h.propose_start_us = ev.t;
+    h.report = RoundReport{};
+    h.report.height = ev.height;
+    h.report.siblings = ppr_;
+    h.node_vote.assign(V_, Hash256{});
+    h.inbox.assign(V_, {});
+    h.last_arrival.assign(V_, 0);
+    h.votes_cast = 0;
+    h.vote_hash = Hash256{};
+    if (h.attempt > 0) result_.reproposed_blocks += ppr_;
+
+    const std::size_t byz = std::min(config_.byzantine_proposers, ppr_);
+    for (std::size_t k = 0; k < ppr_; ++k) {
+      const NodeId proposer_id = (ev.height * ppr_ + k) % P_;
+      txpool::TxPool pool;
+      pool.add_all(gen_.next_block());
+      core::OccWsiProposer proposer(pcfg_);
+      core::ProposedBlock blk = proposer.propose(
+          nodes_[0]->session->tip(),
+          ctx_for(ev.height, Address::from_id(0xFEE000 + proposer_id)), pool,
+          workers_);
+      blk.block.header.parent_hash = canon_hash_;
+      blk.await_seal();
+      if (ev.height == config_.byzantine_height && h.attempt == 0 &&
+          k < byz) {
+        // Byzantine leader: gossip a block whose sealed root lies.
+        // Execution still replays cleanly, so the lie survives until the
+        // validators' commitments settle.
+        blk.block.header.state_root.bytes[0] ^= 0xA5;
+      }
+      const std::uint64_t bcast_us =
+          ev.t + blk.stats.vtime_makespan / ConsensusSim::kGasPerUs;
+      chain::BlockAnnouncement ann;
+      ann.block = std::move(blk.block);
+      ann.profile = std::move(blk.profile);
+      network_.broadcast(proposer_id, bcast_us,
+                         chain::encode_announcement(ann));
+    }
+
+    // Expand the gossip into per-validator arrival events immediately —
+    // SimNetwork already resolved every delivery time deterministically.
+    while (auto msg = network_.next_delivery()) {
+      if (msg->to < P_) continue;  // proposers ignore sibling gossip
+      chain::BlockAnnouncement ann =
+          chain::decode_announcement(std::span(msg->payload));
+      arena_.push_back(
+          {msg->to - P_, {std::move(ann.block), std::move(ann.profile)}});
+      push_ev({msg->deliver_time_us, kEvArrival, msg->to - P_, ev.height,
+               h.attempt, 0, arena_.size() - 1});
+    }
+  }
+
+  void handle_arrival(const Ev& ev) {
+    HeightSim& h = hs_[ev.height];
+    if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kProposed)
+      return;
+    result_.makespan_us = std::max(result_.makespan_us, ev.t);
+    const std::size_t v = ev.node;
+    h.inbox[v].push_back(std::move(arena_[ev.payload].bundle));
+    h.last_arrival[v] = std::max(h.last_arrival[v], ev.t);
+    if (h.inbox[v].size() < h.report.siblings) return;
+
+    // Every sibling announcement is in: validate the height speculatively
+    // (root checks stay pending on the node's commit pipeline) and vote.
+    VNode& node = *nodes_[v];
+    const std::uint64_t vt_before = node.session->stats().vtime_makespan;
+    const std::size_t first_valid = node.session->push_height(
+        std::span(h.inbox[v].data(), h.inbox[v].size()), workers_);
+    const std::uint64_t mk =
+        node.session->stats().vtime_makespan - vt_before;
+    const std::size_t idx = ev.height - 1;  // session height index
+
+    // The vote is the smallest block hash among execution-valid siblings —
+    // arrival-order independent, so jittered delivery cannot split honest
+    // nodes.
+    std::size_t vote_idx = SIZE_MAX;
+    for (std::size_t i = 0; i < h.inbox[v].size(); ++i) {
+      if (!node.session->outcome(idx, i).valid) continue;
+      if (vote_idx == SIZE_MAX ||
+          node.session->block_hash(idx, i) <
+              node.session->block_hash(idx, vote_idx))
+        vote_idx = i;
+    }
+    if (vote_idx != SIZE_MAX) {
+      h.node_vote[v] = node.session->block_hash(idx, vote_idx);
+      if (vote_idx != first_valid) node.session->choose(idx, vote_idx);
+      const auto& voted = node.session->outcome(idx, vote_idx);
+      if (voted.commit.valid() && !voted.commit.ready())
+        ++h.report.speculative_votes;
+    }
+
+    const std::uint64_t done =
+        std::max(node.busy_until_us, h.last_arrival[v]) +
+        mk / ConsensusSim::kGasPerUs;
+    node.busy_until_us = done;
+    push_ev({done, kEvVote, v, ev.height, h.attempt, 0, SIZE_MAX});
+  }
+
+  void handle_vote(const Ev& ev) {
+    HeightSim& h = hs_[ev.height];
+    if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kProposed)
+      return;
+    result_.makespan_us = std::max(result_.makespan_us, ev.t);
+    if (++h.votes_cast < V_) return;
+
+    // ---- consensus: provisional votes must be unanimous ----
+    const Hash256 first = h.node_vote[0];
+    for (const Hash256& vote : h.node_vote) {
+      if (vote.is_zero()) {
+        fail("no valid block at height " + std::to_string(ev.height));
+        return;
+      }
+      if (!(vote == first)) {
+        fail("validators voted for different blocks at height " +
+             std::to_string(ev.height));
+        return;
+      }
+    }
+    h.phase = Phase::kVoted;
+    h.vote_done_us = ev.t;
+    h.vote_hash = first;
+    canon_hash_ = first;
+    h.report.round_latency_us = ev.t - h.propose_start_us;
+    result_.speculative_votes += h.report.speculative_votes;
+
+    // Virtual commitment: every sibling root must fold before the height
+    // can settle.  Commitment work of distinct heights overlaps on the
+    // commit pool, so each height's cost is charged from its own vote;
+    // settle events still fire in height order (the pipeline is FIFO).
+    std::uint64_t gas = 0;
+    for (const core::BlockBundle& b : h.inbox[0])
+      gas += b.block.header.gas_used;
+    h.commit_cost_us =
+        config_.commit_threads > 0
+            ? gas / std::max<std::uint64_t>(1, config_.commit_gas_per_us)
+            : 0;
+    const std::uint64_t settle_at =
+        std::max(ev.t + h.commit_cost_us, last_settle_sched_us_);
+    last_settle_sched_us_ = settle_at;
+    push_ev({settle_at, kEvSettle, 0, ev.height, h.attempt, 0, SIZE_MAX});
+
+    try_schedule_propose(ev.height + 1, ev.t);
+  }
+
+  void handle_settle(const Ev& ev) {
+    HeightSim& h = hs_[ev.height];
+    if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kVoted) return;
+    result_.makespan_us = std::max(result_.makespan_us, ev.t);
+    const std::size_t idx = ev.height - 1;
+
+    bool ok0 = false;
+    for (std::size_t v = 0; v < V_; ++v) {
+      const bool ok = nodes_[v]->session->settle_next();
+      if (v == 0) {
+        ok0 = ok;
+      } else if (ok != ok0) {
+        fail("validators disagree on settlement at height " +
+             std::to_string(ev.height));
+        return;
+      }
+    }
+    if (ok0) {
+      finalize_height(h, idx, ev.t);
+      if (violated_) return;
+      last_settled_ = ev.height;
+      unpark(ev.t);
+      return;
+    }
+
+    // ---- the voted block failed its root check: revoke and fork ----
+    result_.revoked_votes += V_;
+    std::vector<std::size_t> survivor(V_, SIZE_MAX);
+    survivor[0] = nodes_[0]->session->fork_choice(idx);
+    const bool any = survivor[0] != SIZE_MAX;
+    const Hash256 surv_hash =
+        any ? nodes_[0]->session->block_hash(idx, survivor[0]) : Hash256{};
+    for (std::size_t v = 1; v < V_; ++v) {
+      survivor[v] = nodes_[v]->session->fork_choice(idx);
+      const bool mine = survivor[v] != SIZE_MAX;
+      if (mine != any ||
+          (mine &&
+           !(nodes_[v]->session->block_hash(idx, survivor[v]) == surv_hash))) {
+        fail("validators disagree on fork choice at height " +
+             std::to_string(ev.height));
+        return;
+      }
+    }
+
+    if (!any) {
+      // No sibling survived: the chain dies here (the batch cascade).
+      dead_ = true;
+      for (std::size_t v = 0; v < V_; ++v)
+        nodes_[v]->session->cascade_from(idx);
+      for (std::uint64_t hh = ev.height + 1; hh <= config_.rounds; ++hh)
+        if (hs_[hh].phase == Phase::kVoted) result_.revoked_votes += V_;
+      return;
+    }
+
+    // Revoke the speculative suffix built on the loser: stale every
+    // in-flight event via the attempt counter, retract its votes, and
+    // return each height to kIdle for re-proposal on the survivor.
+    ++result_.fork_choices;
+    for (std::uint64_t hh = ev.height + 1; hh <= config_.rounds; ++hh) {
+      HeightSim& s = hs_[hh];
+      if (s.phase == Phase::kIdle) continue;
+      if (s.phase == Phase::kVoted) result_.revoked_votes += V_;
+      ++s.attempt;
+      s.phase = Phase::kIdle;
+      s.inbox.clear();
+      s.node_vote.clear();
+      s.last_arrival.clear();
+      s.votes_cast = 0;
+      s.report = RoundReport{};
+      s.report.height = hh;
+    }
+    parked_height_ = 0;
+    for (std::size_t v = 0; v < V_; ++v)
+      nodes_[v]->session->adopt_fork(idx, survivor[v]);
+
+    // The survivor's root already settled clean: the height finalizes on
+    // it and the live loop resumes from its state.
+    finalize_height(h, idx, ev.t);
+    if (violated_) return;
+    canon_hash_ = surv_hash;
+    h.vote_hash = surv_hash;
+    last_settled_ = ev.height;
+    last_settle_sched_us_ = ev.t;
+    try_schedule_propose(ev.height + 1, ev.t);
+  }
+
+  /// Shared settle-success tail: replica root agreement, canonical-first
+  /// ledger commits on every node, and the round report.  The canonical
+  /// sibling is whatever each session currently points at (the vote, or
+  /// the fork-choice survivor after adopt_fork()).
+  void finalize_height(HeightSim& h, std::size_t idx, std::uint64_t t) {
+    const std::size_t c0 = nodes_[0]->session->canonical(idx);
+    const Hash256 root0 =
+        nodes_[0]->session->outcome(idx, c0).exec.state_root;
+    for (std::size_t v = 0; v < V_; ++v) {
+      VNode& node = *nodes_[v];
+      const std::size_t c = node.session->canonical(idx);
+      const auto& co = node.session->outcome(idx, c);
+      if (!(co.exec.state_root == root0)) {
+        fail("replica state divergence at height " +
+             std::to_string(h.report.height));
+        return;
+      }
+      // Canonical first so every replica's head extends identically; the
+      // remaining valid siblings land as side-chain uncles.
+      node.chain->commit_block(h.inbox[v][c].block, co.exec.post_state);
+      std::size_t valid = 1;
+      for (std::size_t i = 0; i < h.inbox[v].size(); ++i) {
+        if (i == c || !node.session->outcome(idx, i).valid) continue;
+        ++valid;
+        node.chain->commit_block(h.inbox[v][i].block,
+                                 node.session->outcome(idx, i).exec.post_state);
+      }
+      if (v == 0) {
+        h.report.valid_siblings = valid;
+        h.report.uncles = valid - 1;
+        h.report.txs = h.inbox[v][c].block.transactions.size();
+      }
+    }
+    h.phase = Phase::kSettled;
+    h.report.settled = true;
+    h.report.canonical_root = root0;
+    h.report.settle_latency_us = t - h.ready_us;
+    result_.settled_height = h.report.height;
+    result_.total_txs += h.report.txs;
+    result_.total_uncles += h.report.uncles;
+  }
+
+  /// Releases the parked proposal once the speculation window has room;
+  /// the time it sat parked is the settle stall speculation failed to hide.
+  void unpark(std::uint64_t now_us) {
+    if (parked_height_ == 0 ||
+        parked_height_ > last_settled_ + config_.speculation_depth + 1)
+      return;
+    const std::uint64_t at = std::max(now_us, parked_ready_us_);
+    result_.settle_stall_us += at - parked_ready_us_;
+    push_ev({at, kEvPropose, 0, parked_height_,
+             hs_[parked_height_].attempt, 0, SIZE_MAX});
+    parked_height_ = 0;
+  }
+
+  const ConsensusSimConfig& config_;
+  const std::size_t P_;
+  const std::size_t V_;
+  const std::size_t ppr_;
+  workload::WorkloadGenerator gen_;
+  const state::WorldState genesis_;
+  SimNetwork network_;
+  ThreadPool workers_;
+  std::unique_ptr<ThreadPool> commit_pool_;
+  std::unique_ptr<commit::CommitPipeline> proposer_commits_;
+  state::BlockSeedDirectory seed_dir_;
+  core::ProposerConfig pcfg_;
+  std::vector<std::unique_ptr<VNode>> nodes_;
+  std::vector<HeightSim> hs_;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  std::vector<ArrivalPayload> arena_;
+  std::uint64_t seq_ = 0;
+  Hash256 canon_hash_;
+  std::uint64_t last_settled_ = 0;
+  std::uint64_t last_settle_sched_us_ = 0;
+  std::uint64_t parked_height_ = 0;  // 0 = nothing parked
+  std::uint64_t parked_ready_us_ = 0;
+  bool dead_ = false;
+  bool violated_ = false;
+  ConsensusSimResult result_;
+};
+
+/// One validator's view of one round in the batch reference, parked until
+/// the settle pass.
+struct PendingValidation {
+  std::vector<core::BlockBundle> bundles;         // this node's arrival order
+  std::vector<core::ValidationOutcome> outcomes;  // parallel to bundles
+  Hash256 vote;                // provisional vote (zero = no valid sibling)
+  std::size_t vote_idx = SIZE_MAX;
+};
+
+struct PendingRound {
+  RoundReport report;
+  Hash256 canonical_hash;
+  std::uint64_t ready_us = 0;     // round start (previous vote)
+  std::uint64_t vote_end_us = 0;  // slowest validator's vote
+  std::uint64_t commit_cost_us = 0;
+  std::vector<PendingValidation> per_validator;
+};
+
+/// Batch-reference validator node (no ChainSession: the round driver owns
+/// the chain view).
+struct BatchValidatorNode {
+  BatchValidatorNode(const state::WorldState& genesis, ThreadPool* commit_pool)
       : chain(genesis), commits(commit_pool) {
     tip = chain.head_state();
   }
@@ -34,20 +532,6 @@ struct ValidatorNode {
   std::uint64_t busy_until_us = 0;  // virtual time this node frees up
 };
 
-/// One validator's view of one round, parked until the settle pass.
-struct PendingValidation {
-  std::vector<core::BlockBundle> bundles;        // this node's arrival order
-  std::vector<core::ValidationOutcome> outcomes;  // parallel to bundles
-  Hash256 vote;                // provisional vote (zero = no valid sibling)
-  std::size_t vote_idx = SIZE_MAX;
-};
-
-struct PendingRound {
-  RoundReport report;
-  Hash256 canonical_hash;
-  std::vector<PendingValidation> per_validator;
-};
-
 }  // namespace
 
 ConsensusSim::ConsensusSim(ConsensusSimConfig config)
@@ -56,9 +540,15 @@ ConsensusSim::ConsensusSim(ConsensusSimConfig config)
   BP_ASSERT(config_.validator_nodes >= 1);
   BP_ASSERT(config_.proposers_per_round >= 1);
   BP_ASSERT(config_.proposers_per_round <= config_.proposer_nodes);
+  BP_ASSERT(config_.rounds >= 1);
 }
 
 ConsensusSimResult ConsensusSim::run() {
+  EventDriver driver(config_);
+  return driver.run();
+}
+
+ConsensusSimResult ConsensusSim::run_batch_reference() {
   ConsensusSimResult result;
   workload::WorkloadGenerator gen(config_.workload);
   const state::WorldState genesis = gen.genesis();
@@ -74,11 +564,11 @@ ConsensusSimResult ConsensusSim::run() {
     commit_pool = std::make_unique<ThreadPool>(config_.commit_threads);
   commit::CommitPipeline proposer_commits(commit_pool.get());
 
-  std::vector<std::unique_ptr<ValidatorNode>> validators;
+  std::vector<std::unique_ptr<BatchValidatorNode>> validators;
   validators.reserve(V);
   for (std::size_t v = 0; v < V; ++v)
     validators.push_back(
-        std::make_unique<ValidatorNode>(genesis, commit_pool.get()));
+        std::make_unique<BatchValidatorNode>(genesis, commit_pool.get()));
 
   core::ProposerConfig pcfg;
   pcfg.threads = config_.proposer_threads;
@@ -95,11 +585,14 @@ ConsensusSimResult ConsensusSim::run() {
     PendingRound pr;
     RoundReport& report = pr.report;
     report.height = height;
+    pr.ready_us = clock_us;
 
     // ---- propose: round-robin leader set over the proposer nodes ----
     // Sealing is routed through the proposer commit pipeline; await_seal()
     // closes the future before broadcast (an unsealed root cannot gossip).
     std::uint64_t propose_end_us = clock_us;
+    const std::size_t byz =
+        std::min(config_.byzantine_proposers, config_.proposers_per_round);
     for (std::size_t k = 0; k < config_.proposers_per_round; ++k) {
       const NodeId proposer_id =
           (height * config_.proposers_per_round + k) % P;
@@ -112,12 +605,17 @@ ConsensusSimResult ConsensusSim::run() {
           workers);
       blk.block.header.parent_hash = canonical_head_hash;
       blk.await_seal();
-      if (height == config_.byzantine_height) {
+      if (height == config_.byzantine_height && k < byz) {
         // Byzantine proposer set: gossip a block whose sealed root lies.
         // Execution still replays cleanly, so the lie survives until the
         // validators' commitments settle.
         blk.block.header.state_root.bytes[0] ^= 0xA5;
       }
+      pr.commit_cost_us +=
+          config_.commit_threads > 0
+              ? blk.block.header.gas_used /
+                    std::max<std::uint64_t>(1, config_.commit_gas_per_us)
+              : 0;
       propose_end_us = std::max(
           propose_end_us, clock_us + blk.stats.vtime_makespan / kGasPerUs);
 
@@ -208,6 +706,7 @@ ConsensusSimResult ConsensusSim::run() {
                           .exec.post_state;
     canonical_head_hash = pr.canonical_hash;
     report.round_latency_us = round_end_us - clock_us;
+    pr.vote_end_us = round_end_us;
     clock_us = round_end_us;
     pending.push_back(std::move(pr));
   }
@@ -216,7 +715,12 @@ ConsensusSimResult ConsensusSim::run() {
   // A root mismatch on a round's canonical block revokes that round's votes
   // and cascades to every descendant round — their executions consumed a
   // state that was never committed — truncating the settled chain there.
+  // Virtual settle time: commitments run from each round's vote on the
+  // commit pool, but the post-hoc pass only observes them after the last
+  // round, in height order — the baseline the live loop's interleaved
+  // settlement beats.
   bool chain_ok = true;
+  std::uint64_t settle_clock_us = clock_us;
   for (PendingRound& pr : pending) {
     RoundReport& report = pr.report;
 
@@ -235,6 +739,8 @@ ConsensusSimResult ConsensusSim::run() {
       continue;
     }
 
+    settle_clock_us =
+        std::max(settle_clock_us, pr.vote_end_us + pr.commit_cost_us);
     std::size_t revoked = 0;
     for (PendingValidation& pv : pr.per_validator) {
       for (core::ValidationOutcome& o : pv.outcomes) o.await_commit();
@@ -283,12 +789,15 @@ ConsensusSimResult ConsensusSim::run() {
     report.canonical_root = root0;
     report.valid_siblings = valid;
     report.uncles = valid > 0 ? valid - 1 : 0;
+    report.settle_latency_us = settle_clock_us - pr.ready_us;
     result.settled_height = report.height;
     result.total_txs += report.txs;
     result.total_uncles += report.uncles;
     result.rounds.push_back(report);
   }
 
+  result.makespan_us = std::max(clock_us, settle_clock_us);
+  result.settle_stall_us = result.makespan_us - clock_us;
   result.bytes_gossiped = network.bytes_sent();
   return result;
 }

@@ -1,39 +1,48 @@
-// ConsensusSim: a round-based proposer/validator network simulation —
+// ConsensusSim: an event-driven proposer/validator network simulation —
 // the full DiCE loop (Dissemination, Consensus, Execution) of §3.2 with
 // BlockPilot engines inside every node, routed end to end through the
 // asynchronous commitment subsystem.
 //
-// Per round (block height):
-//  1. `proposers_per_round` proposer nodes each draw a pending batch and
-//     produce a block with the parallel OCC-WSI engine (forks when > 1);
-//     header sealing awaits the proposer-side CommitPipeline future before
-//     the block is broadcast (a block cannot gossip an unsealed root);
-//  2. each announcement (block + profile, RLP-encoded) is broadcast over
-//     the simulated gossip network;
-//  3. every validator node receives all sibling announcements, decodes
-//     them, and validates them *speculatively* through its pipeline: the
-//     root check stays pending on the validator's CommitPipeline while the
-//     next round already executes on top of the chosen tip;
-//  4. validators cast a provisional vote for the first execution-valid
-//     sibling (by arrival order); the vote is over a speculative tip — it
-//     asserts "this block re-executed cleanly", not yet "its root matched";
-//  5. all nodes advance their speculative tip to the voted block's post
-//     state and the next round begins without waiting for any root.
+// Each validator node is a live event-driven replica rather than a step in
+// a round-batch driver: it owns a chain view (core::ChainSession), reacts
+// to block arrivals as they are delivered by the gossip network, validates
+// speculatively (root checks pending on its CommitPipeline), votes for the
+// smallest block hash among execution-valid siblings, and keeps executing
+// ahead of settlement — but never more than `speculation_depth` unsettled
+// heights ahead (proposing parks until the oldest height settles; the
+// parked time is the settle stall the overlap failed to hide).
 //
-// After the last round a settle pass walks the heights in order, awaits
-// every pending commitment, and finalizes votes: a late root mismatch on a
-// round's canonical block revokes that round's votes and cascades the
-// revocation to every descendant round (their executions consumed a state
-// that was never committed), truncating the settled chain — the §5.2
-// overlap window closing at the ledger.  Blocks are committed to the node
-// ledgers only as their rounds settle.
+// Settlement is interleaved with the live loop instead of deferred to a
+// post-hoc pass: each voted height schedules a virtual settle event at
+// vote time + its commitment cost (serialized in height order).  When a
+// settlement reveals a root mismatch on the voted block, the votes at that
+// height are revoked and the nodes run *fork-choice* among the surviving
+// siblings — those whose settled root matched their own header — adopting
+// the survivor with the smallest block hash, truncating the speculative
+// suffix built on the loser, and re-proposing from the survivor's state.
+// Only when no sibling survives does the chain die (the old cascade),
+// which is exactly what happens when every proposer at a height was
+// Byzantine.
+//
+// The event queue orders (virtual time, kind, node, seq) with settle <
+// arrival < vote < propose at equal times, so a whole multi-node scenario
+// is bit-stable across runs and hosts; every event carries the height's
+// attempt counter so revocation makes in-flight events of the abandoned
+// suffix stale rather than racing them.
 //
 // The simulation asserts consensus safety at every height: all honest
-// validators must agree on the provisional vote, on settlement, and on the
-// canonical state root.  A Byzantine proposer (see
-// ConsensusSimConfig::byzantine_height) tampers with sealed roots; safety
-// holds as long as the honest validators *agree* on detecting and revoking
+// validators must agree on the vote, on settlement, on fork-choice, and on
+// the canonical state root.  A Byzantine proposer subset (see
+// ConsensusSimConfig::byzantine_height / byzantine_proposers) tampers with
+// sealed roots; safety holds as long as the honest validators *agree* on
+// detecting, revoking, and (when an honest sibling exists) forking around
 // it.
+//
+// run_batch_reference() retains the pre-refactor round-batch algorithm
+// (propose/gossip/vote every height, then one settle pass that cascades
+// revocation) both as the depth-0 semantic baseline — a depth-0
+// single-proposer event run settles bit-identical canonical roots — and as
+// the latency baseline the bench sweeps against.
 #pragma once
 
 #include <cstdint>
@@ -61,13 +70,34 @@ struct ConsensusSimConfig {
   std::size_t validator_workers = 16;
   /// Size of the shared commitment pool backing every node's
   /// CommitPipeline.  0 runs every pipeline inline (degraded mode: sealing
-  /// and root checks happen synchronously; votes are never speculative).
+  /// and root checks happen synchronously; votes are never speculative and
+  /// virtual settlement is instantaneous).
   std::size_t commit_threads = 2;
-  /// When nonzero, every proposer at this height broadcasts a block whose
-  /// sealed state root was tampered with — the mismatch is only discovered
-  /// when the validators' commitments settle, exercising the cascading
-  /// vote-revocation path.  0 = all-honest run.
+  /// Bounded speculation: a height may be proposed only while at most
+  /// `speculation_depth` heights past the last settled one are already in
+  /// flight.  0 degrades to lock-step (each height waits for the previous
+  /// settlement — the batch-equivalent mode); larger windows overlap more
+  /// commitment latency with execution (§5.2).
+  std::size_t speculation_depth = 8;
+  /// When nonzero, proposers at this height broadcast blocks whose sealed
+  /// state root was tampered with — the mismatch is only discovered when
+  /// the validators' commitments settle, exercising vote revocation.
+  /// 0 = all-honest run.
   std::uint64_t byzantine_height = 0;
+  /// How many of the height's leaders tamper (clamped to
+  /// proposers_per_round).  Leaving honest siblings exercises fork-choice:
+  /// the nodes revoke the voted block but adopt an honest survivor instead
+  /// of truncating.  SIZE_MAX = every leader tampers (the dead-chain
+  /// cascade).
+  std::size_t byzantine_proposers = SIZE_MAX;
+  /// Virtual commitment throughput (gas folded per microsecond) used to
+  /// model settle latency: a height's commitment costs
+  /// Σ sibling gas / commit_gas_per_us of virtual time past its vote.
+  std::uint64_t commit_gas_per_us = 45;
+  /// Publish per-account storage seeds keyed by block hash so sibling
+  /// validators of the same block share trie rebuild work (stats report
+  /// seeds_built / seeds_adopted).
+  bool share_block_seeds = true;
   workload::WorkloadConfig workload = workload::preset_mainnet();
   LinkModel link;
 };
@@ -79,30 +109,49 @@ struct RoundReport {
   std::size_t uncles = 0;
   /// Votes cast while the voted block's root check was still in flight.
   std::size_t speculative_votes = 0;
-  /// False when the round's canonical block failed settlement (its own
-  /// root mismatched, or a parent round's did and the failure cascaded).
+  /// False when the round's canonical block failed settlement and no
+  /// sibling survived fork-choice (or a parent round died and the failure
+  /// cascaded).  A round whose vote was revoked but re-anchored on a
+  /// fork-choice survivor still settles.
   bool settled = false;
   Hash256 canonical_root;  // zero when the round did not settle
   std::uint64_t txs = 0;   // canonical txs; 0 when revoked
-  /// End-to-end virtual latency: propose + gossip + slowest validator's
-  /// pipeline, in microseconds (gas converted via gas_per_us).  Measured
-  /// over the speculative round — settle latency is what the overlap
-  /// hides, so it is deliberately not part of this number.
+  /// End-to-end virtual latency of the live path: propose + gossip +
+  /// slowest validator's pipeline, in microseconds (gas converted via
+  /// kGasPerUs).
   std::uint64_t round_latency_us = 0;
+  /// Virtual time from when this height first became proposable to its
+  /// settlement — the number bounded speculation shrinks: it includes any
+  /// time the proposal sat parked behind the speculation window plus the
+  /// commitment tail the overlap could not hide.
+  std::uint64_t settle_latency_us = 0;
 };
 
 struct ConsensusSimResult {
   std::vector<RoundReport> rounds;
-  std::uint64_t total_txs = 0;       // settled rounds only
+  std::uint64_t total_txs = 0;  // settled rounds only
   std::uint64_t total_uncles = 0;
   std::uint64_t bytes_gossiped = 0;
   /// Provisional votes cast on speculative (pre-settle) tips, summed over
   /// rounds and validators.
   std::uint64_t speculative_votes = 0;
-  /// Votes revoked by the settle pass (root mismatch + cascades).
+  /// Votes revoked by settlement (root mismatch + revoked speculative
+  /// suffixes and cascades).
   std::uint64_t revoked_votes = 0;
   /// Highest height whose canonical block settled (0 = none did).
   std::uint64_t settled_height = 0;
+  /// Virtual completion time of the last settlement.
+  std::uint64_t makespan_us = 0;
+  /// Virtual time proposals spent parked behind the speculation window —
+  /// the settlement latency the configured depth failed to overlap.
+  std::uint64_t settle_stall_us = 0;
+  /// Blocks re-proposed after a fork-choice truncated their first attempt.
+  std::uint64_t reproposed_blocks = 0;
+  /// Settlement failures resolved by adopting a surviving sibling.
+  std::uint64_t fork_choices = 0;
+  /// Block-seed sharing effectiveness across sibling validators.
+  std::uint64_t seeds_built = 0;
+  std::uint64_t seeds_adopted = 0;
   bool safety_held = true;  // all validators agreed every round + at settle
   std::string violation;    // populated when safety_held == false
 
@@ -113,19 +162,41 @@ struct ConsensusSimResult {
     return static_cast<double>(sum) / static_cast<double>(rounds.size()) /
            1000.0;
   }
+
+  double avg_settle_latency_ms() const noexcept {
+    std::uint64_t sum = 0;
+    std::size_t settled = 0;
+    for (const auto& r : rounds) {
+      if (!r.settled) continue;
+      sum += r.settle_latency_us;
+      ++settled;
+    }
+    if (settled == 0) return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(settled) / 1000.0;
+  }
 };
 
 class ConsensusSim {
  public:
   explicit ConsensusSim(ConsensusSimConfig config);
 
-  /// Runs the configured number of rounds plus the settle pass and returns
-  /// the report.
+  /// Runs the event-driven simulation to quiescence (every height settled,
+  /// or the chain died, or safety was violated) and returns the report.
   ConsensusSimResult run();
+
+  /// The pre-refactor round-batch algorithm: every height is proposed,
+  /// gossiped, and voted in lock-step; one post-hoc settle pass then awaits
+  /// all pending roots in height order and cascades revocation.  Kept as
+  /// the semantic baseline (depth-0 single-proposer run() settles
+  /// bit-identical canonical roots) and as the latency baseline for the
+  /// depth sweep bench.  Never forks around a failure and never re-proposes.
+  ConsensusSimResult run_batch_reference();
 
   /// Gas-to-time conversion for latency reporting: EVM gas throughput of
   /// one core (mainnet-ish ~30 Mgas/s -> 30 gas/us).
   static constexpr std::uint64_t kGasPerUs = 30;
+
+  const ConsensusSimConfig& config() const noexcept { return config_; }
 
  private:
   ConsensusSimConfig config_;

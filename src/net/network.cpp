@@ -19,6 +19,15 @@ void SimNetwork::send(NodeId from, NodeId to, std::uint64_t send_time_us,
   msg.to = to;
   msg.send_time_us = send_time_us;
   msg.deliver_time_us = send_time_us + link_.transit_time(payload.size());
+  if (link_.jitter_us > 0) {
+    // splitmix64 step: one deterministic draw per send, so delivery order
+    // depends only on (seed, send sequence) — reproducible shuffling.
+    std::uint64_t x = (jitter_state_ += 0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    msg.deliver_time_us += x % (link_.jitter_us + 1);
+  }
   bytes_sent_ += payload.size();
   msg.payload = std::move(payload);
   queue_.push(std::move(msg));

@@ -34,6 +34,12 @@ struct LinkModel {
   std::uint64_t base_latency_us = 50'000;  // 50 ms, mainnet-ish gossip hop
   /// Serialization throughput (bytes per microsecond ~= MB/s).
   std::uint64_t bytes_per_us = 12;  // ~12 MB/s effective gossip bandwidth
+  /// Per-message delivery jitter bound: each send adds a deterministic
+  /// pseudo-random delay in [0, jitter_us] drawn from jitter_seed, so one
+  /// scenario exercises a randomized-but-reproducible delivery order (the
+  /// fork-choice fuzz shuffles arrival order this way).  0 disables jitter.
+  std::uint64_t jitter_us = 0;
+  std::uint64_t jitter_seed = 0;
 
   std::uint64_t transit_time(std::size_t payload_bytes) const noexcept {
     return base_latency_us +
@@ -46,7 +52,10 @@ struct LinkModel {
 class SimNetwork {
  public:
   explicit SimNetwork(std::size_t node_count, LinkModel link = {})
-      : node_count_(node_count), link_(link) {
+      : node_count_(node_count),
+        link_(link),
+        jitter_state_(link.jitter_seed * 0x9e3779b97f4a7c15ULL +
+                      0x2545f4914f6cdd1dULL) {
     BP_ASSERT(node_count >= 1);
   }
 
@@ -84,6 +93,7 @@ class SimNetwork {
   LinkModel link_;
   std::priority_queue<Message, std::vector<Message>, Later> queue_;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t jitter_state_;  // splitmix64 stream for delivery jitter
 };
 
 }  // namespace blockpilot::net

@@ -6,6 +6,42 @@
 
 namespace blockpilot::state {
 
+std::shared_ptr<StorageSeed> BlockSeedSet::cell_for(const Address& addr) {
+  std::scoped_lock lk(mu_);
+  auto& cell = cells_[addr];
+  if (cell == nullptr) cell = std::make_shared<StorageSeed>();
+  return cell;
+}
+
+std::size_t BlockSeedSet::size() const {
+  std::scoped_lock lk(mu_);
+  return cells_.size();
+}
+
+std::shared_ptr<BlockSeedSet> BlockSeedDirectory::for_block(
+    const Hash256& block_hash) {
+  std::scoped_lock lk(mu_);
+  auto& set = sets_[block_hash];
+  if (set == nullptr) set = std::make_shared<BlockSeedSet>();
+  return set;
+}
+
+BlockSeedDirectory::Stats BlockSeedDirectory::stats() const {
+  std::scoped_lock lk(mu_);
+  Stats s;
+  s.blocks = sets_.size();
+  for (const auto& [hash, set] : sets_) {
+    s.seeds_built += set->seeds_built.load(std::memory_order_relaxed);
+    s.seeds_adopted += set->seeds_adopted.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void BlockSeedDirectory::clear() {
+  std::scoped_lock lk(mu_);
+  sets_.clear();
+}
+
 std::string StateKey::to_string() const {
   switch (field) {
     case Field::kBalance:
@@ -198,13 +234,29 @@ struct WorldState::StorageFold {
   Kind kind = Kind::kBodyOnly;
   const AccountData* acct = nullptr;  // stable: no writes during root calls
   std::shared_ptr<StorageSeed> seed;  // kBuild: the account's cell (may be null)
+  std::shared_ptr<StorageSeed> block_cell;  // block-level cell (may be null)
   trie::SecureTrie trie;              // working persistent copy
   std::vector<U256> slots;            // kApplySlots: touched slots
   Hash256 storage_root;
   Bytes encoded;                      // account RLP, produced off-lock
   bool adopted = false;               // kBuild: served from a ready seed
-  bool published = false;             // kBuild: this computation filled it
+  bool published = false;             // this computation filled the account cell
+  bool block_adopted = false;         // served from the block cell
+  bool block_published = false;       // this computation filled the block cell
 };
+
+/// One-time fill of a seed cell (account- or block-level).  Returns whether
+/// this call published; a no-op on an already-ready cell.
+static bool publish_seed(const std::shared_ptr<StorageSeed>& cell,
+                         const trie::SecureTrie& trie, const Hash256& root) {
+  if (cell == nullptr) return false;
+  std::scoped_lock sl(cell->mu);
+  if (cell->ready.load(std::memory_order_relaxed)) return false;
+  cell->trie = trie;
+  cell->storage_root = root;
+  cell->ready.store(true, std::memory_order_release);
+  return true;
+}
 
 std::vector<WorldState::StorageFold> WorldState::collect_folds_locked() const {
   std::vector<StorageFold> folds;
@@ -234,6 +286,11 @@ std::vector<WorldState::StorageFold> WorldState::collect_folds_locked() const {
       f.kind = StorageFold::Kind::kBodyOnly;
       f.storage_root = cc.storage_root;
     }
+    // Block-level sharing: folds that would hash (build or apply) rendezvous
+    // with sibling replicas of the same block through a per-account cell.
+    if (block_seeds_ != nullptr && (f.kind == StorageFold::Kind::kBuild ||
+                                    f.kind == StorageFold::Kind::kApplySlots))
+      f.block_cell = block_seeds_->cell_for(addr);
     folds.push_back(std::move(f));
   }
   return folds;
@@ -252,27 +309,40 @@ void WorldState::hash_folds_unlocked(std::vector<StorageFold>& folds) const {
           f.trie = f.seed->trie;
           f.storage_root = f.seed->storage_root;
           f.adopted = true;
-          break;
-        }
-        for (const auto& [slot, value] : f.acct->storage) {
-          if (value.is_zero()) continue;
-          const auto key = slot.to_be_bytes();
-          const auto encoded = rlp::encode(value);
-          f.trie.put(std::span(key), std::span(encoded));
-        }
-        f.storage_root = f.trie.root_hash();
-        if (f.seed != nullptr) {
-          std::scoped_lock sl(f.seed->mu);
-          if (!f.seed->ready.load(std::memory_order_relaxed)) {
-            f.seed->trie = f.trie;
-            f.seed->storage_root = f.storage_root;
-            f.seed->ready.store(true, std::memory_order_release);
-            f.published = true;
+        } else if (f.block_cell != nullptr &&
+                   f.block_cell->ready.load(std::memory_order_acquire)) {
+          // A sibling replica of the same block already built this account's
+          // post-block trie (deterministic replay guarantees content
+          // identity): adopt it in O(1).
+          f.trie = f.block_cell->trie;
+          f.storage_root = f.block_cell->storage_root;
+          f.adopted = true;
+          f.block_adopted = true;
+        } else {
+          for (const auto& [slot, value] : f.acct->storage) {
+            if (value.is_zero()) continue;
+            const auto key = slot.to_be_bytes();
+            const auto encoded = rlp::encode(value);
+            f.trie.put(std::span(key), std::span(encoded));
           }
+          f.storage_root = f.trie.root_hash();
         }
+        // Cross-publish so whichever cell is still empty serves the next
+        // replica (an already-ready cell makes publish_seed a no-op).
+        f.published = publish_seed(f.seed, f.trie, f.storage_root);
+        f.block_published = publish_seed(f.block_cell, f.trie, f.storage_root);
         break;
       }
       case StorageFold::Kind::kApplySlots: {
+        if (f.block_cell != nullptr &&
+            f.block_cell->ready.load(std::memory_order_acquire)) {
+          // Sibling replica already holds the post-block trie; identical
+          // final slot maps make adoption equivalent to re-applying.
+          f.trie = f.block_cell->trie;
+          f.storage_root = f.block_cell->storage_root;
+          f.block_adopted = true;
+          break;
+        }
         // Only the touched slots; untouched subtrees keep their memoized
         // hashes inside the persistent trie.
         for (const U256& slot : f.slots) {
@@ -286,6 +356,7 @@ void WorldState::hash_folds_unlocked(std::vector<StorageFold>& folds) const {
           }
         }
         f.storage_root = f.trie.root_hash();
+        f.block_published = publish_seed(f.block_cell, f.trie, f.storage_root);
         break;
       }
       case StorageFold::Kind::kBodyOnly:
@@ -318,16 +389,27 @@ trie::SecureTrie WorldState::install_folds_locked(
       case StorageFold::Kind::kApplySlots:
         cc.storage_trie = std::move(f.trie);
         cc.storage_root = f.storage_root;
-        stats_.slots_resynced += f.slots.size();
+        if (f.block_adopted)
+          ++stats_.seeds_adopted;
+        else
+          stats_.slots_resynced += f.slots.size();
         break;
       case StorageFold::Kind::kBodyOnly:
       case StorageFold::Kind::kPrune:
         break;
     }
+    if (f.block_published) ++stats_.seeds_built;
+    if (block_seeds_ != nullptr) {
+      if (f.block_adopted)
+        block_seeds_->seeds_adopted.fetch_add(1, std::memory_order_relaxed);
+      if (f.block_published)
+        block_seeds_->seeds_built.fetch_add(1, std::memory_order_relaxed);
+    }
     account_trie_.put(std::span(f.addr.bytes), std::span(f.encoded));
   }
   dirty_.clear();
   root_valid_ = false;
+  block_seeds_ = nullptr;  // one-shot: consumed by this computation
   return account_trie_;  // persistent snapshot: shares nodes, O(1)
 }
 
@@ -400,6 +482,11 @@ Hash256 WorldState::state_root_full_rebuild() const {
 CommitStats WorldState::commit_stats() const {
   std::scoped_lock lk(commit_mu_);
   return stats_;
+}
+
+void WorldState::adopt_block_seeds(std::shared_ptr<BlockSeedSet> seeds) {
+  std::scoped_lock lk(commit_mu_);
+  block_seeds_ = std::move(seeds);
 }
 
 }  // namespace blockpilot::state

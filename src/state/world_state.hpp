@@ -62,6 +62,53 @@ struct StorageSeed {
   Hash256 storage_root;
 };
 
+/// Block-level seed set: one StorageSeed cell per account touched by a
+/// specific block.  Sibling validator replicas re-executing the *same* block
+/// on the *same* parent state produce bit-identical post-block slot maps
+/// (deterministic replay — the invariant consensus itself asserts), so the
+/// first replica to commit publishes every dirty account's storage trie
+/// through its cell and every later replica adopts the whole fold set in
+/// O(1) per account instead of re-hashing it.  Unlike the per-account
+/// lineage cells, these are keyed by content *by contract*: callers must
+/// only share a set between states executing the identical block.
+class BlockSeedSet {
+ public:
+  /// The cell for one account, created on first request.
+  std::shared_ptr<StorageSeed> cell_for(const Address& addr);
+
+  std::size_t size() const;
+
+  /// Fold-set sharing counters (fed by WorldState::state_root()).
+  std::atomic<std::uint64_t> seeds_built{0};
+  std::atomic<std::uint64_t> seeds_adopted{0};
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Address, std::shared_ptr<StorageSeed>> cells_;
+};
+
+/// Registry of BlockSeedSets keyed by block hash, shared by every validator
+/// replica of one simulated network (or one process).  for_block() is the
+/// rendezvous: all replicas validating block B receive the same set.
+class BlockSeedDirectory {
+ public:
+  std::shared_ptr<BlockSeedSet> for_block(const Hash256& block_hash);
+
+  struct Stats {
+    std::size_t blocks = 0;           // distinct blocks seen
+    std::uint64_t seeds_built = 0;    // folds built + published
+    std::uint64_t seeds_adopted = 0;  // folds served from a sibling replica
+  };
+  Stats stats() const;
+
+  /// Drops every set (e.g. between simulation runs).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Hash256, std::shared_ptr<BlockSeedSet>> sets_;
+};
+
 /// Mutable per-account record.  An account is part of the state commitment
 /// iff it is non-empty (nonzero nonce, balance, code, or storage) — empty
 /// accounts are pruned from the trie like post-EIP-161 Ethereum.
@@ -145,6 +192,16 @@ class WorldState {
   /// copies start from the source's counters).
   CommitStats commit_stats() const;
 
+  /// Arms block-level fold sharing for the *next* state_root() computation:
+  /// every dirty account's storage fold is adopted from `seeds` when a
+  /// sibling replica already published it, and published through `seeds`
+  /// otherwise.  One-shot — the set is dropped once that root completes.
+  /// Caller contract: this state must be the post state of exactly the
+  /// block `seeds` is keyed by (deterministic replay makes the slot maps
+  /// bit-identical across replicas; sharing between different blocks would
+  /// commit wrong roots).
+  void adopt_block_seeds(std::shared_ptr<BlockSeedSet> seeds);
+
   const std::unordered_map<Address, AccountData>& accounts() const noexcept {
     return accounts_;
   }
@@ -194,6 +251,9 @@ class WorldState {
   mutable Hash256 root_memo_;
   mutable bool root_valid_ = false;
   mutable CommitStats stats_;
+  /// One-shot block-level fold sharing (see adopt_block_seeds).  Not carried
+  /// across copies: the copy is no longer the submitted post state.
+  mutable std::shared_ptr<BlockSeedSet> block_seeds_;
 };
 
 /// Computes the storage-trie root of a slot map (shared by WorldState and

@@ -1,5 +1,6 @@
 #include "trie/node_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/keccak.hpp"
@@ -8,6 +9,48 @@ namespace blockpilot::trie {
 
 NodeCache::NodeCache(std::size_t capacity_bytes)
     : shard_capacity_((capacity_bytes + kShards - 1) / kShards) {}
+
+namespace {
+
+// splitmix64 finalizer: derives the sketch's 4 counter indexes from one
+// fingerprint without storing 4 hashes.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void NodeCache::FreqSketch::record(std::uint64_t fp) noexcept {
+  std::uint64_t h = fp;
+  for (int i = 0; i < 4; ++i) {
+    h = mix64(h);
+    std::uint8_t& c = counters[h & (kCounters - 1)];
+    if (c < kMaxCount) ++c;
+  }
+  if (++samples >= kSamplePeriod) {
+    // Aging: halve every counter so popularity is recent, not eternal.
+    for (std::uint8_t& c : counters) c >>= 1;
+    samples >>= 1;
+  }
+}
+
+std::uint32_t NodeCache::FreqSketch::estimate(std::uint64_t fp) const noexcept {
+  std::uint32_t est = kMaxCount;
+  std::uint64_t h = fp;
+  for (int i = 0; i < 4; ++i) {
+    h = mix64(h);
+    est = std::min<std::uint32_t>(est, counters[h & (kCounters - 1)]);
+  }
+  return est;
+}
+
+void NodeCache::FreqSketch::reset() noexcept {
+  counters.fill(0);
+  samples = 0;
+}
 
 NodeCache::Shard& NodeCache::shard_for(
     std::span<const std::uint8_t> encoding) {
@@ -22,11 +65,11 @@ NodeCache::Shard& NodeCache::shard_for(
   return shards_[h % kShards];
 }
 
-// One CLOCK sweep step ending in an eviction.  Referenced entries get their
-// second chance (bit cleared, hand advances); the first unreferenced entry
-// at the hand is evicted.  Terminates in at most two passes over the ring
+// CLOCK sweep to the next victim.  Referenced entries get their second
+// chance (bit cleared, hand advances); the sweep stops at the first
+// unreferenced entry.  Terminates in at most two passes over the ring
 // because every skip clears a bit.  Precondition: the ring is non-empty.
-void NodeCache::evict_one(Shard& s) {
+NodeCache::MapNode* NodeCache::clock_victim(Shard& s) {
   for (;;) {
     if (s.hand == s.ring.end()) s.hand = s.ring.begin();
     MapNode* node = *s.hand;
@@ -35,15 +78,32 @@ void NodeCache::evict_one(Shard& s) {
       ++s.hand;
       continue;
     }
-    s.bytes -= entry_bytes(node->first.size());
-    const auto rit = s.by_hash.find(node->second.hash);
-    if (rit != s.by_hash.end() && rit->second == node) s.by_hash.erase(rit);
-    s.hand = s.ring.erase(s.hand);
-    const auto mit = s.by_encoding.find(node->first);
-    s.by_encoding.erase(mit);
-    ++s.evictions;
-    return;
+    return node;
   }
+}
+
+// One CLOCK sweep step ending in an eviction of the current victim.
+void NodeCache::evict_one(Shard& s) {
+  MapNode* node = clock_victim(s);
+  s.bytes -= entry_bytes(node->first.size());
+  const auto rit = s.by_hash.find(node->second.hash);
+  if (rit != s.by_hash.end() && rit->second == node) s.by_hash.erase(rit);
+  s.hand = s.ring.erase(s.hand);
+  const auto mit = s.by_encoding.find(node->first);
+  s.by_encoding.erase(mit);
+  ++s.evictions;
+}
+
+// Sketch fingerprint: FNV-1a over the whole encoding (the same function
+// BytesHash uses for the map, but computable from the span directly).
+static std::uint64_t fingerprint_of(
+    std::span<const std::uint8_t> encoding) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : encoding) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
@@ -57,15 +117,29 @@ Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
   if (it != s.by_encoding.end()) {
     ++s.hits;
     it->second.referenced = true;  // second chance on the next sweep
+    s.sketch.record(it->second.fp);
     return it->second.hash;
   }
   ++s.misses;
   const Hash256 digest{crypto::keccak256(encoding)};
+  const std::uint64_t fp = fingerprint_of(encoding);
+  s.sketch.record(fp);
   const std::size_t need = entry_bytes(key.size());
   if (need > cap) return digest;  // jumbo entry: never worth a whole shard
+  if (s.bytes + need > cap && !s.ring.empty()) {
+    // TinyLFU admission: a full shard only trades its CLOCK victim for a
+    // candidate at least as frequent.  Ties admit, so a workload with no
+    // re-use (every estimate 1) degenerates to plain CLOCK/FIFO; one-shot
+    // scan traffic against a reheated working set is rejected here.
+    MapNode* victim = clock_victim(s);
+    if (s.sketch.estimate(fp) < s.sketch.estimate(victim->second.fp)) {
+      ++s.rejected;
+      return digest;
+    }
+  }
   while (s.bytes + need > cap && !s.ring.empty()) evict_one(s);
   const auto [slot, inserted] = s.by_encoding.emplace(
-      std::move(key), Entry{digest, /*referenced=*/false});
+      std::move(key), Entry{digest, /*referenced=*/false, fp});
   if (inserted) {
     MapNode* node = &*slot;
     // Insert just behind the hand: the new entry is the last the current
@@ -96,6 +170,7 @@ NodeCache::Stats NodeCache::stats() const {
     out.hits += s.hits;
     out.misses += s.misses;
     out.evictions += s.evictions;
+    out.rejected += s.rejected;
     out.entries += s.by_encoding.size();
     out.bytes += s.bytes;
   }
@@ -109,6 +184,7 @@ void NodeCache::clear() {
     s.by_hash.clear();
     s.ring.clear();
     s.hand = s.ring.end();
+    s.sketch.reset();
     s.bytes = 0;
   }
 }
@@ -116,7 +192,7 @@ void NodeCache::clear() {
 void NodeCache::reset_stats() {
   for (Shard& s : shards_) {
     std::scoped_lock lk(s.mu);
-    s.hits = s.misses = s.evictions = 0;
+    s.hits = s.misses = s.evictions = s.rejected = 0;
   }
 }
 

@@ -15,9 +15,15 @@
 // full of slim leaves bound the same memory.  Eviction is CLOCK
 // (second-chance): a hit sets the entry's reference bit; the sweep hand
 // clears set bits and evicts the first clear entry it meets, so the policy
-// degenerates to FIFO exactly when nothing is re-used.  Sharded to keep the
-// commit pool's concurrent root computations from serializing on one mutex.
-// Hit/miss/eviction/byte counters are exposed for benches and tests.
+// degenerates to FIFO exactly when nothing is re-used.  Admission is
+// TinyLFU-style: each shard keeps a count-min frequency sketch over node
+// fingerprints, and a miss on a full shard is cached only when the
+// candidate's estimated frequency is at least the CLOCK victim's — one-shot
+// encodings from big-state scans stop cycling hot shards, while an equal
+// -frequency candidate still wins so a pure-FIFO workload behaves exactly
+// as before.  Sharded to keep the commit pool's concurrent root
+// computations from serializing on one mutex.  Hit/miss/eviction/rejection
+// /byte counters are exposed for benches and tests.
 #pragma once
 
 #include <array>
@@ -40,6 +46,7 @@ class NodeCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;  // misses denied admission by the sketch
     std::size_t entries = 0;
     std::size_t bytes = 0;     // resident, per entry_bytes()
     std::size_t capacity = 0;  // byte budget across all shards
@@ -101,10 +108,27 @@ class NodeCache {
   struct Entry {
     Hash256 hash;
     bool referenced = false;  // CLOCK second-chance bit, set on hit
+    std::uint64_t fp = 0;     // sketch fingerprint (full-encoding FNV-1a)
   };
   // Map nodes are pointer-stable across rehash, so the ring and the reverse
   // index address entries by node pointer.
   using MapNode = std::pair<const Bytes, Entry>;
+
+  /// TinyLFU-style count-min frequency sketch: 4 saturating 4-bit-equivalent
+  /// counters per fingerprint, halved wholesale every kSamplePeriod records
+  /// so stale popularity decays instead of pinning the shard forever.
+  struct FreqSketch {
+    static constexpr std::size_t kCounters = 4096;  // power of two
+    static constexpr std::uint8_t kMaxCount = 15;
+    static constexpr std::uint64_t kSamplePeriod = 16 * kCounters;
+
+    void record(std::uint64_t fp) noexcept;
+    std::uint32_t estimate(std::uint64_t fp) const noexcept;
+    void reset() noexcept;
+
+    std::array<std::uint8_t, kCounters> counters{};
+    std::uint64_t samples = 0;
+  };
 
   struct Shard {
     mutable std::mutex mu;
@@ -112,10 +136,12 @@ class NodeCache {
     std::unordered_map<Hash256, MapNode*> by_hash;
     std::list<MapNode*> ring;          // CLOCK order; new entries join
     std::list<MapNode*>::iterator hand;  // behind the hand
+    FreqSketch sketch;                 // admission filter
     std::size_t bytes = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;
 
     Shard() : hand(ring.end()) {}
   };
@@ -123,6 +149,10 @@ class NodeCache {
   static constexpr std::size_t kShards = 8;
 
   Shard& shard_for(std::span<const std::uint8_t> encoding);
+  /// Advances the hand to the entry the next eviction would take (clearing
+  /// reference bits on the way) without evicting it.  Precondition: the
+  /// ring is non-empty.
+  static MapNode* clock_victim(Shard& s);
   static void evict_one(Shard& s);
 
   std::array<Shard, kShards> shards_;

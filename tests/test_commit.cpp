@@ -210,6 +210,53 @@ TEST(NodeCache, ClockPropertyRandomizedOps) {
   EXPECT_GT(s.evictions, 0u);
 }
 
+TEST(NodeCache, TinyLfuScanCannotEvictReheatedWorkingSet) {
+  // Property: once a working set is hot (re-used often enough to register in
+  // the frequency sketch), an arbitrarily long one-shot scan must not push
+  // it out — every scan candidate's estimated frequency is below any hot
+  // victim's, so admission denies the trade.  All traffic is pinned to
+  // shard 0, whose budget holds exactly the working set.
+  constexpr std::size_t kWorking = 4;
+  constexpr std::size_t kScan = 400;
+  trie::NodeCache cache(8 * kWorking * trie::NodeCache::entry_bytes(3));
+  const auto encs = shard0_encodings(kWorking + kScan);
+
+  // Heat: enough re-reads to lift the sketch estimate well above a
+  // one-shot's, but far below the sketch's aging period.
+  for (int round = 0; round < 12; ++round)
+    for (std::size_t i = 0; i < kWorking; ++i)
+      cache.hash_of(std::span(encs[i]));
+
+  const auto heated = cache.stats();
+  EXPECT_EQ(heated.misses, kWorking);
+  EXPECT_EQ(heated.rejected, 0u);
+
+  // Scan: every encoding distinct, each seen exactly once.
+  for (std::size_t i = kWorking; i < kWorking + kScan; ++i) {
+    ASSERT_EQ(cache.hash_of(std::span(encs[i])),
+              Hash256{crypto::keccak256(std::span(encs[i]))});
+  }
+
+  // Every scan miss was denied admission: no hot entry was traded away.
+  const auto scanned = cache.stats();
+  EXPECT_EQ(scanned.rejected - heated.rejected, kScan);
+  EXPECT_EQ(scanned.evictions, heated.evictions);
+
+  // The working set still answers from cache — zero new misses.
+  for (std::size_t i = 0; i < kWorking; ++i)
+    cache.hash_of(std::span(encs[i]));
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, scanned.misses);
+  EXPECT_EQ(after.hits, scanned.hits + kWorking);
+
+  // Reheat-and-scan again: resistance is not a first-scan fluke.
+  for (std::size_t i = kWorking; i < kWorking + kScan; ++i)
+    cache.hash_of(std::span(encs[i]));
+  for (std::size_t i = 0; i < kWorking; ++i)
+    cache.hash_of(std::span(encs[i]));
+  EXPECT_EQ(cache.stats().misses, after.misses + kScan);  // scans still miss
+}
+
 // ---------------------------------------------------------------------------
 // Incremental WorldState commitment vs the from-scratch oracle
 
@@ -521,6 +568,102 @@ TEST(CommitPipeline, SubmitWritesAppliesOnTopOfParent) {
   EXPECT_EQ(handle.get().state_root, expected.state_root_full_rebuild());
   // Parent unchanged.
   EXPECT_EQ(parent.get(StateKey::balance(addr_of(1))), U256{100});
+}
+
+TEST(CommitPipeline, SettleCallbackDeliversResultsInFifoOrder) {
+  // The push-style settlement notification the event-driven node loop
+  // consumes: one callback per submission, in publication (= FIFO) order,
+  // carrying the publishing result.
+  ThreadPool pool(4);
+  commit::CommitPipeline pipe(&pool);
+
+  std::mutex mu;
+  std::vector<std::uint64_t> order;
+  std::vector<Hash256> roots;
+  WorldState ws;
+  std::vector<Hash256> expected;
+  for (std::uint64_t n = 0; n < 6; ++n) {
+    ws.set(StateKey::balance(addr_of(n + 1)), U256{n + 1});
+    expected.push_back(ws.state_root_full_rebuild());
+    pipe.submit(std::make_shared<WorldState>(ws), {},
+                [&](const commit::CommitResult& r) {
+                  std::scoped_lock lk(mu);
+                  order.push_back(r.sequence);
+                  roots.push_back(r.state_root);
+                });
+  }
+  pipe.drain();
+
+  // drain() implies every callback has finished, not merely started.
+  std::scoped_lock lk(mu);
+  ASSERT_EQ(order.size(), 6u);
+  for (std::uint64_t n = 0; n < 6; ++n) {
+    EXPECT_EQ(order[n], n);
+    EXPECT_EQ(roots[n], expected[n]);
+  }
+  EXPECT_EQ(pipe.stats().settled, 6u);
+}
+
+TEST(CommitPipeline, SettleCallbackFiresInlineInDegradedMode) {
+  commit::CommitPipeline pipe;  // no pool
+  bool fired = false;
+  auto ws = std::make_shared<WorldState>();
+  ws->set(StateKey::nonce(addr_of(7)), U256{1});
+  pipe.submit(ws, {}, [&](const commit::CommitResult& r) {
+    fired = true;
+    EXPECT_EQ(r.sequence, 0u);
+  });
+  EXPECT_TRUE(fired);  // before submit() returned
+  EXPECT_EQ(pipe.pending(), 0u);
+}
+
+TEST(CommitPipeline, WaitPendingAtMostEnforcesSpeculationDepth) {
+  // One pool thread, first task gated: three commitments pile up in flight,
+  // and the depth-backpressure wait only returns once enough have settled.
+  ThreadPool pool(1);
+  commit::CommitPipeline pipe(&pool);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+
+  WorldState ws;
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    ws.set(StateKey::balance(addr_of(n + 1)), U256{n + 1});
+    commit::AuxRootFn aux;
+    if (n == 0)
+      aux = [opened] {
+        opened.wait();
+        return Hash256{};
+      };
+    pipe.submit(std::make_shared<WorldState>(ws), std::move(aux));
+  }
+  EXPECT_EQ(pipe.pending(), 3u);
+  EXPECT_EQ(pipe.stats().max_pending, 3u);
+
+  gate.set_value();
+  pipe.wait_pending_at_most(1);
+  EXPECT_LE(pipe.pending(), 1u);
+  pipe.drain();
+  EXPECT_EQ(pipe.pending(), 0u);
+  EXPECT_EQ(pipe.stats().settled, 3u);
+}
+
+TEST(CommitPipeline, DestructionDrainsAbandonedCommitments) {
+  // A revoked speculative suffix drops its CommitHandles without awaiting
+  // them.  The pipeline must outlive those orphaned tasks: its destructor
+  // drains, and every settlement callback completes before it returns.
+  ThreadPool pool(2);
+  std::atomic<int> settled{0};
+  for (int round = 0; round < 8; ++round) {
+    commit::CommitPipeline pipe(&pool);
+    WorldState ws;
+    for (std::uint64_t n = 0; n < 4; ++n) {
+      ws.set(StateKey::storage(addr_of(n + 1), U256{n}), U256{n + 41});
+      pipe.submit(std::make_shared<WorldState>(ws), {},
+                  [&](const commit::CommitResult&) { ++settled; });
+      // Handle intentionally discarded — nobody awaits this commitment.
+    }
+  }  // ~CommitPipeline drains; destroyed state must not be touched after
+  EXPECT_EQ(settled.load(), 8 * 4);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include "net/consensus_sim.hpp"
 #include "net/network.hpp"
+#include "support/rng.hpp"
 
 namespace blockpilot::net {
 namespace {
@@ -48,6 +49,35 @@ TEST(SimNetwork, LargerPayloadsTakeLonger) {
   net.send(0, 1, 0, Bytes(1'000'000, 0));
   net.send(0, 1, 0, Bytes(100, 0));
   EXPECT_EQ(net.bytes_sent(), 1'000'100u);
+}
+
+TEST(SimNetwork, JitterIsBoundedAndSeedDeterministic) {
+  LinkModel link;
+  link.base_latency_us = 1'000;
+  link.bytes_per_us = 1'000;
+  link.jitter_us = 500;
+  link.jitter_seed = 42;
+
+  auto deliveries = [&](std::uint64_t seed) {
+    LinkModel l = link;
+    l.jitter_seed = seed;
+    SimNetwork net(3, l);
+    for (int i = 0; i < 16; ++i) net.broadcast(0, 0, Bytes(100, 0));
+    std::vector<std::uint64_t> times;
+    while (auto msg = net.next_delivery()) {
+      const std::uint64_t floor = l.transit_time(100);
+      EXPECT_GE(msg->deliver_time_us, floor);
+      EXPECT_LE(msg->deliver_time_us, floor + l.jitter_us);
+      times.push_back(msg->deliver_time_us);
+    }
+    return times;
+  };
+
+  const auto a = deliveries(42);
+  const auto b = deliveries(42);
+  const auto c = deliveries(43);
+  EXPECT_EQ(a, b);   // same seed -> bit-identical schedule
+  EXPECT_NE(a, c);   // different seed -> different shuffle
 }
 
 TEST(ConsensusSim, SingleProposerChainAdvances) {
@@ -149,9 +179,9 @@ TEST(ConsensusSim, LateRootMismatchCascadesVoteRevocation) {
   // A Byzantine proposer set tampers with the sealed roots at height 2.
   // The blocks re-execute cleanly, so every validator casts a provisional
   // vote for one of them; the lie is only discovered when the commitments
-  // settle.  The settle pass must revoke the votes at height 2 AND cascade
-  // the revocation to every descendant round (their executions consumed a
-  // state that was never committed), truncating the settled chain at 1.
+  // settle.  With every leader lying there is no fork-choice survivor: the
+  // votes at height 2 are revoked, the speculative suffix dies, and the
+  // settled chain truncates at 1.
   ConsensusSimConfig cfg;
   cfg.proposer_nodes = 1;
   cfg.validator_nodes = 3;
@@ -176,9 +206,302 @@ TEST(ConsensusSim, LateRootMismatchCascadesVoteRevocation) {
     EXPECT_EQ(result.rounds[i].txs, 0u);
   }
   EXPECT_EQ(result.settled_height, 1u);
-  // Heights 2, 3, 4 each lose all validator votes.
+  EXPECT_EQ(result.fork_choices, 0u);  // no honest sibling to adopt
+  // Height 2's votes are revoked for certain; heights 3 and 4 only lose
+  // votes they managed to cast before the settlement caught the lie (the
+  // live loop kills the suffix as soon as height 2 fails, unlike the batch
+  // driver which always voted every height first).
+  EXPECT_GE(result.revoked_votes, 1u * cfg.validator_nodes);
+  EXPECT_LE(result.revoked_votes, 3u * cfg.validator_nodes);
+  EXPECT_EQ(result.total_txs, result.rounds[0].txs);
+}
+
+TEST(ConsensusSim, BatchReferenceCascadeIsExact) {
+  // The pre-refactor round-batch driver votes every height before its
+  // post-hoc settle pass, so the cascade bookkeeping is exact: heights 2,
+  // 3, 4 each lose all validator votes.
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 1;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 1;
+  cfg.rounds = 4;
+  cfg.byzantine_height = 2;
+  cfg.workload.txs_per_block = 20;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  cfg.commit_threads = 2;
+
+  const auto result = ConsensusSim(cfg).run_batch_reference();
+  ASSERT_TRUE(result.safety_held) << result.violation;
+  ASSERT_EQ(result.rounds.size(), 4u);
+  EXPECT_TRUE(result.rounds[0].settled);
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_FALSE(result.rounds[i].settled) << "height " << i + 1;
+  EXPECT_EQ(result.settled_height, 1u);
   EXPECT_EQ(result.revoked_votes, 3u * cfg.validator_nodes);
   EXPECT_EQ(result.total_txs, result.rounds[0].txs);
+}
+
+TEST(ConsensusSim, DepthZeroSingleProposerMatchesBatchReference) {
+  // Lock-step degraded mode: speculation_depth = 0 with a single proposer
+  // must settle canonical roots bit-identical to the pre-refactor batch
+  // algorithm (same workload draws, same per-height execution, same
+  // settlement decisions) — the refactor's semantic anchor.
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 1;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 1;
+  cfg.rounds = 4;
+  cfg.speculation_depth = 0;
+  cfg.workload.txs_per_block = 25;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  cfg.commit_threads = 2;
+
+  const auto live = ConsensusSim(cfg).run();
+  const auto batch = ConsensusSim(cfg).run_batch_reference();
+  ASSERT_TRUE(live.safety_held) << live.violation;
+  ASSERT_TRUE(batch.safety_held) << batch.violation;
+  ASSERT_EQ(live.rounds.size(), batch.rounds.size());
+  EXPECT_EQ(live.settled_height, batch.settled_height);
+  EXPECT_EQ(live.total_txs, batch.total_txs);
+  for (std::size_t i = 0; i < live.rounds.size(); ++i) {
+    EXPECT_EQ(live.rounds[i].settled, batch.rounds[i].settled);
+    EXPECT_EQ(live.rounds[i].canonical_root, batch.rounds[i].canonical_root)
+        << "height " << i + 1;
+    EXPECT_EQ(live.rounds[i].txs, batch.rounds[i].txs);
+  }
+}
+
+TEST(ConsensusSim, ForkChoiceAdoptsHonestSurvivor) {
+  // One of two leaders lies at height 2.  Whether the (hash-min) vote
+  // lands on the lie is decided by the block hashes, so sweep workload
+  // seeds: every run must keep safety and settle the full chain — either
+  // the vote dodged the lie (the tampered sibling is just an invalid
+  // uncle) or settlement revoked it and fork-choice adopted the honest
+  // survivor, truncating and re-proposing the speculative suffix.  At
+  // least one seed must exercise the fork-choice path.
+  std::uint64_t fork_choices_seen = 0;
+  for (std::uint64_t seed : {0x5eedULL, 0xACEULL, 0xBEEFULL, 0xF00DULL}) {
+    ConsensusSimConfig cfg;
+    cfg.proposer_nodes = 2;
+    cfg.validator_nodes = 3;
+    cfg.proposers_per_round = 2;
+    cfg.rounds = 3;
+    cfg.byzantine_height = 2;
+    cfg.byzantine_proposers = 1;
+    cfg.workload.seed = seed;
+    cfg.workload.txs_per_block = 15;
+    cfg.proposer_threads = 4;
+    cfg.validator_workers = 8;
+    cfg.commit_threads = 2;
+
+    const auto result = ConsensusSim(cfg).run();
+    ASSERT_TRUE(result.safety_held) << result.violation;
+    EXPECT_EQ(result.settled_height, cfg.rounds) << "seed " << seed;
+    for (const auto& round : result.rounds) {
+      EXPECT_TRUE(round.settled);
+      EXPECT_FALSE(round.canonical_root.is_zero());
+    }
+    // The lie never settles: height 2 keeps exactly one valid sibling.
+    EXPECT_EQ(result.rounds[1].valid_siblings, 1u);
+    if (result.fork_choices > 0) {
+      EXPECT_GE(result.revoked_votes, cfg.validator_nodes);
+    } else {
+      EXPECT_EQ(result.revoked_votes, 0u);
+    }
+    fork_choices_seen += result.fork_choices;
+  }
+  EXPECT_GT(fork_choices_seen, 0u);
+}
+
+TEST(ConsensusSim, BlockSeedSharingAcrossSiblingValidators) {
+  // With block-hash-keyed seed sharing on, the first validator to commit a
+  // block builds each dirty account's storage fold and later siblings of
+  // the SAME block adopt it.  A single commit thread serializes the
+  // validators' commitments, so adoption is guaranteed; roots must be
+  // unchanged vs a run with sharing disabled.
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 2;
+  cfg.validator_nodes = 3;
+  cfg.proposers_per_round = 2;
+  cfg.rounds = 3;
+  cfg.workload.txs_per_block = 25;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  cfg.commit_threads = 1;
+
+  const auto shared = ConsensusSim(cfg).run();
+  ASSERT_TRUE(shared.safety_held) << shared.violation;
+  EXPECT_GT(shared.seeds_built, 0u);
+  EXPECT_GT(shared.seeds_adopted, 0u);
+
+  cfg.share_block_seeds = false;
+  const auto solo = ConsensusSim(cfg).run();
+  ASSERT_TRUE(solo.safety_held) << solo.violation;
+  EXPECT_EQ(solo.seeds_built, 0u);
+  EXPECT_EQ(solo.seeds_adopted, 0u);
+  ASSERT_EQ(shared.rounds.size(), solo.rounds.size());
+  for (std::size_t i = 0; i < shared.rounds.size(); ++i)
+    EXPECT_EQ(shared.rounds[i].canonical_root, solo.rounds[i].canonical_root);
+}
+
+TEST(ConsensusSim, BoundedSpeculationParksProposals) {
+  // Depth 0 must stall every proposal behind the previous settlement;
+  // a wide window hides the whole commitment tail.  Same workload, so the
+  // settled chain is identical — only the virtual schedule differs.
+  ConsensusSimConfig cfg;
+  cfg.proposer_nodes = 1;
+  cfg.validator_nodes = 2;
+  cfg.proposers_per_round = 1;
+  cfg.rounds = 4;
+  cfg.workload.txs_per_block = 25;
+  cfg.proposer_threads = 4;
+  cfg.validator_workers = 8;
+  cfg.commit_threads = 2;
+
+  cfg.speculation_depth = 0;
+  const auto tight = ConsensusSim(cfg).run();
+  cfg.speculation_depth = 8;
+  const auto wide = ConsensusSim(cfg).run();
+  ASSERT_TRUE(tight.safety_held && wide.safety_held);
+  EXPECT_GT(tight.settle_stall_us, 0u);
+  EXPECT_EQ(wide.settle_stall_us, 0u);  // window of 9 never fills in 4 rounds
+  EXPECT_GT(tight.makespan_us, wide.makespan_us);
+  ASSERT_EQ(tight.rounds.size(), wide.rounds.size());
+  for (std::size_t i = 0; i < tight.rounds.size(); ++i)
+    EXPECT_EQ(tight.rounds[i].canonical_root, wide.rounds[i].canonical_root);
+}
+
+// Scenario count for the seeded fork-choice fuzz.  Every scenario runs the
+// full DiCE loop with real execution, so the sweep is trimmed under TSan
+// (each run is ~10x slower there and the tool's value is in the schedules
+// it explores, not the scenario count).
+#if defined(__SANITIZE_THREAD__)
+constexpr std::uint64_t kFuzzScenarios = 48;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr std::uint64_t kFuzzScenarios = 48;
+#else
+constexpr std::uint64_t kFuzzScenarios = 256;
+#endif
+#else
+constexpr std::uint64_t kFuzzScenarios = 256;
+#endif
+
+TEST(ConsensusSim, ForkChoiceFuzz) {
+  // Seeded scenario sweep over the whole configuration surface: node
+  // counts, fork width, speculation depth, commit threading, delivery
+  // jitter, and Byzantine leader subsets.  The agreement invariant — all
+  // honest nodes settle byte-identical chains — is enforced inside the
+  // simulation (vote unanimity, settlement unanimity, fork-choice
+  // agreement, replica root agreement all flip safety_held), so every
+  // scenario must simply report safety intact, plus the structural
+  // invariants per scenario kind.  Single-proposer scenarios additionally
+  // pin the live loop to the batch reference's settled roots.
+  std::uint64_t fork_choices_total = 0;
+  std::uint64_t revocations_total = 0;
+  for (std::uint64_t scenario = 0; scenario < kFuzzScenarios; ++scenario) {
+    std::uint64_t st = 0xF0C5'0000ULL + scenario * 0x9e3779b97f4a7c15ULL;
+    auto draw = [&st]() { return splitmix64(st); };
+
+    ConsensusSimConfig cfg;
+    cfg.validator_nodes = 2 + draw() % 2;      // 2-3
+    cfg.proposers_per_round = 1 + draw() % 2;  // 1-2
+    cfg.proposer_nodes = cfg.proposers_per_round + draw() % 2;
+    cfg.rounds = 2 + draw() % 3;               // 2-4
+    cfg.speculation_depth = draw() % 4;        // 0-3
+    cfg.commit_threads = draw() % 3;           // 0-2
+    cfg.proposer_threads = 2;
+    cfg.validator_workers = 4;
+    cfg.workload.seed = 0x5eed ^ (scenario * 0x9e37ULL);
+    cfg.workload.txs_per_block = 4 + draw() % 6;
+    cfg.workload.num_eoa = 128;  // small genesis keeps the sweep fast
+    cfg.workload.num_tokens = 4;
+    cfg.workload.num_dex = 2;
+    if (draw() % 2) {
+      cfg.link.jitter_us = 20'000;
+      cfg.link.jitter_seed = draw();
+    }
+    const bool byzantine = draw() % 3 == 0;
+    if (byzantine) {
+      cfg.byzantine_height = 1 + draw() % cfg.rounds;
+      cfg.byzantine_proposers = 1 + draw() % cfg.proposers_per_round;
+      // Inline commits catch a tampered root at validation time, which is
+      // a liveness failure (no votable block), not the revocation path
+      // under test.
+      cfg.commit_threads = 1 + draw() % 2;
+    }
+
+    const auto result = ConsensusSim(cfg).run();
+    ASSERT_TRUE(result.safety_held)
+        << "scenario " << scenario << ": " << result.violation;
+    ASSERT_EQ(result.rounds.size(), cfg.rounds) << "scenario " << scenario;
+    fork_choices_total += result.fork_choices;
+    revocations_total += result.revoked_votes;
+
+    if (!byzantine) {
+      EXPECT_EQ(result.settled_height, cfg.rounds) << "scenario " << scenario;
+      EXPECT_EQ(result.revoked_votes, 0u) << "scenario " << scenario;
+      EXPECT_EQ(result.fork_choices, 0u) << "scenario " << scenario;
+      for (const auto& round : result.rounds)
+        EXPECT_TRUE(round.settled) << "scenario " << scenario;
+    } else if (cfg.byzantine_proposers < cfg.proposers_per_round) {
+      // An honest sibling always exists: the chain must settle end to end,
+      // via fork-choice when the vote landed on the lie.
+      EXPECT_EQ(result.settled_height, cfg.rounds) << "scenario " << scenario;
+      if (result.fork_choices > 0)
+        EXPECT_GE(result.revoked_votes, cfg.validator_nodes);
+      else
+        EXPECT_EQ(result.revoked_votes, 0u) << "scenario " << scenario;
+    } else {
+      // Every leader lied: the chain truncates just below the lie.
+      EXPECT_EQ(result.settled_height, cfg.byzantine_height - 1)
+          << "scenario " << scenario;
+      EXPECT_GE(result.revoked_votes, cfg.validator_nodes)
+          << "scenario " << scenario;
+      EXPECT_EQ(result.fork_choices, 0u) << "scenario " << scenario;
+    }
+
+    if (cfg.proposers_per_round == 1) {
+      // Degenerate fork width: the live loop must settle exactly the
+      // batch reference's chain, whatever the depth/jitter/threading.
+      const auto batch = ConsensusSim(cfg).run_batch_reference();
+      ASSERT_TRUE(batch.safety_held)
+          << "scenario " << scenario << ": " << batch.violation;
+      ASSERT_EQ(result.rounds.size(), batch.rounds.size());
+      EXPECT_EQ(result.settled_height, batch.settled_height)
+          << "scenario " << scenario;
+      for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+        EXPECT_EQ(result.rounds[i].settled, batch.rounds[i].settled)
+            << "scenario " << scenario << " height " << i + 1;
+        EXPECT_EQ(result.rounds[i].canonical_root,
+                  batch.rounds[i].canonical_root)
+            << "scenario " << scenario << " height " << i + 1;
+        EXPECT_EQ(result.rounds[i].txs, batch.rounds[i].txs);
+      }
+    }
+
+    if (scenario % 32 == 0) {
+      // Spot-check bit-stability: the virtual schedule and settled chain
+      // must be identical on a re-run of the same scenario.
+      const auto again = ConsensusSim(cfg).run();
+      ASSERT_TRUE(again.safety_held) << again.violation;
+      EXPECT_EQ(again.settled_height, result.settled_height);
+      EXPECT_EQ(again.makespan_us, result.makespan_us);
+      ASSERT_EQ(again.rounds.size(), result.rounds.size());
+      for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+        EXPECT_EQ(again.rounds[i].canonical_root,
+                  result.rounds[i].canonical_root);
+        EXPECT_EQ(again.rounds[i].round_latency_us,
+                  result.rounds[i].round_latency_us);
+        EXPECT_EQ(again.rounds[i].settle_latency_us,
+                  result.rounds[i].settle_latency_us);
+      }
+    }
+  }
+  // The sweep must actually exercise the paths it exists to cover.
+  EXPECT_GT(fork_choices_total + revocations_total, 0u);
 }
 
 }  // namespace

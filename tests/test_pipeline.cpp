@@ -1,6 +1,7 @@
 // Multi-block pipeline tests (paper §4.3 Fig. 5, §5.6).
 #include <gtest/gtest.h>
 
+#include "commit/commit_pipeline.hpp"
 #include "core/blockpilot.hpp"
 
 namespace blockpilot::core {
@@ -130,6 +131,131 @@ TEST_F(PipelineFixture, InvalidSiblingDoesNotPoisonOthers) {
       pipeline.process_height(genesis, std::span(siblings), workers);
   EXPECT_TRUE(result.outcomes[0].valid);
   EXPECT_FALSE(result.outcomes[1].valid);
+}
+
+TEST_F(PipelineFixture, ChainSessionMatchesProcessChain) {
+  // Height-granular push/settle over the same chain must reproduce the
+  // batch entry point bit-for-bit: depth-0 operation is the old settle
+  // pass, just re-sliced.
+  const BlockBundle b1 = bundle_from(genesis, gen.next_batch(30), 1);
+  SerialOptions opts;
+  opts.drop_unincludable = false;
+  const SerialResult r1 = execute_serial(genesis, ctx_for(1),
+                                         std::span(b1.block.transactions), opts);
+  ASSERT_TRUE(r1.ok);
+  const BlockBundle b2 =
+      bundle_from(*r1.exec.post_state, gen.next_batch(30), 2);
+  const std::vector<std::vector<BlockBundle>> heights = {{b1}, {b2}};
+
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  ThreadPool workers(4);
+  const auto batch =
+      ValidatorPipeline(cfg).process_chain(genesis, std::span(heights), workers);
+
+  ChainSession session(cfg, genesis);
+  for (const auto& siblings : heights) {
+    ASSERT_EQ(session.push_height(std::span(siblings), workers), 0u);
+    EXPECT_TRUE(session.settle_next());
+  }
+
+  ASSERT_EQ(batch.outcomes.size(), 2u);
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_EQ(session.outcome(h, 0).valid, batch.outcomes[h].valid);
+    EXPECT_EQ(session.outcome(h, 0).exec.state_root,
+              batch.outcomes[h].exec.state_root);
+  }
+  EXPECT_EQ(session.tip().state_root(), batch.outcomes[1].exec.state_root);
+  EXPECT_EQ(session.stats().vtime_makespan, batch.stats.vtime_makespan);
+  EXPECT_EQ(session.stats().blocks, batch.stats.blocks);
+}
+
+TEST_F(PipelineFixture, ChainSessionChooseRedirectsTip) {
+  std::vector<BlockBundle> siblings;
+  for (int i = 0; i < 2; ++i)
+    siblings.push_back(bundle_from(genesis, gen.next_batch(25), 1));
+
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  ThreadPool workers(4);
+  ChainSession session(cfg, genesis);
+  ASSERT_EQ(session.push_height(std::span(siblings), workers), 0u);
+
+  // A vote for the other sibling re-roots the speculative tip.
+  session.choose(0, 1);
+  EXPECT_EQ(session.canonical(0), 1u);
+  EXPECT_EQ(session.tip().state_root(),
+            session.outcome(0, 1).exec.state_root);
+}
+
+TEST_F(PipelineFixture, ChainSessionForkChoiceAdoptsSurvivorAndRevokes) {
+  // Canonical sibling carries a tampered root; with an async commit pipeline
+  // the lie only surfaces at settlement, after a speculative child height
+  // was already validated on the doomed tip.
+  std::vector<BlockBundle> siblings;
+  for (int i = 0; i < 2; ++i)
+    siblings.push_back(bundle_from(genesis, gen.next_batch(25), 1));
+  siblings[0].block.header.state_root.bytes[0] ^= 0xA5;
+
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline commits(&commit_pool);
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  cfg.commit_pipeline = &commits;
+  ThreadPool workers(4);
+  ChainSession session(cfg, genesis);
+  std::vector<std::size_t> revoked;
+  session.set_revocation_callback(
+      [&](std::size_t h) { revoked.push_back(h); });
+
+  ASSERT_EQ(session.push_height(std::span(siblings), workers), 0u);
+  const std::vector<BlockBundle> child = {
+      bundle_from(session.tip(), gen.next_batch(25), 2)};
+  ASSERT_EQ(session.push_height(std::span(child), workers), 0u);
+
+  EXPECT_FALSE(session.settle_next());
+  const std::size_t survivor = session.fork_choice(0);
+  ASSERT_EQ(survivor, 1u);  // the honest sibling's root matched its header
+  session.adopt_fork(0, survivor);
+  EXPECT_EQ(revoked, (std::vector<std::size_t>{1}));  // child height dropped
+  EXPECT_EQ(session.height_count(), 1u);
+  EXPECT_EQ(session.tip().state_root(),
+            session.outcome(0, 1).exec.state_root);
+
+  // The chain resumes on the survivor and settles clean.
+  const std::vector<BlockBundle> regrown = {
+      bundle_from(session.tip(), gen.next_batch(25), 2)};
+  ASSERT_EQ(session.push_height(std::span(regrown), workers), 0u);
+  EXPECT_TRUE(session.settle_next());
+  EXPECT_EQ(session.settled_count(), 2u);
+}
+
+TEST_F(PipelineFixture, ChainSessionCascadeMarksSuffixInvalid) {
+  // No-survivor terminal path: the only sibling lied, so every speculative
+  // descendant is condemned with the batch cascade's bookkeeping.
+  std::vector<BlockBundle> lone = {bundle_from(genesis, gen.next_batch(20), 1)};
+  lone[0].block.header.state_root.bytes[0] ^= 0xA5;
+
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline commits(&commit_pool);
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  cfg.commit_pipeline = &commits;
+  ThreadPool workers(4);
+  ChainSession session(cfg, genesis);
+
+  ASSERT_EQ(session.push_height(std::span(lone), workers), 0u);
+  const std::vector<BlockBundle> child = {
+      bundle_from(session.tip(), gen.next_batch(20), 2)};
+  ASSERT_EQ(session.push_height(std::span(child), workers), 0u);
+
+  EXPECT_FALSE(session.settle_next());
+  EXPECT_EQ(session.fork_choice(0), SIZE_MAX);
+  session.cascade_from(1);
+  EXPECT_FALSE(session.outcome(1, 0).valid);
+  EXPECT_EQ(session.outcome(1, 0).reject_reason,
+            "parent block failed commitment");
+  EXPECT_EQ(session.settled_count(), 2u);
 }
 
 TEST(PipelineSim, SingleBlockSingleWorker) {
