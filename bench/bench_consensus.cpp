@@ -14,6 +14,11 @@
 // (exit 1 on violation).  All quantities are virtual-time, so the sweep is
 // deterministic for a fixed workload seed.
 //
+// A second sweep holds depth at 8 and raises the link's seeded drop rate
+// through 20%, pricing the quorum/timeout machinery: settle latency,
+// timeout count, retransmissions, and re-proposals per loss rate, with a
+// liveness gate (full chain settles at every rate; exit 1 on violation).
+//
 // Emits BENCH_consensus.json (machine-readable) plus a stdout table.
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +106,30 @@ int main() {
   for (const std::size_t d : kDepths)
     sweep.push_back(run_at(base, d, cal_gas_per_us));
 
+  // --- Loss sweep: quorum liveness vs message loss at depth 8.  Each run
+  // layers a seeded drop rate under the same workload; the vote timeout is
+  // tight enough that every lost vote round-trips through the retransmit
+  // machinery, so the settle-latency delta prices the fault tolerance.
+  const std::uint32_t kDropPerMille[] = {0, 10, 50, 100, 200};
+  std::vector<ConsensusSimResult> loss;
+  for (const std::uint32_t drop : kDropPerMille) {
+    ConsensusSimConfig cfg = base;
+    cfg.speculation_depth = 8;
+    cfg.commit_gas_per_us = cal_gas_per_us;
+    // Above the fault-free round latency (with margin): a deadline only fires
+    // when a message was actually lost, so drop=0 must stay timeout-free.
+    cfg.vote_timeout_us = 150'000;
+    cfg.link.faults.drop_per_mille = drop;
+    cfg.link.faults.seed = 0x10577EEDULL;
+    ConsensusSimResult r = ConsensusSim(cfg).run();
+    if (!r.safety_held) {
+      std::printf("FATAL: safety violation at drop=%u per mille: %s\n", drop,
+                  r.violation.c_str());
+      return 1;
+    }
+    loss.push_back(std::move(r));
+  }
+
   std::printf("\n%-14s %16s %16s %14s %14s %12s\n", "mode",
               "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "stall(ms)",
               "tx/s");
@@ -117,6 +146,29 @@ int main() {
                 sweep[i].makespan_us / 1000.0,
                 sweep[i].settle_stall_us / 1000.0, tx_per_s(sweep[i]));
   }
+
+  std::printf("\n%-14s %16s %12s %12s %12s %12s\n", "loss", "settle-lat(ms)",
+              "timeouts", "retransmits", "reproposals", "dropped");
+  for (std::size_t i = 0; i < loss.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "drop=%.1f%%",
+                  kDropPerMille[i] / 10.0);
+    std::printf("%-14s %16.2f %12llu %12llu %12llu %12llu\n", label,
+                loss[i].avg_settle_latency_ms(),
+                (unsigned long long)loss[i].vote_timeouts,
+                (unsigned long long)loss[i].vote_retransmits,
+                (unsigned long long)loss[i].quorum_reproposals,
+                (unsigned long long)loss[i].messages_dropped);
+  }
+
+  // Liveness gate: up to 20% loss the quorum machinery must still settle
+  // the full chain, and the fault-free run must neither drop nor time out.
+  bool loss_liveness = true;
+  for (const auto& r : loss)
+    if (r.settled_height != base.rounds || r.quorum_failures != 0)
+      loss_liveness = false;
+  if (loss[0].messages_dropped != 0 || loss[0].vote_timeouts != 0)
+    loss_liveness = false;
 
   bool strictly_decreasing = true;
   for (std::size_t i = 1; i < sweep.size(); ++i) {
@@ -175,6 +227,26 @@ int main() {
                  i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"loss_sweep\": [\n");
+  for (std::size_t i = 0; i < loss.size(); ++i) {
+    const auto& r = loss[i];
+    std::fprintf(f,
+                 "    {\"drop_per_mille\": %u, \"settle_latency_ms\": %.4f, "
+                 "\"round_latency_ms\": %.4f, \"makespan_ms\": %.4f, "
+                 "\"vote_timeouts\": %llu, \"vote_retransmits\": %llu, "
+                 "\"quorum_reproposals\": %llu, \"messages_dropped\": "
+                 "%llu}%s\n",
+                 kDropPerMille[i], r.avg_settle_latency_ms(),
+                 r.avg_round_latency_ms(), r.makespan_us / 1000.0,
+                 (unsigned long long)r.vote_timeouts,
+                 (unsigned long long)r.vote_retransmits,
+                 (unsigned long long)r.quorum_reproposals,
+                 (unsigned long long)r.messages_dropped,
+                 i + 1 < loss.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"loss_sweep_liveness_held\": %s,\n",
+               loss_liveness ? "true" : "false");
   std::fprintf(f, "  \"roots_agree_across_depths\": %s,\n",
                roots_agree ? "true" : "false");
   std::fprintf(f, "  \"settle_latency_strictly_decreasing\": %s\n",
@@ -191,6 +263,13 @@ int main() {
     std::printf("FAIL: settle latency not strictly decreasing with depth\n");
     return 1;
   }
-  std::printf("PASS: settle latency strictly decreasing with depth\n");
+  if (!loss_liveness) {
+    std::printf("FAIL: quorum liveness lost within the 20%% loss sweep\n");
+    return 1;
+  }
+  std::printf(
+      "PASS: settle latency strictly decreasing with depth; quorum "
+      "liveness held through %.0f%% loss\n",
+      kDropPerMille[std::size(kDropPerMille) - 1] / 10.0);
   return 0;
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verify (full build + test suite), the commit-labeled
 # tests — including the concurrency stress layer — under ThreadSanitizer,
-# and the net-labeled consensus-loop tests (event-driven nodes + fork-choice
-# fuzz) under both ThreadSanitizer and AddressSanitizer.
+# and the net-labeled consensus-loop tests (event-driven nodes, fork-choice
+# fuzz, and the quorum/fault matrix — loss, duplication, partitions,
+# Byzantine leaders) under both ThreadSanitizer and AddressSanitizer.
+# The fuzz and the fault matrix detect sanitizer builds at compile time
+# and trim their scenario sweeps so these gates stay within CI budget.
 #
 #   ./ci.sh            # tier-1 + perf-smoke + tsan commit/stress + tsan/asan net
 #   ./ci.sh --tier1    # tier-1 only (fast path)
@@ -38,14 +41,14 @@ cmake --build --preset tsan -j "${JOBS}"
 echo "==> tsan: commit-labeled tests (includes the stress label)"
 ctest --preset tsan-commit
 
-echo "==> tsan: net-labeled tests (event-driven consensus + fork-choice fuzz)"
+echo "==> tsan: net-labeled tests (consensus loop, fork-choice fuzz, fault matrix)"
 ctest --preset tsan-net
 
 echo "==> asan: configure + build (BLOCKPILOT_SANITIZE=address)"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
 
-echo "==> asan: net-labeled tests"
+echo "==> asan: net-labeled tests (consensus loop, fork-choice fuzz, fault matrix)"
 ctest --preset asan-net
 
 echo "==> ci: all gates passed"

@@ -19,12 +19,18 @@ CommitResult CommitPipeline::compute(
   return out;
 }
 
+void CommitPipeline::set_settle_observer(SettleFn observer) {
+  std::scoped_lock lk(mu_);
+  observer_ = std::move(observer);
+}
+
 CommitHandle CommitPipeline::submit(
     std::shared_ptr<const state::WorldState> post, AuxRootFn aux,
     SettleFn on_settled) {
   std::unique_lock lk(mu_);
   const std::uint64_t seq = next_seq_++;
   ++stats_.submitted;
+  SettleFn observer = observer_;  // snapshot: tasks outlive the lock
 
   if (pool_ == nullptr) {
     // Degraded/sync mode: do the work at submit time.  The settlement
@@ -38,6 +44,7 @@ CommitHandle CommitPipeline::submit(
     auto fut = p.get_future().share();
     tail_ = fut;
     lk.unlock();
+    if (observer) observer(fut.get());
     if (on_settled) on_settled(fut.get());
     return CommitHandle(fut);
   }
@@ -52,7 +59,7 @@ CommitHandle CommitPipeline::submit(
   stats_.max_pending = std::max(stats_.max_pending, pending_);
   pool_->submit([this, promise, prev, fut, post = std::move(post),
                  aux = std::move(aux), on_settled = std::move(on_settled),
-                 seq]() mutable {
+                 observer = std::move(observer), seq]() mutable {
     // FIFO publication: never resolve before the predecessor.  The pool's
     // queue is FIFO too, so by the time this task runs its predecessor has
     // at least started — waiting here cannot starve the pool.
@@ -60,12 +67,13 @@ CommitHandle CommitPipeline::submit(
     CommitResult r = compute(std::move(post), aux, seq);
     const double commit_ms = r.commit_ms;
     promise->set_value(std::move(r));
-    // The callback fires BEFORE this task releases its pending slot, so
+    // The callbacks fire BEFORE this task releases its pending slot, so
     // drain() — and the destructor, which drains — implies every
     // settlement notification has finished.  The task must not touch the
     // pipeline after the decrement below: a drained pipeline may already
     // be destroyed.  (Callbacks may submit follow-ups, but must not block
     // on this pipeline's own backpressure.)
+    if (observer) observer(fut.get());
     if (on_settled) on_settled(fut.get());
     {
       std::scoped_lock lk(mu_);

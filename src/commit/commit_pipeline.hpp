@@ -129,6 +129,14 @@ class CommitPipeline {
   static CommitResult compute(std::shared_ptr<const state::WorldState> post,
                               const AuxRootFn& aux, std::uint64_t sequence);
 
+  /// Pipeline-wide settlement observer: fires once per submission, right
+  /// after its result publishes and before the per-submit SettleFn (same
+  /// threading contract).  This is how the consensus loop feeds *measured*
+  /// commit latency (CommitResult::commit_ms) back into its virtual settle
+  /// schedule instead of the gas-derived model.  Set it before the first
+  /// submit — installation is not synchronized against in-flight tasks.
+  void set_settle_observer(SettleFn observer);
+
   CommitPipelineStats stats() const;
 
   bool async() const noexcept { return pool_ != nullptr; }
@@ -153,6 +161,7 @@ class CommitPipeline {
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;
   CommitPipelineStats stats_;
+  SettleFn observer_;  // snapshot taken per submit under mu_
 };
 
 }  // namespace blockpilot::commit

@@ -256,6 +256,25 @@ void ChainSession::choose(std::size_t height, std::size_t sibling) {
   rec.canonical = sibling;
 }
 
+void ChainSession::mark_quorum(std::size_t height) {
+  BP_ASSERT(height < heights_.size());
+  BP_ASSERT_MSG(!heights_[height].settled, "quorum after settlement");
+  heights_[height].quorum = true;
+}
+
+bool ChainSession::has_quorum(std::size_t height) const {
+  BP_ASSERT(height < heights_.size());
+  return heights_[height].quorum;
+}
+
+void ChainSession::drop_unsettled(std::size_t from_height) {
+  BP_ASSERT_MSG(from_height >= settled_, "dropping a settled height");
+  if (from_height >= heights_.size()) return;
+  for (std::size_t h = from_height; h < heights_.size(); ++h)
+    if (on_revoke_) on_revoke_(h);
+  heights_.resize(from_height);
+}
+
 bool ChainSession::settle_next() {
   BP_ASSERT_MSG(settled_ < heights_.size(), "nothing unsettled");
   HeightRecord& rec = heights_[settled_];

@@ -165,10 +165,40 @@ class ChainSession {
   /// vote).  The next push_height() builds on this sibling's post state.
   void choose(std::size_t height, std::size_t sibling);
 
+  /// Records that the height's vote reached its consensus quorum — the
+  /// network layer's promise that settling it cannot produce a second
+  /// settled root at this height.  A height may sit here with partial
+  /// votes indefinitely: its speculative commitments stay pending on the
+  /// commit pipeline without blocking deeper pushes; only settlement is
+  /// gated on the flag (by the caller — see the consensus loop).
+  void mark_quorum(std::size_t height);
+  bool has_quorum(std::size_t height) const;
+
   /// Awaits every sibling root of the oldest unsettled height; returns
   /// whether the canonical sibling settled clean.  On false, the caller
   /// runs fork_choice()/adopt_fork() (or abandons the chain).
+  ///
+  /// Asserts when nothing is unsettled: a caller whose votes were lost by
+  /// the network must check can_settle() (or unsettled_count()) instead of
+  /// blocking here — quorum loss parks the height, it must not deadlock or
+  /// double-settle the session.
   bool settle_next();
+
+  /// True when an unsettled height exists (settle_next() is callable).
+  bool can_settle() const noexcept { return settled_ < heights_.size(); }
+  std::size_t unsettled_count() const noexcept {
+    return heights_.size() - settled_;
+  }
+
+  /// Drops every *unsettled* height record from `from_height` on (the
+  /// revocation callback fires per dropped height, ascending) and rewinds
+  /// the tip to the last surviving height.  This is the quorum-miss
+  /// re-proposal path: a height whose votes never formed a quorum is
+  /// discarded — outcomes with pending CommitHandles are simply dropped;
+  /// the CommitPipeline publishes abandoned submissions on its own and its
+  /// destructor drains them, so lost votes cannot wedge the pipeline.
+  /// `from_height` must not cut into settled heights.
+  void drop_unsettled(std::size_t from_height);
 
   /// Survivor with the smallest block hash among this settled height's
   /// siblings whose root matched their own header; SIZE_MAX when none.
@@ -217,7 +247,8 @@ class ChainSession {
     std::vector<Hash256> block_hashes;
     std::size_t canonical = SIZE_MAX;
     bool settled = false;
-    bool ok = false;  // canonical survived settlement
+    bool ok = false;      // canonical survived settlement
+    bool quorum = false;  // consensus quorum recorded for this height
   };
 
   ValidatorPipeline pipeline_;

@@ -1,6 +1,7 @@
 #include "net/consensus_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <queue>
@@ -40,39 +41,105 @@ struct VNode {
 
 enum class Phase { kIdle, kProposed, kVoted, kSettled };
 
+// ---------------------------------------------------------------------------
+// Wire framing
+// ---------------------------------------------------------------------------
+// The gossip layer carries two message classes, distinguished by a one-byte
+// tag: RLP block announcements and consensus votes.  Votes ride the same
+// faulty links as blocks — a partition that eats announcements eats votes
+// too, which is exactly what the quorum/timeout machinery recovers from.
+
+constexpr std::uint8_t kTagBlock = 0xB1;
+constexpr std::uint8_t kTagVote = 0x57;
+
+struct VoteMsg {
+  std::size_t voter = 0;  // validator index (not node id)
+  std::uint64_t height = 0;
+  std::size_t attempt = 0;
+  Hash256 hash;  // block hash the voter chose
+};
+
+Bytes encode_vote(const VoteMsg& vm) {
+  Bytes out;
+  out.reserve(1 + 1 + 8 + 4 + 32);
+  out.push_back(kTagVote);
+  out.push_back(static_cast<std::uint8_t>(vm.voter));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((vm.height >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((vm.attempt >> (8 * i)) & 0xFF));
+  out.insert(out.end(), vm.hash.bytes.begin(), vm.hash.bytes.end());
+  return out;
+}
+
+VoteMsg decode_vote(const Bytes& wire) {
+  BP_ASSERT_MSG(wire.size() == 1 + 1 + 8 + 4 + 32 && wire[0] == kTagVote,
+                "malformed vote wire");
+  VoteMsg vm;
+  vm.voter = wire[1];
+  for (int i = 0; i < 8; ++i)
+    vm.height |= static_cast<std::uint64_t>(wire[2 + i]) << (8 * i);
+  std::uint32_t attempt = 0;
+  for (int i = 0; i < 4; ++i)
+    attempt |= static_cast<std::uint32_t>(wire[10 + i]) << (8 * i);
+  vm.attempt = attempt;
+  std::copy(wire.begin() + 14, wire.end(), vm.hash.bytes.begin());
+  return vm;
+}
+
 /// The shared per-height scoreboard: which attempt is live, what each
-/// validator has received and voted, and the report being assembled.
+/// validator has received, tallied, and decided, and the report being
+/// assembled.  Everything except `attempt`, `propose_attempts`, and
+/// `ready_us` is per-attempt state, wiped by reset_height().
 struct HeightSim {
   Phase phase = Phase::kIdle;
-  std::size_t attempt = 0;        // bumped on revocation; stales old events
-  std::uint64_t ready_us = 0;     // when the height first became proposable
+  std::size_t attempt = 0;  // bumped on revocation; stales old events
+  std::size_t propose_attempts = 0;  // across attempts: the liveness budget
+  std::uint64_t ready_us = 0;  // when the height first became proposable
   std::uint64_t propose_start_us = 0;
   std::uint64_t vote_done_us = 0;
   Hash256 vote_hash;
-  std::size_t votes_cast = 0;
-  std::vector<Hash256> node_vote;                      // per validator
-  std::vector<std::vector<core::BlockBundle>> inbox;   // per validator
-  std::vector<std::uint64_t> last_arrival;             // per validator
+  std::vector<std::vector<core::BlockBundle>> inbox;  // per validator
+  std::vector<std::vector<Hash256>> got;  // header hashes received (dedup)
+  std::vector<std::uint64_t> last_arrival;  // per validator
+  std::vector<char> pushed;       // session push_height() done
+  std::vector<Hash256> node_vote;  // own vote (zero = could not vote)
+  std::vector<char> cast;          // vote broadcast
+  std::vector<std::vector<Hash256>> recv;  // recv[v][w]: w's vote, seen by v
+  std::vector<char> decided;       // local quorum reached
+  std::vector<char> exhausted;     // retry budget burned
+  std::size_t cast_count = 0;
+  std::size_t decided_count = 0;
+  std::size_t exhausted_count = 0;
+  // Announcement store for timeout-driven re-pulls.
+  std::vector<Bytes> ann_wire;  // tagged, exactly as broadcast
+  std::vector<Hash256> ann_hash;
+  std::vector<NodeId> ann_proposer;
   std::uint64_t commit_cost_us = 0;
   RoundReport report;
 };
 
 // Event kinds double as same-time priorities: settlement outcomes must be
-// visible before arrivals/votes at the same instant, and proposals go last
-// so they build on everything that settled "now".
+// visible before arrivals/votes at the same instant, deadlines only fire
+// after every same-time delivery had its chance, and proposals go last so
+// they build on everything that settled "now".
 constexpr int kEvSettle = 0;
-constexpr int kEvArrival = 1;
-constexpr int kEvVote = 2;
-constexpr int kEvPropose = 3;
+constexpr int kEvArrival = 1;      // block announcement delivery
+constexpr int kEvVoteArrival = 2;  // vote delivery
+constexpr int kEvVoteCast = 3;     // local validation done -> broadcast vote
+constexpr int kEvTimeout = 4;      // vote deadline (backoff chain)
+constexpr int kEvPropose = 5;
 
 struct Ev {
   std::uint64_t t = 0;
   int kind = kEvPropose;
-  std::size_t node = 0;     // validator index for arrivals/votes
+  std::size_t node = 0;     // validator index for arrivals/votes/timeouts
   std::uint64_t height = 0;
   std::size_t attempt = 0;  // matched against HeightSim::attempt
   std::uint64_t seq = 0;    // creation order, final determinism tiebreak
-  std::size_t payload = SIZE_MAX;  // arrival arena index
+  /// Arrival arena index (kEvArrival), vote arena index (kEvVoteArrival),
+  /// or retry index (kEvTimeout).
+  std::size_t payload = SIZE_MAX;
 };
 
 struct EvLater {
@@ -96,14 +163,18 @@ class EventDriver {
         P_(config.proposer_nodes),
         V_(config.validator_nodes),
         ppr_(config.proposers_per_round),
+        quorum_(ConsensusSim::quorum_size(config.validator_nodes,
+                                          config.quorum_votes)),
         gen_(config.workload),
         genesis_(gen_.genesis()),
         network_(P_ + V_, config.link),
         workers_(4) {
+    BP_ASSERT_MSG(V_ <= 255, "vote wire carries the voter in one byte");
     if (config_.commit_threads > 0)
       commit_pool_ = std::make_unique<ThreadPool>(config_.commit_threads);
     proposer_commits_ =
         std::make_unique<commit::CommitPipeline>(commit_pool_.get());
+    proposer_commits_->set_settle_observer(measured_observer());
 
     pcfg_.threads = config_.proposer_threads;
     pcfg_.commit_pipeline = proposer_commits_.get();
@@ -114,9 +185,15 @@ class EventDriver {
       node->chain = std::make_unique<chain::Blockchain>(genesis_);
       node->commits =
           std::make_unique<commit::CommitPipeline>(commit_pool_.get());
+      node->commits->set_settle_observer(measured_observer());
       core::PipelineConfig plcfg;
       plcfg.workers = config_.validator_workers;
-      plcfg.commit_pipeline = node->commits.get();
+      // Degraded mode (no commit pool) validates roots inline at push time,
+      // so a Byzantine root yields "no votable sibling" immediately instead
+      // of a settle-time cascade — the silent validator then rides the
+      // timeout/re-propose path like any other quorum miss.
+      plcfg.commit_pipeline =
+          config_.commit_threads > 0 ? node->commits.get() : nullptr;
       if (config_.share_block_seeds) plcfg.seed_directory = &seed_dir_;
       node->session = std::make_unique<core::ChainSession>(plcfg, genesis_);
       VNode* raw = node.get();
@@ -139,14 +216,30 @@ class EventDriver {
       switch (ev.kind) {
         case kEvPropose: handle_propose(ev); break;
         case kEvArrival: handle_arrival(ev); break;
-        case kEvVote: handle_vote(ev); break;
+        case kEvVoteArrival: handle_vote_arrival(ev); break;
+        case kEvVoteCast: handle_vote_cast(ev); break;
+        case kEvTimeout: handle_timeout(ev); break;
         case kEvSettle: handle_settle(ev); break;
       }
     }
 
+    // Abandoned speculative commitments (dropped by re-proposals) may still
+    // be in flight; drain so the measured latency sum is complete.
+    for (const auto& node : nodes_) node->commits->drain();
+    proposer_commits_->drain();
+
     for (std::uint64_t h = 1; h <= config_.rounds; ++h)
       result_.rounds.push_back(hs_[h].report);
     result_.bytes_gossiped = network_.bytes_sent();
+    const FaultStats& fs = network_.fault_stats();
+    result_.messages_dropped = fs.dropped;
+    result_.messages_duplicated = fs.duplicated;
+    result_.messages_reordered = fs.reordered;
+    result_.messages_partitioned = fs.partitioned;
+    result_.measured_commit_ms =
+        static_cast<double>(
+            measured_commit_ns_.load(std::memory_order_relaxed)) /
+        1e6;
     if (config_.share_block_seeds) {
       const state::BlockSeedDirectory::Stats s = seed_dir_.stats();
       result_.seeds_built = s.seeds_built;
@@ -160,6 +253,52 @@ class EventDriver {
     result_.safety_held = false;
     result_.violation = std::move(why);
     violated_ = true;
+  }
+
+  /// Accumulates every pipeline's measured commit latency — the real
+  /// number use_measured_commit_cost feeds back into the settle schedule.
+  commit::SettleFn measured_observer() {
+    return [this](const commit::CommitResult& r) {
+      measured_commit_ns_.fetch_add(
+          static_cast<std::uint64_t>(r.commit_ms * 1e6),
+          std::memory_order_relaxed);
+    };
+  }
+
+  /// Expands every resolved network delivery into a typed event.
+  /// SimNetwork resolves delivery times at send(), so draining after each
+  /// send site keeps the event queue holding the full pending schedule.
+  void pump_network() {
+    while (auto msg = network_.next_delivery()) {
+      if (msg->to < P_) continue;  // proposers neither validate nor vote
+      if (msg->payload.empty()) continue;
+      const std::size_t v = msg->to - P_;
+      switch (msg->payload[0]) {
+        case kTagBlock: {
+          chain::BlockAnnouncement ann = chain::decode_announcement(
+              std::span(msg->payload).subspan(1));
+          const std::uint64_t hh = ann.block.header.number;
+          if (hh == 0 || hh > config_.rounds) break;
+          arena_.push_back(
+              {v, {std::move(ann.block), std::move(ann.profile)}});
+          push_ev({msg->deliver_time_us, kEvArrival, v, hh, hs_[hh].attempt,
+                   0, arena_.size() - 1});
+          break;
+        }
+        case kTagVote: {
+          const VoteMsg vm = decode_vote(msg->payload);
+          if (vm.height == 0 || vm.height > config_.rounds) break;
+          vote_arena_.push_back(vm);
+          // The event carries the SENDER's attempt: a vote for a revoked
+          // attempt stales out on its own.
+          push_ev({msg->deliver_time_us, kEvVoteArrival, v, vm.height,
+                   vm.attempt, 0, vote_arena_.size() - 1});
+          break;
+        }
+        default:
+          BP_ASSERT_MSG(false, "unknown gossip tag");
+      }
+    }
   }
 
   void push_ev(Ev ev) {
@@ -189,13 +328,24 @@ class EventDriver {
     result_.makespan_us = std::max(result_.makespan_us, ev.t);
     h.phase = Phase::kProposed;
     h.propose_start_us = ev.t;
+    ++h.propose_attempts;
     h.report = RoundReport{};
     h.report.height = ev.height;
     h.report.siblings = ppr_;
-    h.node_vote.assign(V_, Hash256{});
+    h.report.attempts = h.propose_attempts;
     h.inbox.assign(V_, {});
+    h.got.assign(V_, {});
     h.last_arrival.assign(V_, 0);
-    h.votes_cast = 0;
+    h.pushed.assign(V_, 0);
+    h.node_vote.assign(V_, Hash256{});
+    h.cast.assign(V_, 0);
+    h.recv.assign(V_, std::vector<Hash256>(V_));
+    h.decided.assign(V_, 0);
+    h.exhausted.assign(V_, 0);
+    h.cast_count = h.decided_count = h.exhausted_count = 0;
+    h.ann_wire.clear();
+    h.ann_hash.clear();
+    h.ann_proposer.clear();
     h.vote_hash = Hash256{};
     if (h.attempt > 0) result_.reproposed_blocks += ppr_;
 
@@ -223,21 +373,27 @@ class EventDriver {
       chain::BlockAnnouncement ann;
       ann.block = std::move(blk.block);
       ann.profile = std::move(blk.profile);
-      network_.broadcast(proposer_id, bcast_us,
-                         chain::encode_announcement(ann));
+      Bytes wire;
+      {
+        const Bytes enc = chain::encode_announcement(ann);
+        wire.reserve(enc.size() + 1);
+        wire.push_back(kTagBlock);
+        wire.insert(wire.end(), enc.begin(), enc.end());
+      }
+      // Keep the wire around: vote deadlines re-pull announcements a
+      // validator is still missing straight from this store.
+      h.ann_hash.push_back(ann.block.header.hash());
+      h.ann_proposer.push_back(proposer_id);
+      h.ann_wire.push_back(wire);
+      network_.broadcast(proposer_id, bcast_us, std::move(wire));
     }
+    pump_network();
 
-    // Expand the gossip into per-validator arrival events immediately —
-    // SimNetwork already resolved every delivery time deterministically.
-    while (auto msg = network_.next_delivery()) {
-      if (msg->to < P_) continue;  // proposers ignore sibling gossip
-      chain::BlockAnnouncement ann =
-          chain::decode_announcement(std::span(msg->payload));
-      arena_.push_back(
-          {msg->to - P_, {std::move(ann.block), std::move(ann.profile)}});
-      push_ev({msg->deliver_time_us, kEvArrival, msg->to - P_, ev.height,
-               h.attempt, 0, arena_.size() - 1});
-    }
+    // Arm the vote deadlines: one backoff chain per validator, anchored at
+    // the propose time (Ev::payload carries the retry index).
+    for (std::size_t v = 0; v < V_; ++v)
+      push_ev({ConsensusSim::vote_deadline(ev.t, config_.vote_timeout_us, 0),
+               kEvTimeout, v, ev.height, h.attempt, 0, 0});
   }
 
   void handle_arrival(const Ev& ev) {
@@ -246,9 +402,16 @@ class EventDriver {
       return;
     result_.makespan_us = std::max(result_.makespan_us, ev.t);
     const std::size_t v = ev.node;
-    h.inbox[v].push_back(std::move(arena_[ev.payload].bundle));
+    ArrivalPayload& ap = arena_[ev.payload];
+    const Hash256 bh = ap.bundle.block.header.hash();
+    // Duplicate deliveries (fault-plan dups, timeout re-pulls) fold away.
+    for (const Hash256& seen : h.got[v])
+      if (seen == bh) return;
+    h.got[v].push_back(bh);
+    h.inbox[v].push_back(std::move(ap.bundle));
     h.last_arrival[v] = std::max(h.last_arrival[v], ev.t);
-    if (h.inbox[v].size() < h.report.siblings) return;
+    if (h.inbox[v].size() < h.report.siblings || h.pushed[v]) return;
+    h.pushed[v] = 1;
 
     // Every sibling announcement is in: validate the height speculatively
     // (root checks stay pending on the node's commit pipeline) and vote.
@@ -271,65 +434,235 @@ class EventDriver {
               node.session->block_hash(idx, vote_idx))
         vote_idx = i;
     }
-    if (vote_idx != SIZE_MAX) {
-      h.node_vote[v] = node.session->block_hash(idx, vote_idx);
-      if (vote_idx != first_valid) node.session->choose(idx, vote_idx);
-      const auto& voted = node.session->outcome(idx, vote_idx);
-      if (voted.commit.valid() && !voted.commit.ready())
-        ++h.report.speculative_votes;
+    if (vote_idx == SIZE_MAX) {
+      // No execution-valid sibling (inline commitments expose a Byzantine
+      // root at push time): this validator cannot vote.  It stays silent;
+      // the height times out, exhausts every retry budget, and re-proposes
+      // with fresh leaders instead of asserting.
+      return;
     }
+    h.node_vote[v] = node.session->block_hash(idx, vote_idx);
+    if (vote_idx != first_valid) node.session->choose(idx, vote_idx);
+    const auto& voted = node.session->outcome(idx, vote_idx);
+    if (voted.commit.valid() && !voted.commit.ready())
+      ++h.report.speculative_votes;
 
     const std::uint64_t done =
         std::max(node.busy_until_us, h.last_arrival[v]) +
         mk / ConsensusSim::kGasPerUs;
     node.busy_until_us = done;
-    push_ev({done, kEvVote, v, ev.height, h.attempt, 0, SIZE_MAX});
+    push_ev({done, kEvVoteCast, v, ev.height, h.attempt, 0, SIZE_MAX});
   }
 
-  void handle_vote(const Ev& ev) {
+  /// Folds `voter`'s vote into v's tally (duplicates and nil votes no-op).
+  void record_vote(HeightSim& h, std::size_t v, std::size_t voter,
+                   const Hash256& hash) {
+    if (hash.is_zero()) return;
+    if (!h.recv[v][voter].is_zero()) return;
+    h.recv[v][voter] = hash;
+  }
+
+  /// A validator decides its height once it has cast its own vote and holds
+  /// `quorum_` matching votes (its own included).
+  void try_decide(HeightSim& h, std::size_t v) {
+    if (!h.cast[v] || h.decided[v]) return;
+    std::size_t matching = 0;
+    for (std::size_t w = 0; w < V_; ++w)
+      if (!h.recv[v][w].is_zero() && h.recv[v][w] == h.node_vote[v])
+        ++matching;
+    if (matching < quorum_) return;
+    h.decided[v] = 1;
+    ++h.decided_count;
+  }
+
+  void handle_vote_cast(const Ev& ev) {
     HeightSim& h = hs_[ev.height];
     if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kProposed)
       return;
     result_.makespan_us = std::max(result_.makespan_us, ev.t);
-    if (++h.votes_cast < V_) return;
+    const std::size_t v = ev.node;
+    if (h.cast[v]) return;
+    h.cast[v] = 1;
+    ++h.cast_count;
+    record_vote(h, v, v, h.node_vote[v]);
+    // The vote is a real gossip message: it rides the same faulty links as
+    // the block announcements it endorses.
+    network_.broadcast(P_ + v, ev.t,
+                       encode_vote({v, ev.height, h.attempt, h.node_vote[v]}));
+    pump_network();
+    try_decide(h, v);
+    check_vote_complete(ev.height, ev.t);
+  }
 
-    // ---- consensus: provisional votes must be unanimous ----
+  void handle_vote_arrival(const Ev& ev) {
+    HeightSim& h = hs_[ev.height];
+    if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kProposed)
+      return;
+    result_.makespan_us = std::max(result_.makespan_us, ev.t);
+    const VoteMsg& vm = vote_arena_[ev.payload];
+    record_vote(h, ev.node, vm.voter, vm.hash);
+    try_decide(h, ev.node);
+    check_vote_complete(ev.height, ev.t);
+  }
+
+  /// The vote phase completes chain-wide when every validator has cast AND
+  /// decided.  Quorum already tolerates lost vote *messages* (each node
+  /// needs only quorum_ of V_) — the all-decided barrier is what lets the
+  /// harness settle the replicas in lock-step.
+  void check_vote_complete(std::uint64_t height, std::uint64_t t) {
+    HeightSim& h = hs_[height];
+    if (h.cast_count < V_ || h.decided_count < V_) return;
+    complete_vote(height, t);
+  }
+
+  void complete_vote(std::uint64_t height, std::uint64_t t) {
+    HeightSim& h = hs_[height];
+    const std::size_t idx = height - 1;
+
+    // ---- consensus: the quorum hash must be one value chain-wide ----
+    // (Validators are honest; quorum absorbs lost messages, never split
+    // votes — a split here is a safety violation.)
     const Hash256 first = h.node_vote[0];
     for (const Hash256& vote : h.node_vote) {
-      if (vote.is_zero()) {
-        fail("no valid block at height " + std::to_string(ev.height));
-        return;
-      }
-      if (!(vote == first)) {
+      if (vote.is_zero() || !(vote == first)) {
         fail("validators voted for different blocks at height " +
-             std::to_string(ev.height));
+             std::to_string(height));
         return;
       }
     }
     h.phase = Phase::kVoted;
-    h.vote_done_us = ev.t;
+    h.vote_done_us = t;
     h.vote_hash = first;
     canon_hash_ = first;
-    h.report.round_latency_us = ev.t - h.propose_start_us;
+    h.report.round_latency_us = t - h.propose_start_us;
     result_.speculative_votes += h.report.speculative_votes;
+
+    // The quorum is the network layer's licence to settle: record it on
+    // every replica before any settle event may fire.
+    for (std::size_t v = 0; v < V_; ++v)
+      nodes_[v]->session->mark_quorum(idx);
 
     // Virtual commitment: every sibling root must fold before the height
     // can settle.  Commitment work of distinct heights overlaps on the
     // commit pool, so each height's cost is charged from its own vote;
     // settle events still fire in height order (the pipeline is FIFO).
-    std::uint64_t gas = 0;
-    for (const core::BlockBundle& b : h.inbox[0])
-      gas += b.block.header.gas_used;
-    h.commit_cost_us =
-        config_.commit_threads > 0
-            ? gas / std::max<std::uint64_t>(1, config_.commit_gas_per_us)
-            : 0;
+    std::uint64_t cost_us = 0;
+    if (config_.commit_threads > 0) {
+      if (config_.use_measured_commit_cost) {
+        // Feed the *measured* pipeline latency of validator 0's siblings
+        // back into the schedule (blocks on the handles; wall-clock, so
+        // this mode trades bit-stability for realism).
+        double ms = 0.0;
+        for (std::size_t i = 0; i < h.inbox[0].size(); ++i) {
+          const auto& o = nodes_[0]->session->outcome(idx, i);
+          if (o.commit.valid()) ms += o.commit.get().commit_ms;
+        }
+        cost_us = static_cast<std::uint64_t>(ms * 1000.0);
+      } else {
+        std::uint64_t gas = 0;
+        for (const core::BlockBundle& b : h.inbox[0])
+          gas += b.block.header.gas_used;
+        cost_us = gas / std::max<std::uint64_t>(1, config_.commit_gas_per_us);
+      }
+    }
+    h.commit_cost_us = cost_us;
     const std::uint64_t settle_at =
-        std::max(ev.t + h.commit_cost_us, last_settle_sched_us_);
+        std::max(t + h.commit_cost_us, last_settle_sched_us_);
     last_settle_sched_us_ = settle_at;
-    push_ev({settle_at, kEvSettle, 0, ev.height, h.attempt, 0, SIZE_MAX});
+    push_ev({settle_at, kEvSettle, 0, height, h.attempt, 0, SIZE_MAX});
 
-    try_schedule_propose(ev.height + 1, ev.t);
+    try_schedule_propose(height + 1, t);
+  }
+
+  void handle_timeout(const Ev& ev) {
+    HeightSim& h = hs_[ev.height];
+    if (dead_ || ev.attempt != h.attempt || h.phase != Phase::kProposed)
+      return;
+    result_.makespan_us = std::max(result_.makespan_us, ev.t);
+    const std::size_t v = ev.node;
+    const std::size_t retry = ev.payload;
+    ++result_.vote_timeouts;
+    if (retry >= config_.vote_retry_budget) {
+      // Budget burned.  The height re-proposes only when EVERY validator
+      // has given up — a straggler with retries left may still pull the
+      // height through.
+      if (!h.exhausted[v]) {
+        h.exhausted[v] = 1;
+        if (++h.exhausted_count == V_) repropose_height(ev.height, ev.t);
+      }
+      return;
+    }
+    if (h.cast[v]) {
+      // Rebroadcast the vote.  A validator keeps doing this past its own
+      // local decision (until the height completes chain-wide): after a
+      // heal it is these rebroadcasts that refill a straggler's tally.
+      network_.broadcast(
+          P_ + v, ev.t,
+          encode_vote({v, ev.height, h.attempt, h.node_vote[v]}));
+      ++result_.vote_retransmits;
+    } else {
+      // Still missing announcements: pull them again from their proposers.
+      for (std::size_t k = 0; k < h.ann_wire.size(); ++k) {
+        bool have = false;
+        for (const Hash256& seen : h.got[v])
+          if (seen == h.ann_hash[k]) { have = true; break; }
+        if (have) continue;
+        network_.send(h.ann_proposer[k], P_ + v, ev.t, h.ann_wire[k]);
+        ++result_.vote_retransmits;
+      }
+    }
+    pump_network();
+    push_ev({ConsensusSim::vote_deadline(h.propose_start_us,
+                                         config_.vote_timeout_us, retry + 1),
+             kEvTimeout, v, ev.height, h.attempt, 0, retry + 1});
+  }
+
+  /// Quorum never formed within the retry budget: discard the attempt and
+  /// re-propose with fresh leaders, or — when the proposal budget is also
+  /// burned — declare liveness lost.  Safety is never at stake here:
+  /// nothing at this height settled, and nothing past it was proposed.
+  void repropose_height(std::uint64_t height, std::uint64_t t) {
+    HeightSim& h = hs_[height];
+    const std::size_t idx = height - 1;
+    // Unwind the speculative session records.  Pending commit handles are
+    // simply dropped; the pipelines publish and drain abandoned
+    // submissions on their own.
+    for (std::size_t v = 0; v < V_; ++v)
+      if (h.pushed[v]) nodes_[v]->session->drop_unsettled(idx);
+    if (h.propose_attempts >= config_.max_propose_attempts) {
+      ++result_.quorum_failures;
+      // Park the height for good: stale every in-flight event and stop.
+      // Earlier voted heights still settle; nothing deeper was proposed.
+      ++h.attempt;
+      h.phase = Phase::kIdle;
+      return;
+    }
+    ++result_.quorum_reproposals;
+    reset_height(h, height);
+    push_ev({t, kEvPropose, 0, height, h.attempt, 0, SIZE_MAX});
+  }
+
+  /// Returns a height to kIdle for a fresh attempt: stales every in-flight
+  /// event via the attempt counter and wipes the per-attempt scoreboard.
+  /// propose_attempts (the liveness budget) and ready_us survive.
+  void reset_height(HeightSim& s, std::uint64_t hh) {
+    ++s.attempt;
+    s.phase = Phase::kIdle;
+    s.inbox.clear();
+    s.got.clear();
+    s.last_arrival.clear();
+    s.pushed.clear();
+    s.node_vote.clear();
+    s.cast.clear();
+    s.recv.clear();
+    s.decided.clear();
+    s.exhausted.clear();
+    s.cast_count = s.decided_count = s.exhausted_count = 0;
+    s.ann_wire.clear();
+    s.ann_hash.clear();
+    s.ann_proposer.clear();
+    s.report = RoundReport{};
+    s.report.height = hh;
   }
 
   void handle_settle(const Ev& ev) {
@@ -340,7 +673,16 @@ class EventDriver {
 
     bool ok0 = false;
     for (std::size_t v = 0; v < V_; ++v) {
-      const bool ok = nodes_[v]->session->settle_next();
+      core::ChainSession& session = *nodes_[v]->session;
+      // Settlement is licensed by the recorded quorum: a height with lost
+      // votes parks in kProposed and never schedules this event, so a
+      // session without the flag here is a harness bug, not bad luck.
+      if (!session.can_settle() || !session.has_quorum(idx)) {
+        fail("settlement without quorum at height " +
+             std::to_string(ev.height));
+        return;
+      }
+      const bool ok = session.settle_next();
       if (v == 0) {
         ok0 = ok;
       } else if (ok != ok0) {
@@ -394,14 +736,7 @@ class EventDriver {
       HeightSim& s = hs_[hh];
       if (s.phase == Phase::kIdle) continue;
       if (s.phase == Phase::kVoted) result_.revoked_votes += V_;
-      ++s.attempt;
-      s.phase = Phase::kIdle;
-      s.inbox.clear();
-      s.node_vote.clear();
-      s.last_arrival.clear();
-      s.votes_cast = 0;
-      s.report = RoundReport{};
-      s.report.height = hh;
+      reset_height(s, hh);
     }
     parked_height_ = 0;
     for (std::size_t v = 0; v < V_; ++v)
@@ -477,10 +812,14 @@ class EventDriver {
   const std::size_t P_;
   const std::size_t V_;
   const std::size_t ppr_;
+  const std::size_t quorum_;
   workload::WorkloadGenerator gen_;
   const state::WorldState genesis_;
   SimNetwork network_;
   ThreadPool workers_;
+  // Declared before the pipelines that feed it: observer callbacks run on
+  // pool threads until each pipeline's destructor drains.
+  std::atomic<std::uint64_t> measured_commit_ns_{0};
   std::unique_ptr<ThreadPool> commit_pool_;
   std::unique_ptr<commit::CommitPipeline> proposer_commits_;
   state::BlockSeedDirectory seed_dir_;
@@ -489,6 +828,7 @@ class EventDriver {
   std::vector<HeightSim> hs_;
   std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
   std::vector<ArrivalPayload> arena_;
+  std::vector<VoteMsg> vote_arena_;
   std::uint64_t seq_ = 0;
   Hash256 canon_hash_;
   std::uint64_t last_settled_ = 0;
@@ -541,6 +881,9 @@ ConsensusSim::ConsensusSim(ConsensusSimConfig config)
   BP_ASSERT(config_.proposers_per_round >= 1);
   BP_ASSERT(config_.proposers_per_round <= config_.proposer_nodes);
   BP_ASSERT(config_.rounds >= 1);
+  BP_ASSERT(config_.validator_nodes <= 255);
+  BP_ASSERT(config_.vote_timeout_us >= 1);
+  BP_ASSERT(config_.max_propose_attempts >= 1);
 }
 
 ConsensusSimResult ConsensusSim::run() {

@@ -24,19 +24,34 @@
 // which is exactly what happens when every proposer at a height was
 // Byzantine.
 //
+// Voting is f-of-n *quorum collection*, not unanimity: each validator
+// broadcasts its vote as a real gossip message (subject to the network's
+// fault plan — loss, duplication, reordering, partitions), tallies the
+// votes it receives, and decides the height once `quorum_votes` matching
+// votes are in (default 2f+1 of n with f = ⌊(n−1)/3⌋).  A per-height vote
+// deadline in the deterministic event queue triggers bounded retransmission
+// with exponential backoff: a node that voted rebroadcasts its vote, a node
+// still missing sibling announcements pulls them again from their
+// proposers.  A height whose quorum never forms within the retry budget
+// parks and *re-proposes* (fresh honest leaders, bumped attempt) instead of
+// asserting; only when the re-proposal budget is also exhausted does the
+// simulation declare liveness lost (`quorum_failures`) — never a safety
+// violation.
+//
 // The event queue orders (virtual time, kind, node, seq) with settle <
-// arrival < vote < propose at equal times, so a whole multi-node scenario
-// is bit-stable across runs and hosts; every event carries the height's
-// attempt counter so revocation makes in-flight events of the abandoned
-// suffix stale rather than racing them.
+// block-arrival < vote-arrival < vote < timeout < propose at equal times,
+// so a whole multi-node scenario is bit-stable across runs and hosts;
+// every event carries the height's attempt counter so revocation makes
+// in-flight events of the abandoned suffix stale rather than racing them.
 //
 // The simulation asserts consensus safety at every height: all honest
-// validators must agree on the vote, on settlement, on fork-choice, and on
-// the canonical state root.  A Byzantine proposer subset (see
-// ConsensusSimConfig::byzantine_height / byzantine_proposers) tampers with
-// sealed roots; safety holds as long as the honest validators *agree* on
-// detecting, revoking, and (when an honest sibling exists) forking around
-// it.
+// validators must agree on the quorum hash, on settlement, on fork-choice,
+// and on the canonical state root — and no height may settle without a
+// recorded quorum (ChainSession::mark_quorum).  A Byzantine proposer
+// subset (see ConsensusSimConfig::byzantine_height / byzantine_proposers)
+// tampers with sealed roots; safety holds as long as the honest validators
+// *agree* on detecting, revoking, and (when an honest sibling exists)
+// forking around it.
 //
 // run_batch_reference() retains the pre-refactor round-batch algorithm
 // (propose/gossip/vote every height, then one settle pass that cascades
@@ -94,6 +109,31 @@ struct ConsensusSimConfig {
   /// model settle latency: a height's commitment costs
   /// Σ sibling gas / commit_gas_per_us of virtual time past its vote.
   std::uint64_t commit_gas_per_us = 45;
+  /// Votes required to decide a height.  0 = auto: 2f+1 with
+  /// f = ⌊(n−1)/3⌋ over n = validator_nodes.  Explicit values are clamped
+  /// to [1, validator_nodes]; quorum_votes == validator_nodes restores the
+  /// pre-quorum unanimity behaviour (the differential-test mode).
+  std::size_t quorum_votes = 0;
+  /// Base vote deadline: a validator that has not decided a height this
+  /// long (virtual us) after its proposal fires a timeout and retransmits
+  /// (its own vote if cast, else a re-pull of missing announcements).
+  /// Deadlines back off exponentially: T, then 2T, 4T, ... after each retry.
+  std::uint64_t vote_timeout_us = 500'000;
+  /// Retransmissions per validator per height attempt before it gives up.
+  /// When every validator has exhausted its budget without quorum, the
+  /// height parks and is re-proposed with a bumped attempt counter.
+  std::size_t vote_retry_budget = 4;
+  /// Proposal attempts per height before the simulation declares liveness
+  /// lost (quorum_failures; safety still holds).  Attempts consumed by
+  /// fork-choice re-proposals count too.
+  std::size_t max_propose_attempts = 8;
+  /// Feed each node's *measured* CommitPipeline latency
+  /// (CommitResult::commit_ms, via the pipeline settle observer) into the
+  /// virtual settle schedule instead of the gas-derived model.  Off by
+  /// default: wall-clock measurements vary run to run, so this mode trades
+  /// the bit-stability guarantees (and the differential gates that assert
+  /// them) for schedule realism.
+  bool use_measured_commit_cost = false;
   /// Publish per-account storage seeds keyed by block hash so sibling
   /// validators of the same block share trie rebuild work (stats report
   /// seeds_built / seeds_adopted).
@@ -125,6 +165,9 @@ struct RoundReport {
   /// time the proposal sat parked behind the speculation window plus the
   /// commitment tail the overlap could not hide.
   std::uint64_t settle_latency_us = 0;
+  /// Proposal attempts this height consumed (1 = settled first try;
+  /// quorum misses and fork-choice truncations both bump it).
+  std::size_t attempts = 1;
 };
 
 struct ConsensusSimResult {
@@ -152,6 +195,28 @@ struct ConsensusSimResult {
   /// Block-seed sharing effectiveness across sibling validators.
   std::uint64_t seeds_built = 0;
   std::uint64_t seeds_adopted = 0;
+  /// Vote deadlines that fired (a validator waited out its backoff without
+  /// deciding the height).
+  std::uint64_t vote_timeouts = 0;
+  /// Messages re-sent by fired deadlines (vote rebroadcasts plus
+  /// announcement re-pulls).
+  std::uint64_t vote_retransmits = 0;
+  /// Heights re-proposed because their quorum never formed within the
+  /// retry budget (distinct from reproposed_blocks, the fork-choice path).
+  std::uint64_t quorum_reproposals = 0;
+  /// Heights abandoned after max_propose_attempts — liveness lost, safety
+  /// intact.  Nonzero only under faults the retry budget cannot beat
+  /// (e.g. a partition that never heals).
+  std::uint64_t quorum_failures = 0;
+  /// Network fault-plan counters (mirrors SimNetwork::fault_stats()).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t messages_partitioned = 0;
+  /// Σ measured CommitPipeline latency across every node (wall-clock, via
+  /// the settle observers).  Informational unless use_measured_commit_cost
+  /// folds it into the virtual schedule.
+  double measured_commit_ms = 0.0;
   bool safety_held = true;  // all validators agreed every round + at settle
   std::string violation;    // populated when safety_held == false
 
@@ -195,6 +260,29 @@ class ConsensusSim {
   /// Gas-to-time conversion for latency reporting: EVM gas throughput of
   /// one core (mainnet-ish ~30 Mgas/s -> 30 gas/us).
   static constexpr std::uint64_t kGasPerUs = 30;
+
+  /// Resolves the quorum size for `validators` nodes: `configured` clamped
+  /// to [1, validators], or — when 0 — the BFT threshold 2f+1 with
+  /// f = ⌊(validators−1)/3⌋ (n − f, which equals 2f+1 when n = 3f+1).
+  static constexpr std::size_t quorum_size(std::size_t validators,
+                                           std::size_t configured) noexcept {
+    if (validators == 0) return 0;
+    if (configured == 0) {
+      const std::size_t f = (validators - 1) / 3;
+      return validators - f;
+    }
+    return configured < 1 ? 1 : (configured > validators ? validators
+                                                         : configured);
+  }
+
+  /// Deadline of a validator's retry-`retry` vote timeout for a height
+  /// proposed at `propose_us`: cumulative exponential backoff
+  /// propose + T + 2T + ... + 2^retry·T  ==  propose + (2^(retry+1) − 1)·T.
+  static constexpr std::uint64_t vote_deadline(std::uint64_t propose_us,
+                                               std::uint64_t timeout_us,
+                                               std::size_t retry) noexcept {
+    return propose_us + ((std::uint64_t{2} << retry) - 1) * timeout_us;
+  }
 
   const ConsensusSimConfig& config() const noexcept { return config_; }
 

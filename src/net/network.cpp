@@ -14,6 +14,25 @@ void SimNetwork::broadcast(NodeId from, std::uint64_t send_time_us,
 void SimNetwork::send(NodeId from, NodeId to, std::uint64_t send_time_us,
                       Bytes payload) {
   BP_ASSERT(from < node_count_ && to < node_count_);
+  // Wire bytes are spent the moment the message is put on the link,
+  // whatever the fault plan does to it afterwards.
+  bytes_sent_ += payload.size();
+
+  const FaultPlan& faults = link_.faults;
+  // Partition filter: a split link simply eats the message.  No draw is
+  // consumed — partitions are schedule-driven, not probabilistic.
+  for (const PartitionWindow& pw : faults.partitions) {
+    if (pw.splits(from, to, send_time_us)) {
+      ++fault_stats_.partitioned;
+      return;
+    }
+  }
+  if (faults.drop_per_mille > 0 &&
+      splitmix64(fault_state_) % 1000 < faults.drop_per_mille) {
+    ++fault_stats_.dropped;
+    return;
+  }
+
   Message msg;
   msg.from = from;
   msg.to = to;
@@ -22,14 +41,24 @@ void SimNetwork::send(NodeId from, NodeId to, std::uint64_t send_time_us,
   if (link_.jitter_us > 0) {
     // splitmix64 step: one deterministic draw per send, so delivery order
     // depends only on (seed, send sequence) — reproducible shuffling.
-    std::uint64_t x = (jitter_state_ += 0x9e3779b97f4a7c15ULL);
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    msg.deliver_time_us += x % (link_.jitter_us + 1);
+    msg.deliver_time_us += splitmix64(jitter_state_) % (link_.jitter_us + 1);
   }
-  bytes_sent_ += payload.size();
+  if (faults.reorder_per_mille > 0 &&
+      splitmix64(fault_state_) % 1000 < faults.reorder_per_mille) {
+    // A reordering burst: this delivery leapfrogs behind later traffic.
+    msg.deliver_time_us += faults.reorder_burst_us;
+    ++fault_stats_.reordered;
+  }
   msg.payload = std::move(payload);
+  if (faults.duplicate_per_mille > 0 &&
+      splitmix64(fault_state_) % 1000 < faults.duplicate_per_mille) {
+    // The duplicate trails the original by a deterministic sub-hop delay.
+    Message dup = msg;
+    dup.deliver_time_us +=
+        1 + splitmix64(fault_state_) % (link_.base_latency_us + 1);
+    ++fault_stats_.duplicated;
+    queue_.push(std::move(dup));
+  }
   queue_.push(std::move(msg));
 }
 

@@ -7,6 +7,14 @@
 // across runs and hosts.  Payloads are opaque byte strings — nodes exchange
 // the RLP wire format from chain/codec.hpp, exactly what a real deployment
 // would gossip.
+//
+// On top of the latency model sits a seeded *fault plan* (FaultPlan):
+// per-link message loss, duplication, reordering bursts, and timed
+// partitions with split/heal schedules.  Every fault decision is one draw
+// from a single splitmix64 stream, so the complete fault sequence — which
+// message is lost, which is duplicated, when the partition bites — is
+// reproducible from (seed, send order) alone.  This is the adversarial
+// substrate the quorum/timeout consensus layer is tested against.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/rng.hpp"
 
 namespace blockpilot::net {
 
@@ -29,6 +38,42 @@ struct Message {
   Bytes payload;
 };
 
+/// One timed network split: while `start_us <= send_time < heal_us`, any
+/// message whose endpoints straddle the boundary between group A (node's
+/// bit set in `group_mask`) and group B is filtered out — gossip cannot
+/// cross a partition, and nothing is queued for later: recovery after the
+/// heal is the retransmission layer's job.  Node ids must be < 64.
+struct PartitionWindow {
+  std::uint64_t start_us = 0;
+  std::uint64_t heal_us = 0;  // exclusive; UINT64_MAX = never heals
+  std::uint64_t group_mask = 0;
+
+  bool splits(NodeId from, NodeId to, std::uint64_t send_us) const noexcept {
+    if (send_us < start_us || send_us >= heal_us) return false;
+    return (((group_mask >> from) ^ (group_mask >> to)) & 1u) != 0;
+  }
+};
+
+/// Seeded per-send fault injection layered under the jitter model.  Rates
+/// are per-mille (0..1000); a draw is consumed from the fault stream only
+/// for knobs that are enabled, so enabling one fault class does not
+/// reshuffle another's decisions.
+struct FaultPlan {
+  std::uint32_t drop_per_mille = 0;       // P(message silently lost)
+  std::uint32_t duplicate_per_mille = 0;  // P(a second copy is delivered)
+  std::uint32_t reorder_per_mille = 0;    // P(delivery delayed by a burst)
+  /// Extra delay added to a reordered message — long enough to leapfrog
+  /// later traffic, producing genuine out-of-order delivery.
+  std::uint64_t reorder_burst_us = 0;
+  std::uint64_t seed = 0;
+  std::vector<PartitionWindow> partitions;
+
+  bool active() const noexcept {
+    return drop_per_mille > 0 || duplicate_per_mille > 0 ||
+           reorder_per_mille > 0 || !partitions.empty();
+  }
+};
+
 struct LinkModel {
   /// Fixed propagation delay per hop.
   std::uint64_t base_latency_us = 50'000;  // 50 ms, mainnet-ish gossip hop
@@ -40,12 +85,22 @@ struct LinkModel {
   /// fork-choice fuzz shuffles arrival order this way).  0 disables jitter.
   std::uint64_t jitter_us = 0;
   std::uint64_t jitter_seed = 0;
+  /// Adversarial delivery: loss, duplication, reordering, partitions.
+  FaultPlan faults;
 
   std::uint64_t transit_time(std::size_t payload_bytes) const noexcept {
     return base_latency_us +
            static_cast<std::uint64_t>(payload_bytes) /
                std::max<std::uint64_t>(1, bytes_per_us);
   }
+};
+
+/// Per-class fault counters (what the plan actually did to the traffic).
+struct FaultStats {
+  std::uint64_t dropped = 0;      // lost to drop_per_mille
+  std::uint64_t duplicated = 0;   // extra copies enqueued
+  std::uint64_t reordered = 0;    // deliveries delayed by a burst
+  std::uint64_t partitioned = 0;  // filtered by a partition window
 };
 
 /// A broadcast-capable virtual network between `node_count` nodes.
@@ -55,8 +110,12 @@ class SimNetwork {
       : node_count_(node_count),
         link_(link),
         jitter_state_(link.jitter_seed * 0x9e3779b97f4a7c15ULL +
-                      0x2545f4914f6cdd1dULL) {
+                      0x2545f4914f6cdd1dULL),
+        fault_state_(link.faults.seed * 0x9e3779b97f4a7c15ULL +
+                     0x6a09e667f3bcc909ULL) {
     BP_ASSERT(node_count >= 1);
+    // Partition membership is a 64-bit mask, one bit per node.
+    BP_ASSERT(link.faults.partitions.empty() || node_count <= 64);
   }
 
   std::size_t node_count() const noexcept { return node_count_; }
@@ -65,7 +124,8 @@ class SimNetwork {
   /// `send_time_us`.
   void broadcast(NodeId from, std::uint64_t send_time_us, Bytes payload);
 
-  /// Point-to-point send.
+  /// Point-to-point send.  The fault plan is applied per link: the message
+  /// may be filtered (partition), lost, duplicated, or delayed here.
   void send(NodeId from, NodeId to, std::uint64_t send_time_us,
             Bytes payload);
 
@@ -76,8 +136,11 @@ class SimNetwork {
   bool idle() const noexcept { return queue_.empty(); }
   std::size_t in_flight() const noexcept { return queue_.size(); }
 
-  /// Total bytes ever enqueued (bandwidth accounting).
+  /// Total bytes ever handed to send() (bandwidth accounting).  Messages
+  /// the fault plan eats still spent their wire bytes.
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
 
  private:
   struct Later {
@@ -94,6 +157,8 @@ class SimNetwork {
   std::priority_queue<Message, std::vector<Message>, Later> queue_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t jitter_state_;  // splitmix64 stream for delivery jitter
+  std::uint64_t fault_state_;   // splitmix64 stream for fault decisions
+  FaultStats fault_stats_;
 };
 
 }  // namespace blockpilot::net

@@ -258,6 +258,97 @@ TEST_F(PipelineFixture, ChainSessionCascadeMarksSuffixInvalid) {
   EXPECT_EQ(session.settled_count(), 2u);
 }
 
+TEST_F(PipelineFixture, ChainSessionQuorumFlagGatesSettlement) {
+  // The quorum bit is the network layer's licence to settle: it starts
+  // clear, is per-height, and survives the consensus loop's gate pattern
+  // (check has_quorum before settle_next) without deadlocking a height
+  // whose votes never arrive.
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  ThreadPool workers(4);
+  ChainSession session(cfg, genesis);
+
+  const BlockBundle b1 = bundle_from(genesis, gen.next_batch(20), 1);
+  ASSERT_EQ(session.push_height(std::span(&b1, 1), workers), 0u);
+  const BlockBundle b2 = bundle_from(session.tip(), gen.next_batch(20), 2);
+  ASSERT_EQ(session.push_height(std::span(&b2, 1), workers), 0u);
+
+  EXPECT_FALSE(session.has_quorum(0));
+  EXPECT_FALSE(session.has_quorum(1));
+  session.mark_quorum(0);
+  EXPECT_TRUE(session.has_quorum(0));
+  EXPECT_FALSE(session.has_quorum(1));  // per height, not sticky-global
+
+  // Consensus-loop settle gate: only quorate heights settle.
+  ASSERT_TRUE(session.can_settle());
+  EXPECT_TRUE(session.settle_next());
+  EXPECT_EQ(session.settled_count(), 1u);
+  EXPECT_EQ(session.unsettled_count(), 1u);
+
+  // Height 1's votes are lost for good: the loop parks it (no settle call)
+  // and later re-proposes.  The session neither deadlocks nor double
+  // settles — the replacement height settles exactly once.
+  EXPECT_FALSE(session.has_quorum(1));
+  session.drop_unsettled(1);
+  EXPECT_EQ(session.unsettled_count(), 0u);
+  EXPECT_FALSE(session.can_settle());
+
+  const BlockBundle b2r = bundle_from(session.tip(), gen.next_batch(20), 2);
+  ASSERT_EQ(session.push_height(std::span(&b2r, 1), workers), 0u);
+  EXPECT_FALSE(session.has_quorum(1));  // fresh record: flag starts clear
+  session.mark_quorum(1);
+  EXPECT_TRUE(session.settle_next());
+  EXPECT_EQ(session.settled_count(), 2u);
+  EXPECT_FALSE(session.can_settle());  // nothing left — callers stop here
+}
+
+TEST_F(PipelineFixture, ChainSessionDropUnsettledRewindsTipAndDrainsCommits) {
+  // Quorum-miss re-proposal with an async commit pipeline: dropping a
+  // speculative suffix abandons pending CommitHandles mid-flight.  The
+  // revocations fire ascending, the tip rewinds to the settled prefix, and
+  // the pipeline publishes the orphaned submissions instead of wedging.
+  ThreadPool commit_pool(2);
+  commit::CommitPipeline commits(&commit_pool);
+  PipelineConfig cfg;
+  cfg.workers = 4;
+  cfg.commit_pipeline = &commits;
+  ThreadPool workers(4);
+  ChainSession session(cfg, genesis);
+  std::vector<std::size_t> revoked;
+  session.set_revocation_callback(
+      [&](std::size_t h) { revoked.push_back(h); });
+
+  const BlockBundle b1 = bundle_from(genesis, gen.next_batch(25), 1);
+  ASSERT_EQ(session.push_height(std::span(&b1, 1), workers), 0u);
+  session.mark_quorum(0);
+  ASSERT_TRUE(session.settle_next());
+  const Hash256 settled_tip = session.tip().state_root();
+
+  const BlockBundle b2 = bundle_from(session.tip(), gen.next_batch(25), 2);
+  ASSERT_EQ(session.push_height(std::span(&b2, 1), workers), 0u);
+  const BlockBundle b3 = bundle_from(session.tip(), gen.next_batch(25), 3);
+  ASSERT_EQ(session.push_height(std::span(&b3, 1), workers), 0u);
+
+  session.drop_unsettled(1);  // both unsettled heights go, oldest first
+  EXPECT_EQ(revoked, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(session.height_count(), 1u);
+  EXPECT_EQ(session.settled_count(), 1u);
+  EXPECT_EQ(session.tip().state_root(), settled_tip);
+
+  // Abandoned submissions publish on their own: the pipeline drains to
+  // zero pending and its counters balance.
+  commits.drain();
+  EXPECT_EQ(commits.pending(), 0u);
+  EXPECT_EQ(commits.stats().settled, commits.stats().submitted);
+
+  // The chain regrows from the surviving tip and settles clean.
+  const BlockBundle b2r = bundle_from(session.tip(), gen.next_batch(25), 2);
+  ASSERT_EQ(session.push_height(std::span(&b2r, 1), workers), 0u);
+  session.mark_quorum(1);
+  EXPECT_TRUE(session.settle_next());
+  EXPECT_EQ(session.settled_count(), 2u);
+}
+
 TEST(PipelineSim, SingleBlockSingleWorker) {
   const std::uint64_t makespan = simulate_shared_workers(
       {{0, 100}, {0, 200}, {0, 300}}, 1, 50);
