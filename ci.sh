@@ -6,14 +6,30 @@
 # Byzantine leaders) under both ThreadSanitizer and AddressSanitizer.
 # The fuzz and the fault matrix detect sanitizer builds at compile time
 # and trim their scenario sweeps so these gates stay within CI budget.
+# The db-labeled crash/recovery suites additionally run under combined
+# ASan+UBSan (the asan-db preset), and every db gate is followed by a
+# tmpdir hygiene check: tests and benches must remove their page files.
 #
-#   ./ci.sh            # tier-1 + perf-smoke + tsan commit/stress + tsan/asan net
+#   ./ci.sh            # tier-1 + perf-smoke + tsan commit/stress + tsan/asan net + asan-db
 #   ./ci.sh --tier1    # tier-1 only (fast path)
 #   JOBS=8 ./ci.sh     # override parallelism
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
+
+# Page-store tests and benches create /tmp/bpdb_* scratch dirs and must
+# remove them (crash-simulation paths included).  A leak here means a
+# teardown bug, so fail the gate rather than fill the CI disk.
+hygiene_check() {
+  local leaked
+  leaked="$(find /tmp -maxdepth 1 -name 'bpdb_*' -print 2>/dev/null || true)"
+  if [[ -n "${leaked}" ]]; then
+    echo "==> hygiene: leaked page-store scratch dirs after $1:" >&2
+    echo "${leaked}" >&2
+    exit 1
+  fi
+}
 
 echo "==> tier-1: configure + build (RelWithDebInfo)"
 cmake --preset default >/dev/null
@@ -34,6 +50,14 @@ echo "==> perf-smoke: bench_versioned_state --smoke (sharded-store gates)"
 # livelocked store cannot hang CI.
 timeout 120 ./build/bench/bench_versioned_state --smoke
 
+echo "==> perf-smoke: bench_db --smoke (paged-store gates)"
+# Fails on crash or on any db gate: warm-cache replay not faster than the
+# cold run, cache hit rate not strictly inside (0, 100)% with the cache
+# capped below the working set, compaction losing the durable root, or a
+# recovery mismatch.  Also exercises the bench's own scratch-dir cleanup.
+timeout 180 ./build/bench/bench_db --smoke
+hygiene_check "bench_db"
+
 echo "==> tsan: configure + build (BLOCKPILOT_SANITIZE=thread)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
@@ -50,5 +74,13 @@ cmake --build --preset asan -j "${JOBS}"
 
 echo "==> asan: net-labeled tests (consensus loop, fork-choice fuzz, fault matrix)"
 ctest --preset asan-net
+
+echo "==> asan-db: configure + build (BLOCKPILOT_SANITIZE=address,undefined)"
+cmake --preset asan-db >/dev/null
+cmake --build --preset asan-db -j "${JOBS}"
+
+echo "==> asan-db: db-labeled tests (page codecs, torn-write recovery, differential fuzz)"
+ctest --preset asan-db
+hygiene_check "asan-db tests"
 
 echo "==> ci: all gates passed"

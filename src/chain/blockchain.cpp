@@ -1,5 +1,6 @@
 #include "chain/blockchain.hpp"
 
+#include "db/node_store.hpp"
 #include "support/assert.hpp"
 
 namespace blockpilot::chain {
@@ -19,16 +20,42 @@ Blockchain::Blockchain(state::WorldState genesis_state) {
 void Blockchain::commit_block(
     Block block, std::shared_ptr<const state::WorldState> post_state,
     std::vector<Receipt> receipts) {
-  std::scoped_lock lk(mu_);
-  BP_ASSERT_MSG(blocks_.contains(block.header.parent_hash),
-                "unknown parent block");
-  BP_ASSERT(post_state != nullptr);
-  const Hash256 h = block.header.hash();
+  db::NodeStore* store = nullptr;
+  std::shared_ptr<const state::WorldState> to_persist;
+  bool finalized = false;
+  const Hash256 state_root = block.header.state_root;
   const std::uint64_t number = block.header.number;
-  states_[h] = std::move(post_state);
-  if (!receipts.empty()) receipts_[h] = std::move(receipts);
-  blocks_[h] = std::make_unique<Block>(std::move(block));
-  if (number > blocks_.at(head_hash_)->header.number) head_hash_ = h;
+  {
+    std::scoped_lock lk(mu_);
+    BP_ASSERT_MSG(blocks_.contains(block.header.parent_hash),
+                  "unknown parent block");
+    BP_ASSERT(post_state != nullptr);
+    const Hash256 h = block.header.hash();
+    states_[h] = post_state;
+    if (!receipts.empty()) receipts_[h] = std::move(receipts);
+    blocks_[h] = std::make_unique<Block>(std::move(block));
+    if (number > blocks_.at(head_hash_)->header.number) {
+      head_hash_ = h;
+      finalized = true;
+    }
+    store = node_store_;
+    if (store != nullptr) to_persist = std::move(post_state);
+  }
+  // Store I/O runs outside the ledger lock.  Sibling blocks persist their
+  // nodes too (usually a no-op after the pipeline already appended them),
+  // but only a block that took the head advances the durable root.
+  if (store != nullptr) {
+    (void)to_persist->persist_commitment(*store);
+    if (finalized) {
+      const db::Status st = store->commit_root(state_root, number);
+      BP_ASSERT_MSG(st.ok(), "node store durability barrier failed");
+    }
+  }
+}
+
+void Blockchain::attach_node_store(db::NodeStore* store) {
+  std::scoped_lock lk(mu_);
+  node_store_ = store;
 }
 
 void Blockchain::commit_block(Block block, commit::CommitHandle commit,

@@ -43,6 +43,14 @@ class Blockchain {
   void commit_block(Block block, commit::CommitHandle commit,
                     std::vector<Receipt> receipts = {});
 
+  /// Attaches a node store: every block committed from now on persists its
+  /// post state's trie nodes, and blocks that extend the canonical head
+  /// additionally pass the commit_root durability barrier (finalization is
+  /// the only point where a root is known canonical — speculative siblings
+  /// persist nodes but never advance the durable root).  `store` must
+  /// outlive the chain; nullptr detaches.
+  void attach_node_store(db::NodeStore* store);
+
   /// Looks up a block by hash.
   const Block* block_by_hash(const Hash256& h) const;
 
@@ -70,6 +78,7 @@ class Blockchain {
   std::unordered_map<Hash256, std::vector<Receipt>> receipts_;
   Hash256 genesis_hash_;
   Hash256 head_hash_;
+  db::NodeStore* node_store_ = nullptr;  // guarded by mu_
 };
 
 // ---- log queries (eth_getLogs analogue) ----

@@ -7,21 +7,31 @@ namespace blockpilot::commit {
 
 CommitResult CommitPipeline::compute(
     std::shared_ptr<const state::WorldState> post, const AuxRootFn& aux,
-    std::uint64_t sequence) {
+    std::uint64_t sequence, db::NodeStore* store) {
   BP_ASSERT_MSG(post != nullptr, "commit of null state");
   Stopwatch sw;
   CommitResult out;
   out.sequence = sequence;
   out.state_root = post->state_root();
   if (aux) out.aux_root = aux();
-  out.post_state = std::move(post);
   out.commit_ms = sw.elapsed_ms();
+  if (store != nullptr) {
+    Stopwatch psw;
+    out.nodes_appended = post->persist_commitment(*store);
+    out.persist_ms = psw.elapsed_ms();
+  }
+  out.post_state = std::move(post);
   return out;
 }
 
 void CommitPipeline::set_settle_observer(SettleFn observer) {
   std::scoped_lock lk(mu_);
   observer_ = std::move(observer);
+}
+
+void CommitPipeline::set_node_store(db::NodeStore* store) {
+  std::scoped_lock lk(mu_);
+  node_store_ = store;
 }
 
 CommitHandle CommitPipeline::submit(
@@ -31,12 +41,13 @@ CommitHandle CommitPipeline::submit(
   const std::uint64_t seq = next_seq_++;
   ++stats_.submitted;
   SettleFn observer = observer_;  // snapshot: tasks outlive the lock
+  db::NodeStore* store = node_store_;
 
   if (pool_ == nullptr) {
     // Degraded/sync mode: do the work at submit time.  The settlement
     // notification fires inline, before submit() returns — nothing pends.
     std::promise<CommitResult> p;
-    CommitResult r = compute(std::move(post), aux, seq);
+    CommitResult r = compute(std::move(post), aux, seq, store);
     stats_.total_commit_ms += r.commit_ms;
     ++stats_.inline_runs;
     ++stats_.settled;
@@ -59,12 +70,12 @@ CommitHandle CommitPipeline::submit(
   stats_.max_pending = std::max(stats_.max_pending, pending_);
   pool_->submit([this, promise, prev, fut, post = std::move(post),
                  aux = std::move(aux), on_settled = std::move(on_settled),
-                 observer = std::move(observer), seq]() mutable {
+                 observer = std::move(observer), seq, store]() mutable {
     // FIFO publication: never resolve before the predecessor.  The pool's
     // queue is FIFO too, so by the time this task runs its predecessor has
     // at least started — waiting here cannot starve the pool.
     if (prev.valid()) prev.wait();
-    CommitResult r = compute(std::move(post), aux, seq);
+    CommitResult r = compute(std::move(post), aux, seq, store);
     const double commit_ms = r.commit_ms;
     promise->set_value(std::move(r));
     // The callbacks fire BEFORE this task releases its pending slot, so

@@ -53,6 +53,8 @@ struct CommitResult {
   std::shared_ptr<const state::WorldState> post_state;
   double commit_ms = 0.0;   // time spent hashing (excludes queue wait)
   std::uint64_t sequence = 0;  // FIFO position within the pipeline
+  std::size_t nodes_appended = 0;  // dirty nodes written to the node store
+  double persist_ms = 0.0;         // time spent appending (0 with no store)
 };
 
 class CommitPipeline;
@@ -125,9 +127,21 @@ class CommitPipeline {
       const state::WorldState& parent,
       std::vector<std::pair<state::StateKey, U256>> writes, AuxRootFn aux = {});
 
-  /// Synchronous commitment of a state (the work one task performs).
+  /// Synchronous commitment of a state (the work one task performs).  With
+  /// a store, the state's dirty trie nodes are appended right after the
+  /// root is known — the batch rides the commit future, off the proposer's
+  /// sealing path.
   static CommitResult compute(std::shared_ptr<const state::WorldState> post,
-                              const AuxRootFn& aux, std::uint64_t sequence);
+                              const AuxRootFn& aux, std::uint64_t sequence,
+                              db::NodeStore* store = nullptr);
+
+  /// Attaches a node store: every subsequent commitment persists its post
+  /// state's new trie nodes as part of the committing task (durability —
+  /// the commit_root barrier — stays with the chain layer at finalization).
+  /// `store` must outlive the pipeline; nullptr detaches.  Set it before
+  /// the first submit — installation is not synchronized against in-flight
+  /// tasks.
+  void set_node_store(db::NodeStore* store);
 
   /// Pipeline-wide settlement observer: fires once per submission, right
   /// after its result publishes and before the per-submit SettleFn (same
@@ -162,6 +176,7 @@ class CommitPipeline {
   std::size_t pending_ = 0;
   CommitPipelineStats stats_;
   SettleFn observer_;  // snapshot taken per submit under mu_
+  db::NodeStore* node_store_ = nullptr;  // snapshot taken per submit under mu_
 };
 
 }  // namespace blockpilot::commit

@@ -1,0 +1,103 @@
+#include "db/node_store.hpp"
+
+namespace blockpilot::db {
+
+Status InMemoryNodeStore::put(const Hash256& hash,
+                              std::span<const std::uint8_t> encoding) {
+  std::scoped_lock lk(mu_);
+  const auto [it, inserted] = nodes_.try_emplace(
+      hash, std::vector<std::uint8_t>(encoding.begin(), encoding.end()));
+  if (!inserted) {
+    ++stats_.dup_puts;
+    return Status::Ok();
+  }
+  ++stats_.puts;
+  ++stats_.nodes;
+  stats_.node_bytes += encoding.size();
+  return Status::Ok();
+}
+
+Status InMemoryNodeStore::get(const Hash256& hash,
+                              std::vector<std::uint8_t>& out) const {
+  std::scoped_lock lk(mu_);
+  const auto it = nodes_.find(hash);
+  if (it == nodes_.end()) {
+    ++stats_.get_misses;
+    return Status::error(ErrorCode::kNotFound, "node not in store");
+  }
+  ++stats_.gets;
+  out = it->second;
+  return Status::Ok();
+}
+
+bool InMemoryNodeStore::contains(const Hash256& hash) const {
+  std::scoped_lock lk(mu_);
+  return nodes_.contains(hash);
+}
+
+Status InMemoryNodeStore::commit_root(const Hash256& root,
+                                      std::uint64_t height) {
+  std::scoped_lock lk(mu_);
+  durable_root_ = root;
+  durable_height_ = height;
+  ++stats_.roots_committed;
+  return Status::Ok();
+}
+
+Hash256 InMemoryNodeStore::durable_root() const {
+  std::scoped_lock lk(mu_);
+  return durable_root_;
+}
+
+std::uint64_t InMemoryNodeStore::durable_height() const {
+  std::scoped_lock lk(mu_);
+  return durable_height_;
+}
+
+NodeStore::Stats InMemoryNodeStore::stats() const {
+  std::scoped_lock lk(mu_);
+  return stats_;
+}
+
+std::future<ReadResult> AsyncReader::issue(const Hash256& hash) {
+  auto task = [this, hash] {
+    ReadResult r;
+    r.status = store_.get(hash, r.encoding);
+    return r;
+  };
+  if (pool_ == nullptr) {
+    std::promise<ReadResult> p;
+    p.set_value(task());
+    return p.get_future();
+  }
+  auto promise = std::make_shared<std::promise<ReadResult>>();
+  std::future<ReadResult> fut = promise->get_future();
+  pool_->submit([task = std::move(task), promise]() mutable {
+    promise->set_value(task());
+  });
+  return fut;
+}
+
+std::size_t AsyncReader::warm(
+    std::span<const Hash256> hashes,
+    std::function<void(std::span<const std::uint8_t>)> warm) {
+  std::size_t issued = 0;
+  auto warm_shared =
+      std::make_shared<std::function<void(std::span<const std::uint8_t>)>>(
+          std::move(warm));
+  for (const Hash256& h : hashes) {
+    auto fetch = [this, h, warm_shared] {
+      std::vector<std::uint8_t> enc;
+      if (store_.get(h, enc).ok())
+        (*warm_shared)(std::span<const std::uint8_t>(enc));
+    };
+    if (pool_ == nullptr)
+      fetch();
+    else
+      pool_->submit(std::move(fetch));
+    ++issued;
+  }
+  return issued;
+}
+
+}  // namespace blockpilot::db

@@ -1,0 +1,50 @@
+// Typed error surface of the db layer.
+//
+// The store sits under the trie and must never turn disk damage into UB or
+// a silent wrong answer: a torn page, a bad manifest slot, or a flipped bit
+// in a sealed page surfaces as a Status the caller can branch on (tests
+// assert the exact code).  BP_ASSERT stays reserved for programmer errors —
+// data errors travel through this type.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace blockpilot::db {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,     // no record for the requested hash / ref
+  kCorruptPage,  // page checksum or header mismatch inside the durable range
+  kBadManifest,  // no decodable manifest slot (both slots torn/invalid)
+  kIo,           // OS-level read/write/sync failure
+  kTooLarge,     // record exceeds the jumbo span limit
+  kBusy,         // store is mid-swap (compaction) and cannot serve this call
+};
+
+struct Status {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+
+  bool ok() const noexcept { return code == ErrorCode::kOk; }
+
+  static Status Ok() { return {}; }
+  static Status error(ErrorCode c, std::string msg) {
+    return Status{c, std::move(msg)};
+  }
+};
+
+inline const char* error_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kCorruptPage: return "corrupt_page";
+    case ErrorCode::kBadManifest: return "bad_manifest";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kTooLarge: return "too_large";
+    case ErrorCode::kBusy: return "busy";
+  }
+  return "?";
+}
+
+}  // namespace blockpilot::db

@@ -1,6 +1,7 @@
 #include "state/world_state.hpp"
 
 #include "crypto/keccak.hpp"
+#include "db/node_store.hpp"
 #include "rlp/rlp.hpp"
 #include "support/assert.hpp"
 
@@ -487,6 +488,38 @@ CommitStats WorldState::commit_stats() const {
 void WorldState::adopt_block_seeds(std::shared_ptr<BlockSeedSet> seeds) {
   std::scoped_lock lk(commit_mu_);
   block_seeds_ = std::move(seeds);
+}
+
+std::size_t WorldState::persist_commitment(db::NodeStore& store) const {
+  const Hash256 root = state_root();  // folds dirty writes; memos current
+  // Fast path: a stored root implies its whole closure is stored (persists
+  // append post-order, so nothing can reference a missing descendant — see
+  // persist_subtree).  Re-commits of an already-persisted state — the chain
+  // layer persisting after the pipeline already did, sibling blocks sharing
+  // a parent — skip the snapshot and the storage-trie walk entirely.
+  if (store.contains(root)) return 0;
+  // Snapshot the persistent tries under the short structural lock (O(1)
+  // copies sharing the node graphs) and persist outside it, so concurrent
+  // root computations never wait on store I/O.
+  trie::SecureTrie account_snapshot;
+  std::vector<trie::SecureTrie> storage_snapshots;
+  {
+    std::scoped_lock lk(commit_mu_);
+    account_snapshot = account_trie_;
+    storage_snapshots.reserve(commit_.size());
+    for (const auto& [addr, memo] : commit_)
+      if (!memo.fresh && !memo.storage_trie.empty())
+        storage_snapshots.push_back(memo.storage_trie);
+  }
+  // Storage tries first: account leaves embed storageRoot references, so
+  // the post-order invariant extends across tries — by the time an account
+  // node lands in the file, every storage node it commits to is already
+  // there.
+  std::size_t appended = 0;
+  for (const auto& storage : storage_snapshots)
+    appended += storage.persist_nodes(store);
+  appended += account_snapshot.persist_nodes(store);
+  return appended;
 }
 
 }  // namespace blockpilot::state

@@ -206,6 +206,15 @@ class WorldState {
     return accounts_;
   }
 
+  /// Persists the current commitment into `store`: computes state_root()
+  /// (folding any dirty writes), then writes every new node of the account
+  /// trie and of each memoized storage trie.  Trie snapshots are taken
+  /// under the short structural lock and persisted outside it, mirroring
+  /// the state_root() hashing protocol.  Returns the number of nodes
+  /// appended.  After store.commit_root(state_root(), h), a restarted
+  /// process reconstructs this state's tries with trie::from_root.
+  std::size_t persist_commitment(db::NodeStore& store) const;
+
  private:
   /// Memoized commitment pieces for one account.  `fresh` marks a memo that
   /// has never been built (storage trie must be seeded from the whole map,

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "db/node_store.hpp"
 #include "rlp/rlp.hpp"
 #include "support/assert.hpp"
 #include "trie/mpt_node.hpp"
@@ -113,6 +114,7 @@ NodePtr insert(NodePtr node, std::span<const std::uint8_t> key, Bytes value,
     inserted = true;
     return Node::leaf(Nibbles(key.begin(), key.end()), std::move(value));
   }
+  detail::resolved(node.get());
   node = owned(std::move(node));
 
   switch (node->kind) {
@@ -202,6 +204,7 @@ NodePtr insert(NodePtr node, std::span<const std::uint8_t> key, Bytes value,
 
 const Bytes* lookup(const Node* node, std::span<const std::uint8_t> key) {
   while (node != nullptr) {
+    detail::resolved(node);
     switch (node->kind) {
       case Node::Kind::kLeaf:
         if (key.size() == node->path.size() &&
@@ -247,6 +250,7 @@ NodePtr normalize_branch(NodePtr node) {
     NodePtr child =
         std::move(node->children[static_cast<std::size_t>(only_idx)]);
     const auto idx = static_cast<std::uint8_t>(only_idx);
+    detail::resolved(child.get());
     switch (child->kind) {
       case Node::Kind::kLeaf:
       case Node::Kind::kExtension: {
@@ -268,6 +272,7 @@ NodePtr normalize_branch(NodePtr node) {
 NodePtr remove(NodePtr node, std::span<const std::uint8_t> key,
                bool& removed) {
   if (node == nullptr) return nullptr;
+  detail::resolved(node.get());
   switch (node->kind) {
     case Node::Kind::kLeaf:
       if (key.size() == node->path.size() &&
@@ -356,6 +361,94 @@ void append_reference(rlp::Encoder& enc, const Node* node) {
   }
 }
 
+namespace {
+
+std::shared_ptr<MptNode> child_from_item(const rlp::Item& item,
+                                         const db::NodeStore* store);
+
+// Fills `node`'s structural fields from a decoded node encoding.  Child
+// items are either nil (empty string), a 32-byte hash (becomes an unloaded
+// stub on the same store), or a nested list (an inline node, rebuilt
+// eagerly with its inline ref memoized so re-encoding is bit-identical).
+void fill_from_item(MptNode& node, const rlp::Item& item,
+                    const db::NodeStore* store) {
+  BP_ASSERT_MSG(item.is_list, "node encoding must be an RLP list");
+  if (item.list.size() == 17) {
+    node.kind = MptNode::Kind::kBranch;
+    for (std::size_t i = 0; i < 16; ++i)
+      node.children[i] = child_from_item(item.list[i], store);
+    node.value = item.list[16].str;
+    return;
+  }
+  BP_ASSERT_MSG(item.list.size() == 2, "node list must have 2 or 17 items");
+  auto [path, is_leaf] = hex_prefix_decode(std::span(item.list[0].str));
+  if (is_leaf) {
+    node.kind = MptNode::Kind::kLeaf;
+    node.path = std::move(path);
+    node.value = item.list[1].str;
+    return;
+  }
+  node.kind = MptNode::Kind::kExtension;
+  node.path = std::move(path);
+  node.child = child_from_item(item.list[1], store);
+  BP_ASSERT_MSG(node.child != nullptr, "extension child must be a node");
+}
+
+std::shared_ptr<MptNode> child_from_item(const rlp::Item& item,
+                                         const db::NodeStore* store) {
+  if (item.is_list) {
+    auto n = std::make_shared<MptNode>();
+    fill_from_item(*n, item, store);
+    n->cached_ref = rlp::encode_item(item);
+    BP_ASSERT(n->cached_ref.size() < 32);
+    n->ref_ready.store(true, std::memory_order_release);
+    return n;
+  }
+  if (item.str.empty()) return nullptr;
+  BP_ASSERT_MSG(item.str.size() == 32,
+                "child ref must be nil, inline, or a 32-byte hash");
+  Hash256 h;
+  std::memcpy(h.bytes.data(), item.str.data(), 32);
+  return MptNode::stub(h, store);
+}
+
+}  // namespace
+
+void load_stub(const MptNode* node) {
+  while (node->ref_lock.test_and_set(std::memory_order_acquire)) {
+  }
+  if (!node->loaded.load(std::memory_order_relaxed)) {
+    BP_ASSERT_MSG(node->store != nullptr, "stub without a backing store");
+    BP_ASSERT(node->cached_ref.size() == 32);
+    Hash256 h;
+    std::memcpy(h.bytes.data(), node->cached_ref.data(), 32);
+    // Read-through the global NodeCache: a hit skips the store entirely; a
+    // miss fetches, then interns (hash_of) which also verifies integrity.
+    auto& cache = NodeCache::global();
+    Bytes enc;
+    if (auto cached = cache.encoding_of(h); cached.has_value()) {
+      cache.count_load_hit();
+      enc = std::move(*cached);
+    } else {
+      cache.count_load_miss();
+      std::vector<std::uint8_t> fetched;
+      const db::Status st = node->store->get(h, fetched);
+      BP_ASSERT_MSG(st.ok(), "node store lost a node the trie references");
+      const Hash256 check = cache.hash_of(std::span(fetched));
+      BP_ASSERT_MSG(check == h, "stored encoding does not hash to its ref");
+      enc = std::move(fetched);
+    }
+    auto* mut = const_cast<MptNode*>(node);
+    fill_from_item(*mut, rlp::decode(std::span(enc)), node->store);
+    // A tiny (< 32 byte) encoding can only be a root loaded eagerly by
+    // from_root (a child stub implies a hashed parent ref): rewrite the
+    // memo to the canonical inline form before anyone else can see it.
+    if (enc.size() < 32) mut->cached_ref = std::move(enc);
+    mut->loaded.store(true, std::memory_order_release);
+  }
+  node->ref_lock.clear(std::memory_order_release);
+}
+
 Bytes encode_node(const Node* node) {
   rlp::Encoder enc;
   switch (node->kind) {
@@ -410,7 +503,8 @@ void MerklePatriciaTrie::erase(std::span<const std::uint8_t> key) {
   const Nibbles nibbles = to_nibbles(key);
   bool removed = false;
   root_ = remove(std::move(root_), std::span(nibbles), removed);
-  if (removed) --size_;
+  // from_root tries report size 0 (unknown), so guard the decrement.
+  if (removed && size_ > 0) --size_;
 }
 
 Hash256 MerklePatriciaTrie::root_hash() const {
@@ -424,6 +518,75 @@ Hash256 MerklePatriciaTrie::root_hash() const {
   // Tiny root whose encoding inlines below 32 bytes: the root is always
   // hashed regardless (yellow paper), and the inline ref IS the encoding.
   return Hash256{crypto::keccak256(std::span(ref))};
+}
+
+MerklePatriciaTrie MerklePatriciaTrie::from_root(const Hash256& root,
+                                                 const db::NodeStore& store) {
+  MerklePatriciaTrie trie;
+  if (root == empty_root()) return trie;
+  auto stub = detail::MptNode::stub(root, &store);
+  // Eager root load: validates the root exists and, for a tiny root,
+  // rewrites the ref memo to the canonical inline form while the node is
+  // still private to this call (no concurrent readers yet).
+  detail::resolved(stub.get());
+  trie.root_ = std::move(stub);
+  return trie;
+}
+
+namespace {
+
+// Persists the subtree rooted at a hash-referenced node.  Prunes at nodes
+// the store already holds (content-addressing: an identical hash is an
+// identical subtree) and never descends into inline children — their whole
+// subtree is embedded in this node's encoding.
+//
+// POST-ORDER on purpose: children append strictly before their parent.
+// Crash recovery truncates a *suffix* of the append-only file (everything
+// past the last durability barrier), so with post-order appends a node's
+// presence implies its whole closure's presence — which is exactly what
+// makes the contains() prune sound even against a barrier that races an
+// in-flight persist, and what lets persist_commitment() early-out on a
+// root the store already holds.  (Compaction preserves the invariant
+// differently: the rewritten file is adopted atomically via the manifest,
+// never as a partially-trusted prefix.)
+std::size_t persist_subtree(const Node* node, db::NodeStore& store) {
+  const Bytes& ref = detail::node_ref(node);
+  BP_ASSERT(ref.size() == 32);
+  Hash256 h;
+  std::memcpy(h.bytes.data(), ref.data(), 32);
+  if (store.contains(h)) return 0;
+  // New to this store.  An unloaded stub only reaches here when persisting
+  // into a *different* store than it came from; materialize it first.
+  detail::resolved(node);
+  std::size_t appended = 0;
+  const auto visit = [&](const Node* child) {
+    if (child != nullptr && detail::node_ref(child).size() == 32)
+      appended += persist_subtree(child, store);
+  };
+  if (node->kind == Node::Kind::kExtension) {
+    visit(node->child.get());
+  } else if (node->kind == Node::Kind::kBranch) {
+    for (const auto& child : node->children) visit(child.get());
+  }
+  const Bytes enc = detail::encode_node(node);
+  const db::Status st = store.put(h, std::span(enc));
+  BP_ASSERT_MSG(st.ok(), "node store put failed");
+  return appended + 1;
+}
+
+}  // namespace
+
+std::size_t MerklePatriciaTrie::persist_nodes(db::NodeStore& store) const {
+  if (root_ == nullptr) return 0;
+  const Bytes& ref = detail::node_ref(root_.get());
+  if (ref.size() == 32) return persist_subtree(root_.get(), store);
+  // Tiny root: its inline ref IS the encoding; store it under its keccak so
+  // from_root(root_hash()) can find it.
+  const Hash256 h{crypto::keccak256(std::span(ref))};
+  if (store.contains(h)) return 0;
+  const db::Status st = store.put(h, std::span(ref));
+  BP_ASSERT_MSG(st.ok(), "node store put failed");
+  return 1;
 }
 
 Hash256 MerklePatriciaTrie::empty_root() {

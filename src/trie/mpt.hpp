@@ -24,6 +24,10 @@
 
 #include "types/address.hpp"
 
+namespace blockpilot::db {
+class NodeStore;
+}  // namespace blockpilot::db
+
 namespace blockpilot::trie {
 
 namespace detail {
@@ -88,6 +92,21 @@ class MerklePatriciaTrie {
   /// The canonical empty-trie root constant.
   static Hash256 empty_root();
 
+  /// Reopens a previously persisted trie by its root hash: the root node is
+  /// loaded eagerly from `store` (aborting if absent), everything below it
+  /// materializes lazily through disk-backed stubs as traversals touch it.
+  /// `store` must outlive the returned trie and every trie derived from it.
+  /// size() is not recoverable from a root hash and reports 0.
+  static MerklePatriciaTrie from_root(const Hash256& root,
+                                      const db::NodeStore& store);
+
+  /// Writes every *new* node reachable from the root into `store`
+  /// (content-addressed: walks prune at nodes the store already holds, and
+  /// at unloaded stubs, which by construction came from a persisted root).
+  /// Returns the number of nodes appended.  After it returns, from_root
+  /// (root_hash(), store) reconstructs this exact trie.
+  std::size_t persist_nodes(db::NodeStore& store) const;
+
   /// Internal: root node pointer for the proof generator (proof.hpp).
   /// nullptr for an empty trie.  Not stable API.
   const detail::MptNode* root_node() const noexcept { return root_.get(); }
@@ -121,6 +140,17 @@ class SecureTrie {
   Hash256 root_hash() const { return inner_.root_hash(); }
   std::size_t size() const noexcept { return inner_.size(); }
   bool empty() const noexcept { return inner_.empty(); }
+
+  /// See MerklePatriciaTrie::from_root / persist_nodes.
+  static SecureTrie from_root(const Hash256& root, const db::NodeStore& store) {
+    SecureTrie t;
+    t.inner_ = MerklePatriciaTrie::from_root(root, store);
+    return t;
+  }
+  std::size_t persist_nodes(db::NodeStore& store) const {
+    return inner_.persist_nodes(store);
+  }
+  const MerklePatriciaTrie& inner() const noexcept { return inner_; }
 
  private:
   MerklePatriciaTrie inner_;

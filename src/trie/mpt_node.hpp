@@ -25,6 +25,10 @@
 #include "support/assert.hpp"
 #include "trie/mpt.hpp"
 
+namespace blockpilot::db {
+class NodeStore;
+}  // namespace blockpilot::db
+
 namespace blockpilot::trie::detail {
 
 struct MptNode {
@@ -46,6 +50,16 @@ struct MptNode {
   mutable std::atomic<bool> ref_ready{false};
   mutable std::atomic_flag ref_lock = ATOMIC_FLAG_INIT;
   mutable Bytes cached_ref;
+
+  // Disk-backed stub support: a stub carries only its 32-byte reference
+  // (ref_ready is true from birth, so hashing a trie of stubs never touches
+  // disk) and materializes kind/path/value/children lazily from `store` on
+  // first structural access (detail::resolved).  `loaded` is the
+  // publication flag for the materialized fields; the one-time load
+  // serializes on ref_lock, which a stub's node_ref never contends (its
+  // fast path always wins).
+  mutable std::atomic<bool> loaded{true};
+  const db::NodeStore* store = nullptr;
 
   /// Drops the memoized reference.  Callers must hold unique ownership of
   /// the node (mutation contract), so no locking is needed.
@@ -74,6 +88,17 @@ struct MptNode {
     n->kind = Kind::kBranch;
     return n;
   }
+  /// Unloaded disk-backed stub addressed by its 32-byte hash reference.
+  static std::shared_ptr<MptNode> stub(const Hash256& hash,
+                                       const db::NodeStore* s) {
+    auto n = std::make_shared<MptNode>();
+    n->kind = Kind::kBranch;  // placeholder until loaded
+    n->cached_ref.assign(hash.bytes.begin(), hash.bytes.end());
+    n->store = s;
+    n->loaded.store(false, std::memory_order_relaxed);
+    n->ref_ready.store(true, std::memory_order_release);
+    return n;
+  }
 };
 
 // Encodes a node to RLP (yellow paper node composition function c).  Child
@@ -85,5 +110,19 @@ void append_reference(rlp::Encoder& enc, const MptNode* node);
 
 // The node's memoized reference (computing and caching it on first use).
 const Bytes& node_ref(const MptNode* node);
+
+// Materializes an unloaded stub from its store (read-through the global
+// NodeCache).  Aborts on a missing or corrupt node — a stub's hash was
+// produced by a persisted parent, so absence means the store broke its
+// durability contract.
+void load_stub(const MptNode* node);
+
+/// Ensures structural fields (kind/path/value/children) are readable.
+/// Every traversal step must pass through this before touching them.
+inline const MptNode* resolved(const MptNode* node) {
+  if (node != nullptr && !node->loaded.load(std::memory_order_acquire))
+    load_stub(node);
+  return node;
+}
 
 }  // namespace blockpilot::trie::detail

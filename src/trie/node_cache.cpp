@@ -108,7 +108,10 @@ static std::uint64_t fingerprint_of(
 
 Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
   const std::size_t cap = shard_capacity_.load(std::memory_order_relaxed);
-  if (cap == 0) return Hash256{crypto::keccak256(encoding)};
+  if (cap == 0) {
+    bypassed_.fetch_add(1, std::memory_order_relaxed);
+    return Hash256{crypto::keccak256(encoding)};
+  }
 
   Shard& s = shard_for(encoding);
   Bytes key(encoding.begin(), encoding.end());
@@ -125,7 +128,10 @@ Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
   const std::uint64_t fp = fingerprint_of(encoding);
   s.sketch.record(fp);
   const std::size_t need = entry_bytes(key.size());
-  if (need > cap) return digest;  // jumbo entry: never worth a whole shard
+  if (need > cap) {  // jumbo entry: never worth a whole shard
+    bypassed_.fetch_add(1, std::memory_order_relaxed);
+    return digest;
+  }
   if (s.bytes + need > cap && !s.ring.empty()) {
     // TinyLFU admission: a full shard only trades its CLOCK victim for a
     // candidate at least as frequent.  Ties admit, so a workload with no
@@ -153,11 +159,14 @@ Hash256 NodeCache::hash_of(std::span<const std::uint8_t> encoding) {
 }
 
 std::optional<std::vector<std::uint8_t>> NodeCache::encoding_of(
-    const Hash256& h) const {
-  for (const Shard& s : shards_) {
+    const Hash256& h) {
+  for (Shard& s : shards_) {
     std::scoped_lock lk(s.mu);
     const auto it = s.by_hash.find(h);
-    if (it != s.by_hash.end()) return it->second->first;
+    if (it != s.by_hash.end()) {
+      it->second->second.referenced = true;  // CLOCK second chance
+      return it->second->first;
+    }
   }
   return std::nullopt;
 }
@@ -165,6 +174,9 @@ std::optional<std::vector<std::uint8_t>> NodeCache::encoding_of(
 NodeCache::Stats NodeCache::stats() const {
   Stats out;
   out.capacity = shard_capacity_.load(std::memory_order_relaxed) * kShards;
+  out.bypassed = bypassed_.load(std::memory_order_relaxed);
+  out.load_hits = load_hits_.load(std::memory_order_relaxed);
+  out.load_misses = load_misses_.load(std::memory_order_relaxed);
   for (const Shard& s : shards_) {
     std::scoped_lock lk(s.mu);
     out.hits += s.hits;
@@ -194,6 +206,9 @@ void NodeCache::reset_stats() {
     std::scoped_lock lk(s.mu);
     s.hits = s.misses = s.evictions = s.rejected = 0;
   }
+  bypassed_.store(0, std::memory_order_relaxed);
+  load_hits_.store(0, std::memory_order_relaxed);
+  load_misses_.store(0, std::memory_order_relaxed);
 }
 
 void NodeCache::set_capacity(std::size_t capacity_bytes) {

@@ -47,6 +47,10 @@ class NodeCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t rejected = 0;  // misses denied admission by the sketch
+    std::uint64_t bypassed = 0;  // hash_of calls that skipped the cache
+                                 // entirely (capacity 0, or jumbo encoding)
+    std::uint64_t load_hits = 0;    // disk-backed stub loads served here
+    std::uint64_t load_misses = 0;  // stub loads that had to hit the store
     std::size_t entries = 0;
     std::size_t bytes = 0;     // resident, per entry_bytes()
     std::size_t capacity = 0;  // byte budget across all shards
@@ -73,8 +77,20 @@ class NodeCache {
   /// but never cached.
   Hash256 hash_of(std::span<const std::uint8_t> encoding);
 
-  /// Reverse lookup: the RLP encoding of a cached node by its hash.
-  std::optional<std::vector<std::uint8_t>> encoding_of(const Hash256& h) const;
+  /// Reverse lookup: the RLP encoding of a cached node by its hash.  A hit
+  /// counts as a reference for CLOCK (the read-through path keeps hot disk
+  /// nodes resident).
+  std::optional<std::vector<std::uint8_t>> encoding_of(const Hash256& h);
+
+  /// Read-through accounting for the trie's disk-backed stub loads (the
+  /// load itself lives in mpt.cpp; the cache only owns the counters so one
+  /// stats() struct tells the whole hit/miss story).
+  void count_load_hit() noexcept {
+    load_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_load_miss() noexcept {
+    load_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Aggregate statistics over all shards.
   Stats stats() const;
@@ -157,6 +173,9 @@ class NodeCache {
 
   std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> shard_capacity_;  // byte budget per shard
+  std::atomic<std::uint64_t> bypassed_{0};
+  std::atomic<std::uint64_t> load_hits_{0};
+  std::atomic<std::uint64_t> load_misses_{0};
 };
 
 }  // namespace blockpilot::trie

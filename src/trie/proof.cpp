@@ -28,6 +28,7 @@ Proof prove(const MerklePatriciaTrie& trie,
   const MptNode* node = trie.root_node();
 
   while (node != nullptr) {
+    detail::resolved(node);
     proof.nodes.push_back(detail::encode_node(node));
     switch (node->kind) {
       case MptNode::Kind::kLeaf:
