@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verify (full build + test suite), the commit-labeled
-# tests — including the concurrency stress layer — under ThreadSanitizer,
+# tests — including the concurrency stress layer — and the ingest-labeled
+# admission/soak tests under ThreadSanitizer,
 # and the net-labeled consensus-loop tests (event-driven nodes, fork-choice
 # fuzz, and the quorum/fault matrix — loss, duplication, partitions,
 # Byzantine leaders) under both ThreadSanitizer and AddressSanitizer.
@@ -58,12 +59,23 @@ echo "==> perf-smoke: bench_db --smoke (paged-store gates)"
 timeout 180 ./build/bench/bench_db --smoke
 hygiene_check "bench_db"
 
+echo "==> perf-smoke: bench_ingest --smoke (live-ingestion gates)"
+# Drives the NodeDriver firehose across all four traffic profiles with
+# host-thread workers.  Fails on crash or on any ingestion gate: pool
+# conservation violated, a (sender, nonce) slot committed twice, a starved
+# proposer (>25% empty blocks — the stranded-ladder failure mode), or an
+# empty admission-to-settle latency distribution.
+timeout 300 ./build/bench/bench_ingest --smoke
+
 echo "==> tsan: configure + build (BLOCKPILOT_SANITIZE=thread)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
 
 echo "==> tsan: commit-labeled tests (includes the stress label)"
 ctest --preset tsan-commit
+
+echo "==> tsan: ingest-labeled tests (admission front, concurrent submit-vs-pop soak)"
+ctest --preset tsan-ingest
 
 echo "==> tsan: net-labeled tests (consensus loop, fork-choice fuzz, fault matrix)"
 ctest --preset tsan-net

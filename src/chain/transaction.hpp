@@ -22,6 +22,8 @@ struct Transaction {
   U256 value;
   Bytes data;
 
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+
   /// Canonical RLP encoding [nonce, gasPrice, gasLimit, from, to, value,
   /// data] (the `from` field substitutes for the signature triplet).
   Bytes rlp_encode() const {

@@ -77,15 +77,19 @@ CommitHandle CommitPipeline::submit(
     if (prev.valid()) prev.wait();
     CommitResult r = compute(std::move(post), aux, seq, store);
     const double commit_ms = r.commit_ms;
+    // The callbacks fire BEFORE the promise resolves: the successor task is
+    // parked in prev.wait() until set_value below, so settlement
+    // notifications are strictly FIFO across submissions — resolving first
+    // would let the successor's callbacks race (and overtake) ours.  They
+    // also fire before this task releases its pending slot, so drain() —
+    // and the destructor, which drains — implies every notification has
+    // finished.  The task must not touch the pipeline after the decrement
+    // below: a drained pipeline may already be destroyed.  (Callbacks may
+    // submit follow-ups, but must not block on this pipeline's own
+    // backpressure, nor wait on their own handle.)
+    if (observer) observer(r);
+    if (on_settled) on_settled(r);
     promise->set_value(std::move(r));
-    // The callbacks fire BEFORE this task releases its pending slot, so
-    // drain() — and the destructor, which drains — implies every
-    // settlement notification has finished.  The task must not touch the
-    // pipeline after the decrement below: a drained pipeline may already
-    // be destroyed.  (Callbacks may submit follow-ups, but must not block
-    // on this pipeline's own backpressure.)
-    if (observer) observer(fut.get());
-    if (on_settled) on_settled(fut.get());
     {
       std::scoped_lock lk(mu_);
       stats_.total_commit_ms += commit_ms;

@@ -16,6 +16,7 @@
 #include "chain/receipt.hpp"
 #include "chain/transaction.hpp"
 #include "commit/commit_pipeline.hpp"
+#include "core/node_driver.hpp"
 #include "core/occ_baseline.hpp"
 #include "core/pipeline.hpp"
 #include "core/proposer.hpp"

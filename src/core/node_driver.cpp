@@ -1,0 +1,218 @@
+#include "core/node_driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace blockpilot::core {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+NodeDriverResult NodeDriver::run() {
+  workload::TrafficGenerator traffic(config_.profile, config_.seed);
+  chain::Blockchain chain(traffic.genesis());
+  txpool::TxPoolConfig pool_cfg = config_.pool;
+  pool_cfg.collect_evicted = config_.resubmit_evicted;
+  txpool::TxPool pool(pool_cfg);
+
+  // +1 thread so commitment tasks can't starve behind a full complement of
+  // host-mode proposer workers sharing the pool.
+  ThreadPool workers(std::max<std::size_t>(config_.proposer.threads, 1) + 1);
+  commit::CommitPipeline pipeline(&workers);
+  ProposerConfig pcfg = config_.proposer;
+  pcfg.commit_pipeline = &pipeline;
+  OccWsiProposer proposer(pcfg);
+
+  // Seed authoritative base nonces: every traffic sender starts at nonce 0,
+  // so the pool can reject genuinely stale retries instead of inferring.
+  for (std::size_t i = 0; i < traffic.num_senders(); ++i)
+    pool.note_sender_nonce(traffic.sender(i), 0);
+
+  NodeDriverResult result;
+  Stopwatch wall;
+
+  // Admission timestamps keyed by (sender, nonce): a slot's clock restarts
+  // when a replacement is admitted, and stops at settle of the block that
+  // committed it.
+  using Slot = std::pair<Address, std::uint64_t>;
+  std::map<Slot, std::uint64_t> admit_ns;
+  std::mutex admit_mu;  // feeder thread races settle in concurrent mode
+  std::vector<double> latencies_us;
+  std::set<Slot> committed_seen;
+
+  auto submit = [&](chain::Transaction tx) {
+    const Slot slot{tx.from, tx.nonce};
+    const txpool::AdmissionResult res = pool.add(std::move(tx));
+    if (res.admitted()) {
+      std::scoped_lock lk(admit_mu);
+      admit_ns[slot] = wall.elapsed_ns();
+    }
+  };
+  auto feed_tick = [&] {
+    for (chain::Transaction& tx : traffic.tick()) submit(std::move(tx));
+  };
+  // Client re-broadcast of capacity-evicted transactions (see the
+  // resubmit_evicted config comment).  A re-submission the full pool turns
+  // away stays in the retry backlog — clients keep re-broadcasting until
+  // the transaction lands or its nonce is consumed — because a discarded
+  // hole-filler would strand its sender's queued successors forever.  Any
+  // other rejection (nonce too low, duplicate, underpriced) retires it.
+  // Evictions triggered by re-adds land in a fresh pool buffer drained at
+  // the next boundary, so the loop terminates within a block.
+  std::deque<chain::Transaction> retry_backlog;
+  auto resubmit_evicted = [&] {
+    for (chain::Transaction& tx : pool.take_evicted())
+      retry_backlog.push_back(std::move(tx));
+    for (std::size_t n = retry_backlog.size(); n > 0; --n) {
+      chain::Transaction tx = std::move(retry_backlog.front());
+      retry_backlog.pop_front();
+      const Slot slot{tx.from, tx.nonce};
+      const txpool::AdmissionResult res = pool.add(tx);
+      if (res.admitted()) {
+        std::scoped_lock lk(admit_mu);
+        admit_ns[slot] = wall.elapsed_ns();
+      } else if (res.outcome == txpool::AdmissionOutcome::kRejectedPoolFull) {
+        retry_backlog.push_back(std::move(tx));
+      }
+    }
+  };
+
+  std::deque<ProposedBlock> pending;
+  auto settle_front = [&] {
+    ProposedBlock blk = std::move(pending.front());
+    pending.pop_front();
+    blk.await_seal();
+    // FIFO settle order means the parent is always the current head.
+    blk.block.header.parent_hash = chain.head().header.hash();
+    const Hash256 h = blk.block.header.hash();
+    result.block_hashes.push_back(h);
+    if (blk.block.transactions.empty()) ++result.empty_blocks;
+
+    std::vector<Slot> committed_slots;
+    committed_slots.reserve(blk.block.transactions.size());
+    for (const chain::Transaction& tx : blk.block.transactions) {
+      committed_slots.emplace_back(tx.from, tx.nonce);
+      if (!committed_seen.insert(committed_slots.back()).second)
+        ++result.duplicate_commits;
+    }
+    result.txs_committed += blk.block.transactions.size();
+
+    chain.commit_block(std::move(blk.block), blk.post_state,
+                       std::move(blk.receipts));
+
+    const std::uint64_t now_ns = wall.elapsed_ns();
+    {
+      std::scoped_lock lk(admit_mu);
+      for (const Slot& slot : committed_slots) {
+        const auto it = admit_ns.find(slot);
+        if (it == admit_ns.end()) continue;  // replaced after inclusion etc.
+        latencies_us.push_back(static_cast<double>(now_ns - it->second) *
+                               1e-3);
+        admit_ns.erase(it);
+      }
+    }
+  };
+
+  auto tip = chain.head_state();
+  std::uint64_t next_number = chain.height() + 1;
+
+  for (std::uint64_t b = 0; b < config_.blocks; ++b) {
+    // Wake deferred entries parked since the previous interval (their
+    // predecessors may have committed in the last block).
+    pool.progress();
+    if (config_.resubmit_evicted) resubmit_evicted();
+
+    std::thread feeder;
+    if (config_.concurrent_submission) {
+      feeder = std::thread([&] {
+        for (std::size_t t = 0; t < config_.ticks_per_block; ++t) feed_tick();
+      });
+    } else {
+      for (std::size_t t = 0; t < config_.ticks_per_block; ++t) feed_tick();
+    }
+
+    evm::BlockContext ctx;
+    ctx.number = next_number++;
+    ctx.timestamp = config_.timestamp_base + ctx.number;
+    ctx.coinbase = Address::from_id(config_.coinbase_id);
+    ctx.gas_limit = pcfg.block_gas_limit;
+
+    ProposedBlock blk = proposer.propose(*tip, ctx, pool, workers);
+    if (feeder.joinable()) feeder.join();
+
+    result.aborts += blk.stats.aborts;
+    result.not_ready += blk.stats.not_ready;
+    result.dropped += blk.stats.dropped;
+    ++result.blocks;
+    // Sampled at the block boundary: deterministic in virtual-time mode
+    // (settle timing is wall-clock dependent and must not influence this).
+    result.occupancy.push_back(pool.size());
+    if (std::getenv("BP_NODE_DEBUG") && b % 25 == 0) {
+      const auto st = pool.stats();
+      std::fprintf(stderr,
+                   "blk %llu: txs=%zu acc=%llu com=%llu evi=%llu stale=%llu "
+                   "drop=%llu pend=%zu queued=%zu defer=%zu infl=%zu "
+                   "nr=%llu ab=%llu\n",
+                   (unsigned long long)b, blk.block.transactions.size(),
+                   (unsigned long long)st.accepted,
+                   (unsigned long long)st.committed,
+                   (unsigned long long)st.evicted,
+                   (unsigned long long)st.stale_dropped,
+                   (unsigned long long)st.dropped, st.pending, st.queued,
+                   st.deferred, st.in_flight,
+                   (unsigned long long)blk.stats.not_ready,
+                   (unsigned long long)blk.stats.aborts);
+    }
+
+    // Speculate on the unsealed post state (the pipelining the commit
+    // subsystem exists for), bounded by the speculation depth.
+    tip = blk.post_state;
+    pending.push_back(std::move(blk));
+    pipeline.wait_pending_at_most(config_.speculation_depth);
+    while (pending.size() > config_.speculation_depth ||
+           (!pending.empty() && pending.front().commit.valid() &&
+            pending.front().commit.ready())) {
+      settle_front();
+    }
+  }
+  while (!pending.empty()) settle_front();
+
+  result.wall_ms = wall.elapsed_ms();
+  result.tx_per_s = result.wall_ms > 0.0
+                        ? static_cast<double>(result.txs_committed) * 1e3 /
+                              result.wall_ms
+                        : 0.0;
+  result.pool_stats = pool.stats();
+  result.conserved = result.pool_stats.conserved();
+  result.traffic = traffic.stats();
+  result.final_state_root = chain.head().header.state_root;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.admit_to_settle.samples = latencies_us.size();
+  result.admit_to_settle.p50_us = percentile(latencies_us, 0.50);
+  result.admit_to_settle.p90_us = percentile(latencies_us, 0.90);
+  result.admit_to_settle.p99_us = percentile(latencies_us, 0.99);
+  result.admit_to_settle.max_us =
+      latencies_us.empty() ? 0.0 : latencies_us.back();
+  return result;
+}
+
+}  // namespace blockpilot::core

@@ -79,6 +79,7 @@ ProposedBlock OccWsiProposer::propose_host_threads(
 
       if (r.status == evm::TxStatus::kInvalid) {
         ++local_dropped;
+        pool.dropped(tx.from, tx.nonce);
         continue;
       }
       if (r.status == evm::TxStatus::kNotReady) {
@@ -94,6 +95,7 @@ ProposedBlock OccWsiProposer::propose_host_threads(
         }
         if (drop) {
           ++local_dropped;
+          pool.dropped(tx.from, tx.nonce);
         } else {
           pool.defer(std::move(tx));
         }
@@ -105,6 +107,8 @@ ProposedBlock OccWsiProposer::propose_host_threads(
       ledger.add(lane, r.gas_used);
 
       // ---- serialized commit section (DetectConflit) ----
+      const Address committed_sender = tx.from;
+      const std::uint64_t committed_nonce = tx.nonce;
       {
         std::scoped_lock lk(shared.commit_mu);
         ledger.add(lane, config_.costs.commit_cost);
@@ -159,8 +163,9 @@ ProposedBlock OccWsiProposer::propose_host_threads(
         receipt.logs = r.logs;
         shared.receipts.push_back(std::move(receipt));
       }
-      // A commit may unblock deferred same-sender successors.
-      pool.progress();
+      // Acknowledge the commit: advances the sender's base nonce and
+      // releases deferred same-sender successors (supersedes progress()).
+      pool.committed(committed_sender, committed_nonce);
     }
 
     std::scoped_lock lk(stats_mu);
@@ -271,6 +276,7 @@ ProposedBlock OccWsiProposer::propose_virtual(
 
       if (r.status == evm::TxStatus::kInvalid) {
         ++stats.dropped;
+        pool.dropped(slot.tx.from, slot.tx.nonce);
         continue;  // pop the next candidate at the same virtual time
       }
       if (r.status == evm::TxStatus::kNotReady) {
@@ -278,6 +284,7 @@ ProposedBlock OccWsiProposer::propose_virtual(
         if (++not_ready_attempts[slot.tx.hash()] >
             config_.max_not_ready_attempts) {
           ++stats.dropped;
+          pool.dropped(slot.tx.from, slot.tx.nonce);
         } else {
           pool.defer(std::move(slot.tx));
         }
@@ -338,6 +345,8 @@ ProposedBlock OccWsiProposer::propose_virtual(
     profile.writes = std::move(slot.writes);
     profile.gas_used = slot.result.gas_used;
     block_profile.txs.push_back(std::move(profile));
+    const Address committed_sender = slot.tx.from;
+    const std::uint64_t committed_nonce = slot.tx.nonce;
     included.push_back(std::move(slot.tx));
     fees.push_back(slot.result.fee());
     gas_used += slot.result.gas_used;
@@ -350,7 +359,9 @@ ProposedBlock OccWsiProposer::propose_virtual(
     receipts.push_back(std::move(receipt));
 
     final_makespan = std::max(final_makespan, now);
-    pool.progress();  // release deferred same-sender successors
+    // Acknowledge the commit: advances the sender's base nonce and
+    // releases deferred same-sender successors (supersedes progress()).
+    pool.committed(committed_sender, committed_nonce);
 
     // Idle workers may now find work (deferred txs became poppable).
     try_start(w, now);

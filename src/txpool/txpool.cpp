@@ -1,47 +1,400 @@
 #include "txpool/txpool.hpp"
 
+#include <algorithm>
+
+#include "support/assert.hpp"
+
 namespace blockpilot::txpool {
 
-void TxPool::add(chain::Transaction tx) {
-  std::scoped_lock lk(mu_);
-  heap_.push(Entry{std::move(tx), next_seq_++});
+const char* to_string(AdmissionOutcome o) noexcept {
+  switch (o) {
+    case AdmissionOutcome::kAccepted: return "accepted";
+    case AdmissionOutcome::kReplaced: return "replaced";
+    case AdmissionOutcome::kRejectedUnderpriced: return "rejected-underpriced";
+    case AdmissionOutcome::kRejectedNonceTooLow: return "rejected-nonce-too-low";
+    case AdmissionOutcome::kRejectedPoolFull: return "rejected-pool-full";
+    case AdmissionOutcome::kRejectedDuplicate: return "rejected-duplicate";
+  }
+  return "unknown";
 }
 
-void TxPool::add_all(std::vector<chain::Transaction> txs) {
+void TxPool::insert_entry_locked(const Address& sender, SenderState& s,
+                                 std::uint64_t nonce, Entry entry) {
+  BP_ASSERT(!s.ladder.contains(nonce));
+  occupancy_bytes_ += entry.bytes;
+  ++ladder_count_;
+  all_.insert(key_of(sender, nonce, entry));
+  s.ladder.emplace(nonce, std::move(entry));
+  if (!s.sched_init || nonce < s.next_sched) {
+    s.next_sched = nonce;
+    s.sched_init = true;
+  }
+  sync_ready_locked(sender, s);
+}
+
+void TxPool::remove_entry_locked(const Address& sender, SenderState& s,
+                                 std::uint64_t nonce) {
+  auto it = s.ladder.find(nonce);
+  BP_ASSERT(it != s.ladder.end());
+  const PrioKey k = key_of(sender, nonce, it->second);
+  all_.erase(k);
+  if (s.has_ready && s.ready_nonce == nonce) {
+    ready_.erase(k);
+    s.has_ready = false;
+  }
+  occupancy_bytes_ -= it->second.bytes;
+  --ladder_count_;
+  s.ladder.erase(it);
+}
+
+void TxPool::sync_ready_locked(const Address& sender, SenderState& s) {
+  if (!config_.enforce_nonce_order) return;  // legacy mode pops from all_
+  const auto it = s.ladder.find(s.next_sched);
+  if (s.has_ready) {
+    if (it != s.ladder.end() && s.ready_nonce == s.next_sched) return;
+    const Entry& cur = s.ladder.at(s.ready_nonce);
+    ready_.erase(key_of(sender, s.ready_nonce, cur));
+    s.has_ready = false;
+  }
+  if (it != s.ladder.end()) {
+    ready_.insert(key_of(sender, s.next_sched, it->second));
+    s.has_ready = true;
+    s.ready_nonce = s.next_sched;
+  }
+}
+
+bool TxPool::evict_for_locked(const PrioKey& incoming,
+                              std::size_t incoming_bytes, bool unlocks_sender,
+                              std::uint32_t& evicted) {
+  const PrioCmp better;
+  while ((config_.max_txs != 0 &&
+          ladder_count_ + deferred_.size() + 1 > config_.max_txs) ||
+         (config_.max_bytes != 0 &&
+          occupancy_bytes_ + incoming_bytes > config_.max_bytes)) {
+    if (all_.empty()) return false;
+    // Make room only for a transaction that outranks the cheapest resident;
+    // an equal-price newcomer loses the tiebreak (anti-spam: churning the
+    // pool requires outbidding it).  Exception: a transaction that becomes
+    // its sender's schedulable head is admitted regardless of price — a
+    // schedulable transaction is worth more than any gap-stranded queued
+    // entry, whatever that entry bid (geth's pending-beats-queued rule).
+    // Without it a full pool deadlocks under overload: once every sender's
+    // ladder has an eviction hole, nothing is pending, and the cheap
+    // hole-filling re-submissions that would restart service can never
+    // outbid the queued entries blocking them.
+    if (!unlocks_sender && !better(incoming, *std::prev(all_.end())))
+      return false;
+    // A promotion-bypass admission may only displace gap-stranded entries —
+    // letting it displace another schedulable head would be zero-sum churn
+    // (see evict_one_locked); outbidding is the only way to do that.
+    if (!evict_one_locked(/*allow_ready=*/!unlocks_sender)) return false;
+    ++evicted;
+  }
+  return true;
+}
+
+bool TxPool::evict_one_locked(bool allow_ready) {
+  if (all_.empty()) return false;  // only unevictable residents remain
+  // In nonce-order mode, prefer victims whose eviction does not destroy a
+  // schedulable head.  A sender holds queued entries iff some resident tail
+  // is not a ready head, and ready_ holds exactly one entry per schedulable
+  // sender — so ladder_count_ > ready_.size() is an O(1) witness that such
+  // a victim exists.
+  const bool have_non_head =
+      !config_.enforce_nonce_order || ladder_count_ > ready_.size();
+  if (!have_non_head && !allow_ready) return false;
+  // The cheapest entry picks the victim SENDER, but the entry actually
+  // evicted is that sender's highest resident nonce: evicting mid-ladder
+  // would leave a hole no commit can ever close, permanently stranding the
+  // sender's queued successors (geth evicts account tails for the same
+  // reason).
+  auto victim = std::prev(all_.end());  // cheapest resident
+  if (have_non_head && config_.enforce_nonce_order) {
+    // Walk up from the cheapest entry to the first sender whose tail is not
+    // its schedulable head (usually the very first — gap-stranded ladders
+    // cluster at the cheap end).
+    while (true) {
+      const SenderState& cs = senders_.at(victim->sender);
+      const std::uint64_t tail = cs.ladder.rbegin()->first;
+      if (!(cs.has_ready && cs.ready_nonce == tail)) break;
+      BP_ASSERT(victim != all_.begin());
+      --victim;
+    }
+  }
+  const Address victim_sender = victim->sender;
+  SenderState& vs = senders_.at(victim_sender);
+  const std::uint64_t victim_nonce = vs.ladder.rbegin()->first;
+  if (config_.collect_evicted)
+    evicted_buf_.push_back(vs.ladder.at(victim_nonce).tx);
+  remove_entry_locked(victim_sender, vs, victim_nonce);
+  sync_ready_locked(victim_sender, vs);
+  ++stats_.evicted;
+  return true;
+}
+
+std::vector<chain::Transaction> TxPool::take_evicted() {
   std::scoped_lock lk(mu_);
-  for (auto& tx : txs) heap_.push(Entry{std::move(tx), next_seq_++});
+  return std::exchange(evicted_buf_, {});
+}
+
+void TxPool::trim_to_caps_locked() {
+  while (((config_.max_txs != 0 &&
+           ladder_count_ + deferred_.size() > config_.max_txs) ||
+          (config_.max_bytes != 0 && occupancy_bytes_ > config_.max_bytes)) &&
+         evict_one_locked(/*allow_ready=*/true)) {
+  }
+}
+
+void TxPool::drop_stale_locked(const Address& sender, SenderState& s) {
+  while (!s.ladder.empty() && s.ladder.begin()->first < s.base) {
+    remove_entry_locked(sender, s, s.ladder.begin()->first);
+    ++stats_.stale_dropped;
+  }
+}
+
+AdmissionResult TxPool::add_locked(chain::Transaction tx) {
+  const Address from = tx.from;
+  const std::uint64_t nonce = tx.nonce;
+  SenderState& s = senders_[from];
+
+  if (s.base_known && nonce < s.base) {
+    ++stats_.rejected_nonce_too_low;
+    return {AdmissionOutcome::kRejectedNonceTooLow, 0};
+  }
+  // A slot that is mid-execution (popped) or parked by the proposer is not
+  // replaceable: the old transaction may still commit.
+  if (in_flight_.contains(Slot{from, nonce})) {
+    ++stats_.rejected_duplicate;
+    return {AdmissionOutcome::kRejectedDuplicate, 0};
+  }
+  for (const Entry& d : deferred_) {
+    if (d.tx.from == from && d.tx.nonce == nonce) {
+      ++stats_.rejected_duplicate;
+      return {AdmissionOutcome::kRejectedDuplicate, 0};
+    }
+  }
+
+  const auto resident = s.ladder.find(nonce);
+  if (resident != s.ladder.end()) {
+    if (resident->second.tx == tx) {
+      ++stats_.rejected_duplicate;
+      return {AdmissionOutcome::kRejectedDuplicate, 0};
+    }
+    // Replace-by-fee: the newcomer must outbid the resident by the
+    // configured bump.  Replacement is atomic under mu_ — the displaced
+    // transaction is gone before the new one becomes poppable, so no
+    // interleaving can observe both.
+    const U256 need =
+        resident->second.tx.gas_price * U256{100 + config_.replace_bump_percent};
+    if (tx.gas_price * U256{100} < need) {
+      ++stats_.rejected_underpriced;
+      return {AdmissionOutcome::kRejectedUnderpriced, 0};
+    }
+    Entry entry{std::move(tx), next_seq_++, 0};
+    entry.bytes = tx_bytes(entry.tx);
+    remove_entry_locked(from, s, nonce);
+    ++stats_.replaced;
+    ++stats_.accepted;
+    // Replacements bypass the capacity check: the occupancy delta is
+    // bounded by the calldata size difference, and failing here would have
+    // to resurrect the displaced resident.
+    insert_entry_locked(from, s, nonce, std::move(entry));
+    return {AdmissionOutcome::kReplaced, 0};
+  }
+
+  Entry entry{std::move(tx), next_seq_++, 0};
+  entry.bytes = tx_bytes(entry.tx);
+  const PrioKey k = key_of(from, nonce, entry);
+  // Would this transaction become the sender's schedulable head?  True when
+  // the sender has no ready entry and the nonce lands at (or below) the
+  // scheduling cursor — i.e. it fills the gap that is stalling the ladder.
+  const bool unlocks_sender = config_.enforce_nonce_order && !s.has_ready &&
+                              (!s.sched_init || nonce <= s.next_sched);
+  std::uint32_t evicted = 0;
+  if (!evict_for_locked(k, entry.bytes, unlocks_sender, evicted)) {
+    ++stats_.rejected_pool_full;
+    return {AdmissionOutcome::kRejectedPoolFull, evicted};
+  }
+  insert_entry_locked(from, s, nonce, std::move(entry));
+  ++stats_.accepted;
+  return {AdmissionOutcome::kAccepted, evicted};
+}
+
+AdmissionResult TxPool::add(chain::Transaction tx) {
+  std::scoped_lock lk(mu_);
+  return add_locked(std::move(tx));
+}
+
+std::size_t TxPool::add_all(std::vector<chain::Transaction> txs) {
+  std::scoped_lock lk(mu_);
+  std::size_t admitted = 0;
+  for (auto& tx : txs)
+    if (add_locked(std::move(tx)).admitted()) ++admitted;
+  return admitted;
 }
 
 std::optional<chain::Transaction> TxPool::pop() {
   std::scoped_lock lk(mu_);
-  // Deferred entries re-enter ONLY via progress(): popping them back out
-  // immediately would let a worker spin pop->defer->pop on a nonce-gapped
-  // transaction without any commit in between.
-  if (heap_.empty()) return std::nullopt;
-  chain::Transaction tx = heap_.top().tx;
-  heap_.pop();
-  return tx;
+  // Deferred entries re-enter ONLY via progress()/committed(): popping them
+  // back out immediately would let a worker spin pop->defer->pop on a
+  // nonce-gapped transaction without any commit in between.
+  const auto& src = config_.enforce_nonce_order ? ready_ : all_;
+  if (src.empty()) return std::nullopt;
+  const PrioKey k = *src.begin();
+  SenderState& s = senders_.at(k.sender);
+  const auto it = s.ladder.find(k.nonce);
+  BP_ASSERT(it != s.ladder.end());
+  Entry entry = std::move(it->second);
+  all_.erase(k);
+  if (s.has_ready && s.ready_nonce == k.nonce) {
+    ready_.erase(k);
+    s.has_ready = false;
+  }
+  s.ladder.erase(it);
+  --ladder_count_;
+  occupancy_bytes_ -= entry.bytes;
+  in_flight_[Slot{k.sender, k.nonce}] = InFlight{entry.seq, entry.bytes};
+  if (config_.enforce_nonce_order) {
+    // Promote the successor: the sender keeps one schedulable transaction
+    // at a time, so popped nonces are monotone absent push_back retries.
+    s.next_sched = k.nonce + 1;
+    s.sched_init = true;
+    sync_ready_locked(k.sender, s);
+  }
+  return std::move(entry.tx);
+}
+
+void TxPool::reinsert_locked(chain::Transaction tx, std::uint64_t seq,
+                             std::size_t bytes) {
+  SenderState& s = senders_[tx.from];
+  if (s.base_known && tx.nonce < s.base) {
+    ++stats_.stale_dropped;  // committed past it while the retry was out
+    return;
+  }
+  const Address from = tx.from;
+  const std::uint64_t nonce = tx.nonce;
+  insert_entry_locked(from, s, nonce, Entry{std::move(tx), seq, bytes});
+  // A returning resident must re-enter even when the pool filled up while
+  // it was out — discarding it would punch a hole in its sender's ladder.
+  // Capacity is restored by evicting tails instead (possibly its own
+  // sender's, or the returning transaction itself if it is a cheap tail).
+  trim_to_caps_locked();
 }
 
 void TxPool::push_back(chain::Transaction tx) {
   std::scoped_lock lk(mu_);
-  heap_.push(Entry{std::move(tx), next_seq_++});
+  const auto f = in_flight_.find(Slot{tx.from, tx.nonce});
+  std::uint64_t seq;
+  std::size_t bytes;
+  if (f != in_flight_.end()) {
+    // Retry keeps its ORIGINAL admission seq: its priority tiebreak — and
+    // therefore its place among equal-price peers — survives the abort.
+    seq = f->second.seq;
+    bytes = f->second.bytes;
+    in_flight_.erase(f);
+  } else {
+    seq = next_seq_++;  // stray return: treat as a fresh admission
+    bytes = tx_bytes(tx);
+    ++stats_.accepted;
+  }
+  reinsert_locked(std::move(tx), seq, bytes);
 }
 
 void TxPool::defer(chain::Transaction tx) {
   std::scoped_lock lk(mu_);
-  deferred_.push_back(std::move(tx));
+  const auto f = in_flight_.find(Slot{tx.from, tx.nonce});
+  std::uint64_t seq;
+  std::size_t bytes;
+  if (f != in_flight_.end()) {
+    seq = f->second.seq;
+    bytes = f->second.bytes;
+    in_flight_.erase(f);
+  } else {
+    seq = next_seq_++;
+    bytes = tx_bytes(tx);
+    ++stats_.accepted;
+  }
+  const SenderState& s = senders_[tx.from];
+  if (s.base_known && tx.nonce < s.base) {
+    ++stats_.stale_dropped;
+    return;
+  }
+  deferred_.push_back(Entry{std::move(tx), seq, bytes});
+  occupancy_bytes_ += bytes;
+  trim_to_caps_locked();
+}
+
+void TxPool::release_deferred_locked() {
+  if (deferred_.empty()) return;
+  std::vector<Entry> parked = std::move(deferred_);
+  deferred_.clear();
+  for (Entry& e : parked) {
+    occupancy_bytes_ -= e.bytes;  // reinsert re-adds on success
+    reinsert_locked(std::move(e.tx), e.seq, e.bytes);
+  }
 }
 
 void TxPool::progress() {
   std::scoped_lock lk(mu_);
-  for (auto& tx : deferred_) heap_.push(Entry{std::move(tx), next_seq_++});
-  deferred_.clear();
+  release_deferred_locked();
+}
+
+void TxPool::committed(const Address& sender, std::uint64_t nonce) {
+  std::scoped_lock lk(mu_);
+  if (in_flight_.erase(Slot{sender, nonce}) != 0) {
+    ++stats_.committed;
+    SenderState& s = senders_[sender];
+    s.base = std::max(s.base, nonce + 1);
+    s.base_known = true;
+    if (!s.sched_init || s.next_sched < s.base) {
+      s.next_sched = s.base;
+      s.sched_init = true;
+    }
+    drop_stale_locked(sender, s);
+    sync_ready_locked(sender, s);
+  }
+  // A commit may unblock deferred same-sender successors.
+  release_deferred_locked();
+}
+
+void TxPool::dropped(const Address& sender, std::uint64_t nonce) {
+  std::scoped_lock lk(mu_);
+  if (in_flight_.erase(Slot{sender, nonce}) != 0) ++stats_.dropped;
+}
+
+void TxPool::note_sender_nonce(const Address& sender,
+                               std::uint64_t account_nonce) {
+  std::scoped_lock lk(mu_);
+  SenderState& s = senders_[sender];
+  s.base = std::max(s.base, account_nonce);
+  s.base_known = true;
+  if (!s.sched_init || s.next_sched < s.base) {
+    s.next_sched = s.base;
+    s.sched_init = true;
+  }
+  drop_stale_locked(sender, s);
+  sync_ready_locked(sender, s);
 }
 
 std::size_t TxPool::size() const {
   std::scoped_lock lk(mu_);
-  return heap_.size() + deferred_.size();
+  return ladder_count_ + deferred_.size();
+}
+
+std::size_t TxPool::in_flight() const {
+  std::scoped_lock lk(mu_);
+  return in_flight_.size();
+}
+
+TxPoolStats TxPool::stats() const {
+  std::scoped_lock lk(mu_);
+  TxPoolStats out = stats_;
+  out.occupancy_bytes = occupancy_bytes_;
+  out.pending = config_.enforce_nonce_order ? ready_.size() : ladder_count_;
+  out.queued = ladder_count_ - out.pending;
+  out.deferred = deferred_.size();
+  out.in_flight = in_flight_.size();
+  return out;
 }
 
 }  // namespace blockpilot::txpool

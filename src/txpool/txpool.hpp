@@ -1,73 +1,269 @@
-// Transaction pool with gas-price priority.
+// Transaction pool: the node's admission front.
 //
-// The proposer's worker threads pop transactions concurrently (Algorithm 1
-// line 7, "PopHeap"), execute them optimistically, and push aborted ones
-// back ("PushHeap").  Selection is by gas price, ties broken by sender
-// nonce then insertion order, matching the paper's "transactions with
-// higher gas prices ... are chosen first" (§4.2).
+// Grown from the original gas-price priority heap into a real pool that can
+// sit under a continuous submission firehose:
+//
+//  * Per-sender nonce ladders.  Each sender owns a nonce -> entry map.  A
+//    slot (sender, nonce) holds at most one transaction; re-submissions of
+//    an occupied slot go through replace-by-fee (a configurable minimum
+//    price bump) and the displaced transaction is never observable again.
+//  * Pending vs queued.  With `enforce_nonce_order` set, only the sender's
+//    head-of-line nonce (contiguous from the account's base nonce) is
+//    eligible for pop(); later nonces queue until the gap fills.  Popping a
+//    nonce promotes its successor immediately, so a sender keeps one
+//    transaction schedulable at a time and popped nonces are monotone.
+//    With the flag clear (the default) every admitted transaction competes
+//    in the global price order — the original heap semantics the figure
+//    benches were calibrated against (same-sender ordering then emerges
+//    from the proposer's kNotReady deferral path).
+//  * Byte- and count-capped occupancy.  When a cap would be exceeded, the
+//    lowest-priority resident transaction (lowest gas price, newest
+//    arrival) is evicted to make room — but only if the incoming
+//    transaction outranks it; otherwise admission fails pool-full.  In
+//    nonce-order mode, a transaction that would become its sender's
+//    schedulable head bypasses the outrank check (pending beats queued):
+//    without that rule a saturated pool of gap-stranded ladders deadlocks,
+//    because the cheap hole-fillers that would restart service can never
+//    outbid the queued entries blocking them.
+//  * Typed admission results and exact conservation counters: every
+//    accepted transaction is accounted for as committed, dropped, evicted,
+//    replaced, stale-dropped, or still resident (ladder / deferred /
+//    in-flight) — the invariant the ingestion soak tests assert.
+//
+// Selection is by gas price, ties broken by admission order, matching the
+// paper's "transactions with higher gas prices ... are chosen first"
+// (§4.2).  Aborted transactions re-enter via push_back() with their
+// ORIGINAL admission sequence, so a retry keeps its place among equal-price
+// peers instead of falling to the back of the tiebreak.
 //
 // A deferral mechanism handles kNotReady transactions (same-sender nonce
-// gaps): a deferred transaction re-enters the heap after the pool's commit
-// counter advances, avoiding a busy retry loop on a transaction whose
-// predecessor is still executing.
+// gaps): a deferred transaction re-enters the ladder after the pool next
+// observes progress (a commit), avoiding a busy retry loop on a
+// transaction whose predecessor is still executing.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
-#include <queue>
+#include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/transaction.hpp"
 
 namespace blockpilot::txpool {
 
+/// Outcome of one admission attempt.
+enum class AdmissionOutcome : std::uint8_t {
+  kAccepted = 0,           // entered the pool in a fresh (sender, nonce) slot
+  kReplaced,               // entered the pool, displacing the slot's resident
+  kRejectedUnderpriced,    // slot occupied and the fee bump was insufficient
+  kRejectedNonceTooLow,    // nonce below the sender's committed base nonce
+  kRejectedPoolFull,       // caps reached and the tx outranks no resident
+  kRejectedDuplicate,      // identical tx, or its slot is mid-execution
+};
+
+const char* to_string(AdmissionOutcome o) noexcept;
+
+struct AdmissionResult {
+  AdmissionOutcome outcome = AdmissionOutcome::kRejectedDuplicate;
+  /// Residents evicted to make room for this admission.
+  std::uint32_t evicted = 0;
+
+  bool admitted() const noexcept {
+    return outcome == AdmissionOutcome::kAccepted ||
+           outcome == AdmissionOutcome::kReplaced;
+  }
+};
+
+struct TxPoolConfig {
+  /// Maximum resident transactions (ladder + deferred); 0 = unlimited.
+  std::size_t max_txs = 0;
+  /// Maximum resident occupancy in bytes (see TxPool::tx_bytes); 0 =
+  /// unlimited.
+  std::size_t max_bytes = 0;
+  /// Replace-by-fee threshold: a replacement must bid at least
+  /// old_price * (100 + replace_bump_percent) / 100.
+  unsigned replace_bump_percent = 10;
+  /// Gate pop() on per-sender nonce contiguity (see file comment).  The
+  /// ingestion front enables this; the replay benches keep it off to
+  /// preserve the calibrated heap semantics.
+  bool enforce_nonce_order = false;
+  /// Buffer evicted transactions for take_evicted().  The node loop uses
+  /// this to model client re-submission (a sender whose transaction was
+  /// dropped re-submits at the same nonce — without that feedback, an
+  /// evicted tail leaves a permanent arrival-side nonce hole).  Off by
+  /// default: with no consumer the buffer would grow unbounded.
+  bool collect_evicted = false;
+};
+
+/// Aggregate pool counters.  All monotone except the occupancy gauges.
+struct TxPoolStats {
+  // Admission outcomes.
+  std::uint64_t accepted = 0;   // entered the pool (fresh slot OR replacement)
+  std::uint64_t replaced = 0;   // residents displaced by replace-by-fee
+  std::uint64_t rejected_underpriced = 0;
+  std::uint64_t rejected_nonce_too_low = 0;
+  std::uint64_t rejected_pool_full = 0;
+  std::uint64_t rejected_duplicate = 0;
+  // Exits.
+  std::uint64_t committed = 0;      // acknowledged via committed()
+  std::uint64_t dropped = 0;        // acknowledged via dropped()
+  std::uint64_t evicted = 0;        // displaced by capacity pressure
+  std::uint64_t stale_dropped = 0;  // nonce fell below the committed base
+  // Occupancy gauges.
+  std::size_t occupancy_bytes = 0;  // ladder + deferred
+  std::size_t pending = 0;          // pop()-eligible ladder entries
+  std::size_t queued = 0;           // ladder entries awaiting a nonce gap
+  std::size_t deferred = 0;         // parked by the proposer (kNotReady)
+  std::size_t in_flight = 0;        // popped, not yet acknowledged
+
+  /// Conservation: every accepted transaction is exactly one of committed,
+  /// dropped, evicted, replaced, stale-dropped, or still held.
+  bool conserved() const noexcept {
+    return accepted == committed + dropped + evicted + replaced +
+                           stale_dropped + pending + queued + deferred +
+                           in_flight;
+  }
+};
+
 class TxPool {
  public:
   TxPool() = default;
+  explicit TxPool(TxPoolConfig config) : config_(config) {}
 
-  /// Adds a transaction to the pending pool.
-  void add(chain::Transaction tx);
-  void add_all(std::vector<chain::Transaction> txs);
+  /// Approximate wire footprint used for byte-capped occupancy: a fixed
+  /// envelope charge plus calldata.  Deliberately cheaper than a full RLP
+  /// encode — admission sits on the submission hot path.
+  static std::size_t tx_bytes(const chain::Transaction& tx) noexcept {
+    return 96 + tx.data.size();
+  }
 
-  /// Pops the highest-priority pending transaction; nullopt when the pool
-  /// (including deferred entries) is empty.
+  /// Admits a transaction (see AdmissionOutcome for the decision space).
+  AdmissionResult add(chain::Transaction tx);
+
+  /// Bulk admission; returns how many entered the pool.
+  std::size_t add_all(std::vector<chain::Transaction> txs);
+
+  /// Pops the highest-priority eligible transaction; nullopt when nothing
+  /// is eligible (deferred/queued entries do not count).  The popped
+  /// transaction is tracked as in-flight until the caller acknowledges it
+  /// via committed()/dropped() or returns it via push_back()/defer().
   std::optional<chain::Transaction> pop();
 
-  /// Returns an aborted transaction for retry (conflict abort path).
+  /// Returns an aborted transaction for retry (conflict abort path).  The
+  /// entry keeps its original admission sequence, so its priority tiebreak
+  /// — and therefore retry order among equal-price peers — is stable.
   void push_back(chain::Transaction tx);
 
-  /// Parks a kNotReady transaction until progress() is next called.
+  /// Parks a kNotReady transaction until the pool next observes progress.
   void defer(chain::Transaction tx);
 
-  /// Signals that a transaction committed; deferred entries re-enter the
-  /// heap (their predecessor may be the one that just committed).
+  /// Signals that some transaction committed; deferred entries re-enter
+  /// the ladder (their predecessor may be the one that just committed).
   void progress();
 
-  /// Pending + deferred count.
+  /// Acknowledges the commit of an in-flight transaction: advances the
+  /// sender's base nonce (entries at or below it become stale and are
+  /// dropped), then releases deferred entries as progress() does.
+  void committed(const Address& sender, std::uint64_t nonce);
+
+  /// Acknowledges that the proposer permanently discarded an in-flight
+  /// transaction (invalid, or its predecessor never arrived).
+  void dropped(const Address& sender, std::uint64_t nonce);
+
+  /// Seeds a sender's base nonce from authoritative account state; nonces
+  /// below it are rejected nonce-too-low and resident entries below it are
+  /// dropped as stale.
+  void note_sender_nonce(const Address& sender, std::uint64_t account_nonce);
+
+  /// Drains the evicted-transaction buffer (empty unless
+  /// config.collect_evicted): the re-submission feedback channel.
+  std::vector<chain::Transaction> take_evicted();
+
+  /// Resident count: ladder + deferred (in-flight transactions are out).
   std::size_t size() const;
   bool empty() const { return size() == 0; }
+  std::size_t in_flight() const;
+
+  TxPoolStats stats() const;
+  const TxPoolConfig& config() const noexcept { return config_; }
 
  private:
   struct Entry {
     chain::Transaction tx;
-    std::uint64_t seq;  // insertion order tiebreak (stable priority)
+    std::uint64_t seq = 0;     // admission order tiebreak (stable priority)
+    std::size_t bytes = 0;
   };
-  // Strict weak ordering: gas price desc, then insertion order.  Per-sender
-  // nonce order is enforced by the kNotReady deferral path, not the heap
-  // (a nonce term here would break transitivity across senders).
-  struct Compare {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.tx.gas_price != b.tx.gas_price)
-        return a.tx.gas_price < b.tx.gas_price;  // max-heap on gas price
-      return a.seq > b.seq;
+
+  /// Global priority key.  Strict weak ordering: gas price desc, then
+  /// admission order.  (sender, nonce) ride along to locate the entry.
+  struct PrioKey {
+    U256 price;
+    std::uint64_t seq = 0;
+    Address sender;
+    std::uint64_t nonce = 0;
+  };
+  struct PrioCmp {
+    bool operator()(const PrioKey& a, const PrioKey& b) const noexcept {
+      if (a.price != b.price) return a.price > b.price;  // max price first
+      return a.seq < b.seq;
     }
   };
 
+  struct SenderState {
+    std::map<std::uint64_t, Entry> ladder;  // nonce -> resident entry
+    std::uint64_t base = 0;        // lowest admissible nonce
+    bool base_known = false;       // base seeded by note/commit (else inferred)
+    std::uint64_t next_sched = 0;  // head-of-line nonce (nonce-order mode)
+    bool sched_init = false;
+    bool has_ready = false;        // ladder[ready_nonce] is in ready_
+    std::uint64_t ready_nonce = 0;
+  };
+
+  struct InFlight {
+    std::uint64_t seq = 0;
+    std::size_t bytes = 0;
+  };
+
+  using Slot = std::pair<Address, std::uint64_t>;
+
+  static PrioKey key_of(const Address& sender, std::uint64_t nonce,
+                        const Entry& e) noexcept {
+    return PrioKey{e.tx.gas_price, e.seq, sender, nonce};
+  }
+
+  // All helpers below require mu_ held.
+  void insert_entry_locked(const Address& sender, SenderState& s,
+                           std::uint64_t nonce, Entry entry);
+  void remove_entry_locked(const Address& sender, SenderState& s,
+                           std::uint64_t nonce);
+  void sync_ready_locked(const Address& sender, SenderState& s);
+  void reinsert_locked(chain::Transaction tx, std::uint64_t seq,
+                       std::size_t bytes);
+  bool evict_one_locked(bool allow_ready);
+  bool evict_for_locked(const PrioKey& incoming, std::size_t incoming_bytes,
+                        bool unlocks_sender, std::uint32_t& evicted);
+  void trim_to_caps_locked();
+  void drop_stale_locked(const Address& sender, SenderState& s);
+  void release_deferred_locked();
+  AdmissionResult add_locked(chain::Transaction tx);
+
+  TxPoolConfig config_;
   mutable std::mutex mu_;
-  std::priority_queue<Entry, std::vector<Entry>, Compare> heap_;
-  std::vector<chain::Transaction> deferred_;
+  std::unordered_map<Address, SenderState> senders_;
+  std::set<PrioKey, PrioCmp> ready_;  // pop() source in nonce-order mode
+  std::set<PrioKey, PrioCmp> all_;    // every ladder entry (eviction index;
+                                      // pop() source in legacy mode)
+  std::map<Slot, InFlight> in_flight_;
+  std::vector<Entry> deferred_;
+  std::vector<chain::Transaction> evicted_buf_;  // collect_evicted only
   std::uint64_t next_seq_ = 0;
+  std::size_t ladder_count_ = 0;
+  std::size_t occupancy_bytes_ = 0;  // ladder + deferred
+  TxPoolStats stats_;
 };
 
 }  // namespace blockpilot::txpool

@@ -64,6 +64,15 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
                 config_.nft_fraction + config_.airdrop_fraction <=
             1.0 + 1e-9);
   BP_ASSERT(config_.airdrop_burst >= 1);
+  BP_ASSERT(config_.sender_partition_count >= 1);
+  BP_ASSERT(config_.sender_partition_index < config_.sender_partition_count);
+}
+
+Address WorkloadGenerator::pick_sender(Xoshiro256& rng) const {
+  const std::size_t span = config_.num_eoa / config_.sender_partition_count;
+  if (span == 0) return eoa(rng.below(config_.num_eoa));  // degenerate: share
+  const std::size_t base = config_.sender_partition_index * span;
+  return eoa(base + rng.below(span));
 }
 
 Address WorkloadGenerator::eoa(std::size_t i) const {
@@ -129,7 +138,7 @@ chain::Transaction WorkloadGenerator::base_tx(Xoshiro256& rng,
 }
 
 chain::Transaction WorkloadGenerator::make_native(Xoshiro256& rng) {
-  const Address from = eoa(rng.below(config_.num_eoa));
+  const Address from = pick_sender(rng);
   chain::Transaction tx = base_tx(rng, from);
   // Zipf-popular recipients: two transfers to one payee conflict on its
   // balance counter — the paper's canonical "counter" conflict.
@@ -140,7 +149,7 @@ chain::Transaction WorkloadGenerator::make_native(Xoshiro256& rng) {
 }
 
 chain::Transaction WorkloadGenerator::make_token(Xoshiro256& rng) {
-  const Address from = eoa(rng.below(config_.num_eoa));
+  const Address from = pick_sender(rng);
   chain::Transaction tx = base_tx(rng, from);
   const std::size_t which =
       config_.num_tokens == 0 ? 0 : contract_zipf_(rng) % config_.num_tokens;
@@ -152,7 +161,7 @@ chain::Transaction WorkloadGenerator::make_token(Xoshiro256& rng) {
 }
 
 chain::Transaction WorkloadGenerator::make_dex(Xoshiro256& rng) {
-  const Address from = eoa(rng.below(config_.num_eoa));
+  const Address from = pick_sender(rng);
   chain::Transaction tx = base_tx(rng, from);
   const std::size_t which =
       config_.num_dex == 0 ? 0 : contract_zipf_(rng) % config_.num_dex;
@@ -173,7 +182,7 @@ std::vector<chain::Transaction> WorkloadGenerator::next_block() {
 }
 
 chain::Transaction WorkloadGenerator::make_nft(Xoshiro256& rng) {
-  const Address from = eoa(rng.below(config_.num_eoa));
+  const Address from = pick_sender(rng);
   chain::Transaction tx = base_tx(rng, from);
   tx.to = nft(rng.below(kNftCollections));
   tx.gas_limit = 120'000;
@@ -185,7 +194,7 @@ void WorkloadGenerator::append_airdrop(std::vector<chain::Transaction>& out,
                                        std::size_t max_txs) {
   // One distributor sends a run of consecutive-nonce transfers: the nonce
   // chain forces serial commit order within the burst.
-  const Address distributor = eoa(rng.below(config_.num_eoa));
+  const Address distributor = pick_sender(rng);
   const std::size_t burst = std::min(config_.airdrop_burst, max_txs);
   for (std::size_t i = 0; i < burst; ++i) {
     chain::Transaction tx = base_tx(rng, distributor);

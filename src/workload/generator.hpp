@@ -57,6 +57,13 @@ struct WorkloadConfig {
 
   std::uint64_t default_gas_price_min = 10;  // priced in wei-like units
   std::uint64_t default_gas_price_max = 200;
+
+  /// Sender partitioning: generator i of N draws senders only from its own
+  /// slice of the EOA range, so N independent generators (the traffic
+  /// harness's submission sources) never collide on a (sender, nonce) slot.
+  /// Recipients still span the full range — cross-partition conflicts stay.
+  std::size_t sender_partition_index = 0;
+  std::size_t sender_partition_count = 1;
 };
 
 /// Presets sweeping the hotspot regime for Fig. 8: from nearly
@@ -101,6 +108,7 @@ class WorkloadGenerator {
   void append_airdrop(std::vector<chain::Transaction>& out, Xoshiro256& rng,
                       std::size_t max_txs);
   chain::Transaction base_tx(Xoshiro256& rng, const Address& from);
+  Address pick_sender(Xoshiro256& rng) const;
 
   WorkloadConfig config_;
   Xoshiro256 rng_;

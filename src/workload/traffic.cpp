@@ -1,0 +1,172 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::workload {
+namespace {
+
+constexpr std::size_t kRecentRing = 64;  // replacement-candidate window
+
+}  // namespace
+
+TrafficProfile traffic_steady() {
+  TrafficProfile p;
+  p.name = "steady";
+  p.base.jitter_block_size = false;
+  return p;
+}
+
+TrafficProfile traffic_bursty() {
+  TrafficProfile p;
+  p.name = "bursty";
+  p.base.jitter_block_size = false;
+  p.txs_per_tick = 4;
+  p.burst_chance = 0.25;
+  p.burst_multiplier = 6;
+  return p;
+}
+
+TrafficProfile traffic_nonce_storm() {
+  TrafficProfile p;
+  p.name = "nonce-storm";
+  p.base.jitter_block_size = false;
+  // Airdrop chains make long same-sender nonce runs; gap injection then
+  // scrambles their arrival order.
+  p.base.airdrop_fraction = 0.25;
+  p.base.airdrop_burst = 6;
+  p.gap_chance = 0.15;
+  p.gap_delay_ticks = 4;
+  return p;
+}
+
+TrafficProfile traffic_fee_frenzy() {
+  TrafficProfile p;
+  p.name = "fee-frenzy";
+  p.base.jitter_block_size = false;
+  p.replace_chance = 0.5;
+  p.underpriced_replace_chance = 0.3;
+  p.spike_chance = 0.1;
+  p.spike_ticks = 4;
+  p.spike_multiplier = 8;
+  return p;
+}
+
+TrafficGenerator::TrafficGenerator(TrafficProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_([&] {
+        std::uint64_t sm = seed ^ 0x7aff'1c00'f12e'05eULL;
+        return splitmix64(sm);
+      }()) {
+  BP_ASSERT(profile_.sources >= 1);
+  sources_.reserve(profile_.sources);
+  for (std::size_t i = 0; i < profile_.sources; ++i) {
+    WorkloadConfig c = profile_.base;
+    std::uint64_t sm = seed + 0x9e37'79b9'7f4a'7c15ULL * (i + 1);
+    c.seed = splitmix64(sm);
+    c.sender_partition_index = i;
+    c.sender_partition_count = profile_.sources;
+    sources_.push_back(Source{WorkloadGenerator(c), {}});
+  }
+}
+
+state::WorldState TrafficGenerator::genesis() const {
+  return sources_.front().gen.genesis();
+}
+
+std::size_t TrafficGenerator::num_senders() const noexcept {
+  return profile_.base.num_eoa;
+}
+
+Address TrafficGenerator::sender(std::size_t i) const {
+  return sources_.front().gen.eoa(i);
+}
+
+void TrafficGenerator::emit(std::vector<chain::Transaction>& out,
+                            chain::Transaction tx) {
+  // Remember a copy for the replacement path before handing it out.
+  if (recent_.size() < kRecentRing) {
+    recent_.push_back(tx);
+  } else {
+    recent_[recent_next_] = tx;
+    recent_next_ = (recent_next_ + 1) % kRecentRing;
+  }
+  out.push_back(std::move(tx));
+  ++stats_.emitted;
+}
+
+std::vector<chain::Transaction> TrafficGenerator::tick() {
+  std::vector<chain::Transaction> out;
+
+  // Fee-spike state machine: one stretch at a time.
+  if (spike_left_ == 0 && profile_.spike_chance > 0.0 &&
+      rng_.chance(profile_.spike_chance)) {
+    spike_left_ = profile_.spike_ticks;
+  }
+  const bool spiking = spike_left_ > 0;
+  if (spiking) {
+    --spike_left_;
+    ++stats_.spike_ticks;
+  }
+
+  for (Source& src : sources_) {
+    // Release held-back transactions whose delay expired (the "gap" closes).
+    while (!src.held.empty() && src.held.front().release_tick <= now_) {
+      ++stats_.gaps_released;
+      --delayed_count_;
+      emit(out, std::move(src.held.front().tx));
+      src.held.pop_front();
+    }
+
+    std::size_t budget = profile_.txs_per_tick;
+    if (profile_.burst_chance > 0.0 && rng_.chance(profile_.burst_chance)) {
+      budget *= profile_.burst_multiplier;
+      ++stats_.bursts;
+    }
+    std::vector<chain::Transaction> batch = src.gen.next_batch(budget);
+    for (chain::Transaction& tx : batch) {
+      if (spiking) tx.gas_price = tx.gas_price * U256{profile_.spike_multiplier};
+      if (profile_.gap_chance > 0.0 && rng_.chance(profile_.gap_chance)) {
+        // Hold this one back; same-sender successors emitted this tick will
+        // arrive first — an out-of-order nonce gap at the pool.
+        ++stats_.gaps_injected;
+        ++delayed_count_;
+        src.held.push_back(Delayed{
+            std::move(tx), now_ + rng_.range(1, profile_.gap_delay_ticks)});
+        continue;
+      }
+      emit(out, std::move(tx));
+    }
+
+    // Re-bid a recently emitted slot (replace-by-fee traffic).
+    if (profile_.replace_chance > 0.0 && !recent_.empty() &&
+        rng_.chance(profile_.replace_chance)) {
+      chain::Transaction re = recent_[rng_.below(recent_.size())];
+      const U256 old_price = re.gas_price;
+      if (rng_.chance(profile_.underpriced_replace_chance)) {
+        // Same price, different payload: below any positive bump threshold.
+        re.value += U256{1};
+        ++stats_.underpriced_replacements;
+      } else {
+        re.gas_price =
+            old_price * U256{100 + profile_.replace_bump_percent} / U256{100} +
+            U256{1};
+        ++stats_.replacements;
+      }
+      emit(out, std::move(re));
+    }
+  }
+
+  // Interleave the sources deterministically (Fisher-Yates under rng_).
+  if (profile_.shuffle_arrivals && out.size() > 1) {
+    for (std::size_t i = out.size() - 1; i > 0; --i)
+      std::swap(out[i], out[rng_.below(i + 1)]);
+  }
+
+  ++now_;
+  ++stats_.ticks;
+  return out;
+}
+
+}  // namespace blockpilot::workload

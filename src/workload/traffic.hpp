@@ -1,0 +1,123 @@
+// Deterministic traffic harness: a multi-source submission firehose for the
+// ingestion front.
+//
+// A TrafficGenerator owns N independent WorkloadGenerators (one per
+// submission source, each confined to its own sender partition so sources
+// never collide on a (sender, nonce) slot) and shapes their combined output
+// into the arrival pathologies a live txpool must absorb:
+//
+//  * bursts        — a source emits a multiple of its per-tick budget
+//  * nonce gaps    — a transaction is held back for a few ticks while its
+//                    same-sender successors go out now (out-of-order arrival)
+//  * replacements  — a recently emitted (sender, nonce) slot is re-submitted
+//                    at a bumped fee (and, with its own probability, at an
+//                    insufficient bump, to exercise the underpriced path)
+//  * fee spikes    — gas prices multiply for a stretch of ticks, churning
+//                    the pool's eviction order
+//
+// Like SimNetwork's FaultPlan, every decision flows from one seed: the
+// stream for a given (profile, seed) is bit-identical across runs and hosts,
+// which is what makes the ingestion soak tests replayable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "support/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace blockpilot::workload {
+
+struct TrafficProfile {
+  std::string name = "steady";
+  /// Base workload shape shared by every source (seed and sender partition
+  /// are overridden per source).
+  WorkloadConfig base;
+
+  std::size_t sources = 4;        // independent submission streams
+  std::size_t txs_per_tick = 8;   // per-source budget per tick
+
+  double burst_chance = 0.0;      // per source per tick
+  std::size_t burst_multiplier = 4;
+
+  double gap_chance = 0.0;        // per tx: hold it back, successors go now
+  std::size_t gap_delay_ticks = 3;
+
+  double replace_chance = 0.0;    // per source per tick: re-bid a recent slot
+  double underpriced_replace_chance = 0.0;  // fraction of re-bids under bump
+  unsigned replace_bump_percent = 10;       // matches the pool's RBF knob
+
+  double spike_chance = 0.0;      // per tick: enter a fee-spike stretch
+  std::size_t spike_ticks = 5;
+  std::uint64_t spike_multiplier = 8;
+
+  /// Deterministically shuffle each tick's combined arrivals (interleaves
+  /// the sources; without it arrivals are grouped per source).
+  bool shuffle_arrivals = true;
+};
+
+/// Profiles swept by the soak tests and bench_ingest.
+TrafficProfile traffic_steady();       // uniform trickle, no pathologies
+TrafficProfile traffic_bursty();       // heavy bursts over a quiet baseline
+TrafficProfile traffic_nonce_storm();  // gaps + airdrop chains: queued-heavy
+TrafficProfile traffic_fee_frenzy();   // replacements + spikes: RBF/eviction
+
+struct TrafficStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t emitted = 0;        // transactions handed to the caller
+  std::uint64_t bursts = 0;
+  std::uint64_t gaps_injected = 0;  // held back for later release
+  std::uint64_t gaps_released = 0;
+  std::uint64_t replacements = 0;
+  std::uint64_t underpriced_replacements = 0;
+  std::uint64_t spike_ticks = 0;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(TrafficProfile profile, std::uint64_t seed);
+
+  /// Genesis world state (identical across sources; seed-independent).
+  state::WorldState genesis() const;
+
+  /// One tick of arrivals across all sources, pathologies applied.
+  std::vector<chain::Transaction> tick();
+
+  /// Transactions still held back by gap injection (never emitted yet).
+  std::size_t pending_delayed() const noexcept { return delayed_count_; }
+
+  const TrafficProfile& profile() const noexcept { return profile_; }
+  const TrafficStats& stats() const noexcept { return stats_; }
+
+  /// Sender universe (the base config's EOA range) — lets the node seed
+  /// authoritative base nonces before opening the firehose.
+  std::size_t num_senders() const noexcept;
+  Address sender(std::size_t i) const;
+
+ private:
+  struct Delayed {
+    chain::Transaction tx;
+    std::uint64_t release_tick = 0;
+  };
+  struct Source {
+    WorkloadGenerator gen;
+    std::deque<Delayed> held;
+  };
+
+  void emit(std::vector<chain::Transaction>& out, chain::Transaction tx);
+
+  TrafficProfile profile_;
+  Xoshiro256 rng_;  // traffic-shaping decisions only
+  std::vector<Source> sources_;
+  std::vector<chain::Transaction> recent_;  // replacement candidates (ring)
+  std::size_t recent_next_ = 0;
+  std::uint64_t now_ = 0;
+  std::uint64_t spike_left_ = 0;
+  std::size_t delayed_count_ = 0;
+  TrafficStats stats_;
+};
+
+}  // namespace blockpilot::workload

@@ -1,27 +1,34 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+#include <vector>
 
+#include "support/rng.hpp"
 #include "txpool/txpool.hpp"
 
 namespace blockpilot::txpool {
 namespace {
 
-chain::Transaction make_tx(std::uint64_t price, std::uint64_t nonce = 0) {
+chain::Transaction make_tx(std::uint64_t sender_id, std::uint64_t nonce,
+                           std::uint64_t price, std::size_t data_size = 0) {
   chain::Transaction tx;
-  tx.from = Address::from_id(1);
+  tx.from = Address::from_id(0x1000 + sender_id);
   tx.to = Address::from_id(2);
   tx.gas_price = U256{price};
   tx.nonce = nonce;
   tx.gas_limit = 21000;
+  tx.data.assign(data_size, 0xab);
   return tx;
 }
 
+// ---- legacy heap semantics (enforce_nonce_order off, no caps) ----
+
 TEST(TxPool, PopsByGasPriceDescending) {
   TxPool pool;
-  pool.add(make_tx(10));
-  pool.add(make_tx(50));
-  pool.add(make_tx(30));
+  pool.add(make_tx(1, 0, 10));
+  pool.add(make_tx(1, 1, 50));
+  pool.add(make_tx(1, 2, 30));
   EXPECT_EQ(pool.pop()->gas_price, U256{50});
   EXPECT_EQ(pool.pop()->gas_price, U256{30});
   EXPECT_EQ(pool.pop()->gas_price, U256{10});
@@ -30,9 +37,9 @@ TEST(TxPool, PopsByGasPriceDescending) {
 
 TEST(TxPool, EqualPricesFifo) {
   TxPool pool;
-  pool.add(make_tx(10, 0));
-  pool.add(make_tx(10, 1));
-  pool.add(make_tx(10, 2));
+  pool.add(make_tx(1, 0, 10));
+  pool.add(make_tx(1, 1, 10));
+  pool.add(make_tx(1, 2, 10));
   EXPECT_EQ(pool.pop()->nonce, 0u);
   EXPECT_EQ(pool.pop()->nonce, 1u);
   EXPECT_EQ(pool.pop()->nonce, 2u);
@@ -40,7 +47,7 @@ TEST(TxPool, EqualPricesFifo) {
 
 TEST(TxPool, PushBackReenters) {
   TxPool pool;
-  pool.add(make_tx(10));
+  pool.add(make_tx(1, 0, 10));
   auto tx = pool.pop();
   ASSERT_TRUE(tx.has_value());
   EXPECT_TRUE(pool.empty());
@@ -51,7 +58,7 @@ TEST(TxPool, PushBackReenters) {
 
 TEST(TxPool, DeferredReenterOnProgress) {
   TxPool pool;
-  pool.add(make_tx(10, 1));
+  pool.add(make_tx(1, 1, 10));
   auto tx = pool.pop();
   pool.defer(std::move(*tx));
   EXPECT_EQ(pool.size(), 1u);
@@ -61,7 +68,7 @@ TEST(TxPool, DeferredReenterOnProgress) {
 
 TEST(TxPool, DeferredStayParkedUntilProgress) {
   TxPool pool;
-  pool.add(make_tx(10, 1));
+  pool.add(make_tx(1, 1, 10));
   pool.defer(std::move(*pool.pop()));
   // Without progress(), pop() must NOT surface the deferred entry — a
   // worker would otherwise spin pop->defer->pop with no commit in between.
@@ -74,17 +81,18 @@ TEST(TxPool, DeferredStayParkedUntilProgress) {
 TEST(TxPool, AddAllBulkInsert) {
   TxPool pool;
   std::vector<chain::Transaction> txs;
-  for (int i = 0; i < 10; ++i) txs.push_back(make_tx(10 + i));
-  pool.add_all(std::move(txs));
+  for (std::uint64_t i = 0; i < 10; ++i)
+    txs.push_back(make_tx(1, i, 10 + i));
+  EXPECT_EQ(pool.add_all(std::move(txs)), 10u);
   EXPECT_EQ(pool.size(), 10u);
   EXPECT_EQ(pool.pop()->gas_price, U256{19});
 }
 
 TEST(TxPool, ConcurrentPopsDrainExactly) {
   TxPool pool;
-  constexpr int kTxs = 2000;
-  for (int i = 0; i < kTxs; ++i)
-    pool.add(make_tx(static_cast<std::uint64_t>(i % 97)));
+  constexpr std::uint64_t kTxs = 2000;
+  for (std::uint64_t i = 0; i < kTxs; ++i)
+    pool.add(make_tx(i % 50, i / 50, i % 97 + 1));
   std::atomic<int> popped{0};
   std::vector<std::jthread> threads;
   for (int t = 0; t < 4; ++t) {
@@ -93,8 +101,316 @@ TEST(TxPool, ConcurrentPopsDrainExactly) {
     });
   }
   threads.clear();
-  EXPECT_EQ(popped.load(), kTxs);
+  EXPECT_EQ(popped.load(), static_cast<int>(kTxs));
   EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.in_flight(), kTxs);  // nothing acknowledged yet
+}
+
+// ---- satellite regression: push_back keeps the original seq ----
+
+TEST(TxPool, PushBackPreservesAdmissionOrder) {
+  TxPool pool;
+  pool.add(make_tx(1, 0, 10));  // A: seq 0
+  pool.add(make_tx(2, 0, 10));  // B: seq 1, same price
+  auto a = pool.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->from, Address::from_id(0x1001));
+  // A aborts and retries.  With its original seq it must still outrank B;
+  // a fresh seq would send it to the back of the equal-price tiebreak.
+  pool.push_back(std::move(*a));
+  auto again = pool.pop();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->from, Address::from_id(0x1001));
+  EXPECT_EQ(pool.pop()->from, Address::from_id(0x1002));
+}
+
+TEST(TxPool, DeferPreservesAdmissionOrder) {
+  TxPool pool;
+  pool.add(make_tx(1, 0, 10));
+  pool.add(make_tx(2, 0, 10));
+  auto a = pool.pop();
+  pool.defer(std::move(*a));
+  pool.progress();
+  EXPECT_EQ(pool.pop()->from, Address::from_id(0x1001));
+}
+
+// ---- admission outcomes ----
+
+TEST(TxPoolAdmission, DuplicateRejected) {
+  TxPool pool;
+  EXPECT_EQ(pool.add(make_tx(1, 0, 10)).outcome, AdmissionOutcome::kAccepted);
+  EXPECT_EQ(pool.add(make_tx(1, 0, 10)).outcome,
+            AdmissionOutcome::kRejectedDuplicate);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TxPoolAdmission, InFlightSlotNotReplaceable) {
+  TxPool pool;
+  pool.add(make_tx(1, 0, 10));
+  auto tx = pool.pop();
+  // The slot is mid-execution: even a huge bump must not land, because the
+  // original may still commit.
+  EXPECT_EQ(pool.add(make_tx(1, 0, 1000)).outcome,
+            AdmissionOutcome::kRejectedDuplicate);
+  pool.push_back(std::move(*tx));
+  EXPECT_EQ(pool.pop()->gas_price, U256{10});
+}
+
+TEST(TxPoolAdmission, ReplaceByFeeThreshold) {
+  TxPoolConfig cfg;
+  cfg.replace_bump_percent = 10;
+  TxPool pool(cfg);
+  pool.add(make_tx(1, 0, 100));
+  // 109 < 100 * 1.10: underpriced.
+  EXPECT_EQ(pool.add(make_tx(1, 0, 109)).outcome,
+            AdmissionOutcome::kRejectedUnderpriced);
+  // 110 >= 100 * 1.10: replaces.
+  EXPECT_EQ(pool.add(make_tx(1, 0, 110)).outcome,
+            AdmissionOutcome::kReplaced);
+  EXPECT_EQ(pool.size(), 1u);
+  // Atomicity: the displaced transaction is never observable again.
+  EXPECT_EQ(pool.pop()->gas_price, U256{110});
+  EXPECT_EQ(pool.pop(), std::nullopt);
+  const TxPoolStats st = pool.stats();
+  EXPECT_EQ(st.replaced, 1u);
+  EXPECT_EQ(st.rejected_underpriced, 1u);
+  EXPECT_TRUE(st.conserved());
+}
+
+TEST(TxPoolAdmission, NonceTooLowAfterCommit) {
+  TxPool pool;
+  pool.add(make_tx(1, 0, 10));
+  auto tx = pool.pop();
+  pool.committed(tx->from, tx->nonce);
+  EXPECT_EQ(pool.add(make_tx(1, 0, 500)).outcome,
+            AdmissionOutcome::kRejectedNonceTooLow);
+  EXPECT_EQ(pool.add(make_tx(1, 1, 10)).outcome, AdmissionOutcome::kAccepted);
+  EXPECT_TRUE(pool.stats().conserved());
+}
+
+TEST(TxPoolAdmission, NoteSenderNonceDropsStaleResidents) {
+  TxPool pool;
+  pool.add(make_tx(1, 0, 10));
+  pool.add(make_tx(1, 1, 10));
+  pool.add(make_tx(1, 5, 10));
+  pool.note_sender_nonce(Address::from_id(0x1001), 2);
+  EXPECT_EQ(pool.size(), 1u);  // only nonce 5 survives
+  const TxPoolStats st = pool.stats();
+  EXPECT_EQ(st.stale_dropped, 2u);
+  EXPECT_TRUE(st.conserved());
+  EXPECT_EQ(pool.pop()->nonce, 5u);
+}
+
+TEST(TxPoolAdmission, PoolFullEvictsLowestFee) {
+  TxPoolConfig cfg;
+  cfg.max_txs = 2;
+  TxPool pool(cfg);
+  pool.add(make_tx(1, 0, 10));
+  pool.add(make_tx(2, 0, 20));
+  // Outranks the price-10 resident: admitted, victim evicted.
+  const AdmissionResult r = pool.add(make_tx(3, 0, 30));
+  EXPECT_EQ(r.outcome, AdmissionOutcome::kAccepted);
+  EXPECT_EQ(r.evicted, 1u);
+  EXPECT_EQ(pool.size(), 2u);
+  // Outranks nothing: rejected, pool untouched.
+  EXPECT_EQ(pool.add(make_tx(4, 0, 5)).outcome,
+            AdmissionOutcome::kRejectedPoolFull);
+  EXPECT_EQ(pool.pop()->gas_price, U256{30});
+  EXPECT_EQ(pool.pop()->gas_price, U256{20});
+  EXPECT_EQ(pool.pop(), std::nullopt);
+  EXPECT_TRUE(pool.stats().conserved());
+}
+
+TEST(TxPoolAdmission, EqualPriceEvictionPrefersNewest) {
+  TxPoolConfig cfg;
+  cfg.max_txs = 2;
+  TxPool pool(cfg);
+  pool.add(make_tx(1, 0, 10));  // older
+  pool.add(make_tx(2, 0, 10));  // newer -> the victim
+  EXPECT_EQ(pool.add(make_tx(3, 0, 30)).outcome, AdmissionOutcome::kAccepted);
+  EXPECT_EQ(pool.pop()->gas_price, U256{30});
+  EXPECT_EQ(pool.pop()->from, Address::from_id(0x1001));
+}
+
+TEST(TxPoolAdmission, ByteCapRespected) {
+  TxPoolConfig cfg;
+  cfg.max_bytes = 3 * (96 + 100);
+  TxPool pool(cfg);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    pool.add(make_tx(i, 0, 10 + i, 100));
+  const TxPoolStats st = pool.stats();
+  EXPECT_LE(st.occupancy_bytes, cfg.max_bytes);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_TRUE(st.conserved());
+}
+
+// ---- nonce-order gating (the ingestion front's configuration) ----
+
+TEST(TxPoolNonceOrder, QueuedUntilGapFills) {
+  TxPoolConfig cfg;
+  cfg.enforce_nonce_order = true;
+  TxPool pool(cfg);
+  const Address sender = Address::from_id(0x1001);
+  pool.note_sender_nonce(sender, 0);
+  pool.add(make_tx(1, 2, 99));
+  EXPECT_EQ(pool.pop(), std::nullopt);  // gap at nonce 0: queued
+  EXPECT_EQ(pool.stats().queued, 1u);
+  pool.add(make_tx(1, 0, 10));
+  EXPECT_EQ(pool.pop()->nonce, 0u);
+  EXPECT_EQ(pool.pop(), std::nullopt);  // gap at nonce 1 remains
+  pool.add(make_tx(1, 1, 10));
+  EXPECT_EQ(pool.pop()->nonce, 1u);
+  EXPECT_EQ(pool.pop()->nonce, 2u);
+  EXPECT_TRUE(pool.stats().conserved());
+}
+
+TEST(TxPoolNonceOrder, PerSenderMonotonePopsUnderShuffledArrivals) {
+  // Property: whatever the arrival order, popped nonces are strictly
+  // increasing per sender (no push_back in this scenario).
+  Xoshiro256 rng(0xbeef);
+  for (int round = 0; round < 20; ++round) {
+    TxPoolConfig cfg;
+    cfg.enforce_nonce_order = true;
+    TxPool pool(cfg);
+    constexpr std::uint64_t kSenders = 6;
+    constexpr std::uint64_t kNonces = 12;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> arrivals;
+    for (std::uint64_t s = 0; s < kSenders; ++s) {
+      pool.note_sender_nonce(Address::from_id(0x1000 + s), 0);
+      for (std::uint64_t n = 0; n < kNonces; ++n) arrivals.emplace_back(s, n);
+    }
+    for (std::size_t i = arrivals.size() - 1; i > 0; --i)
+      std::swap(arrivals[i], arrivals[rng.below(i + 1)]);
+
+    std::unordered_map<Address, std::uint64_t> next_expected;
+    std::size_t popped = 0;
+    std::size_t fed = 0;
+    while (popped < kSenders * kNonces) {
+      // Interleave feeding and draining randomly.
+      if (fed < arrivals.size() && (rng.chance(0.5) || pool.empty())) {
+        const auto [s, n] = arrivals[fed++];
+        EXPECT_TRUE(pool.add(make_tx(s, n, rng.range(1, 100))).admitted());
+        continue;
+      }
+      auto tx = pool.pop();
+      if (!tx.has_value()) continue;
+      std::uint64_t& expected = next_expected[tx->from];
+      EXPECT_EQ(tx->nonce, expected) << "non-monotone pop";
+      ++expected;
+      ++popped;
+    }
+    EXPECT_TRUE(pool.empty());
+    EXPECT_TRUE(pool.stats().conserved());
+  }
+}
+
+// ---- randomized interleavings: caps + conservation + determinism ----
+
+TEST(TxPoolFuzz, CapacityNeverExceededUnderInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed);
+    TxPoolConfig cfg;
+    cfg.max_txs = 24;
+    cfg.max_bytes = 24 * 140;
+    TxPool pool(cfg);
+    std::vector<chain::Transaction> held;  // popped, not yet returned
+    for (int op = 0; op < 2000; ++op) {
+      const double roll = rng.uniform01();
+      if (roll < 0.55) {
+        pool.add(make_tx(rng.below(10), rng.below(40), rng.range(1, 500),
+                         rng.below(60)));
+      } else if (roll < 0.8) {
+        auto tx = pool.pop();
+        if (tx.has_value()) held.push_back(std::move(*tx));
+      } else if (roll < 0.9 && !held.empty()) {
+        pool.push_back(std::move(held.back()));
+        held.pop_back();
+      } else if (!held.empty()) {
+        const auto tx = std::move(held.back());
+        held.pop_back();
+        if (rng.chance(0.5))
+          pool.committed(tx.from, tx.nonce);
+        else
+          pool.dropped(tx.from, tx.nonce);
+      }
+      // Caps bound *admission*; returning in-flight residents may overshoot
+      // transiently, so only assert the cap when nothing is held out.
+      if (held.empty()) {
+        EXPECT_LE(pool.size(), cfg.max_txs);
+      }
+      EXPECT_TRUE(pool.stats().conserved()) << "op " << op << " seed " << seed;
+    }
+  }
+}
+
+TEST(TxPoolFuzz, AddOnlyNeverExceedsCaps) {
+  Xoshiro256 rng(7);
+  TxPoolConfig cfg;
+  cfg.max_txs = 16;
+  cfg.max_bytes = 16 * 120;
+  TxPool pool(cfg);
+  // Unique slots (replacements are byte-cap-exempt and tested separately).
+  for (std::uint64_t op = 0; op < 3000; ++op) {
+    pool.add(make_tx(op % 64, op / 64, rng.range(1, 300), rng.below(50)));
+    EXPECT_LE(pool.size(), cfg.max_txs);
+    EXPECT_LE(pool.stats().occupancy_bytes, cfg.max_bytes);
+  }
+  EXPECT_TRUE(pool.stats().conserved());
+}
+
+TEST(TxPoolFuzz, PopOrderDeterministicUnderIdenticalSeeds) {
+  auto run = [](std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    TxPoolConfig cfg;
+    cfg.max_txs = 32;
+    cfg.enforce_nonce_order = true;
+    TxPool pool(cfg);
+    std::vector<std::pair<Address, std::uint64_t>> popped;
+    for (int op = 0; op < 1500; ++op) {
+      if (rng.chance(0.6)) {
+        pool.add(make_tx(rng.below(8), rng.below(24), rng.range(1, 200)));
+      } else {
+        auto tx = pool.pop();
+        if (tx.has_value()) {
+          popped.emplace_back(tx->from, tx->nonce);
+          pool.committed(tx->from, tx->nonce);
+        }
+      }
+    }
+    return popped;
+  };
+  for (std::uint64_t seed = 11; seed < 14; ++seed) {
+    const auto a = run(seed);
+    const auto b = run(seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_FALSE(a.empty());
+  }
+}
+
+TEST(TxPoolFuzz, StatsAccountEveryOutcome) {
+  Xoshiro256 rng(99);
+  TxPoolConfig cfg;
+  cfg.max_txs = 12;
+  cfg.replace_bump_percent = 10;
+  TxPool pool(cfg);
+  std::uint64_t attempts = 0;
+  for (int op = 0; op < 4000; ++op) {
+    ++attempts;
+    pool.add(make_tx(rng.below(4), rng.below(6), rng.range(1, 50)));
+    if (rng.chance(0.2)) {
+      auto tx = pool.pop();
+      if (tx.has_value()) pool.committed(tx->from, tx->nonce);
+    }
+  }
+  const TxPoolStats st = pool.stats();
+  // Every admission attempt lands in exactly one outcome bucket.
+  EXPECT_EQ(attempts, st.accepted + st.rejected_underpriced +
+                          st.rejected_nonce_too_low + st.rejected_pool_full +
+                          st.rejected_duplicate);
+  EXPECT_TRUE(st.conserved());
+  EXPECT_GT(st.replaced, 0u);
+  EXPECT_GT(st.rejected_underpriced, 0u);
+  EXPECT_GT(st.rejected_nonce_too_low, 0u);
 }
 
 }  // namespace
