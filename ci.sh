@@ -7,6 +7,10 @@
 # Byzantine leaders) under both ThreadSanitizer and AddressSanitizer.
 # The fuzz and the fault matrix detect sanitizer builds at compile time
 # and trim their scenario sweeps so these gates stay within CI budget.
+# The evm-labeled suites (interpreter differential, code-analysis cache)
+# run under ThreadSanitizer to catch races on the shared per-code-hash
+# analysis cache, and bench_evm --smoke gates fast-vs-reference
+# bit-identity plus cache hit-rate floors.
 # The db-labeled crash/recovery suites additionally run under combined
 # ASan+UBSan (the asan-db preset), and every db gate is followed by a
 # tmpdir hygiene check: tests and benches must remove their page files.
@@ -67,6 +71,14 @@ echo "==> perf-smoke: bench_ingest --smoke (live-ingestion gates)"
 # empty admission-to-settle latency distribution.
 timeout 300 ./build/bench/bench_ingest --smoke
 
+echo "==> perf-smoke: bench_evm --smoke (interpreter + analysis-cache gates)"
+# Fails on crash or on any evm gate: fast and reference interpreters not
+# bit-identical on the compute contract, the analysis-backed dispatch not at
+# least as fast as the reference switch, steady-state analysis-cache hit rate
+# below 99% under the mainnet profile, or a per-profile state-root mismatch
+# between the two interpreters.
+timeout 180 ./build/bench/bench_evm --smoke
+
 echo "==> tsan: configure + build (BLOCKPILOT_SANITIZE=thread)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
@@ -79,6 +91,9 @@ ctest --preset tsan-ingest
 
 echo "==> tsan: net-labeled tests (consensus loop, fork-choice fuzz, fault matrix)"
 ctest --preset tsan-net
+
+echo "==> tsan: evm-labeled tests (interpreter differential, shared analysis cache)"
+ctest --preset tsan-evm
 
 echo "==> asan: configure + build (BLOCKPILOT_SANITIZE=address)"
 cmake --preset asan >/dev/null

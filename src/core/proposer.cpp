@@ -44,6 +44,9 @@ ProposedBlock OccWsiProposer::propose_host_threads(
   BP_ASSERT(config_.threads >= 1);
   BP_ASSERT(workers.size() >= config_.threads);
 
+  evm::BlockContext exec_ctx = block_ctx;
+  if (config_.analysis_cache) exec_ctx.analysis_cache = config_.analysis_cache;
+
   state::VersionedState versioned(pre);
   ProposalShared shared;
   vtime::WorkLedger ledger(config_.threads);
@@ -75,7 +78,7 @@ ProposedBlock OccWsiProposer::propose_host_threads(
                                          &read_cache);
       buffer.rebase(snapshot);
       const evm::TxExecResult r =
-          evm::execute_transaction(buffer, block_ctx, tx);
+          evm::execute_transaction(buffer, exec_ctx, tx);
 
       if (r.status == evm::TxStatus::kInvalid) {
         ++local_dropped;
@@ -222,6 +225,9 @@ ProposedBlock OccWsiProposer::propose_virtual(
   const std::size_t W = config_.threads;
   Stopwatch wall;
 
+  evm::BlockContext exec_ctx = block_ctx;
+  if (config_.analysis_cache) exec_ctx.analysis_cache = config_.analysis_cache;
+
   state::VersionedState versioned(pre);
   ProposerStats stats{};
   std::vector<chain::Transaction> included;
@@ -272,7 +278,7 @@ ProposedBlock OccWsiProposer::propose_virtual(
       const state::SnapshotView view(versioned, snapshot, &read_cache);
       buffer.rebase(view);
       const evm::TxExecResult r =
-          evm::execute_transaction(buffer, block_ctx, slot.tx);
+          evm::execute_transaction(buffer, exec_ctx, slot.tx);
 
       if (r.status == evm::TxStatus::kInvalid) {
         ++stats.dropped;

@@ -74,6 +74,9 @@ struct ProposerConfig {
   /// fills them from the CommitHandle.  When null, sealing is inline
   /// (original behavior).
   commit::CommitPipeline* commit_pipeline = nullptr;
+  /// CodeAnalysis cache the execution lanes resolve bytecode through
+  /// (null = the process-wide evm::CodeAnalysisCache::global()).
+  evm::CodeAnalysisCache* analysis_cache = nullptr;
 };
 
 struct ProposerStats {

@@ -43,11 +43,14 @@ SerialResult execute_serial(const state::WorldState& pre,
   SerialResult result;
   auto post = std::make_shared<state::WorldState>(pre);
 
+  evm::BlockContext exec_ctx = block_ctx;
+  if (options.analysis_cache) exec_ctx.analysis_cache = options.analysis_cache;
+
   for (const auto& tx : txs) {
     const state::WorldStateView view(*post);
     state::ExecBuffer buffer(view);
     const evm::TxExecResult r =
-        evm::execute_transaction(buffer, block_ctx, tx);
+        evm::execute_transaction(buffer, exec_ctx, tx);
 
     if (r.status != evm::TxStatus::kIncluded) {
       if (options.drop_unincludable) continue;

@@ -24,6 +24,9 @@ struct SerialOptions {
   /// (proposer role).  When false, any non-included transaction makes the
   /// execution fail (validator role — a proposed block must execute fully).
   bool drop_unincludable = true;
+  /// CodeAnalysis cache the interpreter resolves bytecode through
+  /// (null = the process-wide evm::CodeAnalysisCache::global()).
+  evm::CodeAnalysisCache* analysis_cache = nullptr;
 };
 
 struct SerialResult {

@@ -34,6 +34,9 @@ class ThreadOverlay final : public state::ReadView {
   std::shared_ptr<const state::Bytes> code(const Address& addr) const override {
     return base_.code(addr);
   }
+  Hash256 code_hash(const Address& addr) const override {
+    return base_.code_hash(addr);
+  }
 
   void merge(const std::vector<std::pair<StateKey, U256>>& writes) {
     for (const auto& [key, value] : writes) writes_[key] = value;
@@ -136,6 +139,7 @@ ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
   block_ctx.timestamp = block.header.timestamp;
   block_ctx.coinbase = block.header.coinbase;
   block_ctx.gas_limit = block.header.gas_limit;
+  block_ctx.analysis_cache = config_.analysis_cache;
 
   ResultBoard board;
   board.slots.resize(n);

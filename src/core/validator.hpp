@@ -50,6 +50,10 @@ struct ValidatorConfig {
   /// commitment, so sibling validators of the same block build each dirty
   /// account's storage fold once and share it (see state::BlockSeedSet).
   state::BlockSeedDirectory* seed_directory = nullptr;
+  /// CodeAnalysis cache the workers' interpreters resolve bytecode through
+  /// (null = the process-wide evm::CodeAnalysisCache::global()).  Tests and
+  /// benches point this at a private cache to isolate hit-rate accounting.
+  evm::CodeAnalysisCache* analysis_cache = nullptr;
 };
 
 struct ValidatorStats {

@@ -1,0 +1,208 @@
+#include "evm/code_analysis.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+namespace blockpilot::evm {
+namespace {
+
+std::atomic<std::uint64_t> g_build_count{0};
+
+}  // namespace
+
+std::uint64_t analysis_build_count() noexcept {
+  return g_build_count.load(std::memory_order_relaxed);
+}
+
+void reset_analysis_build_count() noexcept {
+  g_build_count.store(0, std::memory_order_relaxed);
+}
+
+std::size_t CodeAnalysis::memory_bytes() const noexcept {
+  return sizeof(CodeAnalysis) +
+         jumpdest_bits.size() * sizeof(std::uint64_t) +
+         block_at.size() * sizeof(std::uint32_t) +
+         trailing_gas.size() * sizeof(std::uint64_t) +
+         imm_index.size() * sizeof(std::uint32_t) +
+         immediates.size() * sizeof(U256) + blocks.size() * sizeof(Block);
+}
+
+std::shared_ptr<const CodeAnalysis> analyze_code(
+    std::span<const std::uint8_t> code, const Hash256& code_hash) {
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
+
+  auto analysis = std::make_shared<CodeAnalysis>();
+  CodeAnalysis& a = *analysis;
+  const std::size_t n = code.size();
+  a.code_hash = code_hash;
+  a.code_size = n;
+  a.jumpdest_bits.assign((n + 63) / 64, 0);
+  a.block_at.assign(n, 0);
+  a.trailing_gas.assign(n, 0);
+  a.imm_index.assign(n, 0);
+
+  // Pass 1: instruction boundaries (PUSH immediates are data, not code),
+  // jumpdest bitmap, and pre-decoded PUSH values.
+  struct Instr {
+    std::uint32_t pc;
+    std::uint8_t op;
+  };
+  std::vector<Instr> instrs;
+  instrs.reserve(n);
+  for (std::size_t pc = 0; pc < n;) {
+    const std::uint8_t op = code[pc];
+    if (op == static_cast<std::uint8_t>(Op::JUMPDEST))
+      a.jumpdest_bits[pc >> 6] |= std::uint64_t{1} << (pc & 63);
+    instrs.push_back({static_cast<std::uint32_t>(pc), op});
+    std::size_t push_len = 0;
+    if (is_push(op, push_len)) {
+      // Decode the immediate once, replicating the interpreter's
+      // truncation: bytes past the end of code read as zero *within the
+      // declared width* (a truncated PUSH2 of one byte 0xAB is 0xAB00).
+      std::array<std::uint8_t, 32> imm{};
+      const std::size_t avail = std::min(push_len, n - pc - 1);
+      std::memcpy(imm.data() + (32 - push_len), code.data() + pc + 1, avail);
+      a.imm_index[pc] = static_cast<std::uint32_t>(a.immediates.size());
+      a.immediates.push_back(
+          U256::from_be_bytes(std::span(imm).subspan(32 - push_len)));
+      pc += 1 + push_len;
+    } else {
+      ++pc;
+    }
+  }
+
+  // Pass 2: group instructions into basic blocks.  A block starts at pc 0,
+  // at every JUMPDEST instruction, and after every terminator; it ends at
+  // its terminator or at the last instruction of the code.
+  std::size_t i = 0;
+  while (i < instrs.size()) {
+    std::size_t end = i;  // inclusive index of the block's last member
+    while (end + 1 < instrs.size()) {
+      if (kOpTraits[instrs[end].op].terminator) break;
+      const std::uint8_t next = instrs[end + 1].op;
+      if (next == static_cast<std::uint8_t>(Op::JUMPDEST)) break;
+      ++end;
+    }
+
+    CodeAnalysis::Block blk;
+    std::int64_t height = 0;      // stack delta relative to block entry
+    std::int64_t min_height = 0;  // most negative operand reach
+    std::int64_t max_height = 0;  // peak growth
+    for (std::size_t j = i; j <= end; ++j) {
+      const OpTraits& t = kOpTraits[instrs[j].op];
+      blk.static_gas += t.static_gas;
+      min_height = std::min(min_height, height - t.stack_required);
+      height += t.stack_net;
+      max_height = std::max(max_height, height);
+    }
+    blk.stack_required = static_cast<std::uint32_t>(-min_height);
+    blk.stack_max_growth = static_cast<std::uint32_t>(max_height);
+
+    // Suffix sums of static gas within the block (refund amounts for the
+    // mid-block degrade path).
+    std::uint64_t trailing = 0;
+    for (std::size_t j = end + 1; j-- > i;) {
+      a.trailing_gas[instrs[j].pc] = trailing;
+      trailing += kOpTraits[instrs[j].op].static_gas;
+    }
+
+    a.block_at[instrs[i].pc] =
+        static_cast<std::uint32_t>(a.blocks.size() + 1);
+    a.blocks.push_back(blk);
+    i = end + 1;
+  }
+
+  return analysis;
+}
+
+CodeAnalysisCache::CodeAnalysisCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::shared_ptr<const CodeAnalysis> CodeAnalysisCache::get(
+    const Hash256& code_hash, std::span<const std::uint8_t> code) {
+  Shard& s = shard_for(code_hash);
+  {
+    std::scoped_lock lk(s.mu);
+    const auto it = s.map.find(code_hash);
+    if (it != s.map.end()) {
+      ++s.hits;
+      return it->second;
+    }
+    ++s.misses;
+  }
+
+  // Build outside the lock: analysis cost scales with code size and must
+  // not serialize unrelated lookups on this shard.
+  std::shared_ptr<const CodeAnalysis> built = analyze_code(code, code_hash);
+
+  std::scoped_lock lk(s.mu);
+  ++s.builds;
+  const auto [it, inserted] = s.map.emplace(code_hash, built);
+  if (!inserted) return it->second;  // lost a same-hash race; theirs wins
+  s.fifo.push_back(code_hash);
+  s.bytes += built->memory_bytes();
+  const std::size_t shard_budget = capacity_ / kShards;
+  while (s.bytes > shard_budget && s.fifo.size() > 1) {
+    const Hash256 victim = s.fifo.front();
+    s.fifo.pop_front();
+    const auto vit = s.map.find(victim);
+    if (vit != s.map.end()) {
+      s.bytes -= vit->second->memory_bytes();
+      s.map.erase(vit);
+      ++s.evictions;
+    }
+  }
+  return built;
+}
+
+void CodeAnalysisCache::invalidate(const Hash256& code_hash) {
+  Shard& s = shard_for(code_hash);
+  std::scoped_lock lk(s.mu);
+  const auto it = s.map.find(code_hash);
+  if (it == s.map.end()) return;
+  s.bytes -= it->second->memory_bytes();
+  s.map.erase(it);
+  s.fifo.erase(std::find(s.fifo.begin(), s.fifo.end(), code_hash));
+  ++s.invalidations;
+}
+
+void CodeAnalysisCache::clear() {
+  for (Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    s.map.clear();
+    s.fifo.clear();
+    s.bytes = 0;
+  }
+}
+
+CodeAnalysisCache::Stats CodeAnalysisCache::stats() const {
+  Stats out;
+  out.capacity = capacity_;
+  for (const Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.builds += s.builds;
+    out.evictions += s.evictions;
+    out.invalidations += s.invalidations;
+    out.entries += s.map.size();
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+void CodeAnalysisCache::reset_stats() {
+  for (Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    s.hits = s.misses = s.builds = s.evictions = s.invalidations = 0;
+  }
+}
+
+CodeAnalysisCache& CodeAnalysisCache::global() {
+  static CodeAnalysisCache cache;
+  return cache;
+}
+
+}  // namespace blockpilot::evm

@@ -1,0 +1,173 @@
+// Per-code CodeAnalysis + the process-wide sharded cache keyed by code hash.
+//
+// BlockPilot executes every transaction at least twice (proposer + each
+// validator, more under OCC re-execution), so anything derivable from the
+// bytecode alone is computed once per *code hash* and shared across every
+// executor instead of being re-derived per frame:
+//
+//  * jumpdest bitmap — JUMP/JUMPI target validation is a bit probe;
+//  * basic blocks — instruction runs with one entry (pc 0, each JUMPDEST,
+//    each fall-through past a terminator) and one exit (JUMP, JUMPI, the
+//    frame-ending ops, plus GAS and the CALL family, which observe
+//    gas_left and therefore must sit on an exact per-op gas boundary).
+//    Each block carries the sum of its ops' static gas and the min/max
+//    stack heights, so the interpreter charges gas and validates the stack
+//    once per block instead of once per op (see interpreter.cpp for the
+//    bit-identity argument);
+//  * pre-decoded PUSH immediates — U256 values materialized at analysis
+//    time, not assembled from bytes on every execution.
+//
+// The cache follows trie::NodeCache's sharded read-mostly shape (8 shards,
+// per-shard mutex, byte-accounted capacity, aggregate stats) but with
+// plain FIFO eviction: entries are content-addressed by keccak(code), so
+// there is no staleness to manage — set_code with new bytes simply keys a
+// different entry — and the working set (deployed contracts) is tiny and
+// hot compared to trie nodes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "types/address.hpp"
+#include "types/u256.hpp"
+
+namespace blockpilot::evm {
+
+/// Immutable per-code analysis, shared by every frame executing this code.
+struct CodeAnalysis {
+  /// One basic block: a maximal straight-line instruction run.
+  struct Block {
+    /// Sum of the members' static gas (OpTraits::static_gas), charged once
+    /// at block entry on the fast path.
+    std::uint64_t static_gas = 0;
+    /// Minimum stack height required at entry for every member op's
+    /// operands to be present.
+    std::uint32_t stack_required = 0;
+    /// Maximum stack growth over the block (peak height minus entry
+    /// height, >= 0); entry + growth must stay within kMaxStack.
+    std::uint32_t stack_max_growth = 0;
+  };
+
+  Hash256 code_hash;
+  std::size_t code_size = 0;
+
+  /// Valid JUMPDEST positions (PUSH immediates excluded), one bit per pc.
+  std::vector<std::uint64_t> jumpdest_bits;
+  /// Per pc: block index + 1 at block-entry instruction pcs, 0 elsewhere.
+  /// Control flow can only land on a block-entry pc by *entering* the
+  /// block (blocks end right before the next entry), so the interpreter's
+  /// per-instruction probe of this array doubles as the entry hook.
+  std::vector<std::uint32_t> block_at;
+  /// Per instruction pc: static gas of the ops strictly AFTER this op in
+  /// its block — the amount the fast path refunds when a dynamic charge
+  /// fails mid-block and it degrades to per-op accounting.
+  std::vector<std::uint64_t> trailing_gas;
+  /// Per PUSH instruction pc: index into `immediates`.
+  std::vector<std::uint32_t> imm_index;
+  /// Pre-decoded PUSH immediates (truncated-at-end-of-code semantics
+  /// match the interpreter's byte-assembly exactly).
+  std::vector<U256> immediates;
+  std::vector<Block> blocks;
+
+  bool is_jumpdest(std::uint64_t pc) const noexcept {
+    return pc < code_size &&
+           (jumpdest_bits[pc >> 6] >> (pc & 63)) & 1;
+  }
+
+  /// Approximate resident size, for the cache's byte accounting.
+  std::size_t memory_bytes() const noexcept;
+};
+
+/// Builds the analysis for `code`.  Bumps the process-wide invocation
+/// counter (analysis_build_count) — tests pin it to once per code hash.
+std::shared_ptr<const CodeAnalysis> analyze_code(
+    std::span<const std::uint8_t> code, const Hash256& code_hash);
+
+/// Number of analyze_code invocations since process start (or the last
+/// reset).  The regression gate for the old once-per-frame rederivation:
+/// executing one contract N times must build exactly one analysis.
+std::uint64_t analysis_build_count() noexcept;
+void reset_analysis_build_count() noexcept;
+
+/// Sharded, thread-safe cache of CodeAnalysis keyed by keccak(code).
+class CodeAnalysisCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t builds = 0;       // analyses constructed by this cache
+    std::uint64_t evictions = 0;    // capacity-driven FIFO drops
+    std::uint64_t invalidations = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t capacity = 0;
+
+    double hit_rate() const noexcept {
+      const double total = static_cast<double>(hits + misses);
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// Generous default: a full mainnet-preset workload's contracts fit in a
+  /// fraction of this, so steady state is all hits.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{32} << 20;
+
+  explicit CodeAnalysisCache(std::size_t capacity_bytes = kDefaultCapacity);
+
+  /// Returns the analysis for (code_hash, code), building and interning it
+  /// on first sight.  The build runs outside the shard lock; when two
+  /// threads race on the same new hash, the first insert wins and the
+  /// loser's build is discarded (both counted in `builds`).
+  std::shared_ptr<const CodeAnalysis> get(const Hash256& code_hash,
+                                          std::span<const std::uint8_t> code);
+
+  /// Drops one entry (set_code-style redeployment hygiene; correctness
+  /// never depends on it — entries are content-addressed).
+  void invalidate(const Hash256& code_hash);
+
+  /// Drops every entry (counters survive; see reset_stats).
+  void clear();
+
+  Stats stats() const;
+  void reset_stats();
+
+  /// The process-wide cache execute_call uses when the transaction context
+  /// does not name one — shared by proposer, validators and the serial
+  /// oracle alike.
+  static CodeAnalysisCache& global();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Hash256, std::shared_ptr<const CodeAnalysis>> map;
+    std::deque<Hash256> fifo;  // insertion order, for eviction
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t builds = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  Shard& shard_for(const Hash256& h) noexcept {
+    return shards_[h.bytes[0] & (kShards - 1)];
+  }
+  const Shard& shard_for(const Hash256& h) const noexcept {
+    return shards_[h.bytes[0] & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::size_t capacity_ = kDefaultCapacity;
+};
+
+}  // namespace blockpilot::evm

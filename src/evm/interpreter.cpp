@@ -1,9 +1,47 @@
+// Two interpreters live here, selected by TxContext::use_reference_interpreter:
+//
+//  * run_interpreter_fast — the production path.  Resolves a shared
+//    CodeAnalysis by code hash, then dispatches through a dense function
+//    -pointer table.  Gas and stack are validated once per basic block:
+//    block entry charges the pre-summed static gas and checks the
+//    pre-computed min/max stack heights, and the op bodies inside the
+//    block skip per-op charge/require/overflow checks entirely.
+//  * run_interpreter_reference — the frozen pre-analysis interpreter
+//    (per-frame jumpdest scan, per-op gas charges through one big
+//    switch).  Kept verbatim as the differential oracle: tests execute
+//    both paths over the fuzz corpus and require bit-identical
+//    {status, gas_left, output, logs, write set}.
+//
+// Why the fast path is bit-identical (not just equivalent-on-success):
+//
+//  1. Block entry either (a) verifies gas >= static sum AND the stack
+//     pre-checks, charges the sum and runs the block unchecked, or (b)
+//     flips the frame to `checked` mode, in which every op body replays
+//     the reference's exact charge/require order — so any block the
+//     reference would fail is executed with reference accounting.
+//  2. A *dynamic* charge (memory expansion, warm/cold access, copy/log
+//     /hash size costs) that fails mid-block in fast mode "degrades":
+//     the frame refunds the static gas of the ops strictly after the
+//     current one (CodeAnalysis::trailing_gas), flips to checked mode
+//     and retries.  At that point gas_left equals the reference's
+//     exactly (the current op's own pre-charged static stands in both),
+//     so the retry fails — or succeeds — precisely when the reference's
+//     charge does, reproducing the exact out-of-gas point.
+//  3. Ops that *observe* gas_left (GAS, and the CALL family via the
+//     EIP-150 63/64 cap) are basic-block terminators, so their trailing
+//     static gas is zero and the observed value is exact by construction.
+//
+// kInvalid and kOutOfGas zero the frame's gas and revert its writes, so
+// charge-order differences on failing paths are unobservable; the rules
+// above make every *observable* quantity match the reference bit for bit.
 #include "evm/interpreter.hpp"
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 #include "crypto/keccak.hpp"
+#include "evm/code_analysis.hpp"
 #include "evm/gas.hpp"
 #include "evm/opcodes.hpp"
 #include "support/assert.hpp"
@@ -13,6 +51,39 @@ namespace {
 
 using state::ExecBuffer;
 using state::StateKey;
+
+std::uint64_t words_for(std::uint64_t bytes) { return (bytes + 31) / 32; }
+
+/// Reads 32 bytes from `data` at `offset`, zero-padded past the end
+/// (CALLDATALOAD semantics).
+U256 load_word_padded(std::span<const std::uint8_t> data, const U256& offset) {
+  std::array<std::uint8_t, 32> word{};
+  if (offset.fits64() && offset.low64() < data.size()) {
+    const std::uint64_t off = offset.low64();
+    const std::size_t n =
+        std::min<std::size_t>(32, data.size() - static_cast<std::size_t>(off));
+    std::memcpy(word.data(), data.data() + off, n);
+  }
+  return U256::from_be_bytes(std::span(word));
+}
+
+void transfer(ExecBuffer& buffer, const Address& from, const Address& to,
+              const U256& value) {
+  if (value.is_zero()) return;
+  const StateKey from_key = StateKey::balance(from);
+  const StateKey to_key = StateKey::balance(to);
+  const U256 from_bal = buffer.read(from_key);
+  BP_ASSERT_MSG(from_bal >= value, "caller balance must be pre-checked");
+  buffer.write(from_key, from_bal - value);
+  const U256 to_bal = buffer.read(to_key);
+  buffer.write(to_key, to_bal + value);
+}
+
+// ===========================================================================
+// Reference interpreter — FROZEN.  This is the pre-analysis implementation,
+// kept byte-for-byte as the differential oracle for the fast path.  Do not
+// "improve" it; change the fast path and let the diff gate prove equality.
+// ===========================================================================
 
 /// Precomputes valid JUMPDEST positions (immediates of PUSH are skipped).
 std::vector<bool> analyze_jumpdests(std::span<const std::uint8_t> code) {
@@ -116,21 +187,6 @@ struct Frame {
   }
 };
 
-std::uint64_t words_for(std::uint64_t bytes) { return (bytes + 31) / 32; }
-
-/// Reads 32 bytes from `data` at `offset`, zero-padded past the end
-/// (CALLDATALOAD semantics).
-U256 load_word_padded(std::span<const std::uint8_t> data, const U256& offset) {
-  std::array<std::uint8_t, 32> word{};
-  if (offset.fits64() && offset.low64() < data.size()) {
-    const std::uint64_t off = offset.low64();
-    const std::size_t n =
-        std::min<std::size_t>(32, data.size() - static_cast<std::size_t>(off));
-    std::memcpy(word.data(), data.data() + off, n);
-  }
-  return U256::from_be_bytes(std::span(word));
-}
-
 /// Copies from `src` (zero-padded) into frame memory; shared by
 /// CALLDATACOPY and CODECOPY.
 bool copy_padded(Frame& f, std::span<const std::uint8_t> src) {
@@ -158,21 +214,9 @@ bool copy_padded(Frame& f, std::span<const std::uint8_t> src) {
   return true;
 }
 
-void transfer(ExecBuffer& buffer, const Address& from, const Address& to,
-              const U256& value) {
-  if (value.is_zero()) return;
-  const StateKey from_key = StateKey::balance(from);
-  const StateKey to_key = StateKey::balance(to);
-  const U256 from_bal = buffer.read(from_key);
-  BP_ASSERT_MSG(from_bal >= value, "caller balance must be pre-checked");
-  buffer.write(from_key, from_bal - value);
-  const U256 to_bal = buffer.read(to_key);
-  buffer.write(to_key, to_bal + value);
-}
-
-CallResult run_interpreter(ExecBuffer& buffer, TxContext& tx,
-                           const Message& msg,
-                           std::span<const std::uint8_t> code) {
+CallResult run_interpreter_reference(ExecBuffer& buffer, TxContext& tx,
+                                     const Message& msg,
+                                     std::span<const std::uint8_t> code) {
   Frame f;
   f.code = code;
   f.jumpdests = analyze_jumpdests(code);
@@ -871,84 +915,873 @@ CallResult run_interpreter(ExecBuffer& buffer, TxContext& tx,
   return result;
 }
 
+// ===========================================================================
+// Fast interpreter — analysis-driven dispatch.
+// ===========================================================================
+
+/// Frame state for the fast path.  `checked` selects per-op reference
+/// accounting for the current basic block (entry pre-check failed, or a
+/// dynamic charge degraded mid-block); while it is false, op bodies skip
+/// charge()/require() and stack-overflow checks entirely — the block entry
+/// already proved them.
+/// Flat operand stack for the fast interpreter.  A plain array + index
+/// beats std::vector's per-push capacity branch on the hot path; capacity
+/// is guaranteed out of band — the block entry check calls ensure() with
+/// the block's pre-analyzed worst-case growth, and checked-mode pushes
+/// ensure individually — so push_back() itself can stay branch-free.
+/// Starts small (most frames stay shallow) and doubles up to kMaxStack.
+struct FastStack {
+  static constexpr std::size_t kInitialSlots = 64;
+  std::unique_ptr<U256[]> slots = std::make_unique<U256[]>(kInitialSlots);
+  std::size_t count = 0;
+  std::size_t capacity = kInitialSlots;
+
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  U256& back() { return slots[count - 1]; }
+  U256& operator[](std::size_t i) { return slots[i]; }
+  const U256& operator[](std::size_t i) const { return slots[i]; }
+  void push_back(const U256& v) { slots[count++] = v; }
+  void pop_back() { --count; }
+
+  void ensure(std::size_t need) {  // need <= kMaxStack, enforced by callers
+    if (need <= capacity) [[likely]]
+      return;
+    std::size_t grown = capacity;
+    while (grown < need) grown *= 2;
+    auto bigger = std::make_unique<U256[]>(grown);
+    std::copy(slots.get(), slots.get() + count, bigger.get());
+    slots = std::move(bigger);
+    capacity = grown;
+  }
+};
+
+struct FastFrame {
+  std::span<const std::uint8_t> code;
+  const CodeAnalysis* an = nullptr;
+  FastStack stack;
+  std::vector<std::uint8_t> memory;
+  std::uint64_t gas_left = 0;
+  std::size_t pc = 0;
+  Status failure = Status::kSuccess;
+  bool done = false;
+  bool checked = false;
+  Bytes output;
+  Bytes return_data;
+
+  void fail(Status s) {
+    failure = s;
+    done = true;
+  }
+
+  bool charge(std::uint64_t g) {
+    if (gas_left < g) {
+      fail(Status::kOutOfGas);
+      return false;
+    }
+    gas_left -= g;
+    return true;
+  }
+
+  /// Dynamic (runtime-sized) charge.  In fast mode a shortfall does not
+  /// immediately mean out-of-gas: the block entry pre-charged the static
+  /// gas of ops this frame will never reach.  Refund that trailing amount
+  /// (the ops strictly after pc in the block), switch the block to checked
+  /// accounting, and retry — gas_left then equals the reference's at this
+  /// exact point, so the retry's verdict matches the reference's charge.
+  bool charge_dyn(std::uint64_t g) {
+    if (gas_left >= g) {
+      gas_left -= g;
+      return true;
+    }
+    if (!checked) {
+      gas_left += an->trailing_gas[pc];
+      checked = true;
+      if (gas_left >= g) {
+        gas_left -= g;
+        return true;
+      }
+    }
+    fail(Status::kOutOfGas);
+    return false;
+  }
+
+  bool push(const U256& v) {
+    if (checked) {
+      if (stack.size() >= kMaxStack) {
+        fail(Status::kInvalid);
+        return false;
+      }
+      stack.ensure(stack.size() + 1);
+    }
+    stack.push_back(v);
+    return true;
+  }
+
+  U256 pop() {
+    BP_ASSERT(!stack.empty());
+    U256 v = stack.back();
+    stack.pop_back();
+    return v;
+  }
+
+  bool require(std::size_t n) {
+    if (stack.size() < n) {
+      fail(Status::kInvalid);
+      return false;
+    }
+    return true;
+  }
+
+  bool touch_memory(const U256& offset, const U256& size) {
+    if (size.is_zero()) return true;
+    if (!offset.fits64() || !size.fits64()) {
+      fail(Status::kOutOfGas);  // unpayable expansion
+      return false;
+    }
+    const std::uint64_t end = offset.low64() + size.low64();
+    if (end < offset.low64() || end > (std::uint64_t{1} << 32)) {
+      fail(Status::kOutOfGas);
+      return false;
+    }
+    const std::uint64_t old_words = (memory.size() + 31) / 32;
+    const std::uint64_t new_words = (end + 31) / 32;
+    if (new_words > old_words) {
+      const std::uint64_t delta =
+          gas::memory_cost(new_words) - gas::memory_cost(old_words);
+      if (!charge_dyn(delta)) return false;
+      memory.resize(new_words * 32, 0);
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> mem_span(std::uint64_t offset,
+                                         std::uint64_t size) const {
+    BP_ASSERT(offset + size <= memory.size());
+    return std::span(memory).subspan(offset, size);
+  }
+};
+
+/// Everything a handler may touch besides the frame.
+struct FastCtx {
+  ExecBuffer& buffer;
+  TxContext& tx;
+  const Message& msg;
+  CallResult& result;
+};
+
+using OpFn = void (*)(FastFrame&, FastCtx&);
+
+// -- value functions for the templated arithmetic/comparison handlers --
+U256 fn_add(const U256& a, const U256& b) { return a + b; }
+U256 fn_mul(const U256& a, const U256& b) { return a * b; }
+U256 fn_sub(const U256& a, const U256& b) { return a - b; }
+U256 fn_div(const U256& a, const U256& b) { return a / b; }
+U256 fn_sdiv(const U256& a, const U256& b) { return U256::sdiv(a, b); }
+U256 fn_mod(const U256& a, const U256& b) { return a % b; }
+U256 fn_smod(const U256& a, const U256& b) { return U256::smod(a, b); }
+U256 fn_signextend(const U256& k, const U256& x) {
+  return U256::signextend(k, x);
+}
+U256 fn_lt(const U256& a, const U256& b) { return U256{a < b ? 1u : 0u}; }
+U256 fn_gt(const U256& a, const U256& b) { return U256{a > b ? 1u : 0u}; }
+U256 fn_slt(const U256& a, const U256& b) {
+  return U256{U256::signed_less(a, b) ? 1u : 0u};
+}
+U256 fn_sgt(const U256& a, const U256& b) {
+  return U256{U256::signed_less(b, a) ? 1u : 0u};
+}
+U256 fn_eq(const U256& a, const U256& b) { return U256{a == b ? 1u : 0u}; }
+U256 fn_and(const U256& a, const U256& b) { return a & b; }
+U256 fn_or(const U256& a, const U256& b) { return a | b; }
+U256 fn_xor(const U256& a, const U256& b) { return a ^ b; }
+U256 fn_byte(const U256& i, const U256& x) { return U256::byte(i, x); }
+U256 fn_shl(const U256& n, const U256& x) {
+  return n.fits64() && n.low64() < 256
+             ? x.shl(static_cast<unsigned>(n.low64()))
+             : U256{};
+}
+U256 fn_shr(const U256& n, const U256& x) {
+  return n.fits64() && n.low64() < 256
+             ? x.shr(static_cast<unsigned>(n.low64()))
+             : U256{};
+}
+U256 fn_sar(const U256& n, const U256& x) {
+  const unsigned amount = n.fits64() && n.low64() < 256
+                              ? static_cast<unsigned>(n.low64())
+                              : 256;
+  return x.sar(amount >= 256 ? 255 : amount);  // saturating
+}
+U256 fn_iszero(const U256& a) { return U256{a.is_zero() ? 1u : 0u}; }
+U256 fn_not(const U256& a) { return ~a; }
+
+template <std::uint64_t G, U256 (*Fn)(const U256&, const U256&)>
+void op_binary(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(G) || !f.require(2))) return;
+  const U256 a = f.pop(), b = f.pop();
+  if (!f.push(Fn(a, b))) return;
+  ++f.pc;
+}
+
+template <std::uint64_t G, U256 (*Fn)(const U256&)>
+void op_unary(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(G) || !f.require(1))) return;
+  const U256 a = f.pop();
+  if (!f.push(Fn(a))) return;
+  ++f.pc;
+}
+
+template <U256 (*Fn)(const U256&, const U256&, const U256&)>
+void op_ternary(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kMid) || !f.require(3))) return;
+  const U256 a = f.pop(), b = f.pop(), m = f.pop();
+  if (!f.push(Fn(a, b, m))) return;
+  ++f.pc;
+}
+
+void op_stop(FastFrame& f, FastCtx&) { f.done = true; }
+
+void op_exp(FastFrame& f, FastCtx&) {
+  if (f.checked && !f.require(2)) return;
+  const U256 a = f.pop(), e = f.pop();
+  const std::uint64_t exp_bytes =
+      static_cast<std::uint64_t>((e.bit_length() + 7) / 8);
+  if (f.checked) {
+    if (!f.charge(gas::kExp + gas::kExpByte * exp_bytes)) return;
+  } else if (!f.charge_dyn(gas::kExpByte * exp_bytes)) {
+    return;
+  }
+  if (!f.push(U256::exp(a, e))) return;
+  ++f.pc;
+}
+
+void op_sha3(FastFrame& f, FastCtx&) {
+  if (f.checked && !f.require(2)) return;
+  const U256 off = f.pop(), len = f.pop();
+  if (!len.fits64()) {
+    f.fail(Status::kOutOfGas);
+    return;
+  }
+  if (f.checked) {
+    if (!f.charge(gas::kSha3 + gas::kSha3Word * words_for(len.low64())))
+      return;
+  } else if (!f.charge_dyn(gas::kSha3Word * words_for(len.low64()))) {
+    return;
+  }
+  if (!f.touch_memory(off, len)) return;
+  const auto data = len.is_zero() ? std::span<const std::uint8_t>{}
+                                  : f.mem_span(off.low64(), len.low64());
+  const crypto::Digest digest = crypto::keccak256(data);
+  if (!f.push(U256::from_be_bytes(std::span(digest)))) return;
+  ++f.pc;
+}
+
+/// Context-free value pushes (ADDRESS, ORIGIN, block fields, ...) share
+/// this shape; V computes the value from the frame + context.
+template <std::uint64_t G, U256 (*V)(FastFrame&, FastCtx&)>
+void op_push_value(FastFrame& f, FastCtx& c) {
+  if (f.checked && !f.charge(G)) return;
+  if (!f.push(V(f, c))) return;
+  ++f.pc;
+}
+
+U256 v_address(FastFrame&, FastCtx& c) { return c.msg.to.to_u256(); }
+U256 v_origin(FastFrame&, FastCtx& c) { return c.tx.origin.to_u256(); }
+U256 v_caller(FastFrame&, FastCtx& c) { return c.msg.caller.to_u256(); }
+U256 v_callvalue(FastFrame&, FastCtx& c) { return c.msg.value; }
+U256 v_calldatasize(FastFrame&, FastCtx& c) {
+  return U256{c.msg.data.size()};
+}
+U256 v_codesize(FastFrame& f, FastCtx&) { return U256{f.code.size()}; }
+U256 v_gasprice(FastFrame&, FastCtx& c) { return c.tx.gas_price; }
+U256 v_returndatasize(FastFrame& f, FastCtx&) {
+  return U256{f.return_data.size()};
+}
+U256 v_coinbase(FastFrame&, FastCtx& c) {
+  return c.tx.block->coinbase.to_u256();
+}
+U256 v_timestamp(FastFrame&, FastCtx& c) {
+  return U256{c.tx.block->timestamp};
+}
+U256 v_number(FastFrame&, FastCtx& c) { return U256{c.tx.block->number}; }
+U256 v_prevrandao(FastFrame&, FastCtx& c) { return c.tx.block->prevrandao; }
+U256 v_gaslimit(FastFrame&, FastCtx& c) {
+  return U256{c.tx.block->gas_limit};
+}
+U256 v_chainid(FastFrame&, FastCtx& c) { return U256{c.tx.block->chain_id}; }
+U256 v_selfbalance(FastFrame&, FastCtx& c) {
+  return c.buffer.read(StateKey::balance(c.msg.to));
+}
+U256 v_pc(FastFrame& f, FastCtx&) { return U256{f.pc}; }
+U256 v_msize(FastFrame& f, FastCtx&) { return U256{f.memory.size()}; }
+U256 v_gas(FastFrame& f, FastCtx&) { return U256{f.gas_left}; }
+U256 v_zero(FastFrame&, FastCtx&) { return U256{}; }
+
+void op_balance(FastFrame& f, FastCtx& c) {
+  if (f.checked && !f.require(1)) return;
+  const Address a = Address::from_u256(f.pop());
+  if (!f.charge_dyn(c.tx.warm_account(a) ? gas::kWarmAccess
+                                         : gas::kColdAccountAccess))
+    return;
+  if (!f.push(c.buffer.read(StateKey::balance(a)))) return;
+  ++f.pc;
+}
+
+void op_extcodesize(FastFrame& f, FastCtx& c) {
+  if (f.checked && !f.require(1)) return;
+  const Address a = Address::from_u256(f.pop());
+  if (!f.charge_dyn(c.tx.warm_account(a) ? gas::kWarmAccess
+                                         : gas::kColdAccountAccess))
+    return;
+  const auto ext = c.buffer.code(a);
+  if (!f.push(U256{ext == nullptr ? 0 : ext->size()})) return;
+  ++f.pc;
+}
+
+void op_extcodehash(FastFrame& f, FastCtx& c) {
+  if (f.checked && !f.require(1)) return;
+  const Address a = Address::from_u256(f.pop());
+  if (!f.charge_dyn(c.tx.warm_account(a) ? gas::kWarmAccess
+                                         : gas::kColdAccountAccess))
+    return;
+  // The stored hash is keccak(code), zero for code-less/empty accounts —
+  // exactly the reference's recompute-per-op semantics, minus the keccak.
+  const Hash256 h = c.buffer.code_hash(a);
+  if (!f.push(h.is_zero() ? U256{} : h.to_u256())) return;
+  ++f.pc;
+}
+
+void op_calldataload(FastFrame& f, FastCtx& c) {
+  if (f.checked && (!f.charge(gas::kVeryLow) || !f.require(1))) return;
+  if (!f.push(load_word_padded(std::span(c.msg.data), f.pop()))) return;
+  ++f.pc;
+}
+
+/// CALLDATACOPY / CODECOPY body (reference copy_padded, fast accounting).
+bool copy_padded_fast(FastFrame& f, std::span<const std::uint8_t> src) {
+  if (f.checked && !f.require(3)) return false;
+  const U256 mem_off = f.pop();
+  const U256 src_off = f.pop();
+  const U256 len = f.pop();
+  if (!len.fits64()) {
+    f.fail(Status::kOutOfGas);
+    return false;
+  }
+  if (f.checked) {
+    if (!f.charge(gas::kVeryLow + gas::kCopyWord * words_for(len.low64())))
+      return false;
+  } else if (!f.charge_dyn(gas::kCopyWord * words_for(len.low64()))) {
+    return false;
+  }
+  if (!f.touch_memory(mem_off, len)) return false;
+  if (len.is_zero()) return true;
+  const std::uint64_t dst = mem_off.low64();
+  for (std::uint64_t i = 0; i < len.low64(); ++i) {
+    std::uint8_t b = 0;
+    if (src_off.fits64()) {
+      const std::uint64_t s = src_off.low64() + i;
+      if (s >= src_off.low64() && s < src.size()) b = src[s];
+    }
+    f.memory[dst + i] = b;
+  }
+  return true;
+}
+
+void op_calldatacopy(FastFrame& f, FastCtx& c) {
+  if (!copy_padded_fast(f, std::span(c.msg.data))) return;
+  ++f.pc;
+}
+
+void op_codecopy(FastFrame& f, FastCtx&) {
+  if (!copy_padded_fast(f, f.code)) return;
+  ++f.pc;
+}
+
+void op_returndatacopy(FastFrame& f, FastCtx&) {
+  if (f.checked && !f.require(3)) return;
+  const U256 mem_off = f.pop();
+  const U256 data_off = f.pop();
+  const U256 len = f.pop();
+  if (!len.fits64()) {
+    f.fail(Status::kOutOfGas);
+    return;
+  }
+  if (f.checked) {
+    if (!f.charge(gas::kVeryLow + gas::kCopyWord * words_for(len.low64())))
+      return;
+  } else if (!f.charge_dyn(gas::kCopyWord * words_for(len.low64()))) {
+    return;
+  }
+  // EIP-211: reading past the return-data buffer is an error, not a
+  // zero-fill.  (Checked after the charge, like the reference.)
+  if (!data_off.fits64() ||
+      data_off.low64() + len.low64() < data_off.low64() ||
+      data_off.low64() + len.low64() > f.return_data.size()) {
+    f.fail(Status::kInvalid);
+    return;
+  }
+  if (!f.touch_memory(mem_off, len)) return;
+  if (!len.is_zero()) {
+    std::memcpy(f.memory.data() + mem_off.low64(),
+                f.return_data.data() + data_off.low64(), len.low64());
+  }
+  ++f.pc;
+}
+
+void op_pop(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kBase) || !f.require(1))) return;
+  f.pop();
+  ++f.pc;
+}
+
+void op_mload(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kVeryLow) || !f.require(1))) return;
+  const U256 off = f.pop();
+  if (!f.touch_memory(off, U256{32})) return;
+  if (!f.push(U256::from_be_bytes(f.mem_span(off.low64(), 32)))) return;
+  ++f.pc;
+}
+
+void op_mstore(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kVeryLow) || !f.require(2))) return;
+  const U256 off = f.pop();
+  const U256 val = f.pop();
+  if (!f.touch_memory(off, U256{32})) return;
+  const auto be = val.to_be_bytes();
+  std::memcpy(f.memory.data() + off.low64(), be.data(), 32);
+  ++f.pc;
+}
+
+void op_mstore8(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kVeryLow) || !f.require(2))) return;
+  const U256 off = f.pop();
+  const U256 val = f.pop();
+  if (!f.touch_memory(off, U256{1})) return;
+  f.memory[off.low64()] = static_cast<std::uint8_t>(val.low64() & 0xff);
+  ++f.pc;
+}
+
+void op_sload(FastFrame& f, FastCtx& c) {
+  if (f.checked && !f.require(1)) return;
+  const StateKey key = StateKey::storage(c.msg.to, f.pop());
+  if (!f.charge_dyn(c.tx.warm_slot(key) ? gas::kWarmAccess
+                                        : gas::kColdSload))
+    return;
+  if (!f.push(c.buffer.read(key))) return;
+  ++f.pc;
+}
+
+void op_sstore(FastFrame& f, FastCtx& c) {
+  if (c.msg.is_static) {
+    f.fail(Status::kInvalid);  // state mutation in a static frame
+    return;
+  }
+  if (f.checked && (!f.charge(gas::kSstore) || !f.require(2))) return;
+  const U256 slot = f.pop();
+  const U256 val = f.pop();
+  const StateKey key = StateKey::storage(c.msg.to, slot);
+  c.tx.warm_slot(key);  // a store warms the slot for later SLOADs
+  c.buffer.write(key, val);
+  ++f.pc;
+}
+
+void op_jump(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kMid) || !f.require(1))) return;
+  const U256 dst = f.pop();
+  if (!dst.fits64() || !f.an->is_jumpdest(dst.low64())) {
+    f.fail(Status::kInvalid);
+    return;
+  }
+  f.pc = static_cast<std::size_t>(dst.low64());
+}
+
+void op_jumpi(FastFrame& f, FastCtx&) {
+  if (f.checked && (!f.charge(gas::kHigh) || !f.require(2))) return;
+  const U256 dst = f.pop();
+  const U256 cond = f.pop();
+  if (cond.is_zero()) {
+    ++f.pc;
+    return;
+  }
+  if (!dst.fits64() || !f.an->is_jumpdest(dst.low64())) {
+    f.fail(Status::kInvalid);
+    return;
+  }
+  f.pc = static_cast<std::size_t>(dst.low64());
+}
+
+void op_jumpdest(FastFrame& f, FastCtx&) {
+  if (f.checked && !f.charge(gas::kJumpdest)) return;
+  ++f.pc;
+}
+
+void op_push(FastFrame& f, FastCtx&) {
+  if (f.checked && !f.charge(gas::kVeryLow)) return;
+  if (!f.push(f.an->immediates[f.an->imm_index[f.pc]])) return;
+  f.pc += 1 + static_cast<std::size_t>(f.code[f.pc] - 0x60 + 1);
+}
+
+void op_dup(FastFrame& f, FastCtx&) {
+  const std::size_t n = static_cast<std::size_t>(f.code[f.pc] - 0x80 + 1);
+  if (f.checked && (!f.charge(gas::kVeryLow) || !f.require(n))) return;
+  if (!f.push(f.stack[f.stack.size() - n])) return;
+  ++f.pc;
+}
+
+void op_swap(FastFrame& f, FastCtx&) {
+  const std::size_t n = static_cast<std::size_t>(f.code[f.pc] - 0x90 + 1);
+  if (f.checked && (!f.charge(gas::kVeryLow) || !f.require(n + 1))) return;
+  std::swap(f.stack.back(), f.stack[f.stack.size() - 1 - n]);
+  ++f.pc;
+}
+
+void op_log(FastFrame& f, FastCtx& c) {
+  if (c.msg.is_static) {
+    f.fail(Status::kInvalid);  // logging mutates the receipt trie
+    return;
+  }
+  const std::size_t topics = static_cast<std::size_t>(f.code[f.pc] - 0xa0);
+  if (f.checked && !f.require(2 + topics)) return;
+  const U256 off = f.pop();
+  const U256 len = f.pop();
+  if (!len.fits64()) {
+    f.fail(Status::kOutOfGas);
+    return;
+  }
+  if (f.checked) {
+    if (!f.charge(gas::kLog + gas::kLogTopic * topics +
+                  gas::kLogData * len.low64()))
+      return;
+  } else if (!f.charge_dyn(gas::kLogData * len.low64())) {
+    return;
+  }
+  if (!f.touch_memory(off, len)) return;
+  LogRecord log;
+  log.address = c.msg.to;
+  for (std::size_t i = 0; i < topics; ++i) log.topics.push_back(f.pop());
+  if (!len.is_zero()) {
+    const auto data = f.mem_span(off.low64(), len.low64());
+    log.data.assign(data.begin(), data.end());
+  }
+  c.result.logs.push_back(std::move(log));
+  ++f.pc;
+}
+
+void op_call(FastFrame& f, FastCtx& c) {
+  // CALL-family ops are block terminators, so at this point fast-mode
+  // gas_left equals the reference's exactly (their own static gas is zero
+  // and nothing trails them); plain charge() is reference-identical.
+  const Op kind = static_cast<Op>(f.code[f.pc]);
+  const bool has_value = (kind == Op::CALL);
+  if (f.checked && !f.require(has_value ? 7 : 6)) return;
+  const U256 gas_req = f.pop();
+  const Address target = Address::from_u256(f.pop());
+  const U256 value = has_value ? f.pop() : U256{};
+  const U256 in_off = f.pop();
+  const U256 in_len = f.pop();
+  const U256 out_off = f.pop();
+  const U256 out_len = f.pop();
+
+  // A value-bearing CALL inside a static frame is a state mutation.
+  if (c.msg.is_static && !value.is_zero()) {
+    f.fail(Status::kInvalid);
+    return;
+  }
+
+  const std::uint64_t access_cost = c.tx.warm_account(target)
+                                        ? gas::kWarmAccess
+                                        : gas::kColdAccountAccess;
+  std::uint64_t extra = access_cost;
+  if (!value.is_zero()) extra += gas::kCallValue;
+  if (!f.charge(extra)) return;
+  if (!f.touch_memory(in_off, in_len)) return;
+  if (!f.touch_memory(out_off, out_len)) return;
+
+  // EIP-150 all-but-one-64th forwarding rule.
+  const std::uint64_t cap = f.gas_left - f.gas_left / 64;
+  std::uint64_t fwd = gas_req.fits64() ? std::min(gas_req.low64(), cap) : cap;
+  if (!f.charge(fwd)) return;
+  if (!value.is_zero()) fwd += gas::kCallStipend;
+
+  // Failure without execution: depth exhausted or insufficient funds.
+  const bool too_deep = c.msg.depth + 1 > kMaxCallDepth;
+  const bool broke = !value.is_zero() &&
+                     c.buffer.read(StateKey::balance(c.msg.to)) < value;
+  if (too_deep || broke) {
+    f.gas_left += fwd;  // forwarded gas is returned untouched
+    f.return_data.clear();
+    if (!f.push(U256{0})) return;
+    ++f.pc;
+    return;
+  }
+
+  Message inner;
+  if (kind == Op::DELEGATECALL) {
+    // The target's code runs in OUR storage context with OUR caller
+    // and value; nothing is transferred.
+    inner.caller = c.msg.caller;
+    inner.to = c.msg.to;
+    inner.code_address = target;
+    inner.value = c.msg.value;
+    inner.transfer_value = false;
+  } else {
+    inner.caller = c.msg.to;
+    inner.to = target;
+    inner.code_address = target;
+    inner.value = value;
+  }
+  inner.is_static = c.msg.is_static || kind == Op::STATICCALL;
+  inner.gas = fwd;
+  inner.depth = c.msg.depth + 1;
+  if (!in_len.is_zero()) {
+    const auto in = f.mem_span(in_off.low64(), in_len.low64());
+    inner.data.assign(in.begin(), in.end());
+  }
+
+  const CallResult sub = execute_call(c.buffer, c.tx, inner);
+  f.gas_left += sub.gas_left;
+  if (sub.status == Status::kSuccess) {
+    for (const auto& log : sub.logs) c.result.logs.push_back(log);
+  }
+  // Return-data buffer: the callee's output on success/revert, cleared on
+  // exceptional halts (EIP-211).
+  if (sub.status == Status::kSuccess || sub.status == Status::kRevert) {
+    f.return_data = sub.output;
+  } else {
+    f.return_data.clear();
+  }
+  // Copy return data into the out region (truncated to out_len).
+  if (!out_len.is_zero() && !sub.output.empty()) {
+    const std::size_t n =
+        std::min<std::size_t>(out_len.low64(), sub.output.size());
+    std::memcpy(f.memory.data() + out_off.low64(), sub.output.data(), n);
+  }
+  if (!f.push(U256{sub.status == Status::kSuccess ? 1u : 0u})) return;
+  ++f.pc;
+}
+
+void op_return(FastFrame& f, FastCtx&) {
+  if (f.checked && !f.require(2)) return;
+  const U256 off = f.pop(), len = f.pop();
+  if (!f.touch_memory(off, len)) return;
+  if (!len.is_zero()) {
+    const auto data = f.mem_span(off.low64(), len.low64());
+    f.output.assign(data.begin(), data.end());
+  }
+  if (static_cast<Op>(f.code[f.pc]) == Op::REVERT)
+    f.failure = Status::kRevert;
+  f.done = true;
+}
+
+void op_invalid(FastFrame& f, FastCtx&) { f.fail(Status::kInvalid); }
+
+std::array<OpFn, 256> make_dispatch_table() {
+  std::array<OpFn, 256> t;
+  t.fill(&op_invalid);
+  t[0x00] = &op_stop;
+  t[0x01] = &op_binary<gas::kVeryLow, fn_add>;
+  t[0x02] = &op_binary<gas::kLow, fn_mul>;
+  t[0x03] = &op_binary<gas::kVeryLow, fn_sub>;
+  t[0x04] = &op_binary<gas::kLow, fn_div>;
+  t[0x05] = &op_binary<gas::kLow, fn_sdiv>;
+  t[0x06] = &op_binary<gas::kLow, fn_mod>;
+  t[0x07] = &op_binary<gas::kLow, fn_smod>;
+  t[0x08] = &op_ternary<U256::addmod>;
+  t[0x09] = &op_ternary<U256::mulmod>;
+  t[0x0a] = &op_exp;
+  t[0x0b] = &op_binary<gas::kLow, fn_signextend>;
+  t[0x10] = &op_binary<gas::kVeryLow, fn_lt>;
+  t[0x11] = &op_binary<gas::kVeryLow, fn_gt>;
+  t[0x12] = &op_binary<gas::kVeryLow, fn_slt>;
+  t[0x13] = &op_binary<gas::kVeryLow, fn_sgt>;
+  t[0x14] = &op_binary<gas::kVeryLow, fn_eq>;
+  t[0x15] = &op_unary<gas::kVeryLow, fn_iszero>;
+  t[0x16] = &op_binary<gas::kVeryLow, fn_and>;
+  t[0x17] = &op_binary<gas::kVeryLow, fn_or>;
+  t[0x18] = &op_binary<gas::kVeryLow, fn_xor>;
+  t[0x19] = &op_unary<gas::kVeryLow, fn_not>;
+  t[0x1a] = &op_binary<gas::kVeryLow, fn_byte>;
+  t[0x1b] = &op_binary<gas::kVeryLow, fn_shl>;
+  t[0x1c] = &op_binary<gas::kVeryLow, fn_shr>;
+  t[0x1d] = &op_binary<gas::kVeryLow, fn_sar>;
+  t[0x20] = &op_sha3;
+  t[0x30] = &op_push_value<gas::kBase, v_address>;
+  t[0x31] = &op_balance;
+  t[0x32] = &op_push_value<gas::kBase, v_origin>;
+  t[0x33] = &op_push_value<gas::kBase, v_caller>;
+  t[0x34] = &op_push_value<gas::kBase, v_callvalue>;
+  t[0x35] = &op_calldataload;
+  t[0x36] = &op_push_value<gas::kBase, v_calldatasize>;
+  t[0x37] = &op_calldatacopy;
+  t[0x38] = &op_push_value<gas::kBase, v_codesize>;
+  t[0x39] = &op_codecopy;
+  t[0x3a] = &op_push_value<gas::kBase, v_gasprice>;
+  t[0x3b] = &op_extcodesize;
+  t[0x3d] = &op_push_value<gas::kBase, v_returndatasize>;
+  t[0x3e] = &op_returndatacopy;
+  t[0x3f] = &op_extcodehash;
+  t[0x41] = &op_push_value<gas::kBase, v_coinbase>;
+  t[0x42] = &op_push_value<gas::kBase, v_timestamp>;
+  t[0x43] = &op_push_value<gas::kBase, v_number>;
+  t[0x44] = &op_push_value<gas::kBase, v_prevrandao>;
+  t[0x45] = &op_push_value<gas::kBase, v_gaslimit>;
+  t[0x46] = &op_push_value<gas::kBase, v_chainid>;
+  t[0x47] = &op_push_value<gas::kLow, v_selfbalance>;
+  t[0x50] = &op_pop;
+  t[0x51] = &op_mload;
+  t[0x52] = &op_mstore;
+  t[0x53] = &op_mstore8;
+  t[0x54] = &op_sload;
+  t[0x55] = &op_sstore;
+  t[0x56] = &op_jump;
+  t[0x57] = &op_jumpi;
+  t[0x58] = &op_push_value<gas::kBase, v_pc>;
+  t[0x59] = &op_push_value<gas::kBase, v_msize>;
+  t[0x5a] = &op_push_value<gas::kBase, v_gas>;
+  t[0x5b] = &op_jumpdest;
+  t[0x5f] = &op_push_value<gas::kBase, v_zero>;  // PUSH0
+  for (unsigned op = 0x60; op <= 0x7f; ++op) t[op] = &op_push;
+  for (unsigned op = 0x80; op <= 0x8f; ++op) t[op] = &op_dup;
+  for (unsigned op = 0x90; op <= 0x9f; ++op) t[op] = &op_swap;
+  for (unsigned op = 0xa0; op <= 0xa4; ++op) t[op] = &op_log;
+  t[0xf1] = &op_call;
+  t[0xf3] = &op_return;
+  t[0xf4] = &op_call;
+  t[0xfa] = &op_call;
+  t[0xfd] = &op_return;  // REVERT (distinguished by opcode inside)
+  t[0xfe] = &op_invalid;
+  return t;
+}
+
+const std::array<OpFn, 256> kDispatch = make_dispatch_table();
+
+CallResult run_interpreter_fast(ExecBuffer& buffer, TxContext& tx,
+                                const Message& msg,
+                                std::span<const std::uint8_t> code,
+                                const CodeAnalysis& an) {
+  FastFrame f;
+  f.code = code;
+  f.an = &an;
+  f.gas_left = msg.gas;
+
+  CallResult result;
+  FastCtx ctx{buffer, tx, msg, result};
+
+  while (!f.done) {
+    if (f.pc >= code.size()) break;  // implicit STOP
+    // Control flow can only land on a block-entry pc by entering the
+    // block, so this probe fires exactly once per block execution.
+    const std::uint32_t blk = an.block_at[f.pc];
+    if (blk != 0) {
+      const CodeAnalysis::Block& b = an.blocks[blk - 1];
+      if (f.gas_left >= b.static_gas && f.stack.size() >= b.stack_required &&
+          f.stack.size() + b.stack_max_growth <= kMaxStack) {
+        f.gas_left -= b.static_gas;
+        // One capacity reservation covers every push in the block, so the
+        // unchecked push_back stays branch-free.
+        f.stack.ensure(f.stack.size() + b.stack_max_growth);
+        f.checked = false;
+      } else {
+        // The block cannot complete; replay it with the reference's
+        // per-op accounting so it fails at the exact reference point.
+        f.checked = true;
+      }
+    }
+    const std::uint8_t op = code[f.pc];
+    // Hot ops dispatch through direct calls the optimizer can inline —
+    // an indirect call per op forces every frame field through memory,
+    // which is what made the table-only loop lose to the reference
+    // switch.  Cold ops (storage, env, calls, logs, copies) fall through
+    // to the table; both paths run the SAME handler functions, so the
+    // split cannot change semantics.
+    switch (op) {
+      case 0x01: op_binary<gas::kVeryLow, fn_add>(f, ctx); break;
+      case 0x02: op_binary<gas::kLow, fn_mul>(f, ctx); break;
+      case 0x03: op_binary<gas::kVeryLow, fn_sub>(f, ctx); break;
+      case 0x04: op_binary<gas::kLow, fn_div>(f, ctx); break;
+      case 0x05: op_binary<gas::kLow, fn_sdiv>(f, ctx); break;
+      case 0x06: op_binary<gas::kLow, fn_mod>(f, ctx); break;
+      case 0x07: op_binary<gas::kLow, fn_smod>(f, ctx); break;
+      case 0x08: op_ternary<U256::addmod>(f, ctx); break;
+      case 0x09: op_ternary<U256::mulmod>(f, ctx); break;
+      case 0x0a: op_exp(f, ctx); break;
+      case 0x0b: op_binary<gas::kLow, fn_signextend>(f, ctx); break;
+      case 0x10: op_binary<gas::kVeryLow, fn_lt>(f, ctx); break;
+      case 0x11: op_binary<gas::kVeryLow, fn_gt>(f, ctx); break;
+      case 0x12: op_binary<gas::kVeryLow, fn_slt>(f, ctx); break;
+      case 0x13: op_binary<gas::kVeryLow, fn_sgt>(f, ctx); break;
+      case 0x14: op_binary<gas::kVeryLow, fn_eq>(f, ctx); break;
+      case 0x15: op_unary<gas::kVeryLow, fn_iszero>(f, ctx); break;
+      case 0x16: op_binary<gas::kVeryLow, fn_and>(f, ctx); break;
+      case 0x17: op_binary<gas::kVeryLow, fn_or>(f, ctx); break;
+      case 0x18: op_binary<gas::kVeryLow, fn_xor>(f, ctx); break;
+      case 0x19: op_unary<gas::kVeryLow, fn_not>(f, ctx); break;
+      case 0x1a: op_binary<gas::kVeryLow, fn_byte>(f, ctx); break;
+      case 0x1b: op_binary<gas::kVeryLow, fn_shl>(f, ctx); break;
+      case 0x1c: op_binary<gas::kVeryLow, fn_shr>(f, ctx); break;
+      case 0x1d: op_binary<gas::kVeryLow, fn_sar>(f, ctx); break;
+      case 0x20: op_sha3(f, ctx); break;
+      case 0x35: op_calldataload(f, ctx); break;
+      case 0x50: op_pop(f, ctx); break;
+      case 0x51: op_mload(f, ctx); break;
+      case 0x52: op_mstore(f, ctx); break;
+      case 0x53: op_mstore8(f, ctx); break;
+      case 0x56: op_jump(f, ctx); break;
+      case 0x57: op_jumpi(f, ctx); break;
+      case 0x5b: op_jumpdest(f, ctx); break;
+      // PUSH1..PUSH32
+      case 0x60: case 0x61: case 0x62: case 0x63:
+      case 0x64: case 0x65: case 0x66: case 0x67:
+      case 0x68: case 0x69: case 0x6a: case 0x6b:
+      case 0x6c: case 0x6d: case 0x6e: case 0x6f:
+      case 0x70: case 0x71: case 0x72: case 0x73:
+      case 0x74: case 0x75: case 0x76: case 0x77:
+      case 0x78: case 0x79: case 0x7a: case 0x7b:
+      case 0x7c: case 0x7d: case 0x7e: case 0x7f:
+        op_push(f, ctx);
+        break;
+      // DUP1..DUP16
+      case 0x80: case 0x81: case 0x82: case 0x83:
+      case 0x84: case 0x85: case 0x86: case 0x87:
+      case 0x88: case 0x89: case 0x8a: case 0x8b:
+      case 0x8c: case 0x8d: case 0x8e: case 0x8f:
+        op_dup(f, ctx);
+        break;
+      // SWAP1..SWAP16
+      case 0x90: case 0x91: case 0x92: case 0x93:
+      case 0x94: case 0x95: case 0x96: case 0x97:
+      case 0x98: case 0x99: case 0x9a: case 0x9b:
+      case 0x9c: case 0x9d: case 0x9e: case 0x9f:
+        op_swap(f, ctx);
+        break;
+      default:
+        kDispatch[op](f, ctx);
+        break;
+    }
+  }
+
+  result.status = f.failure;
+  // INVALID consumes all frame gas (EVM exceptional halt); REVERT keeps it.
+  result.gas_left =
+      (f.failure == Status::kSuccess || f.failure == Status::kRevert)
+          ? f.gas_left
+          : 0;
+  result.output = std::move(f.output);
+  if (result.status != Status::kSuccess) result.logs.clear();
+  return result;
+}
+
 }  // namespace
 
 std::string_view op_name(std::uint8_t opcode) noexcept {
-  switch (static_cast<Op>(opcode)) {
-    case Op::STOP: return "STOP";
-    case Op::ADD: return "ADD";
-    case Op::MUL: return "MUL";
-    case Op::SUB: return "SUB";
-    case Op::DIV: return "DIV";
-    case Op::SDIV: return "SDIV";
-    case Op::MOD: return "MOD";
-    case Op::SMOD: return "SMOD";
-    case Op::ADDMOD: return "ADDMOD";
-    case Op::MULMOD: return "MULMOD";
-    case Op::EXP: return "EXP";
-    case Op::SIGNEXTEND: return "SIGNEXTEND";
-    case Op::LT: return "LT";
-    case Op::GT: return "GT";
-    case Op::SLT: return "SLT";
-    case Op::SGT: return "SGT";
-    case Op::EQ: return "EQ";
-    case Op::ISZERO: return "ISZERO";
-    case Op::AND: return "AND";
-    case Op::OR: return "OR";
-    case Op::XOR: return "XOR";
-    case Op::NOT: return "NOT";
-    case Op::BYTE: return "BYTE";
-    case Op::SHL: return "SHL";
-    case Op::SHR: return "SHR";
-    case Op::SAR: return "SAR";
-    case Op::SHA3: return "SHA3";
-    case Op::ADDRESS: return "ADDRESS";
-    case Op::BALANCE: return "BALANCE";
-    case Op::ORIGIN: return "ORIGIN";
-    case Op::CALLER: return "CALLER";
-    case Op::CALLVALUE: return "CALLVALUE";
-    case Op::CALLDATALOAD: return "CALLDATALOAD";
-    case Op::CALLDATASIZE: return "CALLDATASIZE";
-    case Op::CALLDATACOPY: return "CALLDATACOPY";
-    case Op::CODESIZE: return "CODESIZE";
-    case Op::CODECOPY: return "CODECOPY";
-    case Op::GASPRICE: return "GASPRICE";
-    case Op::COINBASE: return "COINBASE";
-    case Op::TIMESTAMP: return "TIMESTAMP";
-    case Op::NUMBER: return "NUMBER";
-    case Op::PREVRANDAO: return "PREVRANDAO";
-    case Op::GASLIMIT: return "GASLIMIT";
-    case Op::CHAINID: return "CHAINID";
-    case Op::SELFBALANCE: return "SELFBALANCE";
-    case Op::POP: return "POP";
-    case Op::MLOAD: return "MLOAD";
-    case Op::MSTORE: return "MSTORE";
-    case Op::MSTORE8: return "MSTORE8";
-    case Op::EXTCODESIZE: return "EXTCODESIZE";
-    case Op::EXTCODEHASH: return "EXTCODEHASH";
-    case Op::RETURNDATASIZE: return "RETURNDATASIZE";
-    case Op::RETURNDATACOPY: return "RETURNDATACOPY";
-    case Op::DELEGATECALL: return "DELEGATECALL";
-    case Op::STATICCALL: return "STATICCALL";
-    case Op::SLOAD: return "SLOAD";
-    case Op::SSTORE: return "SSTORE";
-    case Op::JUMP: return "JUMP";
-    case Op::JUMPI: return "JUMPI";
-    case Op::PC: return "PC";
-    case Op::MSIZE: return "MSIZE";
-    case Op::GAS: return "GAS";
-    case Op::JUMPDEST: return "JUMPDEST";
-    case Op::PUSH0: return "PUSH0";
-    case Op::LOG0: return "LOG0";
-    case Op::LOG1: return "LOG1";
-    case Op::LOG2: return "LOG2";
-    case Op::LOG3: return "LOG3";
-    case Op::LOG4: return "LOG4";
-    case Op::CALL: return "CALL";
-    case Op::RETURN: return "RETURN";
-    case Op::REVERT: return "REVERT";
-    case Op::INVALID: return "INVALID";
-    default: break;
+  switch (opcode) {
+#define BP_OPCODE_NAME(ID, VALUE, NAME, GAS, REQ, NET, FLAGS) \
+  case VALUE:                                                 \
+    return NAME;
+    BP_OPCODE_TABLE(BP_OPCODE_NAME)
+#undef BP_OPCODE_NAME
+    default:
+      break;
   }
   if (opcode >= 0x60 && opcode <= 0x7f) return "PUSH";
   if (opcode >= 0x80 && opcode <= 0x8f) return "DUP";
@@ -976,7 +1809,18 @@ CallResult execute_call(state::ExecBuffer& buffer, TxContext& tx,
     return result;
   }
 
-  result = run_interpreter(buffer, tx, msg, std::span(*code));
+  if (tx.use_reference_interpreter) {
+    result = run_interpreter_reference(buffer, tx, msg, std::span(*code));
+  } else {
+    // One analysis per code hash per process: every frame of every
+    // transaction on every executor shares the cached copy.
+    CodeAnalysisCache& cache =
+        tx.analysis_cache ? *tx.analysis_cache : CodeAnalysisCache::global();
+    const auto analysis =
+        cache.get(buffer.code_hash(code_addr), std::span(*code));
+    result = run_interpreter_fast(buffer, tx, msg, std::span(*code),
+                                  *analysis);
+  }
   if (result.status != Status::kSuccess) buffer.revert_to(checkpoint);
   return result;
 }

@@ -26,7 +26,12 @@ namespace blockpilot::evm {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// Per-block execution environment (EVM block context opcodes).
+class CodeAnalysisCache;
+
+/// Per-block execution environment (EVM block context opcodes), plus the
+/// execution-engine knobs that ride along with it into every
+/// execute_transaction call (they are not consensus data and never land
+/// in headers or hashes).
 struct BlockContext {
   std::uint64_t number = 0;
   std::uint64_t timestamp = 0;
@@ -34,6 +39,15 @@ struct BlockContext {
   std::uint64_t gas_limit = 30'000'000;
   U256 prevrandao;
   std::uint64_t chain_id = 1;
+
+  /// CodeAnalysis cache the interpreter resolves code through; null means
+  /// the process-wide CodeAnalysisCache::global().  Executors override it
+  /// from their config so tests and benches can isolate cache state.
+  CodeAnalysisCache* analysis_cache = nullptr;
+  /// Runs the frozen pre-analysis interpreter (per-op gas charges, per
+  /// -frame jumpdest scan).  The differential oracle for the fast path;
+  /// never faster, only bit-identical.
+  bool use_reference_interpreter = false;
 };
 
 /// A message call (top-level transaction body or inner CALL-family frame).
@@ -80,6 +94,11 @@ struct TxContext {
   Address origin;
   U256 gas_price;
   const BlockContext* block = nullptr;
+
+  /// Engine knobs copied from BlockContext by execute_transaction (callers
+  /// constructing a TxContext directly get the same defaults).
+  CodeAnalysisCache* analysis_cache = nullptr;
+  bool use_reference_interpreter = false;
 
   // EIP-2929 warm sets (cleared per transaction).
   std::unordered_set<Address> warm_accounts;

@@ -4,116 +4,139 @@
 // bytecode written for this interpreter is shaped like real contract code
 // (the paper's conflict analysis hinges on SLOAD/SSTORE gas dominance,
 // §4.3), and disassembly output is recognizable.
+//
+// The single source of truth is BP_OPCODE_TABLE below: the Op enum,
+// op_name(), and the per-op static traits (static gas, stack arity, basic
+// -block terminators) that drive both the interpreter dispatch and the
+// CodeAnalysis pre-pass are all generated from it, so a new opcode cannot
+// drift between the dispatch switch and the mnemonic table.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
+#include "evm/gas.hpp"
+
 namespace blockpilot::evm {
 
+/// Basic-block terminator: control flow never falls through this opcode
+/// into the next instruction without a block-entry check (JUMP/JUMPI,
+/// frame-ending ops, and the gas-observing ops GAS and the CALL family,
+/// which must see an exact per-op gas_left — see code_analysis.hpp).
+inline constexpr std::uint8_t kOpFlagTerminator = 0x01;
+
+// X(ID, VALUE, NAME, STATIC_GAS, STACK_REQ, STACK_NET, FLAGS)
+//
+//  STATIC_GAS — the statically-known portion of the op's FIRST gas charge
+//    (the part the analysis pre-sums per basic block).  Ops whose first
+//    charge depends on runtime state (warm/cold access, forwarded gas)
+//    carry 0 and charge dynamically.
+//  STACK_REQ  — operands required on the stack.
+//  STACK_NET  — stack-height delta (pushes minus pops).
+//
+// PUSH2..PUSH31, DUP9..DUP15 and SWAP9..SWAP15 are valid encodings without
+// enum names; make_op_traits() range-fills their traits and op_name()
+// range-matches their mnemonics, exactly like the named range members.
+#define BP_OPCODE_TABLE(X)                                                 \
+  X(STOP, 0x00, "STOP", 0, 0, 0, kOpFlagTerminator)                        \
+  X(ADD, 0x01, "ADD", gas::kVeryLow, 2, -1, 0)                             \
+  X(MUL, 0x02, "MUL", gas::kLow, 2, -1, 0)                                 \
+  X(SUB, 0x03, "SUB", gas::kVeryLow, 2, -1, 0)                             \
+  X(DIV, 0x04, "DIV", gas::kLow, 2, -1, 0)                                 \
+  X(SDIV, 0x05, "SDIV", gas::kLow, 2, -1, 0)                               \
+  X(MOD, 0x06, "MOD", gas::kLow, 2, -1, 0)                                 \
+  X(SMOD, 0x07, "SMOD", gas::kLow, 2, -1, 0)                               \
+  X(ADDMOD, 0x08, "ADDMOD", gas::kMid, 3, -2, 0)                           \
+  X(MULMOD, 0x09, "MULMOD", gas::kMid, 3, -2, 0)                           \
+  X(EXP, 0x0a, "EXP", gas::kExp, 2, -1, 0)                                 \
+  X(SIGNEXTEND, 0x0b, "SIGNEXTEND", gas::kLow, 2, -1, 0)                   \
+  X(LT, 0x10, "LT", gas::kVeryLow, 2, -1, 0)                               \
+  X(GT, 0x11, "GT", gas::kVeryLow, 2, -1, 0)                               \
+  X(SLT, 0x12, "SLT", gas::kVeryLow, 2, -1, 0)                             \
+  X(SGT, 0x13, "SGT", gas::kVeryLow, 2, -1, 0)                             \
+  X(EQ, 0x14, "EQ", gas::kVeryLow, 2, -1, 0)                               \
+  X(ISZERO, 0x15, "ISZERO", gas::kVeryLow, 1, 0, 0)                        \
+  X(AND, 0x16, "AND", gas::kVeryLow, 2, -1, 0)                             \
+  X(OR, 0x17, "OR", gas::kVeryLow, 2, -1, 0)                               \
+  X(XOR, 0x18, "XOR", gas::kVeryLow, 2, -1, 0)                             \
+  X(NOT, 0x19, "NOT", gas::kVeryLow, 1, 0, 0)                              \
+  X(BYTE, 0x1a, "BYTE", gas::kVeryLow, 2, -1, 0)                           \
+  X(SHL, 0x1b, "SHL", gas::kVeryLow, 2, -1, 0)                             \
+  X(SHR, 0x1c, "SHR", gas::kVeryLow, 2, -1, 0)                             \
+  X(SAR, 0x1d, "SAR", gas::kVeryLow, 2, -1, 0)                             \
+  X(SHA3, 0x20, "SHA3", gas::kSha3, 2, -1, 0)                              \
+  X(ADDRESS, 0x30, "ADDRESS", gas::kBase, 0, 1, 0)                         \
+  X(BALANCE, 0x31, "BALANCE", 0, 1, 0, 0)                                  \
+  X(ORIGIN, 0x32, "ORIGIN", gas::kBase, 0, 1, 0)                           \
+  X(CALLER, 0x33, "CALLER", gas::kBase, 0, 1, 0)                           \
+  X(CALLVALUE, 0x34, "CALLVALUE", gas::kBase, 0, 1, 0)                     \
+  X(CALLDATALOAD, 0x35, "CALLDATALOAD", gas::kVeryLow, 1, 0, 0)            \
+  X(CALLDATASIZE, 0x36, "CALLDATASIZE", gas::kBase, 0, 1, 0)               \
+  X(CALLDATACOPY, 0x37, "CALLDATACOPY", gas::kVeryLow, 3, -3, 0)           \
+  X(CODESIZE, 0x38, "CODESIZE", gas::kBase, 0, 1, 0)                       \
+  X(CODECOPY, 0x39, "CODECOPY", gas::kVeryLow, 3, -3, 0)                   \
+  X(GASPRICE, 0x3a, "GASPRICE", gas::kBase, 0, 1, 0)                       \
+  X(EXTCODESIZE, 0x3b, "EXTCODESIZE", 0, 1, 0, 0)                          \
+  X(RETURNDATASIZE, 0x3d, "RETURNDATASIZE", gas::kBase, 0, 1, 0)           \
+  X(RETURNDATACOPY, 0x3e, "RETURNDATACOPY", gas::kVeryLow, 3, -3, 0)       \
+  X(EXTCODEHASH, 0x3f, "EXTCODEHASH", 0, 1, 0, 0)                          \
+  X(COINBASE, 0x41, "COINBASE", gas::kBase, 0, 1, 0)                       \
+  X(TIMESTAMP, 0x42, "TIMESTAMP", gas::kBase, 0, 1, 0)                     \
+  X(NUMBER, 0x43, "NUMBER", gas::kBase, 0, 1, 0)                           \
+  X(PREVRANDAO, 0x44, "PREVRANDAO", gas::kBase, 0, 1, 0)                   \
+  X(GASLIMIT, 0x45, "GASLIMIT", gas::kBase, 0, 1, 0)                       \
+  X(CHAINID, 0x46, "CHAINID", gas::kBase, 0, 1, 0)                         \
+  X(SELFBALANCE, 0x47, "SELFBALANCE", gas::kLow, 0, 1, 0)                  \
+  X(POP, 0x50, "POP", gas::kBase, 1, -1, 0)                                \
+  X(MLOAD, 0x51, "MLOAD", gas::kVeryLow, 1, 0, 0)                          \
+  X(MSTORE, 0x52, "MSTORE", gas::kVeryLow, 2, -2, 0)                       \
+  X(MSTORE8, 0x53, "MSTORE8", gas::kVeryLow, 2, -2, 0)                     \
+  X(SLOAD, 0x54, "SLOAD", 0, 1, 0, 0)                                      \
+  X(SSTORE, 0x55, "SSTORE", gas::kSstore, 2, -2, 0)                        \
+  X(JUMP, 0x56, "JUMP", gas::kMid, 1, -1, kOpFlagTerminator)               \
+  X(JUMPI, 0x57, "JUMPI", gas::kHigh, 2, -2, kOpFlagTerminator)            \
+  X(PC, 0x58, "PC", gas::kBase, 0, 1, 0)                                   \
+  X(MSIZE, 0x59, "MSIZE", gas::kBase, 0, 1, 0)                             \
+  X(GAS, 0x5a, "GAS", gas::kBase, 0, 1, kOpFlagTerminator)                 \
+  X(JUMPDEST, 0x5b, "JUMPDEST", gas::kJumpdest, 0, 0, 0)                   \
+  X(PUSH0, 0x5f, "PUSH0", gas::kBase, 0, 1, 0)                             \
+  X(PUSH1, 0x60, "PUSH", gas::kVeryLow, 0, 1, 0)                           \
+  X(PUSH32, 0x7f, "PUSH", gas::kVeryLow, 0, 1, 0)                          \
+  X(DUP1, 0x80, "DUP", gas::kVeryLow, 1, 1, 0)                             \
+  X(DUP2, 0x81, "DUP", gas::kVeryLow, 2, 1, 0)                             \
+  X(DUP3, 0x82, "DUP", gas::kVeryLow, 3, 1, 0)                             \
+  X(DUP4, 0x83, "DUP", gas::kVeryLow, 4, 1, 0)                             \
+  X(DUP5, 0x84, "DUP", gas::kVeryLow, 5, 1, 0)                             \
+  X(DUP6, 0x85, "DUP", gas::kVeryLow, 6, 1, 0)                             \
+  X(DUP7, 0x86, "DUP", gas::kVeryLow, 7, 1, 0)                             \
+  X(DUP8, 0x87, "DUP", gas::kVeryLow, 8, 1, 0)                             \
+  X(DUP16, 0x8f, "DUP", gas::kVeryLow, 16, 1, 0)                           \
+  X(SWAP1, 0x90, "SWAP", gas::kVeryLow, 2, 0, 0)                           \
+  X(SWAP2, 0x91, "SWAP", gas::kVeryLow, 3, 0, 0)                           \
+  X(SWAP3, 0x92, "SWAP", gas::kVeryLow, 4, 0, 0)                           \
+  X(SWAP4, 0x93, "SWAP", gas::kVeryLow, 5, 0, 0)                           \
+  X(SWAP5, 0x94, "SWAP", gas::kVeryLow, 6, 0, 0)                           \
+  X(SWAP6, 0x95, "SWAP", gas::kVeryLow, 7, 0, 0)                           \
+  X(SWAP7, 0x96, "SWAP", gas::kVeryLow, 8, 0, 0)                           \
+  X(SWAP8, 0x97, "SWAP", gas::kVeryLow, 9, 0, 0)                           \
+  X(SWAP16, 0x9f, "SWAP", gas::kVeryLow, 17, 0, 0)                         \
+  X(LOG0, 0xa0, "LOG0", gas::kLog, 2, -2, 0)                               \
+  X(LOG1, 0xa1, "LOG1", gas::kLog + gas::kLogTopic, 3, -3, 0)              \
+  X(LOG2, 0xa2, "LOG2", gas::kLog + 2 * gas::kLogTopic, 4, -4, 0)          \
+  X(LOG3, 0xa3, "LOG3", gas::kLog + 3 * gas::kLogTopic, 5, -5, 0)          \
+  X(LOG4, 0xa4, "LOG4", gas::kLog + 4 * gas::kLogTopic, 6, -6, 0)          \
+  X(CALL, 0xf1, "CALL", 0, 7, -6, kOpFlagTerminator)                       \
+  X(RETURN, 0xf3, "RETURN", 0, 2, -2, kOpFlagTerminator)                   \
+  X(DELEGATECALL, 0xf4, "DELEGATECALL", 0, 6, -5, kOpFlagTerminator)       \
+  X(STATICCALL, 0xfa, "STATICCALL", 0, 6, -5, kOpFlagTerminator)           \
+  X(REVERT, 0xfd, "REVERT", 0, 2, -2, kOpFlagTerminator)                   \
+  X(INVALID, 0xfe, "INVALID", 0, 0, 0, kOpFlagTerminator)
+
 enum class Op : std::uint8_t {
-  STOP = 0x00,
-  ADD = 0x01,
-  MUL = 0x02,
-  SUB = 0x03,
-  DIV = 0x04,
-  SDIV = 0x05,
-  MOD = 0x06,
-  SMOD = 0x07,
-  ADDMOD = 0x08,
-  MULMOD = 0x09,
-  EXP = 0x0a,
-  SIGNEXTEND = 0x0b,
-
-  LT = 0x10,
-  GT = 0x11,
-  SLT = 0x12,
-  SGT = 0x13,
-  EQ = 0x14,
-  ISZERO = 0x15,
-  AND = 0x16,
-  OR = 0x17,
-  XOR = 0x18,
-  NOT = 0x19,
-  BYTE = 0x1a,
-  SHL = 0x1b,
-  SHR = 0x1c,
-  SAR = 0x1d,
-
-  SHA3 = 0x20,
-
-  ADDRESS = 0x30,
-  BALANCE = 0x31,
-  ORIGIN = 0x32,
-  CALLER = 0x33,
-  CALLVALUE = 0x34,
-  CALLDATALOAD = 0x35,
-  CALLDATASIZE = 0x36,
-  CALLDATACOPY = 0x37,
-  CODESIZE = 0x38,
-  CODECOPY = 0x39,
-  GASPRICE = 0x3a,
-  EXTCODESIZE = 0x3b,
-  RETURNDATASIZE = 0x3d,
-  RETURNDATACOPY = 0x3e,
-  EXTCODEHASH = 0x3f,
-
-  COINBASE = 0x41,
-  TIMESTAMP = 0x42,
-  NUMBER = 0x43,
-  PREVRANDAO = 0x44,
-  GASLIMIT = 0x45,
-  CHAINID = 0x46,
-  SELFBALANCE = 0x47,
-
-  POP = 0x50,
-  MLOAD = 0x51,
-  MSTORE = 0x52,
-  MSTORE8 = 0x53,
-  SLOAD = 0x54,
-  SSTORE = 0x55,
-  JUMP = 0x56,
-  JUMPI = 0x57,
-  PC = 0x58,
-  MSIZE = 0x59,
-  GAS = 0x5a,
-  JUMPDEST = 0x5b,
-
-  PUSH0 = 0x5f,
-  PUSH1 = 0x60,
-  // PUSH2..PUSH32 are 0x61..0x7f
-  PUSH32 = 0x7f,
-  DUP1 = 0x80,
-  DUP2 = 0x81,
-  DUP3 = 0x82,
-  DUP4 = 0x83,
-  DUP5 = 0x84,
-  DUP6 = 0x85,
-  DUP7 = 0x86,
-  DUP8 = 0x87,
-  DUP16 = 0x8f,
-  SWAP1 = 0x90,
-  SWAP2 = 0x91,
-  SWAP3 = 0x92,
-  SWAP4 = 0x93,
-  SWAP5 = 0x94,
-  SWAP6 = 0x95,
-  SWAP7 = 0x96,
-  SWAP8 = 0x97,
-  SWAP16 = 0x9f,
-
-  LOG0 = 0xa0,
-  LOG1 = 0xa1,
-  LOG2 = 0xa2,
-  LOG3 = 0xa3,
-  LOG4 = 0xa4,
-
-  CALL = 0xf1,
-  RETURN = 0xf3,
-  DELEGATECALL = 0xf4,
-  STATICCALL = 0xfa,
-  REVERT = 0xfd,
-  INVALID = 0xfe,
+#define BP_OPCODE_ENUM(ID, VALUE, NAME, GAS, REQ, NET, FLAGS) ID = VALUE,
+  BP_OPCODE_TABLE(BP_OPCODE_ENUM)
+#undef BP_OPCODE_ENUM
 };
 
 /// Mnemonic for diagnostics and the disassembler; "UNKNOWN" for gaps.
@@ -127,5 +150,62 @@ constexpr bool is_push(std::uint8_t opcode, std::size_t& n) noexcept {
   }
   return false;
 }
+
+/// Static per-opcode execution facts the analysis pre-pass consumes.
+struct OpTraits {
+  /// Statically-known portion of the op's first gas charge (pre-summable).
+  std::uint32_t static_gas = 0;
+  /// Operands the op requires on the stack.
+  std::uint8_t stack_required = 0;
+  /// Stack-height delta (pushes minus pops).
+  std::int8_t stack_net = 0;
+  /// Ends a basic block (see kOpFlagTerminator).
+  bool terminator = true;  // unknown opcodes fail, so they end blocks too
+  /// Valid encoding (false for gaps, which execute as INVALID).
+  bool known = false;
+};
+
+namespace detail {
+constexpr std::array<OpTraits, 256> make_op_traits() {
+  std::array<OpTraits, 256> t{};
+#define BP_OPCODE_TRAIT(ID, VALUE, NAME, GAS, REQ, NET, FLAGS)          \
+  t[VALUE] = OpTraits{static_cast<std::uint32_t>(GAS),                  \
+                      static_cast<std::uint8_t>(REQ),                   \
+                      static_cast<std::int8_t>(NET),                    \
+                      ((FLAGS) & kOpFlagTerminator) != 0, true};
+  BP_OPCODE_TABLE(BP_OPCODE_TRAIT)
+#undef BP_OPCODE_TRAIT
+  // Range members without enum names (same traits as their named peers).
+  for (unsigned op = 0x60; op <= 0x7f; ++op)  // PUSH1..PUSH32
+    t[op] = OpTraits{gas::kVeryLow, 0, 1, false, true};
+  for (unsigned op = 0x80; op <= 0x8f; ++op)  // DUP1..DUP16
+    t[op] = OpTraits{gas::kVeryLow, static_cast<std::uint8_t>(op - 0x80 + 1),
+                     1, false, true};
+  for (unsigned op = 0x90; op <= 0x9f; ++op)  // SWAP1..SWAP16
+    t[op] = OpTraits{gas::kVeryLow, static_cast<std::uint8_t>(op - 0x90 + 2),
+                     0, false, true};
+  for (unsigned op = 0xa0; op <= 0xa4; ++op)  // LOG0..LOG4
+    t[op] = OpTraits{
+        static_cast<std::uint32_t>(gas::kLog + (op - 0xa0) * gas::kLogTopic),
+        static_cast<std::uint8_t>(2 + (op - 0xa0)),
+        static_cast<std::int8_t>(-static_cast<int>(2 + (op - 0xa0))), false,
+        true};
+  return t;
+}
+}  // namespace detail
+
+inline constexpr std::array<OpTraits, 256> kOpTraits = detail::make_op_traits();
+
+// Spot checks that the macro rows and the range fills agree.
+static_assert(kOpTraits[0x01].static_gas == gas::kVeryLow);   // ADD
+static_assert(kOpTraits[0x55].static_gas == gas::kSstore);    // SSTORE
+static_assert(kOpTraits[0x84].stack_required == 5);           // DUP5
+static_assert(kOpTraits[0x96].stack_required == 8);           // SWAP7
+static_assert(kOpTraits[0x69].stack_net == 1);                // PUSH10
+static_assert(kOpTraits[0xa3].static_gas == 1500);            // LOG3
+static_assert(kOpTraits[0xa3].stack_net == -5);               // LOG3
+static_assert(kOpTraits[0xf1].terminator && !kOpTraits[0xf1].static_gas);
+static_assert(!kOpTraits[0x3c].known);  // gap executes as INVALID
+static_assert(kOpTraits[0x5a].terminator);  // GAS observes gas_left
 
 }  // namespace blockpilot::evm

@@ -67,6 +67,8 @@ TxExecResult execute_transaction(state::ExecBuffer& buffer,
   ctx.origin = tx.from;
   ctx.gas_price = tx.gas_price;
   ctx.block = &block;
+  ctx.analysis_cache = block.analysis_cache;
+  ctx.use_reference_interpreter = block.use_reference_interpreter;
 
   const CallResult call = execute_call(buffer, ctx, msg);
 

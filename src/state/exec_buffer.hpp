@@ -48,6 +48,10 @@ class ExecBuffer final : public ReadView {
     return base_->code(addr);
   }
 
+  Hash256 code_hash(const Address& addr) const override {
+    return base_->code_hash(addr);
+  }
+
   /// Buffers a write (journaled for checkpoint rollback).
   void write(const StateKey& key, const U256& value);
 

@@ -22,6 +22,17 @@ class ReadView {
   /// immutable in this system (no CREATE in the workload), so it is not a
   /// conflict key.
   virtual std::shared_ptr<const Bytes> code(const Address& addr) const = 0;
+
+  /// keccak256 of the deployed bytecode, zero when the address has no (or
+  /// empty) code.  Keys the shared evm::CodeAnalysisCache, so it must
+  /// always equal keccak(code()) — WorldState-backed views serve the hash
+  /// stored at set_code time; this default recomputes for overlay views
+  /// that do not carry one.
+  virtual Hash256 code_hash(const Address& addr) const {
+    const auto c = code(addr);
+    return (c == nullptr || c->empty()) ? Hash256{}
+                                        : Hash256::of(std::span(*c));
+  }
 };
 
 /// Trivial adapter over a committed WorldState.
@@ -31,6 +42,9 @@ class WorldStateView final : public ReadView {
   U256 read(const StateKey& key) const override { return ws_.get(key); }
   std::shared_ptr<const Bytes> code(const Address& addr) const override {
     return ws_.code(addr);
+  }
+  Hash256 code_hash(const Address& addr) const override {
+    return ws_.code_hash(addr);
   }
 
  private:

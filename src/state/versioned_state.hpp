@@ -167,6 +167,9 @@ class SnapshotView final : public ReadView {
   std::shared_ptr<const Bytes> code(const Address& addr) const override {
     return vs_.base().code(addr);
   }
+  Hash256 code_hash(const Address& addr) const override {
+    return vs_.base().code_hash(addr);
+  }
 
   std::uint64_t version() const noexcept { return version_; }
 

@@ -171,8 +171,17 @@ std::shared_ptr<const Bytes> WorldState::code(const Address& addr) const {
 }
 
 void WorldState::set_code(const Address& addr, Bytes code) {
-  account(addr).code = std::make_shared<const Bytes>(std::move(code));
+  AccountData& acct = account(addr);
+  acct.code_hash =
+      code.empty() ? Hash256{} : Hash256::of(std::span(code));
+  acct.code = std::make_shared<const Bytes>(std::move(code));
   mark_dirty_account(addr);
+}
+
+Hash256 WorldState::code_hash(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return Hash256{};
+  return it->second.code_hash;
 }
 
 Hash256 storage_root_of(const std::unordered_map<U256, U256>& storage) {

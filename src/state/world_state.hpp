@@ -116,6 +116,9 @@ struct AccountData {
   U256 balance;
   std::uint64_t nonce = 0;
   std::shared_ptr<const Bytes> code;  // nullptr for externally-owned accounts
+  /// keccak(code), zero for code-less/empty accounts; computed once by
+  /// set_code so executors can key the CodeAnalysis cache without hashing.
+  Hash256 code_hash;
   std::unordered_map<U256, U256> storage;
   /// Shared storage-trie seed (see StorageSeed); copies of this state share
   /// the cell until one of them writes storage again.
@@ -162,8 +165,13 @@ class WorldState {
   /// Deployed bytecode for an address (nullptr when none).
   std::shared_ptr<const Bytes> code(const Address& addr) const;
 
-  /// Installs contract bytecode (workload genesis / deployment).
+  /// Installs contract bytecode (workload genesis / deployment) and
+  /// memoizes its keccak hash.
   void set_code(const Address& addr, Bytes code);
+
+  /// keccak of the deployed bytecode (memoized at set_code time); the zero
+  /// hash when the address has no or empty code.
+  Hash256 code_hash(const Address& addr) const;
 
   bool account_exists(const Address& addr) const {
     return accounts_.contains(addr);

@@ -1,6 +1,7 @@
 #include "types/u256.hpp"
 
 #include <bit>
+#include <cstring>
 
 #include "support/assert.hpp"
 
@@ -85,21 +86,25 @@ U256 wide_mod(Wide value, const U256& m) noexcept {
 
 U256 U256::from_be_bytes(std::span<const std::uint8_t> bytes) noexcept {
   BP_ASSERT(bytes.size() <= 32);
+  // Right-align the input (a short span is the big-endian suffix), then
+  // assemble whole limbs with byte swaps — the EVM memory ops call this on
+  // every MLOAD, so the old shift-per-byte loop was a hot-path tax.
+  std::array<std::uint8_t, 32> buf{};
+  std::memcpy(buf.data() + (32 - bytes.size()), bytes.data(), bytes.size());
   U256 v;
-  for (std::uint8_t b : bytes) {
-    v = v.shl(8);
-    v.limbs_[0] |= b;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, buf.data() + (3 - i) * 8, 8);
+    v.limbs_[i] = __builtin_bswap64(w);
   }
   return v;
 }
 
 std::array<std::uint8_t, 32> U256::to_be_bytes() const noexcept {
-  std::array<std::uint8_t, 32> out{};
-  for (std::size_t i = 0; i < 32; ++i) {
-    const std::size_t limb_idx = (31 - i) / 8;
-    const std::size_t byte_idx = (31 - i) % 8;
-    out[i] =
-        static_cast<std::uint8_t>(limbs_[limb_idx] >> (8 * byte_idx));
+  std::array<std::uint8_t, 32> out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t w = __builtin_bswap64(limbs_[3 - i]);
+    std::memcpy(out.data() + i * 8, &w, 8);
   }
   return out;
 }

@@ -1,0 +1,320 @@
+// CodeAnalysis + CodeAnalysisCache unit, regression and concurrency tests.
+//
+// The regression half pins the fix for the old per-frame rederivation bug:
+// before the cache, every call frame re-ran the jumpdest scan, so a
+// transaction making N inner CALLs to one contract analyzed the same code
+// N+1 times.  analysis_build_count() must now rise exactly once per
+// distinct code hash per cache, no matter how many frames execute it.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "evm/assembler.hpp"
+#include "evm/code_analysis.hpp"
+#include "evm/gas.hpp"
+#include "evm/interpreter.hpp"
+#include "state/exec_buffer.hpp"
+#include "state/read_view.hpp"
+#include "support/rng.hpp"
+
+namespace blockpilot::evm {
+namespace {
+
+using state::ExecBuffer;
+using state::StateKey;
+using state::WorldState;
+using state::WorldStateView;
+
+Bytes bytes_of(std::initializer_list<int> xs) {
+  Bytes out;
+  for (int x : xs) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+std::shared_ptr<const CodeAnalysis> analyze(const Bytes& code) {
+  return analyze_code(std::span(code), Hash256::of(std::span(code)));
+}
+
+// ---------------------------------------------------------------------------
+// Analysis structure
+// ---------------------------------------------------------------------------
+
+TEST(CodeAnalysis, JumpdestBitmapSkipsPushImmediates) {
+  // PUSH1 0x5b; JUMPDEST; STOP — the immediate 0x5b at pc 1 is data.
+  const Bytes code = bytes_of({0x60, 0x5b, 0x5b, 0x00});
+  const auto an = analyze(code);
+  EXPECT_FALSE(an->is_jumpdest(0));
+  EXPECT_FALSE(an->is_jumpdest(1));  // PUSH immediate, not an instruction
+  EXPECT_TRUE(an->is_jumpdest(2));
+  EXPECT_FALSE(an->is_jumpdest(3));
+  EXPECT_FALSE(an->is_jumpdest(4));   // out of range
+  EXPECT_FALSE(an->is_jumpdest(~0ull));
+}
+
+TEST(CodeAnalysis, PushImmediatesPredecoded) {
+  Assembler a;
+  a.push(U256{0xdeadbeefull}).push(U256{7}).op(Op::ADD).op(Op::STOP);
+  const Bytes code = a.assemble();
+  const auto an = analyze(code);
+  ASSERT_EQ(an->immediates.size(), 2u);
+  EXPECT_EQ(an->immediates[an->imm_index[0]], U256{0xdeadbeefull});
+}
+
+TEST(CodeAnalysis, TruncatedPushDecodesLikeInterpreter) {
+  // PUSH3 with only one immediate byte present: the interpreter assembles
+  // the value from the declared width with missing bytes as zero — 0xAB
+  // lands in the high byte of a 3-byte field: 0xAB0000.
+  const Bytes code = bytes_of({0x62, 0xAB});
+  const auto an = analyze(code);
+  ASSERT_EQ(an->immediates.size(), 1u);
+  EXPECT_EQ(an->immediates[an->imm_index[0]], U256{0xAB0000u});
+}
+
+TEST(CodeAnalysis, BlocksSplitAtJumpdestAndTerminators) {
+  // ADD-block | JUMPDEST-block | after-JUMP block.
+  //   pc 0: PUSH1 1, pc 2: PUSH1 2, pc 4: ADD, pc 5: STOP   <- block 1
+  //   pc 6: JUMPDEST, pc 7: STOP                             <- block 2
+  const Bytes code = bytes_of({0x60, 1, 0x60, 2, 0x01, 0x00, 0x5b, 0x00});
+  const auto an = analyze(code);
+  ASSERT_EQ(an->blocks.size(), 2u);
+  EXPECT_NE(an->block_at[0], 0u);
+  EXPECT_EQ(an->block_at[2], 0u);  // mid-block
+  EXPECT_EQ(an->block_at[4], 0u);
+  EXPECT_NE(an->block_at[6], 0u);  // JUMPDEST entry
+
+  const auto& b0 = an->blocks[an->block_at[0] - 1];
+  EXPECT_EQ(b0.static_gas, 2 * gas::kVeryLow + gas::kVeryLow + 0);  // 2 PUSH + ADD + STOP
+  EXPECT_EQ(b0.stack_required, 0u);
+  EXPECT_EQ(b0.stack_max_growth, 2u);
+
+  const auto& b1 = an->blocks[an->block_at[6] - 1];
+  EXPECT_EQ(b1.static_gas, gas::kJumpdest);
+}
+
+TEST(CodeAnalysis, StackRequiredTracksDeepestOperandReach) {
+  // SWAP2 needs 3 operands; following ADD consumes two and nets -1.
+  const Bytes code = bytes_of({0x91, 0x01, 0x00});  // SWAP2 ADD STOP
+  const auto an = analyze(code);
+  ASSERT_EQ(an->blocks.size(), 1u);
+  EXPECT_EQ(an->blocks[0].stack_required, 3u);
+  EXPECT_EQ(an->blocks[0].stack_max_growth, 0u);
+}
+
+TEST(CodeAnalysis, TrailingGasIsSuffixSumWithinBlock) {
+  // PUSH1 a (3), PUSH1 b (3), ADD (3), STOP (0).
+  const Bytes code = bytes_of({0x60, 1, 0x60, 2, 0x01, 0x00});
+  const auto an = analyze(code);
+  EXPECT_EQ(an->trailing_gas[0], 2 * gas::kVeryLow);  // ADD + PUSH after pc 0
+  EXPECT_EQ(an->trailing_gas[2], gas::kVeryLow);      // just ADD
+  EXPECT_EQ(an->trailing_gas[4], 0u);                 // ADD is last-charged
+  EXPECT_EQ(an->trailing_gas[5], 0u);                 // STOP terminator
+}
+
+TEST(CodeAnalysis, GasAndCallFamilyTerminateBlocks) {
+  // GAS observes gas_left, so nothing may be pre-charged past it.
+  const Bytes code = bytes_of({0x5a, 0x60, 1, 0x00});  // GAS PUSH1 STOP
+  const auto an = analyze(code);
+  ASSERT_EQ(an->blocks.size(), 2u);
+  EXPECT_NE(an->block_at[0], 0u);
+  EXPECT_NE(an->block_at[1], 0u);  // block starts right after GAS
+  EXPECT_EQ(an->trailing_gas[0], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache behavior
+// ---------------------------------------------------------------------------
+
+TEST(CodeAnalysisCache, HitMissAndInvalidate) {
+  CodeAnalysisCache cache;
+  const Bytes code = bytes_of({0x60, 1, 0x00});
+  const Hash256 h = Hash256::of(std::span(code));
+
+  const auto a1 = cache.get(h, std::span(code));
+  const auto a2 = cache.get(h, std::span(code));
+  EXPECT_EQ(a1.get(), a2.get());  // shared, not rebuilt
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+
+  cache.invalidate(h);
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.invalidations, 1u);
+
+  const auto a3 = cache.get(h, std::span(code));
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_TRUE(a3 != nullptr);
+}
+
+TEST(CodeAnalysisCache, EvictsOldestWhenOverCapacity) {
+  CodeAnalysisCache cache(/*capacity_bytes=*/4096);  // 512 B per shard
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 64; ++i) {
+    Bytes code(64, 0);
+    for (auto& b : code) b = static_cast<std::uint8_t>(rng.below(256));
+    cache.get(Hash256::of(std::span(code)), std::span(code));
+  }
+  const auto s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LT(s.entries, 64u);
+  // Each shard retains at least its newest entry.
+  EXPECT_GE(s.entries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: one analysis per code hash per process, not per frame
+// ---------------------------------------------------------------------------
+
+TEST(CodeAnalysisCache, InnerCallFramesShareOneAnalysis) {
+  WorldState ws;
+  const Address caller = Address::from_id(1);
+  const Address outer = Address::from_id(2);
+  const Address inner = Address::from_id(3);
+  ws.set(StateKey::balance(caller), U256{1'000'000});
+
+  // inner: SSTORE(0, 1); STOP
+  Assembler bi;
+  bi.push(1).push(0).op(Op::SSTORE).op(Op::STOP);
+  ws.set_code(inner, bi.assemble());
+
+  // outer: CALL(inner) x4, POP each success flag, STOP.
+  Assembler bo;
+  for (int i = 0; i < 4; ++i) {
+    bo.push(0).push(0).push(0).push(0).push(0);  // out_len..in_off, value
+    bo.push(inner).push(50'000).op(Op::CALL).op(Op::POP);
+  }
+  bo.op(Op::STOP);
+  ws.set_code(outer, bo.assemble());
+
+  CodeAnalysisCache cache;
+  BlockContext block;
+  block.coinbase = Address::from_id(0xFEE);
+  block.analysis_cache = &cache;
+
+  const std::uint64_t before = analysis_build_count();
+  for (int run = 0; run < 3; ++run) {  // repeated transactions, same cache
+    const WorldStateView view(ws);
+    ExecBuffer buffer(view);
+    TxContext tx;
+    tx.origin = caller;
+    tx.gas_price = U256{1};
+    tx.block = &block;
+    tx.analysis_cache = &cache;
+
+    Message msg;
+    msg.caller = caller;
+    msg.to = outer;
+    msg.gas = 1'000'000;
+    const CallResult r = execute_call(buffer, tx, msg);
+    ASSERT_EQ(static_cast<int>(r.status),
+              static_cast<int>(Status::kSuccess));
+  }
+
+  // 3 transactions x (1 outer frame + 4 inner frames) executed, but only
+  // two distinct codes exist: exactly two analyses built, ever.
+  EXPECT_EQ(analysis_build_count() - before, 2u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.builds, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 3u * 5u - 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: one shared cache hammered from 8 executors with concurrent
+// invalidation (runs under the tsan-evm preset).
+// ---------------------------------------------------------------------------
+
+TEST(CodeAnalysisCache, ConcurrentGetAndInvalidate) {
+  CodeAnalysisCache cache(/*capacity_bytes=*/64 << 10);  // force evictions too
+
+  // A pool of distinct codes (distinct first PUSH immediate => distinct
+  // hashes) shared by all threads.
+  struct Entry {
+    Bytes code;
+    Hash256 hash;
+  };
+  std::vector<Entry> pool;
+  for (int i = 0; i < 32; ++i) {
+    Assembler a;
+    a.push(U256{static_cast<std::uint64_t>(i) + 1}).push(0).op(Op::SSTORE);
+    a.op(Op::STOP);
+    Entry e;
+    e.code = a.assemble();
+    e.hash = Hash256::of(std::span(e.code));
+    pool.push_back(std::move(e));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const Entry& e = pool[rng.below(pool.size())];
+        if (rng.below(16) == 0) {
+          // set_code-style redeployment hygiene racing the readers.
+          cache.invalidate(e.hash);
+        } else {
+          const auto an = cache.get(e.hash, std::span(e.code));
+          ASSERT_TRUE(an != nullptr);
+          // The returned analysis must be internally consistent even if
+          // the entry is concurrently invalidated (shared_ptr pins it).
+          ASSERT_EQ(an->code_size, e.code.size());
+          ASSERT_FALSE(an->blocks.empty());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = cache.stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GE(s.builds, s.entries);  // every resident entry was built here
+  EXPECT_LE(s.entries, pool.size());
+}
+
+// ---------------------------------------------------------------------------
+// Executor-level: a private cache wired through SerialOptions-style
+// BlockContext reaches the interpreter (global cache untouched).
+// ---------------------------------------------------------------------------
+
+TEST(CodeAnalysisCache, BlockContextKnobRoutesToPrivateCache) {
+  WorldState ws;
+  const Address contract = Address::from_id(5);
+  Assembler a;
+  a.push(3).push(4).op(Op::ADD).push(0).op(Op::MSTORE);
+  a.push(0x20).push(0).op(Op::RETURN);
+  ws.set_code(contract, a.assemble());
+
+  CodeAnalysisCache cache;
+  BlockContext block;
+  block.coinbase = Address::from_id(0xFEE);
+  block.analysis_cache = &cache;
+
+  const WorldStateView view(ws);
+  ExecBuffer buffer(view);
+  TxContext tx;
+  tx.origin = Address::from_id(1);
+  tx.gas_price = U256{1};
+  tx.block = &block;
+  tx.analysis_cache = &cache;
+
+  Message msg;
+  msg.caller = tx.origin;
+  msg.to = contract;
+  msg.gas = 100'000;
+  const CallResult r = execute_call(buffer, tx, msg);
+  ASSERT_EQ(static_cast<int>(r.status), static_cast<int>(Status::kSuccess));
+  EXPECT_EQ(U256::from_be_bytes(std::span(r.output)), U256{7});
+  EXPECT_EQ(cache.stats().misses, 1u);  // resolved through *this* cache
+}
+
+}  // namespace
+}  // namespace blockpilot::evm

@@ -130,5 +130,190 @@ TEST_P(EvmDiffTest, ExpMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EvmDiffTest,
                          ::testing::Values(101u, 202u, 303u));
 
+// ---------------------------------------------------------------------------
+// Fast-vs-reference interpreter gate.  The analysis-driven dispatch must be
+// bit-identical to the frozen pre-analysis interpreter on every observable:
+// status, gas_left, output, logs and the buffer's write set — over the same
+// corpora test_evm_fuzz runs (uniform random bytes and structured SSTORE
+// programs).  Any divergence in block-level gas pre-charging, the mid-block
+// degrade path, or stack pre-checks shows up here as a gas or status skew.
+// ---------------------------------------------------------------------------
+
+struct Observed {
+  Status status;
+  std::uint64_t gas_left;
+  Bytes output;
+  std::vector<LogRecord> logs;
+  std::vector<std::pair<state::StateKey, U256>> writes;
+};
+
+bool same_logs(const std::vector<LogRecord>& a,
+               const std::vector<LogRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].address == b[i].address) || a[i].topics != b[i].topics ||
+        a[i].data != b[i].data)
+      return false;
+  }
+  return true;
+}
+
+bool same_writes(const std::vector<std::pair<state::StateKey, U256>>& a,
+                 const std::vector<std::pair<state::StateKey, U256>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].first == b[i].first) || a[i].second != b[i].second)
+      return false;
+  }
+  return true;
+}
+
+Observed run_once(const WorldState& ws, const BlockContext& block,
+                  const Message& msg, bool reference) {
+  const WorldStateView view(ws);
+  ExecBuffer buffer(view);
+  TxContext tx;
+  tx.origin = msg.caller;
+  tx.gas_price = U256{1};
+  tx.block = &block;
+  tx.use_reference_interpreter = reference;
+  const CallResult r = execute_call(buffer, tx, msg);
+  Observed o{r.status, r.gas_left, r.output, r.logs, buffer.write_set()};
+  return o;
+}
+
+void expect_identical(const WorldState& ws, const BlockContext& block,
+                      const Message& msg) {
+  const Observed ref = run_once(ws, block, msg, /*reference=*/true);
+  const Observed fast = run_once(ws, block, msg, /*reference=*/false);
+  ASSERT_EQ(static_cast<int>(fast.status), static_cast<int>(ref.status));
+  ASSERT_EQ(fast.gas_left, ref.gas_left);
+  ASSERT_EQ(fast.output, ref.output);
+  ASSERT_TRUE(same_logs(fast.logs, ref.logs));
+  ASSERT_TRUE(same_writes(fast.writes, ref.writes));
+}
+
+class EvmInterpreterEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvmInterpreterEquivalence, RandomBytecodeBitIdentical) {
+  Xoshiro256 rng(GetParam());
+  WorldState ws;
+  const Address caller = Address::from_id(1);
+  const Address contract = Address::from_id(2);
+  ws.set(state::StateKey::balance(caller), U256{1'000'000});
+
+  BlockContext block;
+  block.coinbase = Address::from_id(0xFEE);
+
+  for (int iter = 0; iter < 300; ++iter) {
+    Bytes code(rng.below(200) + 1, 0);
+    for (auto& b : code) b = static_cast<std::uint8_t>(rng.below(256));
+    ws.set_code(contract, code);
+
+    Bytes calldata(rng.below(96), 0);
+    for (auto& b : calldata) b = static_cast<std::uint8_t>(rng.below(256));
+
+    Message msg;
+    msg.caller = caller;
+    msg.to = contract;
+    msg.value = U256{rng.below(100)};
+    msg.data = std::move(calldata);
+    msg.gas = 100'000;
+
+    expect_identical(ws, block, msg);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvmInterpreterEquivalence,
+                         ::testing::Values(0x5eedu, 0xfeedu, 0xbeefu,
+                                           0xcafeu, 12345u));
+
+class EvmInterpreterEquivalenceStructured
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvmInterpreterEquivalenceStructured, StorageProgramsBitIdentical) {
+  Xoshiro256 rng(GetParam());
+  WorldState ws;
+  const Address contract = Address::from_id(7);
+  BlockContext block;
+  block.coinbase = Address::from_id(0xFEE);
+
+  for (int iter = 0; iter < 100; ++iter) {
+    Bytes code;
+    const std::size_t ops = rng.below(20) + 1;
+    for (std::size_t i = 0; i < ops; ++i) {
+      code.push_back(0x60);  // PUSH1 value
+      code.push_back(static_cast<std::uint8_t>(rng.below(250) + 1));
+      code.push_back(0x60);  // PUSH1 slot
+      code.push_back(static_cast<std::uint8_t>(rng.below(4)));
+      code.push_back(0x55);  // SSTORE
+    }
+    code.push_back(0x00);  // STOP
+    ws.set_code(contract, code);
+
+    Message msg;
+    msg.caller = Address::from_id(1);
+    msg.to = contract;
+    msg.gas = 10'000'000;
+
+    expect_identical(ws, block, msg);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvmInterpreterEquivalenceStructured,
+                         ::testing::Values(1u, 2u, 3u));
+
+// Tight-budget sweep: the same program run at every gas budget from 0 up to
+// its full cost pins the degrade path (mid-block OOG points) exactly —
+// every budget must fail (or succeed) at the same point with the same
+// gas_left in both interpreters.
+TEST(EvmInterpreterEquivalence, GasBudgetSweepBitIdentical) {
+  WorldState ws;
+  const Address contract = Address::from_id(9);
+  BlockContext block;
+  block.coinbase = Address::from_id(0xFEE);
+
+  // Memory expansion + SHA3 + storage + a loop: plenty of dynamic charges
+  // landing mid-block.
+  Assembler a;
+  a.push(5).push(0).op(Op::MSTORE);                 // mem[0] = 5
+  const std::string loop = "loop";
+  a.label(loop);
+  a.push(0).op(Op::MLOAD);                          // counter
+  a.op(Op::ISZERO);
+  a.push_label("done").op(Op::JUMPI);
+  a.push(64).push(0).op(Op::SHA3);                  // dynamic word cost
+  a.push(0).op(Op::SSTORE);                         // storage write
+  a.push(1).push(0).op(Op::MLOAD).op(Op::SUB);      // counter - 1
+  a.push(0).op(Op::MSTORE);
+  a.push_label(loop).op(Op::JUMP);
+  a.label("done");
+  a.push(0x20).push(0).op(Op::RETURN);
+  ws.set_code(contract, a.assemble());
+
+  Message msg;
+  msg.caller = Address::from_id(1);
+  msg.to = contract;
+
+  // Full-budget run to learn the true cost, then sweep every budget below.
+  msg.gas = 1'000'000;
+  const Observed full = run_once(ws, block, msg, /*reference=*/true);
+  ASSERT_EQ(static_cast<int>(full.status),
+            static_cast<int>(Status::kSuccess));
+  const std::uint64_t cost = msg.gas - full.gas_left;
+
+  for (std::uint64_t budget = 0; budget <= cost + 2; ++budget) {
+    msg.gas = budget;
+    expect_identical(ws, block, msg);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "diverged at gas budget " << budget;
+      return;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace blockpilot::evm
