@@ -130,6 +130,34 @@ int main() {
     loss.push_back(std::move(r));
   }
 
+  // --- Engine compare: the same consensus loop with the proposer running
+  // Block-STM instead of OCC-WSI (both virtual-time twins — the sim's
+  // internal worker pool is sized for the DES engines).  The engines
+  // serialize conflicts differently, so blocks legitimately differ; the
+  // gate is per-run safety and full settlement, not cross-engine root
+  // equality (that exactness lives in bench_versioned_state's regime map).
+  const blockpilot::core::ScheduleMode kEngineModes[] = {
+      blockpilot::core::ScheduleMode::kVirtualTime,
+      blockpilot::core::ScheduleMode::kBlockStm};
+  const char* kEngineNames[] = {"occ-wsi", "block-stm"};
+  std::vector<ConsensusSimResult> engines;
+  for (const auto mode : kEngineModes) {
+    ConsensusSimConfig cfg = base;
+    cfg.speculation_depth = 2;
+    cfg.commit_gas_per_us = cal_gas_per_us;
+    cfg.proposer_mode = mode;
+    ConsensusSimResult r = ConsensusSim(cfg).run();
+    if (!r.safety_held) {
+      std::printf("FATAL: safety violation under %s proposer: %s\n",
+                  kEngineNames[engines.size()], r.violation.c_str());
+      return 1;
+    }
+    engines.push_back(std::move(r));
+  }
+  bool engines_settled = true;
+  for (const auto& r : engines)
+    if (r.settled_height != base.rounds) engines_settled = false;
+
   std::printf("\n%-14s %16s %16s %14s %14s %12s\n", "mode",
               "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "stall(ms)",
               "tx/s");
@@ -145,6 +173,15 @@ int main() {
                 sweep[i].avg_round_latency_ms(),
                 sweep[i].makespan_us / 1000.0,
                 sweep[i].settle_stall_us / 1000.0, tx_per_s(sweep[i]));
+  }
+
+  std::printf("\n%-14s %16s %16s %14s %12s\n", "engine",
+              "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "tx/s");
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    std::printf("%-14s %16.2f %16.2f %14.2f %12.0f\n", kEngineNames[i],
+                engines[i].avg_settle_latency_ms(),
+                engines[i].avg_round_latency_ms(),
+                engines[i].makespan_us / 1000.0, tx_per_s(engines[i]));
   }
 
   std::printf("\n%-14s %16s %12s %12s %12s %12s\n", "loss", "settle-lat(ms)",
@@ -227,6 +264,22 @@ int main() {
                  i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"engine_compare\": [\n");
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const auto& r = engines[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"depth\": 2, "
+                 "\"settle_latency_ms\": %.4f, \"round_latency_ms\": %.4f, "
+                 "\"makespan_ms\": %.4f, \"throughput_tx_s\": %.1f, "
+                 "\"settled_height\": %llu}%s\n",
+                 kEngineNames[i], r.avg_settle_latency_ms(),
+                 r.avg_round_latency_ms(), r.makespan_us / 1000.0,
+                 tx_per_s(r), (unsigned long long)r.settled_height,
+                 i + 1 < engines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"engine_compare_settled\": %s,\n",
+               engines_settled ? "true" : "false");
   std::fprintf(f, "  \"loss_sweep\": [\n");
   for (std::size_t i = 0; i < loss.size(); ++i) {
     const auto& r = loss[i];
@@ -265,6 +318,10 @@ int main() {
   }
   if (!loss_liveness) {
     std::printf("FAIL: quorum liveness lost within the 20%% loss sweep\n");
+    return 1;
+  }
+  if (!engines_settled) {
+    std::printf("FAIL: an engine-compare run did not settle the full chain\n");
     return 1;
   }
   std::printf(

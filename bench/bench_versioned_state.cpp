@@ -11,7 +11,11 @@
 //     against the pre-change numbers measured on this host;
 //  5. differential gate: virtual-time proposer blocks at 1..16 threads must
 //     be bit-identical (state root, tx root = block order, abort count) to
-//     the pre-change implementation's captured output.
+//     the pre-change implementation's captured output;
+//  6. engine regime map: OCC-WSI vs Block-STM virtual speedup at 8 threads
+//     over the workload's largest-subgraph ratio, with cross-engine
+//     exactness flags (OCC serializable; Block-STM bit-identical to the
+//     serial pop-order oracle) gated in --smoke.
 //
 // Usage:
 //   bench_versioned_state            # full run, prints JSON to stdout
@@ -474,6 +478,123 @@ bool run_differential(bool smoke, std::string& detail) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Regime map: OCC-WSI vs Block-STM virtual speedup over the workload's
+// conflict structure (largest dependency subgraph as a fraction of the
+// block).  OCC pays a serialized commit section but re-orders around
+// conflicts; Block-STM pins the preset order and pays re-executions — the
+// crossover between the two engines is the map this phase publishes.
+// Every point also carries the cross-engine exactness flags the CI smoke
+// gates on: the OCC block must replay serially to its own root, and the
+// Block-STM block must be bit-identical (txs, state root, receipts) to the
+// serial execution of its candidates in pool pop order.
+
+struct RegimePoint {
+  std::string name;
+  double subgraph_ratio = 0;
+  double occ_speedup = 0;
+  double stm_speedup = 0;
+  std::uint64_t occ_aborts = 0;
+  std::uint64_t stm_aborts = 0;
+  bool occ_serializable = true;
+  bool stm_exact = true;
+};
+
+RegimePoint run_regime_point(const char* name,
+                             const workload::WorkloadConfig& preset,
+                             int blocks) {
+  workload::WorkloadConfig wc = preset;
+  wc.seed = 0x4E61;
+  workload::WorkloadGenerator gen(wc);
+  const WorldState genesis = gen.genesis();
+  ThreadPool workers(1);
+
+  RegimePoint pt;
+  pt.name = name;
+  double ratio_sum = 0, occ_sum = 0, stm_sum = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const std::uint64_t height = static_cast<std::uint64_t>(b) + 1;
+    const std::vector<chain::Transaction> batch = gen.next_block();
+    core::ProposerConfig pcfg;  // defaults = the engines' selection budget
+
+    // Serial pop-order oracle (mirrors Block-STM candidate selection:
+    // reserve by gas_limit) + the batch's conflict structure.
+    std::vector<chain::Transaction> pop_order;
+    {
+      txpool::TxPool pool;
+      pool.add_all(batch);
+      std::uint64_t reserved = 0;
+      while (auto tx = pool.pop()) {
+        if (reserved + tx->gas_limit > pcfg.block_gas_limit) break;
+        reserved += tx->gas_limit;
+        pop_order.push_back(std::move(*tx));
+      }
+    }
+    core::SerialOptions sopts;
+    sopts.block_gas_limit = pcfg.block_gas_limit;
+    const core::SerialResult oracle = core::execute_serial(
+        genesis, ctx_for(height), std::span(pop_order), sopts);
+    const sched::DependencyGraph graph = sched::build_dependency_graph(
+        oracle.exec.profile, sched::Granularity::kAccount);
+    ratio_sum += graph.largest_subgraph_ratio();
+
+    const auto propose = [&](core::ScheduleMode mode) {
+      txpool::TxPool pool;
+      pool.add_all(batch);
+      core::ProposerConfig cfg;
+      cfg.mode = mode;
+      cfg.threads = 8;
+      core::BlockProposer proposer(cfg);
+      core::ProposedBlock blk =
+          proposer.propose(genesis, ctx_for(height), pool, workers);
+      blk.await_seal();
+      return blk;
+    };
+    const core::ProposedBlock occ = propose(core::ScheduleMode::kVirtualTime);
+    const core::ProposedBlock stm = propose(core::ScheduleMode::kBlockStm);
+    occ_sum += occ.stats.virtual_speedup();
+    stm_sum += stm.stats.virtual_speedup();
+    pt.occ_aborts += occ.stats.aborts;
+    pt.stm_aborts += stm.stats.aborts;
+
+    // OCC serializability: its block replayed in block order reaches the
+    // same root.
+    core::SerialOptions ropts;
+    ropts.drop_unincludable = false;
+    const core::SerialResult replay = core::execute_serial(
+        genesis, ctx_for(height), std::span(occ.block.transactions), ropts);
+    if (!replay.ok || replay.exec.state_root != occ.block.header.state_root)
+      pt.occ_serializable = false;
+
+    // Block-STM exactness: bit-identical to the pop-order oracle.
+    if (stm.block.transactions != oracle.included ||
+        stm.block.header.state_root != oracle.exec.state_root ||
+        stm.block.header.gas_used != oracle.exec.gas_used ||
+        chain::receipts_root(stm.receipts) !=
+            chain::receipts_root(oracle.exec.receipts))
+      pt.stm_exact = false;
+  }
+  pt.subgraph_ratio = ratio_sum / blocks;
+  pt.occ_speedup = occ_sum / blocks;
+  pt.stm_speedup = stm_sum / blocks;
+  return pt;
+}
+
+std::vector<RegimePoint> run_regime_map(bool smoke) {
+  workload::WorkloadConfig dex_heavy = workload::preset_mainnet();
+  dex_heavy.dex_fraction = 0.6;
+  dex_heavy.token_fraction = 0.3;
+  const int blocks = smoke ? 2 : 8;
+  return {
+      run_regime_point("low_conflict", workload::preset_low_conflict(),
+                       blocks),
+      run_regime_point("mainnet", workload::preset_mainnet(), blocks),
+      run_regime_point("mainnet_dex_heavy", dex_heavy, blocks),
+      run_regime_point("high_conflict", workload::preset_high_conflict(),
+                       blocks),
+  };
+}
+
 // Pre-change Fig. 6 numbers measured on this host (bench_fig6_proposer,
 // 30 blocks, preset_mainnet seed 0xF16) immediately before the rework.
 struct Fig6Before {
@@ -676,6 +797,32 @@ void run(bool smoke) {
               identical ? "true" : "false", smoke ? "{4}" : "{1,2,4,8,16}",
               detail.c_str());
 
+  // -- phase 6: engine regime map (OCC-WSI vs Block-STM, 8 threads) ------
+  const std::vector<RegimePoint> regime = run_regime_map(smoke);
+  bool regime_exact = true;
+  bool regime_nonzero = true;
+  std::printf("  \"regime_map\": {\"threads\": 8, \"x\": "
+              "\"largest_subgraph_ratio\", \"y\": \"virtual_speedup\", "
+              "\"points\": [\n");
+  for (std::size_t i = 0; i < regime.size(); ++i) {
+    const RegimePoint& p = regime[i];
+    regime_exact = regime_exact && p.occ_serializable && p.stm_exact;
+    regime_nonzero =
+        regime_nonzero && p.occ_speedup > 0.0 && p.stm_speedup > 0.0;
+    std::printf("    {\"workload\": \"%s\", \"largest_subgraph_ratio\": %.3f, "
+                "\"occ_wsi_speedup\": %.2f, \"block_stm_speedup\": %.2f, "
+                "\"occ_aborts\": %llu, \"stm_aborts\": %llu, "
+                "\"occ_serializable\": %s, "
+                "\"stm_matches_serial_pop_order\": %s}%s\n",
+                p.name.c_str(), p.subgraph_ratio, p.occ_speedup, p.stm_speedup,
+                static_cast<unsigned long long>(p.occ_aborts),
+                static_cast<unsigned long long>(p.stm_aborts),
+                p.occ_serializable ? "true" : "false",
+                p.stm_exact ? "true" : "false",
+                i + 1 < regime.size() ? "," : "");
+  }
+  std::printf("  ]},\n");
+
   // Acceptance metrics.  The executor hot-path op (snapshot read + WSI
   // validation of that key) is what the rework moved off locks.  Note on
   // thread counts: on a single-core host, >1 "threads" measures time-sliced
@@ -700,6 +847,15 @@ void run(bool smoke) {
   // Sentinels for the CI perf-smoke gate.
   if (!identical) {
     std::fprintf(stderr, "DIFFERENTIAL MISMATCH: %s\n", detail.c_str());
+    std::exit(1);
+  }
+  if (regime.size() < 4 || !regime_exact || !regime_nonzero) {
+    std::fprintf(stderr,
+                 "REGIME-MAP GATE: points=%zu exact=%d nonzero=%d (need >=4 "
+                 "points, every OCC block serializable, every Block-STM "
+                 "block bit-identical to its serial pop-order oracle, "
+                 "nonzero speedups)\n",
+                 regime.size(), regime_exact ? 1 : 0, regime_nonzero ? 1 : 0);
     std::exit(1);
   }
   if (hot_sharded_at_8 < hot_single_at_8 ||

@@ -11,6 +11,9 @@
 # run under ThreadSanitizer to catch races on the shared per-code-hash
 # analysis cache, and bench_evm --smoke gates fast-vs-reference
 # bit-identity plus cache hit-rate floors.
+# The stm-labeled suites (Block-STM scheduler, multi-version memory, the
+# cross-engine differential, and the host-threads hammer) run in the
+# default build and again under ThreadSanitizer (the tsan-stm preset).
 # The db-labeled crash/recovery suites additionally run under combined
 # ASan+UBSan (the asan-db preset), and every db gate is followed by a
 # tmpdir hygiene check: tests and benches must remove their page files.
@@ -48,11 +51,14 @@ if [[ "${1:-}" == "--tier1" ]]; then
   exit 0
 fi
 
-echo "==> perf-smoke: bench_versioned_state --smoke (sharded-store gates)"
+echo "==> perf-smoke: bench_versioned_state --smoke (sharded-store + engine gates)"
 # Fails on crash, on the regression sentinel (sharded store slower than the
-# embedded single-lock baseline), or on a differential mismatch (proposed
-# blocks not bit-identical to the pre-change capture).  Time-capped so a
-# livelocked store cannot hang CI.
+# embedded single-lock baseline), on a differential mismatch (proposed
+# blocks not bit-identical to the pre-change capture), or on the regime-map
+# gate (fewer than 4 largest-subgraph-ratio points, an OCC block that does
+# not replay serially to its own root, a Block-STM block not bit-identical
+# to its serial pop-order oracle, or a zero cross-engine speedup).
+# Time-capped so a livelocked store cannot hang CI.
 timeout 120 ./build/bench/bench_versioned_state --smoke
 
 echo "==> perf-smoke: bench_db --smoke (paged-store gates)"
@@ -94,6 +100,9 @@ ctest --preset tsan-net
 
 echo "==> tsan: evm-labeled tests (interpreter differential, shared analysis cache)"
 ctest --preset tsan-evm
+
+echo "==> tsan: stm-labeled tests (Block-STM scheduler + multi-version memory under real threads)"
+ctest --preset tsan-stm
 
 echo "==> asan: configure + build (BLOCKPILOT_SANITIZE=address)"
 cmake --preset asan >/dev/null

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "evm/code_analysis.hpp"
 #include "support/assert.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -37,9 +38,14 @@ NodeDriverResult NodeDriver::run() {
   // host-mode proposer workers sharing the pool.
   ThreadPool workers(std::max<std::size_t>(config_.proposer.threads, 1) + 1);
   commit::CommitPipeline pipeline(&workers);
+  // One CodeAnalysis cache per node: every proposer lane resolves bytecode
+  // through it, so a driver models a node's warm cache instead of leaking
+  // state through the process-wide global (callers may still inject one).
+  evm::CodeAnalysisCache analysis_cache;
   ProposerConfig pcfg = config_.proposer;
   pcfg.commit_pipeline = &pipeline;
-  OccWsiProposer proposer(pcfg);
+  if (pcfg.analysis_cache == nullptr) pcfg.analysis_cache = &analysis_cache;
+  BlockProposer proposer(pcfg);
 
   // Seed authoritative base nonces: every traffic sender starts at nonce 0,
   // so the pool can reject genuinely stale retries instead of inferring.

@@ -53,6 +53,7 @@ PipelineResult ValidatorPipeline::process_one_height(
   vc.costs = config_.costs;
   vc.commit_pipeline = config_.commit_pipeline;
   vc.seed_directory = config_.seed_directory;
+  vc.analysis_cache = config_.analysis_cache;
 
   if (config_.concurrent_blocks && siblings.size() > 1) {
     // Each driver gets its own single-block worker allotment through the

@@ -53,6 +53,9 @@ struct PipelineConfig {
   /// Block-hash-keyed storage-seed sharing across sibling validators (see
   /// ValidatorConfig::seed_directory); forwarded to every BlockValidator.
   state::BlockSeedDirectory* seed_directory = nullptr;
+  /// CodeAnalysis cache forwarded to every BlockValidator: one per node
+  /// models a validator's warm bytecode cache (null = process-wide global).
+  evm::CodeAnalysisCache* analysis_cache = nullptr;
 };
 
 struct PipelineStats {

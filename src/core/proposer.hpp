@@ -1,131 +1,54 @@
-// OccWsiProposer: parallel block production with Write-Snapshot-Isolation
-// OCC (paper §4.2, Algorithm 1).
+// BlockProposer: parallel block production behind the ExecutionEngine seam.
 //
-// Worker threads repeatedly:
-//  1. pop the highest-gas-price transaction from the pending pool;
-//  2. take a snapshot version (the currently committed version) of the
-//     multi-version state and execute the transaction against it;
-//  3. enter the serialized commit section (Algorithm 1's DetectConflit +
-//     "Synchronize with all worker threads"):
-//       - WSI validation: if any key in the transaction's read set has a
-//         committed version newer than the snapshot, the execution observed
-//         stale data -> abort, push the transaction back into the pool;
-//       - otherwise commit: assign version = block position + 1, apply the
-//         write set, append to the block, record the profile entry.
-// Write-write conflicts do NOT abort: blind writes serialize by version
-// order, which is the WSI relaxation the paper exploits ("transactions with
-// conflicting writes can be committed to the same block").
+// The facade owns a ProposerConfig and dispatches propose() to the engine
+// selected by config.mode (core/execution_engine.hpp):
 //
-// The produced block carries its profile (read/write sets + per-tx gas) for
-// broadcast, enabling validators' dependency-graph scheduling (§4.2 end).
+//  * kVirtualTime / kHostThreads — OCC with Write-Snapshot-Isolation
+//    (paper §4.2, Algorithm 1): workers execute against committed
+//    snapshots and pass through a serialized commit section that aborts
+//    read-stale transactions; write-write conflicts commit ("transactions
+//    with conflicting writes can be committed to the same block").
+//  * kBlockStm / kBlockStmHost — Block-STM (PPoPP 2022): the pool pop
+//    order becomes the block's preset order, incarnations speculate over a
+//    multi-version memory, a collaborative scheduler validates and aborts;
+//    no serialized commit section (docs/blockstm.md).
+//
+// Either way the produced block carries its profile (read/write sets +
+// per-tx gas) for broadcast, enabling validators' dependency-graph
+// scheduling (§4.2 end).
+//
+// propose_virtual() / propose_host_threads() pin the realization while
+// keeping the configured family — callers that want "this block, but
+// deterministic" (tests, benches) use them regardless of config.mode.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
 #include <memory>
-#include <mutex>
 
-#include "chain/block.hpp"
-#include "chain/receipt.hpp"
-#include "commit/commit_pipeline.hpp"
-#include "core/execution_result.hpp"
-#include "evm/state_transition.hpp"
-#include "support/thread_pool.hpp"
-#include "txpool/txpool.hpp"
-#include "vtime/vtime.hpp"
+#include "core/execution_engine.hpp"
 
 namespace blockpilot::core {
 
-/// How the proposer realizes its parallelism.
-enum class ScheduleMode : std::uint8_t {
-  /// Discrete-event simulation of `threads` virtual workers: each worker
-  /// has a virtual clock; transactions execute (real EVM execution) against
-  /// the snapshot committed as of their virtual start time, and validate
-  /// against commits that landed during their virtual execution window.
-  /// Deterministic and host-independent — identical OCC dynamics (aborts,
-  /// commit order, lane loads) on a laptop or a 1-vCPU CI box.  This is the
-  /// figure-generating mode (DESIGN.md §1, hardware substitution).
-  kVirtualTime = 0,
-  /// Real std::thread workers racing on the pool — genuine concurrency for
-  /// thread-safety validation.  OCC dynamics depend on host scheduling (a
-  /// single-core host degenerates to serial execution with no aborts).
-  kHostThreads,
-};
-
-struct ProposerConfig {
-  std::size_t threads = 4;
-  ScheduleMode mode = ScheduleMode::kVirtualTime;
-  std::uint64_t block_gas_limit = 30'000'000;
-  /// Hard cap on included transactions (0 = unlimited): lets benchmarks
-  /// propose fixed-size blocks.
-  std::size_t max_txs = 0;
-  /// Safety valve: a transaction that keeps coming back kNotReady is
-  /// dropped after this many attempts.  Deferred transactions only re-enter
-  /// the pool on commits (TxPool::progress), so retries are structurally
-  /// bounded by committed-transaction count — a deep airdrop nonce chain
-  /// can legitimately rack up hundreds of retries (one per unrelated
-  /// commit), hence the generous default.  Only a transaction whose
-  /// predecessor never arrives ultimately hits it.
-  int max_not_ready_attempts = 100'000;
-  vtime::CostModel costs;
-  /// When set, header sealing (state root + receipts root) runs
-  /// asynchronously on this pipeline: propose() returns a block whose
-  /// state_root / receipts_root are zero until ProposedBlock::await_seal()
-  /// fills them from the CommitHandle.  When null, sealing is inline
-  /// (original behavior).
-  commit::CommitPipeline* commit_pipeline = nullptr;
-  /// CodeAnalysis cache the execution lanes resolve bytecode through
-  /// (null = the process-wide evm::CodeAnalysisCache::global()).
-  evm::CodeAnalysisCache* analysis_cache = nullptr;
-};
-
-struct ProposerStats {
-  std::uint64_t committed = 0;
-  std::uint64_t aborts = 0;        // WSI read-stale aborts (re-queued)
-  std::uint64_t not_ready = 0;     // nonce-gap deferrals
-  std::uint64_t dropped = 0;       // invalid / stuck transactions
-  std::uint64_t serial_gas = 0;    // sum of committed gas (serial baseline)
-  std::uint64_t vtime_makespan = 0;
-  double wall_ms = 0.0;
-
-  double virtual_speedup() const noexcept {
-    return vtime::speedup(serial_gas, vtime_makespan);
-  }
-};
-
-struct ProposedBlock {
-  chain::Block block;
-  chain::BlockProfile profile;
-  std::vector<chain::Receipt> receipts;  // commit order (== block order)
-  std::shared_ptr<state::WorldState> post_state;
-  ProposerStats stats;
-
-  /// Pending asynchronous seal (invalid handle when sealing was inline).
-  commit::CommitHandle commit;
-
-  /// Settles an asynchronous seal: blocks on the commit handle and fills
-  /// header.state_root / header.receipts_root.  No-op when sealing was
-  /// inline.  The block must not be broadcast before this returns.
-  void await_seal();
-};
-
-class OccWsiProposer {
+class BlockProposer {
  public:
-  explicit OccWsiProposer(ProposerConfig config) : config_(config) {}
+  explicit BlockProposer(ProposerConfig config)
+      : config_(config), engine_(make_execution_engine(config)) {}
 
   /// Drains `pool` (up to the gas limit / tx cap) into a new block on top
   /// of `pre`.  Dispatches on config.mode; `workers` is used only by the
-  /// kHostThreads mode (which needs at least config.threads pool threads).
+  /// host-threads modes (which need at least config.threads pool threads).
   ProposedBlock propose(const state::WorldState& pre,
                         const evm::BlockContext& block_ctx,
-                        txpool::TxPool& pool, ThreadPool& workers);
+                        txpool::TxPool& pool, ThreadPool& workers) {
+    return engine_->propose(pre, block_ctx, pool, &workers);
+  }
 
-  /// Deterministic discrete-event realization (see ScheduleMode).
+  /// Deterministic discrete-event realization of the configured family
+  /// (kVirtualTime for the OCC modes, kBlockStm for the Block-STM modes).
   ProposedBlock propose_virtual(const state::WorldState& pre,
                                 const evm::BlockContext& block_ctx,
                                 txpool::TxPool& pool);
 
-  /// Real-thread realization (see ScheduleMode).
+  /// Real-thread realization of the configured family.
   ProposedBlock propose_host_threads(const state::WorldState& pre,
                                      const evm::BlockContext& block_ctx,
                                      txpool::TxPool& pool,
@@ -134,12 +57,12 @@ class OccWsiProposer {
   const ProposerConfig& config() const noexcept { return config_; }
 
  private:
-  /// Fills the commitment-derived header fields (state root, receipts root)
-  /// inline, or queues them on config_.commit_pipeline.  Requires
-  /// result.post_state and result.receipts to be in place.
-  void seal_commitment(ProposedBlock& result);
-
   ProposerConfig config_;
+  std::unique_ptr<ExecutionEngine> engine_;
 };
+
+/// Historical name, kept for the OCC-centric call sites; the class has been
+/// the engine-dispatching facade since the Block-STM engine landed.
+using OccWsiProposer = BlockProposer;
 
 }  // namespace blockpilot::core

@@ -1,5 +1,7 @@
 #include "net/consensus_sim.hpp"
 
+#include "evm/code_analysis.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <map>
@@ -35,6 +37,9 @@ struct VNode {
   std::unique_ptr<chain::Blockchain> chain;
   std::unique_ptr<commit::CommitPipeline> commits;
   std::unique_ptr<core::ChainSession> session;
+  /// Per-node bytecode cache: a validator's warm CodeAnalysis working set
+  /// is its own, not shared process state.
+  evm::CodeAnalysisCache analysis;
   std::uint64_t busy_until_us = 0;  // virtual time this node frees up
   std::size_t revocations = 0;      // suffix heights dropped by adopt_fork
 };
@@ -177,7 +182,9 @@ class EventDriver {
     proposer_commits_->set_settle_observer(measured_observer());
 
     pcfg_.threads = config_.proposer_threads;
+    pcfg_.mode = config_.proposer_mode;
     pcfg_.commit_pipeline = proposer_commits_.get();
+    pcfg_.analysis_cache = &proposer_analysis_;
 
     nodes_.reserve(V_);
     for (std::size_t v = 0; v < V_; ++v) {
@@ -195,6 +202,7 @@ class EventDriver {
       plcfg.commit_pipeline =
           config_.commit_threads > 0 ? node->commits.get() : nullptr;
       if (config_.share_block_seeds) plcfg.seed_directory = &seed_dir_;
+      plcfg.analysis_cache = &node->analysis;
       node->session = std::make_unique<core::ChainSession>(plcfg, genesis_);
       VNode* raw = node.get();
       node->session->set_revocation_callback(
@@ -823,6 +831,7 @@ class EventDriver {
   std::unique_ptr<ThreadPool> commit_pool_;
   std::unique_ptr<commit::CommitPipeline> proposer_commits_;
   state::BlockSeedDirectory seed_dir_;
+  evm::CodeAnalysisCache proposer_analysis_;
   core::ProposerConfig pcfg_;
   std::vector<std::unique_ptr<VNode>> nodes_;
   std::vector<HeightSim> hs_;
@@ -869,6 +878,7 @@ struct BatchValidatorNode {
   chain::Blockchain chain;
   commit::CommitPipeline commits;
   std::shared_ptr<const state::WorldState> tip;
+  evm::CodeAnalysisCache analysis;  // per-node bytecode cache
   std::uint64_t busy_until_us = 0;  // virtual time this node frees up
 };
 
@@ -913,9 +923,12 @@ ConsensusSimResult ConsensusSim::run_batch_reference() {
     validators.push_back(
         std::make_unique<BatchValidatorNode>(genesis, commit_pool.get()));
 
+  evm::CodeAnalysisCache proposer_analysis;
   core::ProposerConfig pcfg;
   pcfg.threads = config_.proposer_threads;
+  pcfg.mode = config_.proposer_mode;
   pcfg.commit_pipeline = &proposer_commits;
+  pcfg.analysis_cache = &proposer_analysis;
   core::PipelineConfig plcfg;
   plcfg.workers = config_.validator_workers;
 
@@ -997,6 +1010,7 @@ ConsensusSimResult ConsensusSim::run_batch_reference() {
                     "gossip lost an announcement");
 
       plcfg.commit_pipeline = &node.commits;
+      plcfg.analysis_cache = &node.analysis;
       core::ValidatorPipeline pipeline(plcfg);
       core::PipelineResult piped = pipeline.process_height_speculative(
           *node.tip, std::span(pv.bundles.data(), pv.bundles.size()),

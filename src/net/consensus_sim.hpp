@@ -82,6 +82,11 @@ struct ConsensusSimConfig {
   std::uint64_t rounds = 5;
 
   std::size_t proposer_threads = 8;
+  /// Concurrency-control discipline the leaders propose with
+  /// (core::ScheduleMode).  The deterministic differential gates run both
+  /// virtual-time families; the host modes additionally need
+  /// proposer_threads-sized worker pools.
+  core::ScheduleMode proposer_mode = core::ScheduleMode::kVirtualTime;
   std::size_t validator_workers = 16;
   /// Size of the shared commitment pool backing every node's
   /// CommitPipeline.  0 runs every pipeline inline (degraded mode: sealing
