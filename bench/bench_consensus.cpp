@@ -19,9 +19,22 @@
 // timeout count, retransmissions, and re-proposals per loss rate, with a
 // liveness gate (full chain settles at every rate; exit 1 on violation).
 //
+// The engine section runs the same loop under every proposer engine
+// (OCC-WSI, Block-STM, adaptive) and every validator engine (subgraph-LPT,
+// Block-STM, adaptive), with three exit-1 gates: every run settles the
+// full chain, the validator engines agree on every canonical root (the
+// consensus-level face of the engine-differential matrix), and the
+// adaptive proposer lands within 5% of the best fixed engine's settle
+// latency.  A regime-flip pair (default vs dex-heavy workload, both under
+// kAdaptive) demonstrates the per-block pick actually moving.
+//
 // Emits BENCH_consensus.json (machine-readable) plus a stdout table.
+// `--smoke` runs only the engine section and its gates (CI budget); it
+// does not rewrite BENCH_consensus.json.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "net/consensus_sim.hpp"
 
@@ -69,7 +82,8 @@ double tx_per_s(const ConsensusSimResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const ConsensusSimConfig base = base_config();
 
   // --- Calibration: two depth-0 probes isolate `adv` (per-height advance
@@ -95,16 +109,19 @@ int main() {
               static_cast<double>(target_c_us) / static_cast<double>(adv_us));
 
   // --- Baseline: the old round-batch algorithm + post-hoc settle pass.
-  ConsensusSimConfig batch_cfg = base;
-  batch_cfg.commit_gas_per_us = cal_gas_per_us;
-  const ConsensusSimResult batch =
-      ConsensusSim(batch_cfg).run_batch_reference();
+  ConsensusSimResult batch;
+  if (!smoke) {
+    ConsensusSimConfig batch_cfg = base;
+    batch_cfg.commit_gas_per_us = cal_gas_per_us;
+    batch = ConsensusSim(batch_cfg).run_batch_reference();
+  }
 
   // --- Sweep.
   const std::size_t kDepths[] = {0, 1, 2, 4, 8};
   std::vector<ConsensusSimResult> sweep;
-  for (const std::size_t d : kDepths)
-    sweep.push_back(run_at(base, d, cal_gas_per_us));
+  if (!smoke)
+    for (const std::size_t d : kDepths)
+      sweep.push_back(run_at(base, d, cal_gas_per_us));
 
   // --- Loss sweep: quorum liveness vs message loss at depth 8.  Each run
   // layers a seeded drop rate under the same workload; the vote timeout is
@@ -112,34 +129,40 @@ int main() {
   // machinery, so the settle-latency delta prices the fault tolerance.
   const std::uint32_t kDropPerMille[] = {0, 10, 50, 100, 200};
   std::vector<ConsensusSimResult> loss;
-  for (const std::uint32_t drop : kDropPerMille) {
-    ConsensusSimConfig cfg = base;
-    cfg.speculation_depth = 8;
-    cfg.commit_gas_per_us = cal_gas_per_us;
-    // Above the fault-free round latency (with margin): a deadline only fires
-    // when a message was actually lost, so drop=0 must stay timeout-free.
-    cfg.vote_timeout_us = 150'000;
-    cfg.link.faults.drop_per_mille = drop;
-    cfg.link.faults.seed = 0x10577EEDULL;
-    ConsensusSimResult r = ConsensusSim(cfg).run();
-    if (!r.safety_held) {
-      std::printf("FATAL: safety violation at drop=%u per mille: %s\n", drop,
-                  r.violation.c_str());
-      return 1;
+  if (!smoke) {
+    for (const std::uint32_t drop : kDropPerMille) {
+      ConsensusSimConfig cfg = base;
+      cfg.speculation_depth = 8;
+      cfg.commit_gas_per_us = cal_gas_per_us;
+      // Above the fault-free round latency (with margin): a deadline only
+      // fires when a message was actually lost, so drop=0 must stay
+      // timeout-free.
+      cfg.vote_timeout_us = 150'000;
+      cfg.link.faults.drop_per_mille = drop;
+      cfg.link.faults.seed = 0x10577EEDULL;
+      ConsensusSimResult r = ConsensusSim(cfg).run();
+      if (!r.safety_held) {
+        std::printf("FATAL: safety violation at drop=%u per mille: %s\n",
+                    drop, r.violation.c_str());
+        return 1;
+      }
+      loss.push_back(std::move(r));
     }
-    loss.push_back(std::move(r));
   }
 
-  // --- Engine compare: the same consensus loop with the proposer running
-  // Block-STM instead of OCC-WSI (both virtual-time twins — the sim's
-  // internal worker pool is sized for the DES engines).  The engines
-  // serialize conflicts differently, so blocks legitimately differ; the
-  // gate is per-run safety and full settlement, not cross-engine root
-  // equality (that exactness lives in bench_versioned_state's regime map).
+  // --- Proposer-engine compare: the same consensus loop under each
+  // execution engine (all virtual-time twins — the sim's internal worker
+  // pool is sized for the DES engines).  The engines serialize conflicts
+  // differently, so blocks legitimately differ; the gates are per-run
+  // safety, full settlement, and the adaptive engine landing within 5% of
+  // the best fixed engine's settle latency (cross-engine root exactness
+  // lives in bench_versioned_state's regime map and the validator section
+  // below).
   const blockpilot::core::ScheduleMode kEngineModes[] = {
       blockpilot::core::ScheduleMode::kVirtualTime,
-      blockpilot::core::ScheduleMode::kBlockStm};
-  const char* kEngineNames[] = {"occ-wsi", "block-stm"};
+      blockpilot::core::ScheduleMode::kBlockStm,
+      blockpilot::core::ScheduleMode::kAdaptive};
+  const char* kEngineNames[] = {"occ-wsi", "block-stm", "adaptive"};
   std::vector<ConsensusSimResult> engines;
   for (const auto mode : kEngineModes) {
     ConsensusSimConfig cfg = base;
@@ -157,45 +180,125 @@ int main() {
   bool engines_settled = true;
   for (const auto& r : engines)
     if (r.settled_height != base.rounds) engines_settled = false;
+  const double best_fixed_settle_ms =
+      std::min(engines[0].avg_settle_latency_ms(),
+               engines[1].avg_settle_latency_ms());
+  const bool adaptive_within =
+      engines[2].avg_settle_latency_ms() <= best_fixed_settle_ms * 1.05;
 
-  std::printf("\n%-14s %16s %16s %14s %14s %12s\n", "mode",
-              "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "stall(ms)",
-              "tx/s");
-  std::printf("%-14s %16.2f %16.2f %14.2f %14.2f %12.0f\n", "batch-ref",
-              batch.avg_settle_latency_ms(), batch.avg_round_latency_ms(),
-              batch.makespan_us / 1000.0, batch.settle_stall_us / 1000.0,
-              tx_per_s(batch));
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    char label[32];
-    std::snprintf(label, sizeof label, "depth=%zu", kDepths[i]);
-    std::printf("%-14s %16.2f %16.2f %14.2f %14.2f %12.0f\n", label,
-                sweep[i].avg_settle_latency_ms(),
-                sweep[i].avg_round_latency_ms(),
-                sweep[i].makespan_us / 1000.0,
-                sweep[i].settle_stall_us / 1000.0, tx_per_s(sweep[i]));
+  // --- Validator-engine compare: OCC-WSI proposer, every validator replay
+  // discipline.  The proposal stream is identical across runs, so beyond
+  // settlement the gate is bit-equality of every canonical root — the
+  // consensus-level face of the engine-differential matrix.
+  const blockpilot::core::ValidatorEngine kValidatorEngines[] = {
+      blockpilot::core::ValidatorEngine::kSubgraphLpt,
+      blockpilot::core::ValidatorEngine::kBlockStm,
+      blockpilot::core::ValidatorEngine::kAdaptive};
+  const char* kValidatorNames[] = {"subgraph-lpt", "block-stm", "adaptive"};
+  std::vector<ConsensusSimResult> vengines;
+  for (const auto engine : kValidatorEngines) {
+    ConsensusSimConfig cfg = base;
+    cfg.speculation_depth = 2;
+    cfg.commit_gas_per_us = cal_gas_per_us;
+    cfg.validator_engine = engine;
+    ConsensusSimResult r = ConsensusSim(cfg).run();
+    if (!r.safety_held) {
+      std::printf("FATAL: safety violation under %s validator: %s\n",
+                  kValidatorNames[vengines.size()], r.violation.c_str());
+      return 1;
+    }
+    vengines.push_back(std::move(r));
+  }
+  bool vengines_settled = true;
+  bool vroots_agree = true;
+  for (const auto& r : vengines) {
+    if (r.settled_height != base.rounds) vengines_settled = false;
+    for (std::size_t h = 0; h < r.rounds.size() && vroots_agree; ++h)
+      if (r.rounds[h].canonical_root != vengines[0].rounds[h].canonical_root)
+        vroots_agree = false;
   }
 
-  std::printf("\n%-14s %16s %16s %14s %12s\n", "engine",
-              "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "tx/s");
+  // --- Regime flip: the adaptive proposer run above (default workload,
+  // conflict ratio below the threshold) vs the same loop on a dex-heavy
+  // workload that pushes past it.  The per-engine block counts must move.
+  ConsensusSimConfig dex_cfg = base;
+  dex_cfg.speculation_depth = 2;
+  dex_cfg.commit_gas_per_us = cal_gas_per_us;
+  dex_cfg.proposer_mode = blockpilot::core::ScheduleMode::kAdaptive;
+  dex_cfg.workload.dex_fraction = 0.85;
+  dex_cfg.workload.token_fraction = 0.10;
+  dex_cfg.workload.contract_zipf_s = 2.2;
+  const ConsensusSimResult dex = ConsensusSim(dex_cfg).run();
+  if (!dex.safety_held) {
+    std::printf("FATAL: safety violation in dex-heavy adaptive run: %s\n",
+                dex.violation.c_str());
+    return 1;
+  }
+  const ConsensusSimResult& adaptive_base = engines[2];
+  const bool regime_flip = dex.blocks_stm > 0 && adaptive_base.blocks_occ > 0 &&
+                           dex.blocks_stm > adaptive_base.blocks_stm &&
+                           dex.settled_height == base.rounds;
+
+  if (!smoke) {
+    std::printf("\n%-14s %16s %16s %14s %14s %12s\n", "mode",
+                "settle-lat(ms)", "round-lat(ms)", "makespan(ms)",
+                "stall(ms)", "tx/s");
+    std::printf("%-14s %16.2f %16.2f %14.2f %14.2f %12.0f\n", "batch-ref",
+                batch.avg_settle_latency_ms(), batch.avg_round_latency_ms(),
+                batch.makespan_us / 1000.0, batch.settle_stall_us / 1000.0,
+                tx_per_s(batch));
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      char label[32];
+      std::snprintf(label, sizeof label, "depth=%zu", kDepths[i]);
+      std::printf("%-14s %16.2f %16.2f %14.2f %14.2f %12.0f\n", label,
+                  sweep[i].avg_settle_latency_ms(),
+                  sweep[i].avg_round_latency_ms(),
+                  sweep[i].makespan_us / 1000.0,
+                  sweep[i].settle_stall_us / 1000.0, tx_per_s(sweep[i]));
+    }
+  }
+
+  std::printf("\n%-14s %16s %16s %14s %12s %10s %10s\n", "proposer",
+              "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "tx/s",
+              "occ-blks", "stm-blks");
   for (std::size_t i = 0; i < engines.size(); ++i) {
-    std::printf("%-14s %16.2f %16.2f %14.2f %12.0f\n", kEngineNames[i],
-                engines[i].avg_settle_latency_ms(),
+    std::printf("%-14s %16.2f %16.2f %14.2f %12.0f %10llu %10llu\n",
+                kEngineNames[i], engines[i].avg_settle_latency_ms(),
                 engines[i].avg_round_latency_ms(),
-                engines[i].makespan_us / 1000.0, tx_per_s(engines[i]));
+                engines[i].makespan_us / 1000.0, tx_per_s(engines[i]),
+                (unsigned long long)engines[i].blocks_occ,
+                (unsigned long long)engines[i].blocks_stm);
+  }
+  std::printf("%-14s %16.2f %16.2f %14.2f %12.0f %10llu %10llu\n",
+              "adaptive-dex", dex.avg_settle_latency_ms(),
+              dex.avg_round_latency_ms(), dex.makespan_us / 1000.0,
+              tx_per_s(dex), (unsigned long long)dex.blocks_occ,
+              (unsigned long long)dex.blocks_stm);
+
+  std::printf("\n%-14s %16s %16s %14s %12s\n", "validator",
+              "settle-lat(ms)", "round-lat(ms)", "makespan(ms)", "tx/s");
+  for (std::size_t i = 0; i < vengines.size(); ++i) {
+    std::printf("%-14s %16.2f %16.2f %14.2f %12.0f\n", kValidatorNames[i],
+                vengines[i].avg_settle_latency_ms(),
+                vengines[i].avg_round_latency_ms(),
+                vengines[i].makespan_us / 1000.0, tx_per_s(vengines[i]));
   }
 
-  std::printf("\n%-14s %16s %12s %12s %12s %12s\n", "loss", "settle-lat(ms)",
-              "timeouts", "retransmits", "reproposals", "dropped");
-  for (std::size_t i = 0; i < loss.size(); ++i) {
-    char label[32];
-    std::snprintf(label, sizeof label, "drop=%.1f%%",
-                  kDropPerMille[i] / 10.0);
-    std::printf("%-14s %16.2f %12llu %12llu %12llu %12llu\n", label,
-                loss[i].avg_settle_latency_ms(),
-                (unsigned long long)loss[i].vote_timeouts,
-                (unsigned long long)loss[i].vote_retransmits,
-                (unsigned long long)loss[i].quorum_reproposals,
-                (unsigned long long)loss[i].messages_dropped);
+  if (!smoke) {
+    std::printf("\n%-14s %16s %12s %12s %12s %12s\n", "loss",
+                "settle-lat(ms)", "timeouts", "retransmits", "reproposals",
+                "dropped");
+    for (std::size_t i = 0; i < loss.size(); ++i) {
+      char label[32];
+      std::snprintf(label, sizeof label, "drop=%.1f%%",
+                    kDropPerMille[i] / 10.0);
+      std::printf("%-14s %16.2f %12llu %12llu %12llu %12llu\n", label,
+                  loss[i].avg_settle_latency_ms(),
+                  (unsigned long long)loss[i].vote_timeouts,
+                  (unsigned long long)loss[i].vote_retransmits,
+                  (unsigned long long)loss[i].quorum_reproposals,
+                  (unsigned long long)loss[i].messages_dropped);
+    }
   }
 
   // Liveness gate: up to 20% loss the quorum machinery must still settle
@@ -204,7 +307,8 @@ int main() {
   for (const auto& r : loss)
     if (r.settled_height != base.rounds || r.quorum_failures != 0)
       loss_liveness = false;
-  if (loss[0].messages_dropped != 0 || loss[0].vote_timeouts != 0)
+  if (!loss.empty() &&
+      (loss[0].messages_dropped != 0 || loss[0].vote_timeouts != 0))
     loss_liveness = false;
 
   bool strictly_decreasing = true;
@@ -221,6 +325,40 @@ int main() {
     for (std::size_t h = 0; h < r.rounds.size() && roots_agree; ++h)
       if (r.rounds[h].canonical_root != sweep[0].rounds[h].canonical_root)
         roots_agree = false;
+  }
+
+  if (smoke) {
+    // Engine-section gates only; the committed BENCH_consensus.json keeps
+    // its full-run data.
+    if (!engines_settled || !vengines_settled) {
+      std::printf("FAIL: an engine run did not settle the full chain\n");
+      return 1;
+    }
+    if (!vroots_agree) {
+      std::printf("FAIL: validator engines disagree on a canonical root\n");
+      return 1;
+    }
+    if (!adaptive_within) {
+      std::printf(
+          "FAIL: adaptive settle latency %.2f ms exceeds best fixed engine "
+          "%.2f ms by more than 5%%\n",
+          engines[2].avg_settle_latency_ms(), best_fixed_settle_ms);
+      return 1;
+    }
+    if (!regime_flip) {
+      std::printf(
+          "FAIL: regime flip not demonstrated (base occ=%llu stm=%llu, "
+          "dex-heavy occ=%llu stm=%llu)\n",
+          (unsigned long long)adaptive_base.blocks_occ,
+          (unsigned long long)adaptive_base.blocks_stm,
+          (unsigned long long)dex.blocks_occ,
+          (unsigned long long)dex.blocks_stm);
+      return 1;
+    }
+    std::printf(
+        "smoke gates passed: engines settled, validator roots agree, "
+        "adaptive within 5%% of best fixed, regime flip demonstrated\n");
+    return 0;
   }
 
   FILE* f = std::fopen("BENCH_consensus.json", "w");
@@ -271,15 +409,51 @@ int main() {
                  "    {\"engine\": \"%s\", \"depth\": 2, "
                  "\"settle_latency_ms\": %.4f, \"round_latency_ms\": %.4f, "
                  "\"makespan_ms\": %.4f, \"throughput_tx_s\": %.1f, "
-                 "\"settled_height\": %llu}%s\n",
+                 "\"settled_height\": %llu, \"blocks_occ\": %llu, "
+                 "\"blocks_stm\": %llu}%s\n",
                  kEngineNames[i], r.avg_settle_latency_ms(),
                  r.avg_round_latency_ms(), r.makespan_us / 1000.0,
                  tx_per_s(r), (unsigned long long)r.settled_height,
+                 (unsigned long long)r.blocks_occ,
+                 (unsigned long long)r.blocks_stm,
                  i + 1 < engines.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"engine_compare_settled\": %s,\n",
                engines_settled ? "true" : "false");
+  std::fprintf(f, "  \"validator_engine_compare\": [\n");
+  for (std::size_t i = 0; i < vengines.size(); ++i) {
+    const auto& r = vengines[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"depth\": 2, "
+                 "\"settle_latency_ms\": %.4f, \"round_latency_ms\": %.4f, "
+                 "\"makespan_ms\": %.4f, \"throughput_tx_s\": %.1f, "
+                 "\"settled_height\": %llu}%s\n",
+                 kValidatorNames[i], r.avg_settle_latency_ms(),
+                 r.avg_round_latency_ms(), r.makespan_us / 1000.0,
+                 tx_per_s(r), (unsigned long long)r.settled_height,
+                 i + 1 < vengines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"validator_engines_settled\": %s,\n",
+               vengines_settled ? "true" : "false");
+  std::fprintf(f, "  \"validator_roots_agree\": %s,\n",
+               vroots_agree ? "true" : "false");
+  std::fprintf(f,
+               "  \"adaptive_gate\": {\"adaptive_settle_ms\": %.4f, "
+               "\"best_fixed_settle_ms\": %.4f, \"within_5pct\": %s},\n",
+               engines[2].avg_settle_latency_ms(), best_fixed_settle_ms,
+               adaptive_within ? "true" : "false");
+  std::fprintf(f,
+               "  \"regime_flip\": {\"base_blocks_occ\": %llu, "
+               "\"base_blocks_stm\": %llu, \"dex_blocks_occ\": %llu, "
+               "\"dex_blocks_stm\": %llu, \"dex_settle_latency_ms\": %.4f, "
+               "\"flipped\": %s},\n",
+               (unsigned long long)adaptive_base.blocks_occ,
+               (unsigned long long)adaptive_base.blocks_stm,
+               (unsigned long long)dex.blocks_occ,
+               (unsigned long long)dex.blocks_stm,
+               dex.avg_settle_latency_ms(), regime_flip ? "true" : "false");
   std::fprintf(f, "  \"loss_sweep\": [\n");
   for (std::size_t i = 0; i < loss.size(); ++i) {
     const auto& r = loss[i];
@@ -320,13 +494,29 @@ int main() {
     std::printf("FAIL: quorum liveness lost within the 20%% loss sweep\n");
     return 1;
   }
-  if (!engines_settled) {
+  if (!engines_settled || !vengines_settled) {
     std::printf("FAIL: an engine-compare run did not settle the full chain\n");
+    return 1;
+  }
+  if (!vroots_agree) {
+    std::printf("FAIL: validator engines disagree on a canonical root\n");
+    return 1;
+  }
+  if (!adaptive_within) {
+    std::printf(
+        "FAIL: adaptive settle latency %.2f ms exceeds best fixed engine "
+        "%.2f ms by more than 5%%\n",
+        engines[2].avg_settle_latency_ms(), best_fixed_settle_ms);
+    return 1;
+  }
+  if (!regime_flip) {
+    std::printf("FAIL: adaptive regime flip not demonstrated\n");
     return 1;
   }
   std::printf(
       "PASS: settle latency strictly decreasing with depth; quorum "
-      "liveness held through %.0f%% loss\n",
+      "liveness held through %.0f%% loss; validator engines root-identical; "
+      "adaptive within 5%% of best fixed engine\n",
       kDropPerMille[std::size(kDropPerMille) - 1] / 10.0);
   return 0;
 }

@@ -77,6 +77,15 @@ echo "==> perf-smoke: bench_ingest --smoke (live-ingestion gates)"
 # empty admission-to-settle latency distribution.
 timeout 300 ./build/bench/bench_ingest --smoke
 
+echo "==> perf-smoke: bench_consensus --smoke (engine matrix + adaptive gates)"
+# Engine section only: every proposer engine (OCC-WSI, Block-STM, adaptive)
+# and every validator engine (subgraph-LPT, Block-STM, adaptive) must settle
+# the full chain, the validator engines must agree on every canonical root,
+# the adaptive proposer must land within 5% of the best fixed engine's
+# settle latency, and the dex-heavy regime flip must actually flip the
+# per-block pick.  Does not rewrite the committed BENCH_consensus.json.
+timeout 120 ./build/bench/bench_consensus --smoke
+
 echo "==> perf-smoke: bench_evm --smoke (interpreter + analysis-cache gates)"
 # Fails on crash or on any evm gate: fast and reference interpreters not
 # bit-identical on the compute contract, the analysis-backed dispatch not at
@@ -103,6 +112,9 @@ ctest --preset tsan-evm
 
 echo "==> tsan: stm-labeled tests (Block-STM scheduler + multi-version memory under real threads)"
 ctest --preset tsan-stm
+
+echo "==> tsan: engine-differential matrix (proposer x validator engines, adaptive selection)"
+ctest --preset tsan-engine-matrix
 
 echo "==> asan: configure + build (BLOCKPILOT_SANITIZE=address)"
 cmake --preset asan >/dev/null

@@ -301,6 +301,7 @@ class BlockStmEngineBase : public ExecutionEngine {
     stats.committed = result.block.transactions.size();
     stats.aborts = p.scheduler.aborts();
     stats.serial_gas = p.gas_used;
+    stats.engine_used = config_.mode;
     result.stats = stats;
     return result;
   }

@@ -256,6 +256,7 @@ ProposedBlock OccWsiHostEngine::propose(const state::WorldState& pre,
   stats.vtime_makespan = std::max(
       ledger.makespan(), shared.commit_events * config_.costs.commit_cost);
   stats.wall_ms = wall.elapsed_ms();
+  stats.engine_used = config_.mode;
   result.stats = stats;
   return result;
 }
@@ -446,6 +447,7 @@ ProposedBlock OccWsiVirtualEngine::propose(const state::WorldState& pre,
   stats.vtime_makespan =
       std::max(final_makespan, commit_events * config_.costs.commit_cost);
   stats.wall_ms = wall.elapsed_ms();
+  stats.engine_used = config_.mode;
   result.stats = stats;
   return result;
 }

@@ -1,0 +1,29 @@
+// Adaptive engine selection: the one constant shared by proposer and
+// validator.
+//
+// The regime map in BENCH_versioned_state.json (bench_versioned_state
+// phase 6, docs/blockstm.md §6) measures OCC-WSI vs Block-STM virtual
+// speedup over the largest-subgraph ratio of the block's dependency graph.
+// OCC-WSI wins while conflicts are rare (mainnet ratio ~0.29: OCC 3.76x vs
+// STM 3.58x); Block-STM overtakes as the largest subgraph grows (dex-heavy
+// ratio ~0.36: STM 2.60x vs OCC 2.52x).  The crossover sits between those
+// two measured points, so the adaptive engines switch to Block-STM when
+// the observed ratio exceeds 0.33.
+//
+// Both sides key the decision off a block profile's largest-subgraph ratio
+// (sched::build_dependency_graph) so a run's engine choices are a pure
+// function of the chain content — bit-reproducible per seed:
+//  * the proposer (ScheduleMode::kAdaptive) uses the ratio of the block it
+//    proposed PREVIOUSLY (the signal available before execution starts);
+//  * the validator (ValidatorEngine::kAdaptive) uses the ratio of the
+//    block being validated — its profile ships with the block, so the
+//    signal is available in the Preparation phase, and statelessness keeps
+//    concurrent sibling validations race-free.
+#pragma once
+
+namespace blockpilot::core {
+
+/// Largest-subgraph ratio above which the adaptive engines pick Block-STM.
+inline constexpr double kAdaptiveStmThreshold = 0.33;
+
+}  // namespace blockpilot::core

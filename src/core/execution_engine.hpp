@@ -27,6 +27,7 @@
 #include "chain/block.hpp"
 #include "chain/receipt.hpp"
 #include "commit/commit_pipeline.hpp"
+#include "core/engine_select.hpp"
 #include "core/execution_result.hpp"
 #include "evm/state_transition.hpp"
 #include "support/thread_pool.hpp"
@@ -60,6 +61,14 @@ enum class ScheduleMode : std::uint8_t {
   /// to kBlockStm's; only the stats (aborts, makespan) vary with host
   /// scheduling.
   kBlockStmHost,
+  /// Per-block engine selection between the two DES twins: propose with
+  /// OCC-WSI (kVirtualTime) while the previous block's largest-subgraph
+  /// ratio stays at or below ProposerConfig::adaptive_threshold, switch to
+  /// Block-STM (kBlockStm) above it (core/engine_select.hpp).  The signal
+  /// is a pure function of the chain content, so a seeded run picks the
+  /// same engine at every height on every host.  ProposerStats::engine_used
+  /// records the choice per block.
+  kAdaptive,
 };
 
 constexpr bool is_block_stm(ScheduleMode mode) noexcept {
@@ -95,6 +104,15 @@ struct ProposerConfig {
   /// CodeAnalysis cache the execution lanes resolve bytecode through
   /// (null = the process-wide evm::CodeAnalysisCache::global()).
   evm::CodeAnalysisCache* analysis_cache = nullptr;
+  /// kAdaptive only: largest-subgraph ratio above which the next block is
+  /// proposed with Block-STM instead of OCC-WSI (engine_select.hpp).
+  double adaptive_threshold = kAdaptiveStmThreshold;
+  /// kAdaptive only: where the engine keeps the previous block's
+  /// largest-subgraph ratio.  Null = instance-local (drivers like
+  /// NodeDriver that hold one engine across blocks).  Drivers that build a
+  /// fresh engine per proposal (ConsensusSim) point this at per-node
+  /// storage so the signal survives across blocks.
+  double* adaptive_ratio_slot = nullptr;
 };
 
 struct ProposerStats {
@@ -105,6 +123,14 @@ struct ProposerStats {
   std::uint64_t serial_gas = 0;    // sum of committed gas (serial baseline)
   std::uint64_t vtime_makespan = 0;
   double wall_ms = 0.0;
+  /// Engine that actually produced the block: the configured mode for the
+  /// fixed engines, the per-block pick (kVirtualTime or kBlockStm) for
+  /// kAdaptive.
+  ScheduleMode engine_used = ScheduleMode::kVirtualTime;
+  /// Largest-subgraph ratio of the produced block's dependency graph —
+  /// the adaptive signal for the NEXT block (0 when not computed; only the
+  /// adaptive engine derives it).
+  double largest_subgraph_ratio = 0.0;
 
   double virtual_speedup() const noexcept {
     return vtime::speedup(serial_gas, vtime_makespan);
@@ -128,9 +154,12 @@ struct ProposedBlock {
 };
 
 /// One concurrency-control discipline's realization of block proposal.
-/// Engines are stateless between propose() calls: all proposal state lives
-/// on the stack of one call, so a single engine may be reused across blocks
-/// (and, for the virtual engines, across threads if calls don't overlap).
+/// The fixed engines are stateless between propose() calls: all proposal
+/// state lives on the stack of one call, so a single engine may be reused
+/// across blocks (and, for the virtual engines, across threads if calls
+/// don't overlap).  The adaptive engine carries one double across calls —
+/// the previous block's largest-subgraph ratio — either instance-local or
+/// in the caller-provided adaptive_ratio_slot.
 class ExecutionEngine {
  public:
   explicit ExecutionEngine(ProposerConfig config) : config_(config) {}

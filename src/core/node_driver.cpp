@@ -167,6 +167,7 @@ NodeDriverResult NodeDriver::run() {
     result.aborts += blk.stats.aborts;
     result.not_ready += blk.stats.not_ready;
     result.dropped += blk.stats.dropped;
+    result.engine_by_height.push_back(blk.stats.engine_used);
     ++result.blocks;
     // Sampled at the block boundary: deterministic in virtual-time mode
     // (settle timing is wall-clock dependent and must not influence this).

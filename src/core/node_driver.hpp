@@ -84,6 +84,12 @@ struct NodeDriverResult {
   std::vector<Hash256> block_hashes;
   Hash256 final_state_root;
 
+  /// Engine that produced each block, in height order (the configured mode
+  /// for fixed engines; the per-block pick under ScheduleMode::kAdaptive).
+  /// Part of the bit-stability surface: identical seeded runs must choose
+  /// identically at every height.
+  std::vector<ScheduleMode> engine_by_height;
+
   /// TxPool conservation invariant at end of run: every admitted
   /// transaction is accounted committed, dropped, evicted, replaced,
   /// stale-dropped, or still resident.

@@ -51,6 +51,8 @@ PipelineResult ValidatorPipeline::process_one_height(
   vc.threads = config_.workers;
   vc.granularity = config_.granularity;
   vc.costs = config_.costs;
+  vc.engine = config_.engine;
+  vc.adaptive_threshold = config_.adaptive_threshold;
   vc.commit_pipeline = config_.commit_pipeline;
   vc.seed_directory = config_.seed_directory;
   vc.analysis_cache = config_.analysis_cache;

@@ -39,6 +39,12 @@ struct PipelineConfig {
   std::size_t workers = 16;
   sched::Granularity granularity = sched::Granularity::kAccount;
   vtime::CostModel costs;
+  /// Replay discipline forwarded to every BlockValidator (subgraph-LPT,
+  /// Block-STM, or per-block adaptive — see core::ValidatorEngine).
+  ValidatorEngine engine = ValidatorEngine::kSubgraphLpt;
+  /// kAdaptive only: largest-subgraph ratio above which a block is
+  /// replayed with Block-STM (engine_select.hpp).
+  double adaptive_threshold = kAdaptiveStmThreshold;
   /// Validate sibling blocks on concurrent driver threads (true) or
   /// sequentially (false; virtual-time result is identical — useful for
   /// deterministic debugging).

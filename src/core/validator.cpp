@@ -109,12 +109,13 @@ bool same_writes(const std::vector<std::pair<StateKey, U256>>& observed,
   return true;
 }
 
-}  // namespace
-
-ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
-                                           const chain::Block& block,
-                                           const chain::BlockProfile& profile,
-                                           ThreadPool& workers) {
+/// The paper's Algorithm 2 (subgraph-LPT scheduled replay) — the frozen
+/// oracle the Block-STM path (validator_stm.cpp) is gated against.
+ValidationOutcome validate_subgraph_lpt(const ValidatorConfig& config_,
+                                        const state::WorldState& pre,
+                                        const chain::Block& block,
+                                        const chain::BlockProfile& profile,
+                                        ThreadPool& workers) {
   BP_ASSERT(config_.threads >= 1);
   ValidationOutcome outcome;
   Stopwatch wall;
@@ -295,6 +296,37 @@ ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
   outcome.stats.serial_gas = gas_used;
   outcome.stats.vtime_makespan = std::max(ledger.makespan(), applier_chain);
   outcome.stats.wall_ms = wall.elapsed_ms();
+  return outcome;
+}
+
+}  // namespace
+
+ValidationOutcome BlockValidator::validate(const state::WorldState& pre,
+                                           const chain::Block& block,
+                                           const chain::BlockProfile& profile,
+                                           ThreadPool& workers) {
+  ValidatorEngine engine = config_.engine;
+  if (engine == ValidatorEngine::kAdaptive) {
+    // The block's own profile carries the signal (it ships with the block,
+    // so it is available before execution starts).  A malformed profile
+    // resolves to the oracle, which rejects it the same way either engine
+    // would.
+    double ratio = 0.0;
+    if (!profile.txs.empty() &&
+        profile.txs.size() == block.transactions.size()) {
+      ratio = sched::build_dependency_graph(profile, config_.granularity)
+                  .largest_subgraph_ratio();
+    }
+    engine = ratio > config_.adaptive_threshold ? ValidatorEngine::kBlockStm
+                                                : ValidatorEngine::kSubgraphLpt;
+  }
+  ValidationOutcome outcome =
+      engine == ValidatorEngine::kSubgraphLpt
+          ? validate_subgraph_lpt(config_, pre, block, profile, workers)
+          : detail::validate_block_stm(
+                config_, pre, block, profile, workers,
+                engine == ValidatorEngine::kBlockStmHost);
+  outcome.stats.engine_used = engine;
   return outcome;
 }
 

@@ -23,6 +23,7 @@
 #include "chain/block.hpp"
 #include "chain/profile.hpp"
 #include "commit/commit_pipeline.hpp"
+#include "core/engine_select.hpp"
 #include "core/execution_result.hpp"
 #include "evm/state_transition.hpp"
 #include "sched/depgraph.hpp"
@@ -31,10 +32,56 @@
 
 namespace blockpilot::core {
 
+/// Which replay discipline re-executes the block (docs/blockstm.md §8).
+enum class ValidatorEngine : std::uint8_t {
+  /// Subgraph-LPT scheduled replay — the paper's Algorithm 2, kept
+  /// verbatim as the frozen oracle the Block-STM path is gated against.
+  kSubgraphLpt = 0,
+  /// Preset-order multi-version replay (Block-STM over MvMemory, driven by
+  /// the collaborative scheduler), seeded from the block profile's
+  /// broadcast write sets: each transaction's footprint is pre-populated
+  /// as ESTIMATE markers, so first incarnations SUSPEND on their true
+  /// dependencies instead of aborting.  With an honest profile the replay
+  /// converges with zero aborts and zero validation waves.
+  ///
+  /// Like the proposer's kBlockStm mode this is the discrete-event twin:
+  /// `threads` virtual workers driven by one real thread, so the virtual
+  /// makespan is bit-reproducible and independent of host scheduling (a
+  /// single-core host would otherwise collapse every replay onto the first
+  /// worker the pool happens to wake).
+  kBlockStm,
+  /// Same algorithm on real pool threads (the thread-safety twin, mirror
+  /// of the proposer's kBlockStmHost).  The produced verdict/roots are
+  /// bit-identical to kBlockStm by Block-STM's determinism theorem; only
+  /// the stats (suspensions, lane makespan) vary with host scheduling.
+  kBlockStmHost,
+  /// Per-block pick between kSubgraphLpt and kBlockStm from the profile's
+  /// largest-subgraph ratio vs adaptive_threshold (engine_select.hpp).
+  /// Stateless — the profile ships with the block, so the signal is
+  /// available in the Preparation phase and concurrent sibling
+  /// validations stay race-free.
+  kAdaptive,
+};
+
 struct ValidatorConfig {
   std::size_t threads = 4;
   sched::Granularity granularity = sched::Granularity::kAccount;
   vtime::CostModel costs;
+  /// Replay discipline (see ValidatorEngine).  Both engines accept exactly
+  /// the blocks whose serial preset-order execution matches the profile
+  /// and the header — the engine-differential matrix gates that verdicts,
+  /// roots, gas and receipts are bit-identical.
+  ValidatorEngine engine = ValidatorEngine::kSubgraphLpt;
+  /// kAdaptive only: largest-subgraph ratio above which the block is
+  /// replayed with Block-STM instead of subgraph-LPT.
+  double adaptive_threshold = kAdaptiveStmThreshold;
+  /// Test knob: when set, Block-STM ESTIMATE pre-seeding reads its write
+  /// sets from this profile instead of the validated one.  Seeds are
+  /// strictly a scheduling hint — a stale seed set degrades to extra
+  /// suspensions/validation waves, never to a wrong result — and the
+  /// seeding tests gate exactly that by validating honest blocks with
+  /// deliberately stale seeds.  Null = seed from the block's own profile.
+  const chain::BlockProfile* stm_seed_override = nullptr;
   /// Warm the state cache from the block profile's key sets before
   /// execution (the geth prefetching technique the paper's evaluation
   /// enables, §5.4).  When false, every first-touch read charges
@@ -63,6 +110,17 @@ struct ValidatorStats {
   std::size_t subgraphs = 0;
   double largest_subgraph_ratio = 0.0;
   std::uint64_t critical_path_gas = 0;
+  /// Engine that actually replayed the block (kAdaptive resolves to one of
+  /// the fixed engines per block).
+  ValidatorEngine engine_used = ValidatorEngine::kSubgraphLpt;
+  /// Block-STM replay dynamics (untouched by the subgraph-LPT path).
+  /// With an honest profile the pre-seeded estimates keep aborts and
+  /// validation waves at zero (suspensions track the block's real
+  /// dependencies); stale seeds show up in these counters, never in the
+  /// verdict.
+  std::uint64_t stm_aborts = 0;
+  std::uint64_t stm_suspensions = 0;
+  std::uint64_t stm_validation_waves = 0;
 
   double virtual_speedup() const noexcept {
     return vtime::speedup(serial_gas, vtime_makespan);
@@ -103,5 +161,17 @@ class BlockValidator {
  private:
   ValidatorConfig config_;
 };
+
+namespace detail {
+/// Block-STM replay path (validator_stm.cpp).  `config.engine` is ignored
+/// here — BlockValidator::validate resolves kAdaptive before dispatching
+/// and picks the twin via `host_threads` (false = DES virtual workers,
+/// true = real pool threads).
+ValidationOutcome validate_block_stm(const ValidatorConfig& config,
+                                     const state::WorldState& pre,
+                                     const chain::Block& block,
+                                     const chain::BlockProfile& profile,
+                                     ThreadPool& workers, bool host_threads);
+}  // namespace detail
 
 }  // namespace blockpilot::core

@@ -185,6 +185,10 @@ class EventDriver {
     pcfg_.mode = config_.proposer_mode;
     pcfg_.commit_pipeline = proposer_commits_.get();
     pcfg_.analysis_cache = &proposer_analysis_;
+    // Under kAdaptive each proposer carries its own conflict-ratio signal
+    // across rounds; a fresh engine is built per proposal, so the state
+    // lives here and is injected via the config slot.
+    adaptive_ratio_.assign(P_, 0.0);
 
     nodes_.reserve(V_);
     for (std::size_t v = 0; v < V_; ++v) {
@@ -195,6 +199,7 @@ class EventDriver {
       node->commits->set_settle_observer(measured_observer());
       core::PipelineConfig plcfg;
       plcfg.workers = config_.validator_workers;
+      plcfg.engine = config_.validator_engine;
       // Degraded mode (no commit pool) validates roots inline at push time,
       // so a Byzantine root yields "no votable sibling" immediately instead
       // of a settle-time cascade — the silent validator then rides the
@@ -362,11 +367,18 @@ class EventDriver {
       const NodeId proposer_id = (ev.height * ppr_ + k) % P_;
       txpool::TxPool pool;
       pool.add_all(gen_.next_block());
-      core::OccWsiProposer proposer(pcfg_);
+      core::ProposerConfig pcfg = pcfg_;
+      if (pcfg.mode == core::ScheduleMode::kAdaptive)
+        pcfg.adaptive_ratio_slot = &adaptive_ratio_[proposer_id];
+      core::OccWsiProposer proposer(pcfg);
       core::ProposedBlock blk = proposer.propose(
           nodes_[0]->session->tip(),
           ctx_for(ev.height, Address::from_id(0xFEE000 + proposer_id)), pool,
           workers_);
+      if (core::is_block_stm(blk.stats.engine_used))
+        ++result_.blocks_stm;
+      else
+        ++result_.blocks_occ;
       blk.block.header.parent_hash = canon_hash_;
       blk.await_seal();
       if (ev.height == config_.byzantine_height && h.attempt == 0 &&
@@ -833,6 +845,9 @@ class EventDriver {
   state::BlockSeedDirectory seed_dir_;
   evm::CodeAnalysisCache proposer_analysis_;
   core::ProposerConfig pcfg_;
+  // Per-proposer conflict-ratio memory for ScheduleMode::kAdaptive (engines
+  // are rebuilt each proposal; the signal must outlive them).
+  std::vector<double> adaptive_ratio_;
   std::vector<std::unique_ptr<VNode>> nodes_;
   std::vector<HeightSim> hs_;
   std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
@@ -931,6 +946,10 @@ ConsensusSimResult ConsensusSim::run_batch_reference() {
   pcfg.analysis_cache = &proposer_analysis;
   core::PipelineConfig plcfg;
   plcfg.workers = config_.validator_workers;
+  plcfg.engine = config_.validator_engine;
+  // Per-proposer conflict-ratio memory for ScheduleMode::kAdaptive (a fresh
+  // engine is built per proposal, so the signal lives here).
+  std::vector<double> adaptive_ratio(P, 0.0);
 
   auto canonical_state = std::make_shared<const state::WorldState>(genesis);
   Hash256 canonical_head_hash = validators[0]->chain.genesis_hash();
@@ -954,11 +973,18 @@ ConsensusSimResult ConsensusSim::run_batch_reference() {
           (height * config_.proposers_per_round + k) % P;
       txpool::TxPool pool;
       pool.add_all(gen.next_block());
-      core::OccWsiProposer proposer(pcfg);
+      core::ProposerConfig cfg = pcfg;
+      if (cfg.mode == core::ScheduleMode::kAdaptive)
+        cfg.adaptive_ratio_slot = &adaptive_ratio[proposer_id];
+      core::OccWsiProposer proposer(cfg);
       core::ProposedBlock blk = proposer.propose(
           *canonical_state,
           ctx_for(height, Address::from_id(0xFEE000 + proposer_id)), pool,
           workers);
+      if (core::is_block_stm(blk.stats.engine_used))
+        ++result.blocks_stm;
+      else
+        ++result.blocks_occ;
       blk.block.header.parent_hash = canonical_head_hash;
       blk.await_seal();
       if (height == config_.byzantine_height && k < byz) {

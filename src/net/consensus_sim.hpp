@@ -87,6 +87,11 @@ struct ConsensusSimConfig {
   /// virtual-time families; the host modes additionally need
   /// proposer_threads-sized worker pools.
   core::ScheduleMode proposer_mode = core::ScheduleMode::kVirtualTime;
+  /// Replay discipline every validator node re-executes received blocks
+  /// with (core::ValidatorEngine): the subgraph-LPT oracle, Block-STM
+  /// preset-order replay, or per-block adaptive selection.  Forwarded into
+  /// each node's ChainSession pipeline.
+  core::ValidatorEngine validator_engine = core::ValidatorEngine::kSubgraphLpt;
   std::size_t validator_workers = 16;
   /// Size of the shared commitment pool backing every node's
   /// CommitPipeline.  0 runs every pipeline inline (degraded mode: sealing
@@ -222,6 +227,12 @@ struct ConsensusSimResult {
   /// the settle observers).  Informational unless use_measured_commit_cost
   /// folds it into the virtual schedule.
   double measured_commit_ms = 0.0;
+  /// Blocks proposed per execution engine (kAdaptive resolves per block;
+  /// fixed proposer modes land entirely in one bucket).  The regime-flip
+  /// surface: a dex-heavy workload under kAdaptive must move proposals
+  /// into the Block-STM bucket.
+  std::uint64_t blocks_occ = 0;
+  std::uint64_t blocks_stm = 0;
   bool safety_held = true;  // all validators agreed every round + at settle
   std::string violation;    // populated when safety_held == false
 

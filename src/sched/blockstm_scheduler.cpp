@@ -49,6 +49,9 @@ void BlockStmScheduler::decrease_validation_idx(std::uint32_t to) {
          !validation_idx_.compare_exchange_weak(cur, to,
                                                 std::memory_order_seq_cst)) {
   }
+  // Loop exit with cur > to means our CAS performed the lowering (cur holds
+  // the value we swapped out); cur <= to means someone else got there first.
+  if (cur > to) validation_waves_.fetch_add(1, std::memory_order_relaxed);
 }
 
 BlockStmScheduler::Task BlockStmScheduler::try_incarnate(std::uint32_t txn) {
@@ -187,6 +190,7 @@ bool BlockStmScheduler::add_dependency(std::uint32_t txn,
   BP_ASSERT(t.status.load(std::memory_order_relaxed) == Status::kExecuting);
   t.status.store(Status::kSuspended, std::memory_order_relaxed);
   b.dependents.push_back(txn);
+  suspensions_.fetch_add(1, std::memory_order_relaxed);
   track_end(txn);
   num_active_tasks_.fetch_sub(1, std::memory_order_seq_cst);
   return true;

@@ -112,6 +112,31 @@ class BlockStmScheduler {
     return aborts_.load(std::memory_order_relaxed);
   }
 
+  /// Times validation_idx was actually lowered (a wave re-covering the
+  /// transactions behind an abort or a grown write set).  With an exact
+  /// pre-seeded footprint (MvMemory::seed_estimates from an honest block
+  /// profile) no wave fires at all; a stale profile degrades to extra
+  /// waves — the observable the seeding tests gate on.
+  std::uint64_t validation_waves() const noexcept {
+    return validation_waves_.load(std::memory_order_relaxed);
+  }
+
+  /// Executions parked on a dependency (successful add_dependency calls).
+  std::uint64_t suspensions() const noexcept {
+    return suspensions_.load(std::memory_order_relaxed);
+  }
+
+  /// True while another next_task() call could still claim work: a null
+  /// task with claimable() true was a wasted cursor claim (the target was
+  /// mid-execution), not cursor exhaustion.  Real workers just spin; a
+  /// discrete-event caller uses this to retry in zero virtual time instead
+  /// of idling its virtual worker until the next completion event.
+  bool claimable() const noexcept {
+    return execution_idx_.load(std::memory_order_seq_cst) < n_ ||
+           validation_idx_.load(std::memory_order_seq_cst) <
+               execution_idx_.load(std::memory_order_seq_cst);
+  }
+
   std::size_t size() const noexcept { return n_; }
 
  private:
@@ -145,6 +170,8 @@ class BlockStmScheduler {
   std::atomic<std::uint32_t> validation_idx_{0};
   std::atomic<std::uint64_t> num_active_tasks_{0};
   std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> validation_waves_{0};
+  std::atomic<std::uint64_t> suspensions_{0};
 
   // In-flight task indices (one entry per open task), for stable_prefix.
   mutable std::mutex inflight_mu_;

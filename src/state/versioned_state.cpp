@@ -316,6 +316,25 @@ MvMemory::ReadResult MvMemory::read(const StateKey& key,
   return r;
 }
 
+void MvMemory::seed_estimates(
+    std::uint32_t txn, const std::vector<std::pair<StateKey, U256>>& writes) {
+  TxnWrites& tw = writes_[txn];
+  std::scoped_lock tlk(tw.mu);
+  BP_ASSERT_MSG(tw.keys.empty(), "seed_estimates after execution started");
+  for (const auto& [key, value] : writes) {
+    Stripe& s = stripe_for(key.hash);
+    std::unique_lock lk(s.mu);
+    Entry& e = s.map[key][txn];
+    e.incarnation = 0;
+    e.estimate = true;
+    e.value = value;
+  }
+  // Registering the seeds as incarnation 0's write set is what makes the
+  // first real record() clean them up (see header comment).
+  tw.keys.reserve(writes.size());
+  for (const auto& [key, value] : writes) tw.keys.push_back(key);
+}
+
 bool MvMemory::record(std::uint32_t txn, std::uint32_t incarnation,
                       const std::vector<std::pair<StateKey, U256>>& writes) {
   TxnWrites& tw = writes_[txn];

@@ -320,6 +320,21 @@ class MvMemory {
   /// Value `txn` observes for `key`: highest writer with index < txn.
   ReadResult read(const StateKey& key, std::uint32_t txn) const;
 
+  /// Pre-populates `txn`'s footprint with ESTIMATE markers before any
+  /// incarnation runs — the validator-replay fast path: the block profile
+  /// broadcasts each transaction's write set, so seeding it makes higher
+  /// transactions SUSPEND on their true dependencies from the first
+  /// incarnation instead of speculating, aborting, and re-executing.  The
+  /// seeds register as incarnation 0's write set, so the first real
+  /// record() replaces them exactly like a re-incarnation would: keys the
+  /// replay actually writes flip to real entries, stale seeded keys are
+  /// erased via the write-set-shrink path, and an unseeded actual write
+  /// reports wrote_new (triggering the validation wave).  A stale seed can
+  /// therefore only cost extra suspensions/waves, never corrupt a result.
+  /// Must be called before `txn` executes (asserts no prior write set).
+  void seed_estimates(std::uint32_t txn,
+                      const std::vector<std::pair<StateKey, U256>>& writes);
+
   /// Installs incarnation `incarnation` of `txn`'s write set, replacing the
   /// previous incarnation's entries (and deleting the ones no longer
   /// written).  Returns true iff a key not written by the previous

@@ -35,9 +35,12 @@ struct ValidatorFixture : ::testing::Test {
     return cached_;
   }
 
-  ValidationOutcome validate(const BlockBundle& bundle, std::size_t threads) {
+  ValidationOutcome validate(
+      const BlockBundle& bundle, std::size_t threads,
+      ValidatorEngine engine = ValidatorEngine::kSubgraphLpt) {
     ValidatorConfig cfg;
     cfg.threads = threads;
+    cfg.engine = engine;
     BlockValidator validator(cfg);
     ThreadPool workers(threads);
     return validator.validate(genesis, bundle.block, bundle.profile, workers);
@@ -213,6 +216,104 @@ TEST_F(ValidatorFixture, ValidatesOccWsiProposedBlock) {
       validator.validate(genesis, proposed.block, proposed.profile, workers);
   EXPECT_TRUE(outcome.valid) << outcome.reject_reason;
   EXPECT_EQ(outcome.exec.state_root, proposed.block.header.state_root);
+}
+
+// ---- Block-STM validator engine (docs/blockstm.md §8) ---------------------
+// The cross-engine identity itself (verdicts/roots/gas/receipts bit-equal
+// across the full proposer x validator matrix) is gated in
+// test_engine_matrix.cpp; these cover the engine knob on this fixture.
+
+TEST_F(ValidatorFixture, BlockStmAcceptsHonestBlockAcrossThreads) {
+  const auto bundle = honest_block(100);
+  for (const ValidatorEngine engine :
+       {ValidatorEngine::kBlockStm, ValidatorEngine::kBlockStmHost}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const auto outcome = validate(bundle, threads, engine);
+      EXPECT_TRUE(outcome.valid)
+          << "threads=" << threads << ": " << outcome.reject_reason;
+      EXPECT_EQ(outcome.exec.state_root, bundle.block.header.state_root);
+      EXPECT_EQ(outcome.exec.receipts.size(),
+                bundle.block.transactions.size());
+      EXPECT_EQ(outcome.stats.engine_used, engine);
+      // Honest profile -> the pre-seeded estimates route every dependency
+      // through suspension; nothing aborts and no validation wave fires.
+      // Holds for both twins: suspension count varies with scheduling,
+      // aborts/waves do not.
+      EXPECT_EQ(outcome.stats.stm_aborts, 0u) << "threads=" << threads;
+      EXPECT_EQ(outcome.stats.stm_validation_waves, 0u)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ValidatorFixture, BlockStmVirtualMakespanIsReproducibleAndScales) {
+  // The DES twin's virtual makespan must be a pure function of (block,
+  // threads) — bit-equal on repeat runs regardless of host scheduling —
+  // and adding virtual workers must never lengthen the replay.
+  const auto bundle = honest_block(100);
+  std::uint64_t prev_makespan = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto a = validate(bundle, threads, ValidatorEngine::kBlockStm);
+    const auto b = validate(bundle, threads, ValidatorEngine::kBlockStm);
+    ASSERT_TRUE(a.valid) << a.reject_reason;
+    EXPECT_EQ(a.stats.vtime_makespan, b.stats.vtime_makespan)
+        << "threads=" << threads;
+    EXPECT_EQ(a.stats.stm_suspensions, b.stats.stm_suspensions)
+        << "threads=" << threads;
+    if (prev_makespan != 0) {
+      EXPECT_LE(a.stats.vtime_makespan, prev_makespan)
+          << "threads=" << threads;
+    }
+    prev_makespan = a.stats.vtime_makespan;
+  }
+}
+
+TEST_F(ValidatorFixture, BlockStmRejectsTamperedStateRoot) {
+  auto bundle = honest_block(30);
+  bundle.block.header.state_root.bytes[0] ^= 0xff;
+  for (const ValidatorEngine engine :
+       {ValidatorEngine::kBlockStm, ValidatorEngine::kBlockStmHost}) {
+    const auto outcome = validate(bundle, 4, engine);
+    EXPECT_FALSE(outcome.valid);
+    EXPECT_EQ(outcome.reject_reason, "state root mismatch");
+  }
+}
+
+TEST_F(ValidatorFixture, BlockStmRejectsTamperedProfileReadSet) {
+  auto bundle = honest_block(30);
+  bundle.profile.txs[5].reads.push_back(
+      state::StateKey::balance(Address::from_id(0xDEAD)));
+  std::sort(bundle.profile.txs[5].reads.begin(),
+            bundle.profile.txs[5].reads.end(), state::state_key_less);
+  const auto outcome = validate(bundle, 4, ValidatorEngine::kBlockStm);
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_NE(outcome.reject_reason.find("read-set mismatch"),
+            std::string::npos);
+}
+
+TEST_F(ValidatorFixture, BlockStmRejectsProfileSizeMismatch) {
+  auto bundle = honest_block(10);
+  bundle.profile.txs.pop_back();
+  const auto outcome = validate(bundle, 4, ValidatorEngine::kBlockStm);
+  EXPECT_FALSE(outcome.valid);
+  EXPECT_EQ(outcome.reject_reason, "profile size mismatch");
+}
+
+TEST_F(ValidatorFixture, BlockStmEmptyBlockValidates) {
+  const auto bundle = honest_block(0);
+  const auto outcome = validate(bundle, 4, ValidatorEngine::kBlockStm);
+  EXPECT_TRUE(outcome.valid) << outcome.reject_reason;
+}
+
+TEST_F(ValidatorFixture, AdaptiveResolvesToAFixedEngine) {
+  const auto bundle = honest_block(60);
+  const auto outcome = validate(bundle, 4, ValidatorEngine::kAdaptive);
+  ASSERT_TRUE(outcome.valid) << outcome.reject_reason;
+  EXPECT_NE(outcome.stats.engine_used, ValidatorEngine::kAdaptive);
+  // preset_mainnet sits below the regime-map threshold (~27.5 % largest
+  // subgraph vs 33 %), so the stateless per-block pick stays on the oracle.
+  EXPECT_EQ(outcome.stats.engine_used, ValidatorEngine::kSubgraphLpt)
+      << "ratio=" << outcome.stats.largest_subgraph_ratio;
 }
 
 // Sweep: honest blocks across conflict regimes and thread counts validate
